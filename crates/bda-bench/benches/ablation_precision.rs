@@ -1,0 +1,100 @@
+//! A-PREC — §5: single vs double precision.
+//!
+//! "We converted variables of both SCALE and LETKF Fortran codes from double
+//! precision to single precision for 2x acceleration." Every kernel in this
+//! workspace is generic over the `Real` trait, so the same code runs at both
+//! precisions; this bench measures the contrast on the two hot paths: the
+//! model time step and the LETKF ensemble-space transform.
+
+use bda_num::{BatchedEigen, MatrixS, Real, SplitMix64};
+use bda_letkf::weights::{apply_transform, compute_transform, LocalObs};
+use bda_scale::base::Sounding;
+use bda_scale::{Model, ModelConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn model_step_bench<T: Real>(c: &mut Criterion, label: &str) {
+    // Large enough that the 12-field state exceeds the last-level cache, so
+    // the step is memory-bandwidth bound — the regime where the paper's f32
+    // conversion pays (the other half of its win was SVE vector width).
+    let mut cfg = ModelConfig::reduced(96, 96, 40);
+    cfg.halo = bda_grid::halo::HaloPolicy::Periodic;
+    cfg.davies_width = 0;
+    let mut model = Model::<T>::new(cfg, &Sounding::convective());
+    let g = model.cfg.grid.clone();
+    model
+        .state
+        .add_warm_bubble(&g, g.lx() / 2.0, g.ly() / 2.0, 1500.0, 6000.0, 1200.0, 2.5);
+    let mut group = c.benchmark_group("precision/model_step_96x96x40");
+    group.sample_size(10);
+    group.bench_function(label, |b| {
+        b.iter(|| {
+            model.step();
+            black_box(model.state.time)
+        })
+    });
+    group.finish();
+}
+
+fn field_sweep_bench<T: Real>(c: &mut Criterion, label: &str) {
+    // The pure-bandwidth kernel: axpy over a field far larger than cache.
+    use bda_grid::Field3;
+    let mut a = Field3::<T>::constant(256, 256, 60, 2, T::one());
+    let b_field = Field3::<T>::constant(256, 256, 60, 2, T::of(0.5));
+    let mut group = c.benchmark_group("precision/field_axpy_256x256x60");
+    group.sample_size(20);
+    group.bench_function(label, |bch| {
+        bch.iter(|| {
+            a.axpy(T::of(1e-6), black_box(&b_field));
+            black_box(a.at(0, 0, 0))
+        })
+    });
+    group.finish();
+}
+
+fn letkf_transform_bench<T: Real>(c: &mut Criterion, label: &str) {
+    let k = 100;
+    let nobs = 40;
+    let mut rng = SplitMix64::new(5);
+    let mut local = LocalObs::<T>::new(k);
+    let mut row = vec![T::zero(); k];
+    for _ in 0..nobs {
+        rng.fill_gaussian(&mut row, T::one());
+        local.push(rng.gaussian(T::zero(), T::of(2.0)), T::of(0.04), &row);
+    }
+    let mut solver = BatchedEigen::<T>::with_capacity(k);
+    let mut trans = MatrixS::zeros(k);
+    let mut vals = vec![T::zero(); k];
+    rng.fill_gaussian(&mut vals, T::of(3.0));
+    let mut pert = vec![T::zero(); k];
+
+    c.bench_function(&format!("precision/letkf_transform_k100/{label}"), |b| {
+        b.iter(|| {
+            compute_transform(
+                black_box(&local),
+                T::of(0.95),
+                T::one(),
+                &mut solver,
+                &mut trans,
+            );
+            apply_transform(&mut vals, &trans, &mut pert);
+            black_box(vals[0])
+        })
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    eprintln!("\n================ A-PREC: single vs double precision ================");
+    eprintln!("paper: converting SCALE + LETKF to single precision gave ~2x; compare the");
+    eprintln!("f32 and f64 rows below (model step is memory-bound, transform compute-bound)\n");
+
+    field_sweep_bench::<f32>(c, "f32");
+    field_sweep_bench::<f64>(c, "f64");
+    model_step_bench::<f32>(c, "f32");
+    model_step_bench::<f64>(c, "f64");
+    letkf_transform_bench::<f32>(c, "f32");
+    letkf_transform_bench::<f64>(c, "f64");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E-F7 — Fig. 7: threat-score verification, BDA vs persistence.
+//!
+//! Regenerates the Fig. 7 comparison on a reduced OSSE (printed once) and
+//! benchmarks the verification kernels at the paper's full map size
+//! (256 x 256, the 2-km reflectivity field).
+
+use bda_core::osse::{Osse, OsseConfig};
+use bda_num::SplitMix64;
+use bda_verify::{ContingencyTable, LeadTimeSeries, PersistenceForecast};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn regenerate_fig7() {
+    let mut osse = Osse::<f32>::new(OsseConfig::reduced(14, 10, 8, 3, 2024));
+    osse.spinup_system(720.0);
+    for _ in 0..3 {
+        osse.cycle();
+    }
+    let leads: Vec<f64> = (0..=4).map(|i| i as f64 * 90.0).collect();
+    let mut bda = LeadTimeSeries::new(leads.len(), 90.0);
+    let mut per = LeadTimeSeries::new(leads.len(), 90.0);
+    for _ in 0..4 {
+        let case = osse.run_forecast_case(&leads, 3);
+        let p = PersistenceForecast::new(&case.observed_dbz_init);
+        for (li, &lead) in case.leads.iter().enumerate() {
+            bda.add(
+                li,
+                &ContingencyTable::from_fields(
+                    &case.forecast_dbz[li],
+                    &case.truth_dbz[li],
+                    30.0,
+                    Some(&case.mask),
+                ),
+            );
+            per.add(
+                li,
+                &ContingencyTable::from_fields(
+                    p.at_lead(lead),
+                    &case.truth_dbz[li],
+                    30.0,
+                    Some(&case.mask),
+                ),
+            );
+        }
+        osse.cycle();
+    }
+    eprintln!("\n================ Fig. 7 (regenerated, reduced scale) ================");
+    eprint!("{}", bda.comparison_report("BDA", &per, "persistence"));
+    eprintln!(
+        "paper shape: BDA above persistence at all positive leads; persistence near-perfect at lead 0\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_fig7();
+
+    // Verification kernels at full map size.
+    let n = 256 * 256;
+    let mut rng = SplitMix64::new(1);
+    let truth: Vec<f32> = (0..n).map(|_| rng.uniform_in(0.0, 55.0) as f32).collect();
+    let forecast: Vec<f32> = truth
+        .iter()
+        .map(|&v| v + rng.gaussian(0.0f64, 6.0) as f32)
+        .collect();
+    let mask: Vec<bool> = (0..n).map(|i| i % 7 != 0).collect();
+
+    c.bench_function("fig7/contingency_256x256", |b| {
+        b.iter(|| {
+            black_box(ContingencyTable::from_fields(
+                black_box(&forecast),
+                black_box(&truth),
+                30.0,
+                Some(&mask),
+            ))
+        })
+    });
+
+    c.bench_function("fig7/threat_score_from_table", |b| {
+        let t = ContingencyTable::from_fields(&forecast, &truth, 30.0, Some(&mask));
+        b.iter(|| black_box(t.threat_score()))
+    });
+
+    c.bench_function("fig7/leadtime_aggregation_120_cases", |b| {
+        let t = ContingencyTable::from_fields(&forecast, &truth, 30.0, Some(&mask));
+        b.iter(|| {
+            let mut s = LeadTimeSeries::new(61, 30.0);
+            for case in 0..120 {
+                s.add(case % 61, &t);
+            }
+            black_box(s.threat_scores())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E-T1 — Table 1: problem-size comparison vs operational NWP systems.
+//!
+//! Prints the regenerated Table 1 with the derived problem-size column and
+//! benchmarks the (trivial) computation so the table appears in every bench
+//! run's output. The scientific content is the printed ratio: BDA2021 is
+//! ~two orders of magnitude beyond the largest operational DA problem.
+
+use bda_core::systems::{bda2021, render_table1, TABLE1};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // --- the regenerated table, once ---
+    eprintln!("\n================ Table 1 (regenerated) ================");
+    eprint!("{}", render_table1());
+    let bda = bda2021();
+    let best = TABLE1
+        .iter()
+        .map(|s| s.problem_size_rate())
+        .fold(0.0, f64::max);
+    eprintln!(
+        "BDA problem-size ratio vs best operational: {:.0}x (paper: 'two orders of magnitude')",
+        bda.problem_size_rate() / best
+    );
+    eprintln!(
+        "refresh speedup vs hourly systems: {:.0}x (paper: '120x faster')\n",
+        bda.refresh_speedup_vs(&TABLE1[0])
+    );
+
+    c.bench_function("table1/problem_size_rates", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in &TABLE1 {
+                acc += black_box(s).problem_size_rate();
+            }
+            acc += bda2021().problem_size_rate();
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("table1/render", |b| b.iter(|| black_box(render_table1())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Shared helpers live in each bench file.

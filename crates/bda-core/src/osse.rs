@@ -1,0 +1,637 @@
+//! The OSSE harness: the full BDA cycle against a simulated truth.
+//!
+//! An Observing System Simulation Experiment replaces the real atmosphere
+//! with a model "nature run": the radar simulator observes it, the ensemble
+//! assimilates those observations, and forecasts are verified against the
+//! known truth. This is the standard methodology when the real observing
+//! system is unavailable, and it preserves the paper's experiment structure:
+//!
+//! * part <1-1> — LETKF analysis of reflectivity + Doppler velocity;
+//! * part <1-2> — 30-second ensemble forecasts between analyses;
+//! * part <2> — 30-minute forecasts from the mean + random members.
+
+use crate::products::reflectivity_map;
+use bda_letkf::{
+    analyze, gross_error_check, AnalysisStats, EnsembleMatrix, LetkfConfig, ObsEnsemble,
+    StateLayout,
+};
+use bda_letkf::diagnostics::{innovation_statistics, InnovationStats};
+use bda_letkf::obs::QcStats;
+use bda_num::{Real, SplitMix64};
+use bda_pawr::operator::ensemble_equivalents;
+use bda_pawr::{PawrSimulator, RadarConfig, RadarNetwork};
+use bda_scale::forcing::TriggerSchedule;
+use bda_scale::model::Boundary;
+use bda_scale::{BaseState, Ensemble, Model, ModelConfig, ModelState, ANALYZED_VARS};
+use bda_scale::base::Sounding;
+
+/// OSSE configuration.
+#[derive(Clone, Debug)]
+pub struct OsseConfig {
+    pub model: ModelConfig,
+    pub letkf: LetkfConfig,
+    pub radar: RadarConfig,
+    /// Analysis cycle interval, s (the 30-second refresh).
+    pub cycle_interval: f64,
+    pub seed: u64,
+    /// Initial ensemble perturbation magnitudes.
+    pub init_theta_sd: f64,
+    pub init_qv_sd: f64,
+    /// Convection triggers injected into the nature run.
+    pub nature_triggers: TriggerSchedule,
+    /// Environmental sounding shared by truth and ensemble.
+    pub sounding: Sounding,
+    /// Optional multi-radar network replacing the single radar — the dual
+    /// MP-PAWR coverage of §8 / Maejima et al. (2022).
+    pub network: Option<RadarNetwork>,
+}
+
+impl OsseConfig {
+    /// Full-scale BDA2021 configuration (256x256x60, 1000 members) — used
+    /// for problem-size accounting; run the reduced one on a laptop.
+    pub fn bda2021() -> Self {
+        let model = ModelConfig::inner_bda2021();
+        let radar = RadarConfig::mp_pawr_bda2021();
+        let triggers = TriggerSchedule::random_multicell(
+            model.grid.lx(),
+            model.grid.ly(),
+            0.0,
+            3600.0,
+            8,
+            2021,
+        );
+        Self {
+            model,
+            letkf: LetkfConfig::bda2021(),
+            radar,
+            cycle_interval: 30.0,
+            seed: 2021,
+            init_theta_sd: 0.5,
+            init_qv_sd: 3e-4,
+            nature_triggers: triggers,
+            sounding: Sounding::convective(),
+            network: None,
+        }
+    }
+
+    /// Reduced configuration preserving the full code path.
+    ///
+    /// Small domains run as doubly-periodic convection boxes: with a Davies
+    /// rim, most of a 10–20-cell domain would sit inside the relaxation
+    /// layer and convection could never develop. The production clamp+rim
+    /// configuration is kept for domains of 48+ cells.
+    pub fn reduced(nx: usize, nz: usize, members: usize, n_triggers: usize, seed: u64) -> Self {
+        let mut model = ModelConfig::reduced(nx, nx, nz);
+        if nx >= 48 {
+            model.davies_width = 5;
+        } else {
+            model.halo = bda_grid::halo::HaloPolicy::Periodic;
+            model.davies_width = 0;
+        }
+        let radar = RadarConfig::reduced(model.grid.lx(), model.grid.ly());
+        let triggers = TriggerSchedule::random_multicell(
+            model.grid.lx(),
+            model.grid.ly(),
+            0.0,
+            300.0,
+            n_triggers,
+            seed,
+        );
+        let mut letkf = LetkfConfig::reduced(members);
+        // Scale the analysis ceiling to the reduced domain top.
+        letkf.analysis_z_max = letkf.analysis_z_max.min(model.grid.vertical.z_top() * 0.8);
+        Self {
+            model,
+            letkf,
+            radar,
+            cycle_interval: 30.0,
+            seed,
+            init_theta_sd: 0.5,
+            init_qv_sd: 3e-4,
+            nature_triggers: triggers,
+            sounding: Sounding::convective(),
+            network: None,
+        }
+    }
+
+    /// Switch to dual-radar coverage (RadarNetwork::dual over the domain).
+    pub fn with_dual_radar(mut self) -> Self {
+        self.network = Some(RadarNetwork::dual(&self.model.grid));
+        self
+    }
+}
+
+/// Outcome of one 30-second cycle.
+#[derive(Clone, Debug)]
+pub struct CycleOutcome {
+    /// Analysis (valid) time, s.
+    pub time: f64,
+    /// Observations produced by the scan.
+    pub n_obs_scanned: usize,
+    /// Observations surviving QC.
+    pub n_obs_used: usize,
+    pub qc: QcStats,
+    pub analysis: AnalysisStats,
+    /// Innovation statistics after QC, per observation kind — the filter
+    /// health check (consistency ratio ~1 when spread matches error).
+    pub innovation_reflectivity: InnovationStats,
+    pub innovation_doppler: InnovationStats,
+    /// RMSE of the ensemble-mean 2-km reflectivity against truth, before
+    /// and after the analysis (visible cells only).
+    pub prior_rmse_dbz: f64,
+    pub posterior_rmse_dbz: f64,
+}
+
+/// One 30-minute forecast case with verification data at each lead — the
+/// raw material for Figs. 6 and 7.
+#[derive(Clone, Debug)]
+pub struct ForecastCase {
+    /// Forecast lead times, s.
+    pub leads: Vec<f64>,
+    /// Ensemble-mean forecast 2-km reflectivity per lead (j-outer maps).
+    pub forecast_dbz: Vec<Vec<f64>>,
+    /// Truth 2-km reflectivity at the verifying times.
+    pub truth_dbz: Vec<Vec<f64>>,
+    /// The (noisy) observed map at initialization — the persistence base.
+    pub observed_dbz_init: Vec<f64>,
+    /// Radar visibility mask at 2 km (false = hatched no-data).
+    pub mask: Vec<bool>,
+}
+
+/// Jitter a trigger schedule for one ensemble member: storms exist in every
+/// member's world, but displaced, re-timed and re-scaled.
+fn jitter_triggers(
+    triggers: &TriggerSchedule,
+    grid: &bda_grid::GridSpec,
+    seed: u64,
+    member: u64,
+) -> TriggerSchedule {
+    let mut rng = SplitMix64::new(seed).split(member);
+    let events = triggers
+        .events()
+        .iter()
+        .map(|e| {
+            let mut j = *e;
+            j.x = (e.x + rng.gaussian(0.0f64, 1500.0)).clamp(0.0, grid.lx());
+            j.y = (e.y + rng.gaussian(0.0f64, 1500.0)).clamp(0.0, grid.ly());
+            j.time = (e.time + rng.gaussian(0.0f64, 45.0)).max(0.0);
+            j.amplitude = e.amplitude * rng.uniform_in(0.75, 1.25);
+            j
+        })
+        .collect();
+    TriggerSchedule::new(events)
+}
+
+/// The full OSSE system.
+pub struct Osse<T: Real> {
+    pub cfg: OsseConfig,
+    base: BaseState<T>,
+    /// Truth integration engine (owns the nature state).
+    nature: Model<T>,
+    pub ensemble: Ensemble<T>,
+    sim: PawrSimulator,
+    layout: StateLayout,
+    pub time: f64,
+    rng: SplitMix64,
+}
+
+impl<T: Real> Osse<T> {
+    pub fn new(cfg: OsseConfig) -> Self {
+        cfg.model.validate();
+        cfg.letkf.validate();
+        let base = BaseState::from_sounding(&cfg.sounding, &cfg.model.grid.vertical, cfg.model.sound_speed);
+        let mut nature = Model::from_parts(cfg.model.clone(), base.clone());
+        nature.triggers = cfg.nature_triggers.clone();
+        nature.boundary = Boundary::BaseState;
+
+        let init = ModelState::init_from_base(&cfg.model.grid, &base);
+        let ensemble = Ensemble::from_perturbations(
+            &init,
+            &cfg.model,
+            cfg.letkf.ensemble_size,
+            cfg.seed,
+            cfg.init_theta_sd,
+            cfg.init_qv_sd,
+        );
+        let grid = &cfg.model.grid;
+        let layout = StateLayout {
+            nx: grid.nx,
+            ny: grid.ny,
+            nz: grid.nz(),
+            nvar: ANALYZED_VARS.len(),
+            dx: grid.dx,
+            z_center: grid.vertical.z_center.clone(),
+        };
+        let sim = PawrSimulator::new(cfg.radar.clone());
+        let rng = SplitMix64::new(cfg.seed ^ 0x0553);
+        Self {
+            base,
+            nature,
+            ensemble,
+            sim,
+            layout,
+            time: 0.0,
+            cfg,
+            rng,
+        }
+    }
+
+    /// Truth state (for verification only — the DA never touches it).
+    pub fn truth(&self) -> &ModelState<T> {
+        &self.nature.state
+    }
+
+    /// Advance only the truth, letting its convection mature before the DA
+    /// starts — the standard OSSE "perfect model, imperfect initial state"
+    /// setup. The ensemble stays at its initial perturbed state, so the
+    /// first analyses face a real tracking problem.
+    pub fn spinup_truth(&mut self, seconds: f64) {
+        self.nature
+            .integrate(seconds)
+            .expect("nature run blew up during spin-up");
+    }
+
+    /// Spin up the whole system: truth and ensemble advance together, each
+    /// member seeing a *jittered* copy of the nature triggers (displaced,
+    /// re-timed, re-scaled). After spin-up every member carries its own
+    /// version of the storms, so the ensemble has the reflectivity spread
+    /// radar assimilation needs — the state the continuously cycling
+    /// production system maintained at all times.
+    pub fn spinup_system(&mut self, seconds: f64) {
+        self.nature
+            .integrate(seconds)
+            .expect("nature run blew up during spin-up");
+        let triggers = self.cfg.nature_triggers.clone();
+        let seed = self.cfg.seed ^ 0x51F0;
+        let grid = self.cfg.model.grid.clone();
+        self.ensemble
+            .forecast_with(&self.cfg.model, &self.base, seconds, |idx, engine| {
+                engine.boundary = Boundary::BaseState;
+                engine.triggers = jitter_triggers(&triggers, &grid, seed, idx as u64);
+            })
+            .expect("ensemble member blew up during spin-up");
+        self.time += seconds;
+    }
+
+    /// Maximum truth reflectivity anywhere in the volume, dBZ (diagnostic
+    /// for "has convection developed yet?").
+    pub fn truth_max_dbz(&self) -> f64 {
+        let grid = &self.cfg.model.grid;
+        let mut m = f64::NEG_INFINITY;
+        for k in 0..grid.nz() {
+            for j in 0..grid.ny {
+                for i in 0..grid.nx {
+                    m = m.max(bda_pawr::operator::h_reflectivity(
+                        self.truth(),
+                        &self.base,
+                        i,
+                        j,
+                        k,
+                        -30.0,
+                    ));
+                }
+            }
+        }
+        m
+    }
+
+    pub fn base(&self) -> &BaseState<T> {
+        &self.base
+    }
+
+    pub fn radar(&self) -> &PawrSimulator {
+        &self.sim
+    }
+
+    /// Radar coverage mask at height `z` (network-aware).
+    pub fn coverage_mask(&self, z: f64) -> Vec<bool> {
+        match &self.cfg.network {
+            Some(net) => net.visibility_mask(&self.cfg.model.grid, z),
+            None => self.sim.visibility_mask(&self.cfg.model.grid, z),
+        }
+    }
+
+    /// Ensemble calibration check: rank histogram of the truth reflectivity
+    /// against the member reflectivities at height `z`, over the radar-
+    /// covered cells. A flat histogram means the spread is trustworthy.
+    pub fn rank_histogram(&self, z: f64) -> bda_verify::RankHistogram {
+        let grid = &self.cfg.model.grid;
+        let floor = self.cfg.radar.min_detectable_dbz;
+        let truth = self.truth_reflectivity_map(z);
+        let member_maps: Vec<Vec<f64>> = self
+            .ensemble
+            .members
+            .iter()
+            .map(|m| reflectivity_map(m, &self.base, grid, z, floor))
+            .collect();
+        // Exclude cells where truth and every member sit exactly at the
+        // clear-air floor: ties there are not evidence about the spread.
+        let mut mask = self.coverage_mask(z);
+        for (idx, m) in mask.iter_mut().enumerate() {
+            if *m {
+                let any_echo = truth[idx] > floor
+                    || member_maps.iter().any(|mm| mm[idx] > floor);
+                *m = any_echo;
+            }
+        }
+        let mut h = bda_verify::RankHistogram::new(self.ensemble.size());
+        h.add_fields(&truth, &member_maps, Some(&mask));
+        h
+    }
+
+    /// Ensemble-mean 2-km reflectivity map.
+    pub fn mean_reflectivity_map(&self, z: f64) -> Vec<f64> {
+        let mean = self.ensemble.mean();
+        reflectivity_map(&mean, &self.base, &self.cfg.model.grid, z, self.cfg.radar.min_detectable_dbz)
+    }
+
+    /// Truth 2-km reflectivity map.
+    pub fn truth_reflectivity_map(&self, z: f64) -> Vec<f64> {
+        reflectivity_map(
+            self.truth(),
+            &self.base,
+            &self.cfg.model.grid,
+            z,
+            self.cfg.radar.min_detectable_dbz,
+        )
+    }
+
+    fn masked_rmse(&self, a: &[f64], b: &[f64], mask: &[bool]) -> f64 {
+        let mut ss = 0.0;
+        let mut n = 0usize;
+        for i in 0..a.len() {
+            if mask[i] {
+                ss += (a[i] - b[i]).powi(2);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            (ss / n as f64).sqrt()
+        }
+    }
+
+    /// One full 30-second cycle: advance truth and ensemble, scan, QC,
+    /// analyze.
+    pub fn cycle(&mut self) -> CycleOutcome {
+        let dt = self.cfg.cycle_interval;
+        let grid = self.cfg.model.grid.clone();
+
+        // Advance truth (part of "the real world") and the ensemble
+        // (part <1-2>: 1000-member 30-s forecasts).
+        self.nature.integrate(dt).expect("nature run blew up");
+        self.ensemble
+            .forecast(&self.cfg.model, &self.base, dt, |_| Boundary::BaseState)
+            .expect("ensemble member blew up");
+        self.time += dt;
+
+        // Scan the truth (the MP-PAWR volume at T_obs) and evaluate the
+        // forward operator on every member, honoring each radar's geometry.
+        let floor = self.cfg.radar.min_detectable_dbz;
+        let (scan, hx) = if let Some(net) = &self.cfg.network {
+            let (scan, counts) =
+                net.scan_with_counts(&self.nature.state, &self.base, &grid, self.time, self.cfg.seed);
+            let hx = net.ensemble_equivalents(
+                &scan.obs,
+                &counts,
+                &self.ensemble.members,
+                &self.base,
+                &grid,
+                floor,
+            );
+            (scan, hx)
+        } else {
+            let scan = self
+                .sim
+                .scan(&self.nature.state, &self.base, &grid, self.time, self.cfg.seed);
+            let hx = ensemble_equivalents(
+                &scan.obs,
+                &self.ensemble.members,
+                &self.base,
+                &grid,
+                &self.cfg.radar,
+                floor,
+            );
+            (scan, hx)
+        };
+        let n_obs_scanned = scan.obs.len();
+        let ens_obs = ObsEnsemble::new(scan.obs, hx);
+        let (ens_obs, qc) = gross_error_check(&ens_obs, &self.cfg.letkf);
+        let n_obs_used = ens_obs.len();
+        let (innovation_reflectivity, innovation_doppler) = innovation_statistics(&ens_obs);
+
+        // Diagnostics before the update.
+        let mask = self.coverage_mask(2000.0);
+        let truth_map = self.truth_reflectivity_map(2000.0);
+        let prior_map = self.mean_reflectivity_map(2000.0);
+        let prior_rmse_dbz = self.masked_rmse(&prior_map, &truth_map, &mask);
+
+        // Part <1-1>: the LETKF analysis.
+        let flats: Vec<Vec<T>> = self
+            .ensemble
+            .members
+            .iter()
+            .map(|m| m.to_flat(&ANALYZED_VARS))
+            .collect();
+        let mut mat = EnsembleMatrix::from_members(&flats, self.layout.clone());
+        let analysis = analyze(&mut mat, &ens_obs, &self.cfg.letkf);
+        let mut flats = flats;
+        mat.to_members(&mut flats);
+        for (member, flat) in self.ensemble.members.iter_mut().zip(&flats) {
+            member.from_flat(&ANALYZED_VARS, flat);
+            member.clamp_physical();
+        }
+
+        let post_map = self.mean_reflectivity_map(2000.0);
+        let posterior_rmse_dbz = self.masked_rmse(&post_map, &truth_map, &mask);
+
+        CycleOutcome {
+            time: self.time,
+            n_obs_scanned,
+            n_obs_used,
+            qc,
+            analysis,
+            innovation_reflectivity,
+            innovation_doppler,
+            prior_rmse_dbz,
+            posterior_rmse_dbz,
+        }
+    }
+
+    /// Run `n` consecutive cycles, returning all outcomes.
+    pub fn run_cycles(&mut self, n: usize) -> Vec<CycleOutcome> {
+        (0..n).map(|_| self.cycle()).collect()
+    }
+
+    /// Part <2>: launch a 30-minute (or `duration`) forecast from the mean
+    /// analysis + `extra_members` random members, verified against a cloned
+    /// continuation of the truth at each lead in `leads`.
+    ///
+    /// The OSSE's own truth and ensemble are *not* advanced — this matches
+    /// the real system where part <2> runs on separate nodes while cycling
+    /// continues.
+    pub fn run_forecast_case(&mut self, leads: &[f64], extra_members: usize) -> ForecastCase {
+        assert!(!leads.is_empty());
+        let grid = self.cfg.model.grid.clone();
+        let duration_max = leads.iter().cloned().fold(0.0, f64::max);
+
+        // Forecast ensemble: mean + random members (the paper's 1 + 10).
+        let mean = self.ensemble.mean();
+        let idx = self
+            .ensemble
+            .random_member_indices(extra_members.min(self.ensemble.size()), &mut self.rng);
+        let mut fc_members = vec![mean];
+        fc_members.extend(idx.into_iter().map(|i| self.ensemble.members[i].clone()));
+        let mut fc_ens = Ensemble { members: fc_members };
+
+        // Clone the truth engine to produce verifying fields.
+        let mut truth_engine = Model::from_parts(self.cfg.model.clone(), self.base.clone());
+        truth_engine.triggers = self.cfg.nature_triggers.clone();
+        let _ = truth_engine.swap_state(self.truth().clone());
+
+        let mask = self.coverage_mask(2000.0);
+        let floor = self.cfg.radar.min_detectable_dbz;
+
+        // Persistence base: the noisy observed map at initialization.
+        let mut obs_rng = SplitMix64::new(self.cfg.seed ^ 0x0B5E).split(self.time.to_bits());
+        let truth_init = reflectivity_map(self.truth(), &self.base, &grid, 2000.0, floor);
+        let observed_dbz_init: Vec<f64> = truth_init
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if mask[i] && v > floor {
+                    (v + obs_rng.gaussian(0.0, self.cfg.radar.noise_reflectivity_dbz)).max(floor)
+                } else {
+                    v
+                }
+            })
+            .collect();
+
+        let mut forecast_dbz = Vec::with_capacity(leads.len());
+        let mut truth_dbz = Vec::with_capacity(leads.len());
+        let mut t_prev = 0.0;
+        for &lead in leads {
+            assert!(lead >= t_prev, "leads must be ascending");
+            let step = lead - t_prev;
+            if step > 0.0 {
+                fc_ens
+                    .forecast(&self.cfg.model, &self.base, step, |_| Boundary::BaseState)
+                    .expect("forecast member blew up");
+                truth_engine.integrate(step).expect("truth clone blew up");
+            }
+            let fc_mean = fc_ens.mean();
+            forecast_dbz.push(reflectivity_map(&fc_mean, &self.base, &grid, 2000.0, floor));
+            truth_dbz.push(reflectivity_map(
+                &truth_engine.state,
+                &self.base,
+                &grid,
+                2000.0,
+                floor,
+            ));
+            t_prev = lead;
+        }
+        let _ = duration_max;
+
+        ForecastCase {
+            leads: leads.to_vec(),
+            forecast_dbz,
+            truth_dbz,
+            observed_dbz_init,
+            mask,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Osse<f32> {
+        Osse::new(OsseConfig::reduced(10, 8, 6, 2, 11))
+    }
+
+    #[test]
+    fn cycle_produces_observations_and_analysis() {
+        let mut osse = small();
+        let out = osse.cycle();
+        assert!(out.n_obs_scanned > 0, "radar saw nothing");
+        assert!(out.n_obs_used > 0, "QC rejected everything");
+        assert!(out.n_obs_used <= out.n_obs_scanned);
+        assert!(out.analysis.points_analyzed > 0, "no grid points analyzed");
+        assert!((out.time - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycling_advances_all_clocks_together() {
+        let mut osse = small();
+        osse.run_cycles(2);
+        assert!((osse.time - 60.0).abs() < 1e-9);
+        assert!((osse.truth().time - 60.0).abs() < 1e-6);
+        for m in &osse.ensemble.members {
+            assert!((m.time - 60.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn analysis_does_not_degrade_reflectivity_rmse() {
+        // With rain in the truth and clear-air obs everywhere, the analysis
+        // should pull the mean toward the truth (or at worst hold level).
+        let mut osse = small();
+        let outs = osse.run_cycles(3);
+        let last = outs.last().unwrap();
+        assert!(
+            last.posterior_rmse_dbz <= last.prior_rmse_dbz + 0.5,
+            "analysis degraded RMSE: {} -> {}",
+            last.prior_rmse_dbz,
+            last.posterior_rmse_dbz
+        );
+    }
+
+    #[test]
+    fn forecast_case_has_consistent_shapes() {
+        let mut osse = small();
+        osse.cycle();
+        let case = osse.run_forecast_case(&[0.0, 30.0, 60.0], 2);
+        assert_eq!(case.leads.len(), 3);
+        assert_eq!(case.forecast_dbz.len(), 3);
+        assert_eq!(case.truth_dbz.len(), 3);
+        let n = 10 * 10;
+        assert_eq!(case.forecast_dbz[0].len(), n);
+        assert_eq!(case.mask.len(), n);
+        assert_eq!(case.observed_dbz_init.len(), n);
+        // OSSE state untouched by the forecast case.
+        assert!((osse.time - 30.0).abs() < 1e-9);
+        assert!((osse.truth().time - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn descending_leads_rejected() {
+        let mut osse = small();
+        let _ = osse.run_forecast_case(&[30.0, 0.0], 1);
+    }
+
+    #[test]
+    fn rank_histogram_has_one_bin_per_interval_and_counts_covered_cells() {
+        let mut osse = small();
+        osse.cycle();
+        let h = osse.rank_histogram(2000.0);
+        assert_eq!(h.ensemble_size(), 6);
+        assert_eq!(h.counts().len(), 7);
+        // Counts only echo-bearing covered cells, so bounded by coverage.
+        let covered = osse.coverage_mask(2000.0).iter().filter(|&&v| v).count();
+        assert!(h.total() as usize <= covered);
+    }
+
+    #[test]
+    fn reduced_config_is_valid_and_full_scale_parameters_survive() {
+        let r = OsseConfig::reduced(12, 10, 8, 3, 5);
+        assert_eq!(r.letkf.ensemble_size, 8);
+        assert_eq!(r.cycle_interval, 30.0);
+        let f = OsseConfig::bda2021();
+        assert_eq!(f.letkf.ensemble_size, 1000);
+        assert_eq!(f.model.grid.nx, 256);
+        assert_eq!(f.radar.range_max, 60_000.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Final products: reflectivity maps and 3-D structure views.
+
+use bda_num::Real;
+use bda_pawr::operator::h_reflectivity;
+use bda_pawr::PawrSimulator;
+use bda_grid::GridSpec;
+use bda_scale::{BaseState, ModelState};
+
+/// Simulated-reflectivity map (dBZ) at the model level closest to height
+/// `z` (Fig. 6 uses 2 km). Row order is j-outer/i-inner, matching
+/// [`PawrSimulator::visibility_mask`].
+pub fn reflectivity_map<T: Real>(
+    state: &ModelState<T>,
+    base: &BaseState<T>,
+    grid: &GridSpec,
+    z: f64,
+    floor_dbz: f64,
+) -> Vec<f64> {
+    let k = grid.vertical.level_of(z);
+    let mut out = Vec::with_capacity(grid.nx * grid.ny);
+    for j in 0..grid.ny {
+        for i in 0..grid.nx {
+            out.push(h_reflectivity(state, base, i, j, k, floor_dbz));
+        }
+    }
+    out
+}
+
+/// Column-maximum reflectivity map (the "composite" product of Fig. 1a).
+pub fn composite_reflectivity_map<T: Real>(
+    state: &ModelState<T>,
+    base: &BaseState<T>,
+    grid: &GridSpec,
+    floor_dbz: f64,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(grid.nx * grid.ny);
+    for j in 0..grid.ny {
+        for i in 0..grid.nx {
+            let mut m = floor_dbz;
+            for k in 0..grid.nz() {
+                m = m.max(h_reflectivity(state, base, i, j, k, floor_dbz));
+            }
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Fig. 8-style 3-D bird's-eye view: for each dBZ band (every 10 dBZ from
+/// 10 to 50), an ASCII layer map of where the band's echo tops sit.
+pub fn volume_view<T: Real>(
+    state: &ModelState<T>,
+    base: &BaseState<T>,
+    grid: &GridSpec,
+    sim: &PawrSimulator,
+) -> String {
+    let mut out = String::new();
+    for band in (10..=50).step_by(10) {
+        // Echo-top height (km) of this band per column.
+        let mut any = false;
+        let mut map = String::new();
+        for j in (0..grid.ny).rev() {
+            for i in 0..grid.nx {
+                let mut top: Option<usize> = None;
+                for k in (0..grid.nz()).rev() {
+                    if h_reflectivity(state, base, i, j, k, -30.0) >= band as f64 {
+                        top = Some(k);
+                        break;
+                    }
+                }
+                let c = match top {
+                    Some(k) => {
+                        any = true;
+                        let z_km = grid.vertical.z_center[k] / 1000.0;
+                        // Digit = echo-top height in km (capped at 9).
+                        std::char::from_digit((z_km as u32).min(9), 10).unwrap()
+                    }
+                    None => {
+                        let vis = bda_pawr::geometry::visibility(
+                            &sim.cfg,
+                            grid.x_center(i),
+                            grid.y_center(j),
+                            2000.0,
+                        )
+                        .is_ok();
+                        if vis {
+                            '.'
+                        } else {
+                            '/'
+                        }
+                    }
+                };
+                map.push(c);
+            }
+            map.push('\n');
+        }
+        out.push_str(&format!(">= {band} dBZ (digits: echo-top height, km)\n"));
+        out.push_str(&map);
+        if !any {
+            out.push_str("(no echo in this band)\n");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Probability-of-exceedance map from an ensemble of member states: the
+/// fraction of members whose reflectivity at height `z` meets `threshold`
+/// dBZ — the probabilistic product an 11-member forecast ensemble supports
+/// (the paper's part <2> disseminated products, Fig. 1).
+pub fn exceedance_probability_map<T: Real>(
+    members: &[ModelState<T>],
+    base: &BaseState<T>,
+    grid: &GridSpec,
+    z: f64,
+    threshold: f64,
+) -> Vec<f64> {
+    assert!(!members.is_empty());
+    let k = grid.vertical.level_of(z);
+    let mut out = vec![0.0; grid.nx * grid.ny];
+    for m in members {
+        for j in 0..grid.ny {
+            for i in 0..grid.nx {
+                if h_reflectivity(m, base, i, j, k, -30.0) >= threshold {
+                    out[j * grid.nx + i] += 1.0;
+                }
+            }
+        }
+    }
+    let kf = members.len() as f64;
+    for v in &mut out {
+        *v /= kf;
+    }
+    out
+}
+
+/// Write a reflectivity map as a color PPM (P6) using the standard radar
+/// palette (gray < 10, green 10–25, yellow 25–35, orange 35–45, red 45–55,
+/// magenta above; black = no data) — the Fig. 1a webpage product.
+pub fn write_ppm_reflectivity(
+    path: impl AsRef<std::path::Path>,
+    dbz: &[f64],
+    width: usize,
+    height: usize,
+    mask: Option<&[bool]>,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    assert_eq!(dbz.len(), width * height);
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "P6")?;
+    writeln!(f, "{width} {height}")?;
+    writeln!(f, "255")?;
+    let color = |v: f64| -> [u8; 3] {
+        match v {
+            v if v < 10.0 => [40, 40, 48],
+            v if v < 25.0 => [60, 170, 60],
+            v if v < 35.0 => [230, 220, 50],
+            v if v < 45.0 => [240, 150, 40],
+            v if v < 55.0 => [220, 50, 40],
+            _ => [230, 60, 200],
+        }
+    };
+    let mut row = Vec::with_capacity(width * 3);
+    for j in (0..height).rev() {
+        row.clear();
+        for i in 0..width {
+            let idx = j * width + i;
+            let visible = mask.map(|m| m[idx]).unwrap_or(true);
+            let px = if visible { color(dbz[idx]) } else { [0, 0, 0] };
+            row.extend_from_slice(&px);
+        }
+        f.write_all(&row)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_pawr::RadarConfig;
+    use bda_scale::base::Sounding;
+
+    fn setup() -> (GridSpec, BaseState<f64>, ModelState<f64>) {
+        let grid = GridSpec::reduced(10, 10, 8);
+        let base = BaseState::from_sounding(&Sounding::convective(), &grid.vertical, 340.0);
+        let state = ModelState::init_from_base(&grid, &base);
+        (grid, base, state)
+    }
+
+    #[test]
+    fn map_shapes_and_floor() {
+        let (grid, base, state) = setup();
+        let m = reflectivity_map(&state, &base, &grid, 2000.0, 5.0);
+        assert_eq!(m.len(), 100);
+        assert!(m.iter().all(|&v| v == 5.0), "dry state must be at floor");
+    }
+
+    #[test]
+    fn rain_appears_at_the_right_place_in_map_order() {
+        let (grid, base, mut state) = setup();
+        let k2km = grid.vertical.level_of(2000.0);
+        state.qr.set(3, 7, k2km, 2e-3);
+        let m = reflectivity_map(&state, &base, &grid, 2000.0, 5.0);
+        // j-outer, i-inner: index = j * nx + i.
+        assert!(m[7 * 10 + 3] > 40.0);
+        assert_eq!(m[0], 5.0);
+    }
+
+    #[test]
+    fn composite_sees_rain_at_any_level() {
+        let (grid, base, mut state) = setup();
+        state.qg.set(5, 5, 7, 3e-3); // high level
+        let at2km = reflectivity_map(&state, &base, &grid, 2000.0, 5.0);
+        let composite = composite_reflectivity_map(&state, &base, &grid, 5.0);
+        assert_eq!(at2km[5 * 10 + 5], 5.0);
+        assert!(composite[5 * 10 + 5] > 30.0);
+    }
+
+    #[test]
+    fn exceedance_probability_counts_members() {
+        let (grid, base, state) = setup();
+        let k2km = grid.vertical.level_of(2000.0);
+        let mut wet = state.clone();
+        wet.qr.set(3, 3, k2km, 3e-3); // > 40 dBZ
+        // 1 of 4 members exceeds at (3,3); none elsewhere.
+        let members = vec![state.clone(), state.clone(), state.clone(), wet];
+        let p = exceedance_probability_map(&members, &base, &grid, 2000.0, 30.0);
+        assert!((p[3 * 10 + 3] - 0.25).abs() < 1e-12);
+        assert_eq!(p[0], 0.0);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn ppm_product_writes_valid_header_and_size() {
+        let dir = std::env::temp_dir().join(format!("bda_ppm_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map.ppm");
+        let dbz = vec![5.0, 30.0, 47.0, 60.0];
+        let mask = vec![true, true, true, false];
+        write_ppm_reflectivity(&path, &dbz, 2, 2, Some(&mask)).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert!(data.starts_with(b"P6"));
+        // 4 pixels x 3 bytes after the header.
+        let header_len = data.len() - 12;
+        assert!(header_len > 0);
+        // Masked pixel is black; it is the last of the top row (j=1 written
+        // first): pixel order is (0,1),(1,1),(0,0),(1,0) -> masked (1,1)
+        // is the second pixel.
+        let px = &data[data.len() - 12 + 3..data.len() - 12 + 6];
+        assert_eq!(px, &[0, 0, 0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn volume_view_lists_all_bands_and_marks_echo_tops() {
+        let (grid, base, mut state) = setup();
+        for k in 2..6 {
+            state.qr.set(4, 4, k, 3e-3);
+        }
+        let sim = PawrSimulator::new(RadarConfig::reduced(grid.lx(), grid.ly()));
+        let view = volume_view(&state, &base, &grid, &sim);
+        for band in ["10 dBZ", "20 dBZ", "30 dBZ", "40 dBZ", "50 dBZ"] {
+            assert!(view.contains(band), "missing band {band}");
+        }
+        // Some digit must appear (an echo top).
+        assert!(view.chars().any(|c| c.is_ascii_digit() && c != '0'));
+    }
+}

@@ -1,0 +1,166 @@
+//! Configuration sensitivity sweeps (§5; Taylor et al. 2023).
+//!
+//! "Selecting proper configurations for the SCALE-LETKF is not a trivial
+//! task. We performed comprehensive sensitivity tests with various choices
+//! of grid spacings, ensemble sizes, LETKF localization scales, and boundary
+//! data options." This module provides the sweep harness: it runs short
+//! reduced-scale OSSEs across a parameter grid and reports analysis skill
+//! (posterior RMSE) and wall-clock cost — the accuracy/time trade-off the
+//! paper's production configuration settled.
+
+use crate::osse::{Osse, OsseConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One sweep point's result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepPoint {
+    pub label: String,
+    pub ensemble_size: usize,
+    pub loc_horizontal_m: f64,
+    /// Mean posterior 2-km reflectivity RMSE over the cycled window, dBZ.
+    pub posterior_rmse_dbz: f64,
+    /// Mean prior RMSE (for the improvement ratio).
+    pub prior_rmse_dbz: f64,
+    /// Wall-clock per cycle, s.
+    pub seconds_per_cycle: f64,
+}
+
+impl SweepPoint {
+    /// Analysis improvement: prior minus posterior RMSE (positive = the
+    /// filter helps).
+    pub fn improvement(&self) -> f64 {
+        self.prior_rmse_dbz - self.posterior_rmse_dbz
+    }
+}
+
+/// Sweep specification.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Base OSSE configuration to perturb.
+    pub base: OsseConfig,
+    pub ensemble_sizes: Vec<usize>,
+    pub localization_scales_m: Vec<f64>,
+    /// Cycles per sweep point.
+    pub cycles: usize,
+    /// System spin-up before cycling, s (truth + jittered-member storms).
+    pub spinup_s: f64,
+}
+
+impl SweepSpec {
+    /// A quick laptop sweep.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            base: OsseConfig::reduced(10, 8, 8, 2, seed),
+            ensemble_sizes: vec![4, 8, 16],
+            localization_scales_m: vec![1000.0, 2000.0, 4000.0],
+            cycles: 2,
+            spinup_s: 600.0,
+        }
+    }
+}
+
+/// Run the full cross-product sweep.
+pub fn run_sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &k in &spec.ensemble_sizes {
+        for &loc in &spec.localization_scales_m {
+            let mut cfg = spec.base.clone();
+            cfg.letkf.ensemble_size = k;
+            cfg.letkf.loc_horizontal = loc;
+            cfg.letkf.loc_vertical = loc;
+            let mut osse = Osse::<f32>::new(cfg);
+            if spec.spinup_s > 0.0 {
+                osse.spinup_system(spec.spinup_s);
+            }
+            let t0 = Instant::now();
+            let outcomes = osse.run_cycles(spec.cycles);
+            let wall = t0.elapsed().as_secs_f64();
+            let mean = |f: &dyn Fn(&crate::osse::CycleOutcome) -> f64| -> f64 {
+                outcomes.iter().map(f).sum::<f64>() / outcomes.len() as f64
+            };
+            out.push(SweepPoint {
+                label: format!("k={k}, loc={:.0}m", loc),
+                ensemble_size: k,
+                loc_horizontal_m: loc,
+                posterior_rmse_dbz: mean(&|o| o.posterior_rmse_dbz),
+                prior_rmse_dbz: mean(&|o| o.prior_rmse_dbz),
+                seconds_per_cycle: wall / spec.cycles as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Render sweep results as a text table.
+pub fn render_sweep(points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>12} {:>12} {:>10}\n",
+        "configuration", "prior RMSE", "post RMSE", "improvement", "s/cycle"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<22} {:>12.3} {:>12.3} {:>12.3} {:>10.2}\n",
+            p.label,
+            p.prior_rmse_dbz,
+            p.posterior_rmse_dbz,
+            p.improvement(),
+            p.seconds_per_cycle
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_cross_product() {
+        let mut spec = SweepSpec::quick(3);
+        spec.ensemble_sizes = vec![4, 6];
+        spec.localization_scales_m = vec![2000.0];
+        spec.cycles = 1;
+        spec.spinup_s = 0.0;
+        let points = run_sweep(&spec);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].ensemble_size, 4);
+        assert_eq!(points[1].ensemble_size, 6);
+        for p in &points {
+            assert!(p.seconds_per_cycle > 0.0);
+            assert!(p.posterior_rmse_dbz.is_finite());
+        }
+    }
+
+    #[test]
+    fn bigger_ensembles_cost_more_time() {
+        let mut spec = SweepSpec::quick(7);
+        spec.ensemble_sizes = vec![2, 12];
+        spec.localization_scales_m = vec![2000.0];
+        spec.cycles = 1;
+        spec.spinup_s = 0.0;
+        let points = run_sweep(&spec);
+        assert!(
+            points[1].seconds_per_cycle > points[0].seconds_per_cycle,
+            "k=12 ({:.3} s) not slower than k=2 ({:.3} s)",
+            points[1].seconds_per_cycle,
+            points[0].seconds_per_cycle
+        );
+    }
+
+    #[test]
+    fn render_lists_all_points() {
+        let pts = vec![SweepPoint {
+            label: "k=8, loc=2000m".into(),
+            ensemble_size: 8,
+            loc_horizontal_m: 2000.0,
+            posterior_rmse_dbz: 3.2,
+            prior_rmse_dbz: 4.0,
+            seconds_per_cycle: 0.5,
+        }];
+        let t = render_sweep(&pts);
+        assert!(t.contains("k=8, loc=2000m"));
+        assert!(t.contains("0.800") || t.contains("0.8"));
+    }
+}

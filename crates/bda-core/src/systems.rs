@@ -1,0 +1,243 @@
+//! Table 1: operational regional NWP systems vs the BDA system.
+//!
+//! The paper's headline systems comparison: grid spacing of a few km,
+//! hourly-or-slower refresh, ~40-member ensemble DA, indirect radar use —
+//! against BDA2021's 500 m / 30 s / 1000 members / direct reflectivity +
+//! Doppler assimilation, a two-orders-of-magnitude increase in problem size.
+
+use serde::{Deserialize, Serialize};
+
+/// How a system uses radar data (Table 1, "Use of radar data").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RadarUsage {
+    /// Humidity retrieved from reflectivity is assimilated.
+    RelativeHumidity,
+    /// Latent-heating nudging / specified heating.
+    LatentHeating,
+    /// Reflectivity and Doppler velocity assimilated directly (BDA).
+    Direct,
+}
+
+/// One row of Table 1.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OperationalSystem {
+    pub name: &'static str,
+    pub center: &'static str,
+    pub da_method: &'static str,
+    /// DA ensemble size (1 for purely variational systems).
+    pub da_members: usize,
+    /// Forecast grid spacing, m.
+    pub grid_spacing_m: f64,
+    /// Forecast grid points (nx * ny * nz).
+    pub grid_points: u64,
+    /// Initialization refresh interval, s.
+    pub refresh_s: f64,
+    pub radar_usage: RadarUsage,
+    /// Ensemble forecast members (0 = none).
+    pub ens_forecast_members: usize,
+}
+
+impl OperationalSystem {
+    /// Data-assimilation problem-size rate: analysis grid points times DA
+    /// ensemble members per second of refresh interval — the quantity in
+    /// which the BDA system is two orders of magnitude bigger (§5).
+    pub fn problem_size_rate(&self) -> f64 {
+        self.grid_points as f64 * self.da_members as f64 / self.refresh_s
+    }
+
+    /// Refresh-rate speedup of `self` relative to `other`.
+    pub fn refresh_speedup_vs(&self, other: &Self) -> f64 {
+        other.refresh_s / self.refresh_s
+    }
+}
+
+/// The rows of Table 1 (operational systems as of early 2023).
+pub const TABLE1: [OperationalSystem; 6] = [
+    OperationalSystem {
+        name: "LFM",
+        center: "JMA, Japan",
+        da_method: "Hybrid 3DVar, 5-km grid spacing",
+        da_members: 1,
+        grid_spacing_m: 2000.0,
+        grid_points: 1581 * 1301 * 76,
+        refresh_s: 3600.0,
+        radar_usage: RadarUsage::RelativeHumidity,
+        ens_forecast_members: 0,
+    },
+    OperationalSystem {
+        name: "HRRR v4",
+        center: "NCEP, US",
+        da_method: "Hybrid 3D EnVar, 36 members",
+        da_members: 36,
+        grid_spacing_m: 3000.0,
+        grid_points: 1799 * 1059 * 51,
+        refresh_s: 3600.0,
+        radar_usage: RadarUsage::LatentHeating,
+        ens_forecast_members: 0,
+    },
+    OperationalSystem {
+        name: "HRDPS 6.0.0",
+        center: "ECCC, Canada",
+        da_method: "4DEnVar, perturbations from global ensemble",
+        da_members: 1,
+        grid_spacing_m: 2500.0,
+        grid_points: 2576 * 1456 * 62,
+        refresh_s: 6.0 * 3600.0,
+        radar_usage: RadarUsage::LatentHeating,
+        ens_forecast_members: 0,
+    },
+    OperationalSystem {
+        name: "UKV",
+        center: "Met Office, UK",
+        da_method: "4DVar",
+        da_members: 1,
+        grid_spacing_m: 1500.0,
+        grid_points: 622 * 810 * 70,
+        refresh_s: 3600.0,
+        radar_usage: RadarUsage::LatentHeating,
+        ens_forecast_members: 3,
+    },
+    OperationalSystem {
+        name: "AROME France",
+        center: "Meteo-France",
+        da_method: "3DVar",
+        da_members: 1,
+        grid_spacing_m: 1250.0,
+        grid_points: 2801 * 1791 * 90,
+        refresh_s: 3600.0,
+        radar_usage: RadarUsage::RelativeHumidity,
+        ens_forecast_members: 12,
+    },
+    OperationalSystem {
+        name: "ICON-D2",
+        center: "DWD, Germany",
+        da_method: "LETKF, 40 members",
+        da_members: 40,
+        grid_spacing_m: 2200.0,
+        grid_points: 542_040 * 65,
+        refresh_s: 3600.0,
+        radar_usage: RadarUsage::LatentHeating,
+        ens_forecast_members: 20,
+    },
+];
+
+/// The BDA2021 row (bottom of Table 1).
+pub fn bda2021() -> OperationalSystem {
+    OperationalSystem {
+        name: "BDA2021",
+        center: "RIKEN, Japan",
+        da_method: "LETKF, 1000 members",
+        da_members: 1000,
+        grid_spacing_m: 500.0,
+        grid_points: 256 * 256 * 60,
+        refresh_s: 30.0,
+        radar_usage: RadarUsage::Direct,
+        ens_forecast_members: 11,
+    }
+}
+
+/// Render Table 1 (+ the BDA row) as text with the problem-size column.
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<16} {:>10} {:>8} {:>12} {:>10} {:>16}\n",
+        "system", "center", "dx (km)", "members", "refresh (s)", "radar", "DA size rate"
+    ));
+    let mut rows: Vec<OperationalSystem> = TABLE1.to_vec();
+    rows.push(bda2021());
+    for s in rows {
+        out.push_str(&format!(
+            "{:<14} {:<16} {:>10.2} {:>8} {:>12.0} {:>10} {:>16.3e}\n",
+            s.name,
+            s.center,
+            s.grid_spacing_m / 1000.0,
+            s.da_members,
+            s.refresh_s,
+            match s.radar_usage {
+                RadarUsage::RelativeHumidity => "RH",
+                RadarUsage::LatentHeating => "LH",
+                RadarUsage::Direct => "Z+Vr",
+            },
+            s.problem_size_rate()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bda_refresh_is_120x_faster_than_hourly_systems() {
+        let bda = bda2021();
+        let hourly = &TABLE1[0]; // LFM
+        assert_eq!(bda.refresh_speedup_vs(hourly), 120.0);
+    }
+
+    #[test]
+    fn problem_size_is_two_orders_of_magnitude_bigger() {
+        // §5: "the BDA system offers two orders of magnitude increase in
+        // problem size" over the largest operational ensemble-DA systems.
+        let bda = bda2021().problem_size_rate();
+        let best_other = TABLE1
+            .iter()
+            .map(OperationalSystem::problem_size_rate)
+            .fold(0.0, f64::max);
+        let ratio = bda / best_other;
+        assert!(
+            (90.0..1000.0).contains(&ratio),
+            "ratio = {ratio:.0} (expected ~O(100))"
+        );
+    }
+
+    #[test]
+    fn table_has_six_operational_rows() {
+        assert_eq!(TABLE1.len(), 6);
+        // Grid spacings all <= 5 km as the caption says.
+        for s in &TABLE1 {
+            assert!(s.grid_spacing_m <= 5000.0, "{}", s.name);
+            assert!(s.refresh_s >= 3600.0, "{} refreshes faster than hourly", s.name);
+        }
+    }
+
+    #[test]
+    fn bda_row_matches_tables_2_and_3() {
+        let bda = bda2021();
+        assert_eq!(bda.grid_points, 256 * 256 * 60);
+        assert_eq!(bda.da_members, 1000);
+        assert_eq!(bda.refresh_s, 30.0);
+        assert_eq!(bda.ens_forecast_members, 11);
+        assert_eq!(bda.radar_usage, RadarUsage::Direct);
+    }
+
+    #[test]
+    fn only_bda_assimilates_radar_directly() {
+        assert!(TABLE1.iter().all(|s| s.radar_usage != RadarUsage::Direct));
+        assert_eq!(bda2021().radar_usage, RadarUsage::Direct);
+    }
+
+    #[test]
+    fn rendered_table_contains_every_system() {
+        let t = render_table1();
+        for s in &TABLE1 {
+            assert!(t.contains(s.name), "missing {}", s.name);
+        }
+        assert!(t.contains("BDA2021"));
+    }
+
+    #[test]
+    fn icon_d2_is_the_biggest_operational_da() {
+        let max = TABLE1
+            .iter()
+            .max_by(|a, b| {
+                a.problem_size_rate()
+                    .partial_cmp(&b.problem_size_rate())
+                    .unwrap()
+            })
+            .unwrap();
+        // HRRR and ICON-D2 are the two ensemble-DA systems; one of them must
+        // be the largest.
+        assert!(max.name == "ICON-D2" || max.name == "HRRR v4");
+    }
+}

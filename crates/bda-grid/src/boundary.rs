@@ -1,0 +1,173 @@
+//! Davies relaxation boundary for one-way nesting.
+//!
+//! The inner 500-m domain receives its lateral boundary condition from the
+//! outer 1.5-km ensemble forecast (Fig. 3b). As in SCALE-RM, the coupling is
+//! a Davies (1976) relaxation layer: in a rim of `width` cells the prognostic
+//! fields are nudged toward the driving data with a weight that decays
+//! smoothly from 1 at the boundary to 0 at the inner edge of the rim.
+
+use crate::field::Field3;
+use bda_num::Real;
+use serde::{Deserialize, Serialize};
+
+/// Precomputed relaxation weights for an `nx x ny` horizontal domain.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DaviesWeights {
+    nx: usize,
+    ny: usize,
+    width: usize,
+    /// Row-major (i-major) weight per horizontal cell, in [0, 1].
+    w: Vec<f64>,
+}
+
+impl DaviesWeights {
+    /// Cosine-ramp weights over a rim of `width` cells.
+    pub fn new(nx: usize, ny: usize, width: usize) -> Self {
+        assert!(width * 2 <= nx && width * 2 <= ny, "rim too wide for domain");
+        let mut w = vec![0.0; nx * ny];
+        for i in 0..nx {
+            for j in 0..ny {
+                let d = distance_to_boundary(i, j, nx, ny);
+                w[i * ny + j] = rim_weight(d, width);
+            }
+        }
+        Self { nx, ny, width, w }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Weight at cell (i, j).
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.w[i * self.ny + j]
+    }
+
+    /// Relax `field` toward `target` with per-step strength `alpha_dt`
+    /// (typically `dt / tau`): `x += w * alpha_dt * (target - x)`.
+    pub fn relax<T: Real>(&self, field: &mut Field3<T>, target: &Field3<T>, alpha_dt: T) {
+        let (nx, ny, nz, _) = field.shape();
+        assert_eq!((nx, ny), (self.nx, self.ny));
+        assert_eq!(field.shape(), target.shape());
+        for i in 0..nx {
+            for j in 0..ny {
+                let w = T::of(self.at(i, j));
+                if w == T::zero() {
+                    continue;
+                }
+                let c = w * alpha_dt;
+                for k in 0..nz {
+                    let x = field.at(i as isize, j as isize, k);
+                    let t = target.at(i as isize, j as isize, k);
+                    field.set(i as isize, j as isize, k, x + c * (t - x));
+                }
+            }
+        }
+    }
+
+    /// Relax toward a single vertical profile (used when the driving data is
+    /// horizontally homogeneous, e.g. the synthetic large-scale forcing).
+    pub fn relax_to_profile<T: Real>(&self, field: &mut Field3<T>, profile: &[T], alpha_dt: T) {
+        let (nx, ny, nz, _) = field.shape();
+        assert_eq!((nx, ny), (self.nx, self.ny));
+        assert_eq!(profile.len(), nz);
+        for i in 0..nx {
+            for j in 0..ny {
+                let w = T::of(self.at(i, j));
+                if w == T::zero() {
+                    continue;
+                }
+                let c = w * alpha_dt;
+                let col = field.column_mut(i as isize, j as isize);
+                for (k, x) in col.iter_mut().enumerate() {
+                    *x += c * (profile[k] - *x);
+                }
+            }
+        }
+    }
+}
+
+/// Distance in cells from (i, j) to the nearest lateral boundary.
+fn distance_to_boundary(i: usize, j: usize, nx: usize, ny: usize) -> usize {
+    i.min(nx - 1 - i).min(j).min(ny - 1 - j)
+}
+
+/// Cosine ramp: 1 at the boundary (d = 0), 0 for d >= width.
+fn rim_weight(d: usize, width: usize) -> f64 {
+    if width == 0 || d >= width {
+        return 0.0;
+    }
+    let t = d as f64 / width as f64;
+    0.5 * (1.0 + (std::f64::consts::PI * t).cos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_one_at_edge_zero_inside() {
+        let w = DaviesWeights::new(20, 20, 5);
+        assert!((w.at(0, 10) - 1.0).abs() < 1e-12);
+        assert!((w.at(10, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(w.at(10, 10), 0.0);
+        assert_eq!(w.at(5, 10), 0.0); // exactly at rim edge
+    }
+
+    #[test]
+    fn weights_decay_monotonically_inward() {
+        let w = DaviesWeights::new(30, 30, 8);
+        for d in 1..8 {
+            assert!(
+                w.at(d, 15) < w.at(d - 1, 15),
+                "weight not decaying at d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn corner_uses_nearest_boundary() {
+        let w = DaviesWeights::new(20, 20, 5);
+        assert_eq!(w.at(2, 10), w.at(10, 2));
+        assert_eq!(w.at(2, 2), w.at(2, 10)); // corner distance = min(2,2) = 2
+    }
+
+    #[test]
+    fn relax_moves_rim_toward_target_only() {
+        let w = DaviesWeights::new(12, 12, 3);
+        let mut f = Field3::<f64>::constant(12, 12, 4, 1, 0.0);
+        let target = Field3::<f64>::constant(12, 12, 4, 1, 10.0);
+        w.relax(&mut f, &target, 0.5);
+        // Boundary cell fully weighted: moved by 0.5 * 10.
+        assert!((f.at(0, 6, 0) - 5.0).abs() < 1e-12);
+        // Interior untouched.
+        assert_eq!(f.at(6, 6, 0), 0.0);
+    }
+
+    #[test]
+    fn full_strength_relaxation_pins_boundary() {
+        let w = DaviesWeights::new(10, 10, 2);
+        let mut f = Field3::<f64>::constant(10, 10, 2, 0, 1.0);
+        let target = Field3::<f64>::constant(10, 10, 2, 0, -3.0);
+        w.relax(&mut f, &target, 1.0);
+        assert!((f.at(0, 5, 0) - (-3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relax_to_profile_matches_relax_for_uniform_target() {
+        let w = DaviesWeights::new(8, 8, 2);
+        let mut a = Field3::<f64>::constant(8, 8, 3, 0, 2.0);
+        let mut b = a.clone();
+        let target = Field3::<f64>::constant(8, 8, 3, 0, 6.0);
+        w.relax(&mut a, &target, 0.25);
+        w.relax_to_profile(&mut b, &[6.0, 6.0, 6.0], 0.25);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rim_wider_than_half_domain_rejected() {
+        let _ = DaviesWeights::new(8, 8, 5);
+    }
+}

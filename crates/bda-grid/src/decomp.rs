@@ -1,0 +1,207 @@
+//! 2-D horizontal tile decomposition.
+//!
+//! The paper runs SCALE-LETKF over thousands of Fugaku nodes with a 2-D
+//! horizontal domain decomposition; inside one address space the same
+//! structure drives Rayon work partitioning and lets the workflow performance
+//! model reason about per-node tile sizes.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One rectangular tile of the horizontal domain: `i0 <= i < i1`,
+/// `j0 <= j < j1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile {
+    pub i0: usize,
+    pub i1: usize,
+    pub j0: usize,
+    pub j1: usize,
+}
+
+impl Tile {
+    pub fn cells(&self) -> usize {
+        (self.i1 - self.i0) * (self.j1 - self.j0)
+    }
+
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        i >= self.i0 && i < self.i1 && j >= self.j0 && j < self.j1
+    }
+
+    /// Iterate the (i, j) pairs of this tile.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (self.i0..self.i1).flat_map(move |i| (self.j0..self.j1).map(move |j| (i, j)))
+    }
+}
+
+/// A decomposition of an `nx x ny` horizontal domain into `px x py` tiles.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TileDecomp {
+    pub nx: usize,
+    pub ny: usize,
+    pub px: usize,
+    pub py: usize,
+    tiles: Vec<Tile>,
+}
+
+impl TileDecomp {
+    /// Split as evenly as possible; earlier tiles get the remainder cells,
+    /// matching the MPI decomposition convention.
+    pub fn new(nx: usize, ny: usize, px: usize, py: usize) -> Self {
+        assert!(px > 0 && py > 0 && px <= nx && py <= ny);
+        let cuts = |n: usize, p: usize| -> Vec<usize> {
+            let base = n / p;
+            let rem = n % p;
+            let mut edges = Vec::with_capacity(p + 1);
+            let mut acc = 0;
+            edges.push(0);
+            for r in 0..p {
+                acc += base + usize::from(r < rem);
+                edges.push(acc);
+            }
+            edges
+        };
+        let xe = cuts(nx, px);
+        let ye = cuts(ny, py);
+        let mut tiles = Vec::with_capacity(px * py);
+        for a in 0..px {
+            for b in 0..py {
+                tiles.push(Tile {
+                    i0: xe[a],
+                    i1: xe[a + 1],
+                    j0: ye[b],
+                    j1: ye[b + 1],
+                });
+            }
+        }
+        Self {
+            nx,
+            ny,
+            px,
+            py,
+            tiles,
+        }
+    }
+
+    /// Square-ish decomposition into roughly `n` tiles (for "one tile per
+    /// worker" setups).
+    pub fn roughly(nx: usize, ny: usize, n: usize) -> Self {
+        let n = n.max(1).min(nx * ny);
+        let mut best = (1, n);
+        let mut best_score = usize::MAX;
+        for px in 1..=n {
+            if !n.is_multiple_of(px) {
+                continue;
+            }
+            let py = n / px;
+            if px > nx || py > ny {
+                continue;
+            }
+            // Prefer aspect ratios matching the domain.
+            let score = (px * ny).abs_diff(py * nx);
+            if score < best_score {
+                best_score = score;
+                best = (px, py);
+            }
+        }
+        Self::new(nx, ny, best.0, best.1)
+    }
+
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    pub fn ntiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Which tile owns cell (i, j)?
+    pub fn owner(&self, i: usize, j: usize) -> usize {
+        self.tiles
+            .iter()
+            .position(|t| t.contains(i, j))
+            .expect("cell outside domain")
+    }
+
+    /// Run a closure over every tile in parallel, collecting the results in
+    /// tile order.
+    pub fn par_map<R: Send>(&self, f: impl Fn(usize, &Tile) -> R + Sync) -> Vec<R> {
+        self.tiles
+            .par_iter()
+            .enumerate()
+            .map(|(idx, t)| f(idx, t))
+            .collect()
+    }
+
+    /// Largest tile size in cells — the load-balance figure the node
+    /// allocation model uses.
+    pub fn max_tile_cells(&self) -> usize {
+        self.tiles.iter().map(Tile::cells).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_partition_domain_exactly() {
+        let d = TileDecomp::new(10, 7, 3, 2);
+        let total: usize = d.tiles().iter().map(Tile::cells).sum();
+        assert_eq!(total, 70);
+        // Every cell owned exactly once.
+        for i in 0..10 {
+            for j in 0..7 {
+                let owners = d.tiles().iter().filter(|t| t.contains(i, j)).count();
+                assert_eq!(owners, 1, "cell ({i},{j}) owned {owners} times");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_split_puts_remainder_first() {
+        let d = TileDecomp::new(10, 10, 3, 1);
+        let widths: Vec<usize> = d.tiles().iter().map(|t| t.i1 - t.i0).collect();
+        assert_eq!(widths, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn owner_is_consistent_with_contains() {
+        let d = TileDecomp::new(8, 8, 2, 2);
+        assert!(d.tiles()[d.owner(0, 0)].contains(0, 0));
+        assert!(d.tiles()[d.owner(7, 7)].contains(7, 7));
+    }
+
+    #[test]
+    fn par_map_preserves_tile_order() {
+        let d = TileDecomp::new(16, 16, 4, 4);
+        let ids = d.par_map(|idx, _| idx);
+        assert_eq!(ids, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn roughly_produces_requested_count_when_divisible() {
+        let d = TileDecomp::roughly(64, 64, 16);
+        assert_eq!(d.ntiles(), 16);
+        assert_eq!(d.px, 4);
+        assert_eq!(d.py, 4);
+    }
+
+    #[test]
+    fn tile_iter_covers_cells() {
+        let t = Tile {
+            i0: 1,
+            i1: 3,
+            j0: 0,
+            j1: 2,
+        };
+        let cells: Vec<_> = t.iter().collect();
+        assert_eq!(cells, vec![(1, 0), (1, 1), (2, 0), (2, 1)]);
+        assert_eq!(t.cells(), 4);
+    }
+
+    #[test]
+    fn max_tile_cells_reflects_imbalance() {
+        let d = TileDecomp::new(10, 1, 3, 1);
+        assert_eq!(d.max_tile_cells(), 4);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based invariants of the grid substrate.
+
+use bda_grid::halo::{fill_clamp, fill_periodic};
+use bda_grid::{DaviesWeights, Field3, GridSpec, TileDecomp, VerticalCoord};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interior set/get roundtrip for arbitrary in-range indices.
+    #[test]
+    fn field_set_get_roundtrip(
+        nx in 1usize..12,
+        ny in 1usize..12,
+        nz in 1usize..8,
+        halo in 0usize..3,
+        v in -1e6f64..1e6,
+    ) {
+        let mut f = Field3::<f64>::zeros(nx, ny, nz, halo);
+        let (i, j, k) = (nx / 2, ny / 2, nz / 2);
+        f.set(i as isize, j as isize, k, v);
+        prop_assert_eq!(f.at(i as isize, j as isize, k), v);
+        // Every other interior cell untouched.
+        for ii in 0..nx {
+            for jj in 0..ny {
+                for kk in 0..nz {
+                    if (ii, jj, kk) != (i, j, k) {
+                        prop_assert_eq!(f.at(ii as isize, jj as isize, kk), 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// interior_to_vec / interior_from_vec is a bijection.
+    #[test]
+    fn interior_vec_roundtrip(
+        nx in 1usize..8,
+        ny in 1usize..8,
+        nz in 1usize..6,
+        halo in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = bda_num::SplitMix64::new(seed);
+        let f = Field3::<f32>::from_fn(nx, ny, nz, halo, |_, _, _| rng.gaussian(0.0f32, 5.0));
+        let v = f.interior_to_vec();
+        prop_assert_eq!(v.len(), nx * ny * nz);
+        let mut g = Field3::<f32>::zeros(nx, ny, nz, halo);
+        g.interior_from_vec(&v);
+        for i in 0..nx {
+            for j in 0..ny {
+                for k in 0..nz {
+                    prop_assert_eq!(
+                        g.at(i as isize, j as isize, k),
+                        f.at(i as isize, j as isize, k)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Halo filling is idempotent and preserves the interior.
+    #[test]
+    fn halo_fill_idempotent(
+        nx in 2usize..10,
+        ny in 2usize..10,
+        periodic in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = bda_num::SplitMix64::new(seed);
+        let mut f = Field3::<f64>::from_fn(nx, ny, 3, 2, |_, _, _| rng.gaussian(0.0, 1.0));
+        let interior = f.interior_to_vec();
+        let fill = |f: &mut Field3<f64>| if periodic { fill_periodic(f) } else { fill_clamp(f) };
+        fill(&mut f);
+        let once = f.clone();
+        fill(&mut f);
+        prop_assert_eq!(&f, &once, "halo fill not idempotent");
+        prop_assert_eq!(f.interior_to_vec(), interior, "interior changed");
+    }
+
+    /// Davies weights are in [0, 1], 1 on the boundary ring, 0 deep inside.
+    #[test]
+    fn davies_weights_bounded(
+        n in 8usize..30,
+        width_frac in 1usize..4,
+    ) {
+        let width = (n / 2 / width_frac).max(1).min(n / 2);
+        let w = DaviesWeights::new(n, n, width);
+        for i in 0..n {
+            for j in 0..n {
+                let v = w.at(i, j);
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        prop_assert!((w.at(0, n / 2) - 1.0).abs() < 1e-12);
+        if n / 2 > width {
+            prop_assert_eq!(w.at(n / 2, n / 2), 0.0);
+        }
+    }
+
+    /// Tile decompositions partition the domain exactly.
+    #[test]
+    fn tiles_partition(
+        nx in 1usize..20,
+        ny in 1usize..20,
+        px in 1usize..5,
+        py in 1usize..5,
+    ) {
+        prop_assume!(px <= nx && py <= ny);
+        let d = TileDecomp::new(nx, ny, px, py);
+        let total: usize = d.tiles().iter().map(|t| t.cells()).sum();
+        prop_assert_eq!(total, nx * ny);
+        // Spot-check ownership uniqueness on a few cells.
+        for (i, j) in [(0, 0), (nx - 1, ny - 1), (nx / 2, ny / 2)] {
+            let owners = d.tiles().iter().filter(|t| t.contains(i, j)).count();
+            prop_assert_eq!(owners, 1);
+        }
+    }
+
+    /// Stretched vertical coordinates always hit the requested top with
+    /// positive, monotone thicknesses.
+    #[test]
+    fn vertical_coordinate_sane(
+        nz in 2usize..80,
+        z_top in 1000.0f64..20_000.0,
+        ratio in 1.0f64..1.15,
+    ) {
+        let vc = VerticalCoord::stretched(nz, z_top, ratio);
+        prop_assert!((vc.z_top() - z_top).abs() < 1e-6 * z_top);
+        for k in 0..nz {
+            prop_assert!(vc.dz(k) > 0.0);
+            prop_assert!(vc.z_center[k] > vc.z_face[k]);
+            prop_assert!(vc.z_center[k] < vc.z_face[k + 1]);
+        }
+        let g = GridSpec::new(4, 4, 500.0, vc);
+        prop_assert_eq!(g.ncells(), 16 * nz);
+    }
+}

@@ -1,0 +1,200 @@
+//! Binary member-state format.
+//!
+//! Layout: magic `BDAF` (4) | version u16 | precision u8 (4 or 8) |
+//! k_members u64 | state_len u64 | payload (k * n values, little-endian) |
+//! FNV-1a checksum u64 over everything before it.
+
+use bda_num::Real;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"BDAF";
+const VERSION: u16 = 1;
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Precision tag carried in the file so readers can check compatibility —
+/// the paper's single-precision conversion changes this from 8 to 4 and
+/// halves every transfer.
+fn precision_tag<T: Real>() -> u8 {
+    std::mem::size_of::<T>() as u8
+}
+
+/// Encode an ensemble of flat member states.
+pub fn encode_states<T: Real>(members: &[Vec<T>]) -> Bytes {
+    let k = members.len();
+    let n = members.first().map(|m| m.len()).unwrap_or(0);
+    for (i, m) in members.iter().enumerate() {
+        assert_eq!(m.len(), n, "member {i} length mismatch");
+    }
+    let prec = precision_tag::<T>() as usize;
+    let mut buf = BytesMut::with_capacity(4 + 2 + 1 + 16 + k * n * prec + 8);
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u8(prec as u8);
+    buf.put_u64(k as u64);
+    buf.put_u64(n as u64);
+    for m in members {
+        for &v in m {
+            if prec == 4 {
+                buf.put_f32_le(v.f64() as f32);
+            } else {
+                buf.put_f64_le(v.f64());
+            }
+        }
+    }
+    let sum = fnv1a(&buf);
+    buf.put_u64(sum);
+    buf.freeze()
+}
+
+/// Decoding errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FormatError {
+    TooShort,
+    BadMagic,
+    UnsupportedVersion(u16),
+    PrecisionMismatch { file: u8, expected: u8 },
+    ChecksumMismatch,
+    Truncated,
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::TooShort => write!(f, "state file too short"),
+            FormatError::BadMagic => write!(f, "bad magic"),
+            FormatError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            FormatError::PrecisionMismatch { file, expected } => {
+                write!(f, "precision mismatch: file {file} bytes, expected {expected}")
+            }
+            FormatError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            FormatError::Truncated => write!(f, "payload truncated"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Decode an ensemble of flat member states.
+pub fn decode_states<T: Real>(data: &[u8]) -> Result<Vec<Vec<T>>, FormatError> {
+    if data.len() < 4 + 2 + 1 + 16 + 8 {
+        return Err(FormatError::TooShort);
+    }
+    let (payload, tail) = data.split_at(data.len() - 8);
+    let expect = u64::from_be_bytes(tail.try_into().unwrap());
+    if fnv1a(payload) != expect {
+        return Err(FormatError::ChecksumMismatch);
+    }
+    let mut buf = payload;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(FormatError::UnsupportedVersion(version));
+    }
+    let prec = buf.get_u8();
+    if prec != precision_tag::<T>() {
+        return Err(FormatError::PrecisionMismatch {
+            file: prec,
+            expected: precision_tag::<T>(),
+        });
+    }
+    let k = buf.get_u64() as usize;
+    let n = buf.get_u64() as usize;
+    if buf.remaining() < k * n * prec as usize {
+        return Err(FormatError::Truncated);
+    }
+    let mut members = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut m = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = if prec == 4 {
+                buf.get_f32_le() as f64
+            } else {
+                buf.get_f64_le()
+            };
+            m.push(T::of(v));
+        }
+        members.push(m);
+    }
+    Ok(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let members = vec![vec![1.0_f64, -2.5, 3.25], vec![0.0, 1e-30, 1e30]];
+        let bytes = encode_states(&members);
+        let back: Vec<Vec<f64>> = decode_states(&bytes).unwrap();
+        assert_eq!(back, members);
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        let members = vec![vec![1.5_f32, -0.25], vec![7.0, 9.5]];
+        let bytes = encode_states(&members);
+        let back: Vec<Vec<f32>> = decode_states(&bytes).unwrap();
+        assert_eq!(back, members);
+    }
+
+    #[test]
+    fn single_precision_files_are_half_the_size() {
+        let m64 = vec![vec![0.0_f64; 1000]; 4];
+        let m32 = vec![vec![0.0_f32; 1000]; 4];
+        let b64 = encode_states(&m64).len();
+        let b32 = encode_states(&m32).len();
+        // Header + trailer are fixed; payload halves exactly.
+        assert_eq!(b64 - b32, 4 * 1000 * 4);
+    }
+
+    #[test]
+    fn precision_mismatch_detected() {
+        let members = vec![vec![1.0_f64, 2.0]];
+        let bytes = encode_states(&members);
+        let r: Result<Vec<Vec<f32>>, _> = decode_states(&bytes);
+        assert_eq!(
+            r.unwrap_err(),
+            FormatError::PrecisionMismatch {
+                file: 8,
+                expected: 4
+            }
+        );
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let members = vec![vec![1.0_f64, 2.0, 3.0]];
+        let mut bytes = encode_states(&members).to_vec();
+        bytes[10] ^= 0x55;
+        assert_eq!(
+            decode_states::<f64>(&bytes).unwrap_err(),
+            FormatError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn empty_ensemble_roundtrips() {
+        let members: Vec<Vec<f64>> = vec![];
+        let back: Vec<Vec<f64>> = decode_states(&encode_states(&members)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_members_rejected() {
+        let _ = encode_states(&[vec![1.0_f64], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # bda-io — SCALE ↔ LETKF data exchange
+//!
+//! One of the paper's enabling innovations (§5): *"the data transfer between
+//! SCALE and the LETKF was accelerated by replacing the original file I/O
+//! with parallel I/O using the MPI data transfer with RAM copy and
+//! node-to-node network communications without using files."*
+//!
+//! This crate provides both sides of that ablation behind one trait:
+//!
+//! * [`transport::FileTransport`] — the legacy pattern: every member's state
+//!   is serialized to a file and read back by the consumer (what typical
+//!   NWP systems, with their O(1 h) cycles, can afford — paper §4).
+//! * [`transport::MemoryTransport`] — the BDA pattern: states move by RAM
+//!   copy through an in-process queue, no filesystem involved.
+//!
+//! `bda-bench`'s `ablation_io_path` measures the contrast; the workflow
+//! crate takes the transport as a parameter so the full cycle can run in
+//! either mode.
+//!
+//! [`mod@format`] defines the self-describing binary member-state format used by
+//! the file path (and by any external tooling).
+
+pub mod format;
+pub mod transport;
+
+pub use format::{decode_states, encode_states};
+pub use transport::{EnsembleTransport, FileTransport, MemoryTransport};

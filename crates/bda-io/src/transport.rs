@@ -1,0 +1,196 @@
+//! Ensemble-state transports: file I/O vs RAM copy.
+
+use crate::format::{decode_states, encode_states};
+use bda_num::Real;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Moves whole ensembles of flat member states from the model side to the
+/// filter side and back.
+pub trait EnsembleTransport<T: Real> {
+    /// Hand an ensemble over.
+    fn send(&mut self, members: &[Vec<T>]) -> std::io::Result<()>;
+    /// Take the oldest pending ensemble.
+    fn recv(&mut self) -> std::io::Result<Vec<Vec<T>>>;
+    /// Human-readable name for bench reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Legacy pattern: serialize the ensemble to a file, read it back.
+///
+/// Each `send` writes `ensemble_NNNN.bdaf` (with an fsync when
+/// `durable`), each `recv` reads and deletes the oldest pending file —
+/// exactly the producer/consumer file handshake SCALE-LETKF replaced.
+pub struct FileTransport {
+    dir: PathBuf,
+    write_counter: u64,
+    read_counter: u64,
+    /// fsync after write (the safe default for the legacy pattern).
+    pub durable: bool,
+}
+
+impl FileTransport {
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            write_counter: 0,
+            read_counter: 0,
+            durable: true,
+        })
+    }
+
+    fn path(&self, idx: u64) -> PathBuf {
+        self.dir.join(format!("ensemble_{idx:06}.bdaf"))
+    }
+}
+
+impl<T: Real> EnsembleTransport<T> for FileTransport {
+    fn send(&mut self, members: &[Vec<T>]) -> std::io::Result<()> {
+        let bytes = encode_states(members);
+        let path = self.path(self.write_counter);
+        let tmp = path.with_extension("bdaf.part");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            if self.durable {
+                f.sync_all()?;
+            }
+        }
+        std::fs::rename(&tmp, &path)?;
+        self.write_counter += 1;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> std::io::Result<Vec<Vec<T>>> {
+        let path = self.path(self.read_counter);
+        let data = std::fs::read(&path)?;
+        let members = decode_states(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::remove_file(&path)?;
+        self.read_counter += 1;
+        Ok(members)
+    }
+
+    fn name(&self) -> &'static str {
+        "file-io"
+    }
+}
+
+/// The BDA pattern: RAM copy through an in-process queue — the "MPI data
+/// transfer with RAM copy ... without using files" of §5. Clonable handles
+/// share one queue, so the model and filter sides can live on different
+/// threads.
+#[derive(Clone, Default)]
+pub struct MemoryTransport<T> {
+    queue: Arc<Mutex<VecDeque<Vec<Vec<T>>>>>,
+}
+
+impl<T: Real> MemoryTransport<T> {
+    pub fn new() -> Self {
+        Self {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+impl<T: Real> EnsembleTransport<T> for MemoryTransport<T> {
+    fn send(&mut self, members: &[Vec<T>]) -> std::io::Result<()> {
+        self.queue.lock().push_back(members.to_vec());
+        Ok(())
+    }
+
+    fn recv(&mut self) -> std::io::Result<Vec<Vec<T>>> {
+        self.queue.lock().pop_front().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::WouldBlock, "no pending ensemble")
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "memory (RAM copy)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Vec<f32>> {
+        (0..4)
+            .map(|m| (0..100).map(|i| (m * 1000 + i) as f32).collect())
+            .collect()
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bda_io_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn file_transport_roundtrip_fifo() {
+        let dir = tempdir("fifo");
+        let mut t = FileTransport::new(&dir).unwrap();
+        let a = sample();
+        let mut b = sample();
+        b[0][0] = -1.0;
+        EnsembleTransport::<f32>::send(&mut t, &a).unwrap();
+        EnsembleTransport::<f32>::send(&mut t, &b).unwrap();
+        let ra: Vec<Vec<f32>> = t.recv().unwrap();
+        let rb: Vec<Vec<f32>> = t.recv().unwrap();
+        assert_eq!(ra, a);
+        assert_eq!(rb, b);
+        // Files consumed.
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_transport_recv_without_send_errors() {
+        let dir = tempdir("empty");
+        let mut t = FileTransport::new(&dir).unwrap();
+        assert!(EnsembleTransport::<f32>::recv(&mut t).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_transport_roundtrip() {
+        let mut t = MemoryTransport::<f64>::new();
+        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        t.send(&data).unwrap();
+        assert_eq!(t.pending(), 1);
+        assert_eq!(t.recv().unwrap(), data);
+        assert_eq!(t.pending(), 0);
+        assert!(t.recv().is_err());
+    }
+
+    #[test]
+    fn memory_transport_shared_across_clones_and_threads() {
+        let t = MemoryTransport::<f32>::new();
+        let mut producer = t.clone();
+        let data = sample();
+        let expected = data.clone();
+        let h = std::thread::spawn(move || producer.send(&data).unwrap());
+        h.join().unwrap();
+        let mut consumer = t.clone();
+        assert_eq!(consumer.recv().unwrap(), expected);
+    }
+
+    #[test]
+    fn transport_names_differ() {
+        let f = FileTransport::new(tempdir("name")).unwrap();
+        let m = MemoryTransport::<f32>::new();
+        assert_ne!(
+            EnsembleTransport::<f32>::name(&f),
+            EnsembleTransport::<f32>::name(&m)
+        );
+    }
+}

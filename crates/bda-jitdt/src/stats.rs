@@ -1,0 +1,174 @@
+//! Transfer statistics — the operational view of JIT-DT health.
+//!
+//! The campaign monitored transfer activity to trigger the fail-safe
+//! restarts; this aggregator provides the same view: throughput, latency
+//! percentiles, restart and failure rates over a window of transfers.
+
+use crate::transfer::TransferOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated statistics over a sequence of transfers.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TransferStats {
+    durations: Vec<f64>,
+    bytes_total: u64,
+    restarts: u64,
+    stalls: u64,
+    failures: u64,
+}
+
+impl TransferStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, outcome: &TransferOutcome) {
+        if outcome.completed {
+            self.durations.push(outcome.duration_s);
+            self.bytes_total += outcome.bytes as u64;
+        } else {
+            self.failures += 1;
+        }
+        self.restarts += outcome.restarts as u64;
+        self.stalls += outcome.stalls as u64;
+    }
+
+    pub fn completed(&self) -> usize {
+        self.durations.len()
+    }
+
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Mean transfer duration, s (completed transfers only).
+    pub fn mean_duration(&self) -> f64 {
+        if self.durations.is_empty() {
+            return 0.0;
+        }
+        self.durations.iter().sum::<f64>() / self.durations.len() as f64
+    }
+
+    /// Duration percentile (0..=100) over completed transfers.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&q));
+        if self.durations.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.durations.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pos = q / 100.0 * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let w = pos - lo as f64;
+            sorted[lo] * (1.0 - w) + sorted[hi] * w
+        }
+    }
+
+    /// Aggregate throughput over completed transfers, bits/s.
+    pub fn mean_throughput_bps(&self) -> f64 {
+        let total_time: f64 = self.durations.iter().sum();
+        if total_time <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_total as f64 * 8.0 / total_time
+    }
+
+    /// One-line operational summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} transfers, mean {:.2} s, p95 {:.2} s, {:.0} Mbps, {} restarts, {} failures",
+            self.completed(),
+            self.mean_duration(),
+            self.percentile(95.0),
+            self.mean_throughput_bps() / 1e6,
+            self.restarts,
+            self.failures
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JitDt;
+
+    #[test]
+    fn aggregates_a_campaign_of_transfers() {
+        let jit = JitDt::bda2021();
+        let mut stats = TransferStats::new();
+        for seed in 0..100 {
+            let out = jit.transfer(100 * 1024 * 1024, seed);
+            stats.record(&out);
+        }
+        assert_eq!(stats.completed() as u64 + stats.failures(), 100);
+        // Mean ~3 s, p95 within a factor of two of the mean.
+        assert!((2.0..4.5).contains(&stats.mean_duration()));
+        assert!(stats.percentile(95.0) < 2.0 * stats.mean_duration() + 2.0);
+        // Effective throughput in the hundreds of Mbps.
+        let mbps = stats.mean_throughput_bps() / 1e6;
+        assert!((150.0..400.0).contains(&mbps), "throughput {mbps:.0} Mbps");
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let jit = JitDt::bda2021();
+        let mut stats = TransferStats::new();
+        for seed in 0..50 {
+            stats.record(&jit.transfer(50 * 1024 * 1024, seed));
+        }
+        assert!(stats.percentile(50.0) <= stats.percentile(95.0));
+        assert!(stats.percentile(0.0) <= stats.percentile(50.0));
+    }
+
+    #[test]
+    fn failures_counted_separately() {
+        let mut stats = TransferStats::new();
+        stats.record(&TransferOutcome {
+            bytes: 100,
+            duration_s: 9.0,
+            restarts: 4,
+            stalls: 4,
+            completed: false,
+        });
+        stats.record(&TransferOutcome {
+            bytes: 100,
+            duration_s: 1.0,
+            restarts: 0,
+            stalls: 0,
+            completed: true,
+        });
+        assert_eq!(stats.completed(), 1);
+        assert_eq!(stats.failures(), 1);
+        assert_eq!(stats.restarts(), 4);
+        assert_eq!(stats.mean_duration(), 1.0);
+    }
+
+    #[test]
+    fn empty_stats_are_quiet() {
+        let stats = TransferStats::new();
+        assert_eq!(stats.mean_duration(), 0.0);
+        assert_eq!(stats.percentile(95.0), 0.0);
+        assert_eq!(stats.mean_throughput_bps(), 0.0);
+        assert!(stats.summary().contains("0 transfers"));
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let jit = JitDt::bda2021();
+        let mut stats = TransferStats::new();
+        for seed in 0..10 {
+            stats.record(&jit.transfer(10 * 1024 * 1024, seed));
+        }
+        let s = stats.summary();
+        assert!(s.contains("10 transfers"));
+        assert!(s.contains("Mbps"));
+    }
+}

@@ -1,0 +1,122 @@
+//! New-file detection — the JIT-DT trigger.
+//!
+//! "As soon as the MP-PAWR completes a 3-D volume scan ... a data file is
+//! created in a server at Saitama University. JIT-DT monitors the new data
+//! file creation and transfers it immediately" (paper §5). This watcher
+//! polls a directory and reports files it has not seen before, ignoring
+//! in-progress files marked with a temporary suffix.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// Directory watcher with seen-file tracking.
+pub struct FileWatcher {
+    dir: PathBuf,
+    seen: HashSet<PathBuf>,
+    /// Suffix marking in-progress writes (skipped until renamed away).
+    pub tmp_suffix: String,
+}
+
+impl FileWatcher {
+    /// Watch `dir`. Existing files are treated as already seen, so only
+    /// files created after construction are reported.
+    pub fn new(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut w = Self {
+            dir,
+            seen: HashSet::new(),
+            tmp_suffix: ".part".to_string(),
+        };
+        for f in w.list_files()? {
+            w.seen.insert(f);
+        }
+        Ok(w)
+    }
+
+    fn list_files(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Poll once: returns newly completed files in sorted order.
+    pub fn poll(&mut self) -> std::io::Result<Vec<PathBuf>> {
+        let mut new_files = Vec::new();
+        for f in self.list_files()? {
+            if f.to_string_lossy().ends_with(&self.tmp_suffix) {
+                continue;
+            }
+            if self.seen.insert(f.clone()) {
+                new_files.push(f);
+            }
+        }
+        Ok(new_files)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bda_jitdt_test_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn detects_only_new_files() {
+        let dir = tempdir("new");
+        fs::write(dir.join("old.dat"), b"x").unwrap();
+        let mut w = FileWatcher::new(&dir).unwrap();
+        assert!(w.poll().unwrap().is_empty());
+        fs::write(dir.join("scan_001.dat"), b"abc").unwrap();
+        let found = w.poll().unwrap();
+        assert_eq!(found.len(), 1);
+        assert!(found[0].ends_with("scan_001.dat"));
+        // Not reported twice.
+        assert!(w.poll().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_progress_files_are_skipped_until_renamed() {
+        let dir = tempdir("part");
+        let mut w = FileWatcher::new(&dir).unwrap();
+        fs::write(dir.join("scan_002.dat.part"), b"partial").unwrap();
+        assert!(w.poll().unwrap().is_empty());
+        fs::rename(dir.join("scan_002.dat.part"), dir.join("scan_002.dat")).unwrap();
+        let found = w.poll().unwrap();
+        assert_eq!(found.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multiple_new_files_reported_sorted() {
+        let dir = tempdir("multi");
+        let mut w = FileWatcher::new(&dir).unwrap();
+        fs::write(dir.join("b.dat"), b"2").unwrap();
+        fs::write(dir.join("a.dat"), b"1").unwrap();
+        let found = w.poll().unwrap();
+        assert_eq!(found.len(), 2);
+        assert!(found[0].ends_with("a.dat"));
+        assert!(found[1].ends_with("b.dat"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_error() {
+        assert!(FileWatcher::new("/definitely/not/a/dir").is_err());
+    }
+}

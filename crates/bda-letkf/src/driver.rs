@@ -1,0 +1,404 @@
+//! The parallel LETKF driver: one transform per analysis grid point.
+
+use crate::config::LetkfConfig;
+use crate::ensmatrix::EnsembleMatrix;
+use crate::localization::{localization_weight, ObsIndex};
+use crate::obs::ObsEnsemble;
+use crate::weights::{apply_transform, compute_transform, LocalObs};
+use bda_num::{BatchedEigen, MatrixS, Real};
+use rayon::prelude::*;
+
+/// Aggregate statistics of one analysis step.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AnalysisStats {
+    /// Grid points whose transform was computed and applied.
+    pub points_analyzed: usize,
+    /// Grid points inside the height range with no local observations.
+    pub points_no_obs: usize,
+    /// Grid points outside the analysis height range.
+    pub points_outside_range: usize,
+    /// Total localized observations used (summed over grid points).
+    pub total_local_obs: u64,
+    /// Largest local observation count (after the per-point cap).
+    pub max_local_obs: usize,
+}
+
+impl AnalysisStats {
+    fn merge(mut self, other: Self) -> Self {
+        self.points_analyzed += other.points_analyzed;
+        self.points_no_obs += other.points_no_obs;
+        self.points_outside_range += other.points_outside_range;
+        self.total_local_obs += other.total_local_obs;
+        self.max_local_obs = self.max_local_obs.max(other.max_local_obs);
+        self
+    }
+
+    /// Mean number of local observations per analyzed point.
+    pub fn mean_local_obs(&self) -> f64 {
+        if self.points_analyzed == 0 {
+            0.0
+        } else {
+            self.total_local_obs as f64 / self.points_analyzed as f64
+        }
+    }
+}
+
+/// Per-worker scratch.
+struct Workspace<T> {
+    local: LocalObs<T>,
+    candidates: Vec<(f64, u32)>, // (localization weight, obs index)
+    solver: BatchedEigen<T>,
+    trans: MatrixS<T>,
+    pert: Vec<T>,
+}
+
+impl<T: Real> Workspace<T> {
+    fn new(k: usize) -> Self {
+        Self {
+            local: LocalObs::new(k),
+            candidates: Vec::new(),
+            solver: BatchedEigen::with_capacity(k),
+            trans: MatrixS::zeros(k),
+            pert: vec![T::zero(); k],
+        }
+    }
+}
+
+/// Run the LETKF analysis in place on an ensemble.
+///
+/// Observations should already have passed [`crate::obs::gross_error_check`].
+/// Grid points outside `[analysis_z_min, analysis_z_max]` (Table 2) are left
+/// untouched, as are points with no observation within the localization
+/// cutoff.
+pub fn analyze<T: Real>(
+    ens: &mut EnsembleMatrix<T>,
+    obs: &ObsEnsemble<T>,
+    cfg: &LetkfConfig,
+) -> AnalysisStats {
+    cfg.validate();
+    let k = ens.k;
+    assert_eq!(
+        obs.ensemble_size(),
+        k,
+        "observation equivalents must match ensemble size"
+    );
+
+    // Precompute innovations and observation-space perturbation rows.
+    let nobs = obs.len();
+    let mut dy = vec![T::zero(); nobs];
+    let mut yb = vec![T::zero(); nobs * k]; // row-major [obs][member]
+    for i in 0..nobs {
+        let mean = obs.hx_mean(i);
+        dy[i] = obs.obs[i].value - mean;
+        for m in 0..k {
+            yb[i * k + m] = obs.hx[m][i] - mean;
+        }
+    }
+
+    let index = ObsIndex::build(&obs.obs, cfg.cutoff_horizontal());
+
+    let rtpp = T::of(cfg.rtpp);
+    let infl = T::of(cfg.infl_mult);
+    let ch = cfg.loc_horizontal;
+    let cv = cfg.loc_vertical;
+    let cutoff_v = cfg.cutoff_vertical();
+    let zmin = cfg.analysis_z_min;
+    let zmax = cfg.analysis_z_max;
+    let max_obs = cfg.max_obs_per_grid;
+
+    let block_len = ens.block_len();
+    let (layout, _, data) = ens.grid_point_blocks_mut();
+    let (ny, nz, nvar) = (layout.ny, layout.nz, layout.nvar);
+
+    data.par_chunks_mut(block_len)
+        .enumerate()
+        .fold(
+            || (AnalysisStats::default(), Workspace::<T>::new(k)),
+            |(mut stats, mut ws), (g, block)| {
+                let kz = g % nz;
+                let j = (g / nz) % ny;
+                let i = g / (nz * ny);
+                let z = layout.z_center[kz];
+                if z < zmin || z > zmax {
+                    stats.points_outside_range += 1;
+                    return (stats, ws);
+                }
+                let (x, y) = layout.xy(i, j);
+
+                // Gather localized observations.
+                ws.candidates.clear();
+                index.for_each_near(&obs.obs, x, y, |idx, rh| {
+                    let rv = (obs.obs[idx].z - z).abs();
+                    if rv >= cutoff_v {
+                        return;
+                    }
+                    let w = localization_weight(rh, ch, rv, cv);
+                    if w > 1e-8 {
+                        ws.candidates.push((w, idx as u32));
+                    }
+                });
+                if ws.candidates.is_empty() {
+                    stats.points_no_obs += 1;
+                    return (stats, ws);
+                }
+                // Cap at max_obs_per_grid, keeping the strongest weights
+                // (the paper's Table 2 cap of 1000).
+                if ws.candidates.len() > max_obs {
+                    ws.candidates
+                        .sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+                    ws.candidates.truncate(max_obs);
+                }
+
+                ws.local.clear();
+                for &(w, idx) in &ws.candidates {
+                    let i_obs = idx as usize;
+                    let err = obs.obs[i_obs].error_sd;
+                    let rinv = T::of(w) / (err * err);
+                    ws.local
+                        .push(dy[i_obs], rinv, &yb[i_obs * k..(i_obs + 1) * k]);
+                }
+
+                if compute_transform(&ws.local, rtpp, infl, &mut ws.solver, &mut ws.trans) {
+                    for v in 0..nvar {
+                        let vals = &mut block[v * k..(v + 1) * k];
+                        apply_transform(vals, &ws.trans, &mut ws.pert);
+                    }
+                    stats.points_analyzed += 1;
+                    stats.total_local_obs += ws.candidates.len() as u64;
+                    stats.max_local_obs = stats.max_local_obs.max(ws.candidates.len());
+                }
+                (stats, ws)
+            },
+        )
+        .map(|(stats, _)| stats)
+        .reduce(AnalysisStats::default, AnalysisStats::merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensmatrix::StateLayout;
+    use crate::obs::{ObsKind, Observation};
+    use bda_num::SplitMix64;
+
+    /// Identical-twin setup: nvar = 1 field, observations sample variable 0
+    /// at given grid points with an identity forward operator.
+    struct Twin {
+        layout: StateLayout,
+        members: Vec<Vec<f64>>,
+    }
+
+    fn twin(nx: usize, nz: usize, k: usize, seed: u64) -> Twin {
+        let layout = StateLayout {
+            nx,
+            ny: nx,
+            nz,
+            nvar: 1,
+            dx: 500.0,
+            z_center: (0..nz).map(|kk| 500.0 + kk as f64 * 500.0).collect(),
+        };
+        let mut rng = SplitMix64::new(seed);
+        let members = (0..k)
+            .map(|_| {
+                (0..layout.n_elements())
+                    .map(|_| rng.gaussian(5.0, 1.0))
+                    .collect()
+            })
+            .collect();
+        Twin { layout, members }
+    }
+
+    fn obs_at(twin: &Twin, i: usize, j: usize, kz: usize, value: f64, err: f64) -> ObsEnsemble<f64> {
+        let (x, y) = twin.layout.xy(i, j);
+        let z = twin.layout.z_center[kz];
+        let o = Observation {
+            kind: ObsKind::Reflectivity,
+            x,
+            y,
+            z,
+            value,
+            error_sd: err,
+        };
+        let src = twin.layout.member_index(0, i, j, kz);
+        let hx: Vec<Vec<f64>> = twin.members.iter().map(|m| vec![m[src]]).collect();
+        ObsEnsemble::new(vec![o], hx)
+    }
+
+    fn point_stats(mat: &EnsembleMatrix<f64>, g: usize) -> (f64, f64) {
+        let vals = mat.element(g, 0);
+        let k = vals.len();
+        let mean: f64 = vals.iter().sum::<f64>() / k as f64;
+        let var: f64 = vals.iter().map(|&v| (v - mean).powi(2)).sum::<f64>() / (k - 1) as f64;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn observation_pulls_mean_and_shrinks_spread_locally() {
+        let tw = twin(8, 4, 20, 1);
+        let cfg = LetkfConfig::reduced(20);
+        let obs = obs_at(&tw, 4, 4, 1, 9.0, 0.5);
+        let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+        let g_obs = (4 * tw.layout.ny + 4) * tw.layout.nz + 1;
+        let (mean_before, sd_before) = point_stats(&mat, g_obs);
+        let stats = analyze(&mut mat, &obs, &cfg);
+        assert!(stats.points_analyzed > 0);
+        let (mean_after, sd_after) = point_stats(&mat, g_obs);
+        assert!(
+            (mean_after - 9.0).abs() < (mean_before - 9.0).abs(),
+            "mean did not move toward obs: {mean_before} -> {mean_after}"
+        );
+        // RTPP = 0.95 keeps most spread, but it must not grow.
+        assert!(sd_after <= sd_before + 1e-9);
+    }
+
+    #[test]
+    fn faraway_points_are_untouched() {
+        let tw = twin(10, 4, 15, 2);
+        let cfg = LetkfConfig::reduced(15);
+        let obs = obs_at(&tw, 1, 1, 1, 12.0, 0.5);
+        let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+        // Point at the opposite corner, far beyond the 4-km cutoff.
+        let g_far = (9 * tw.layout.ny + 9) * tw.layout.nz + 1;
+        let before: Vec<f64> = mat.element(g_far, 0).to_vec();
+        analyze(&mut mat, &obs, &cfg);
+        assert_eq!(mat.element(g_far, 0), before.as_slice());
+    }
+
+    #[test]
+    fn points_outside_height_range_are_untouched() {
+        let mut tw = twin(6, 5, 10, 3);
+        // Put level 4 above the analysis ceiling.
+        tw.layout.z_center[4] = 15_000.0;
+        let cfg = LetkfConfig::reduced(10);
+        let obs = obs_at(&tw, 3, 3, 1, 8.0, 0.5);
+        let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+        let g_high = (3 * tw.layout.ny + 3) * tw.layout.nz + 4;
+        let before: Vec<f64> = mat.element(g_high, 0).to_vec();
+        let stats = analyze(&mut mat, &obs, &cfg);
+        assert_eq!(mat.element(g_high, 0), before.as_slice());
+        assert!(stats.points_outside_range > 0);
+    }
+
+    #[test]
+    fn no_observations_is_a_no_op() {
+        let tw = twin(5, 3, 8, 4);
+        let cfg = LetkfConfig::reduced(8);
+        let obs = ObsEnsemble::<f64>::new(vec![], vec![vec![]; 8]);
+        let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+        let before: Vec<f64> = mat.element(0, 0).to_vec();
+        let stats = analyze(&mut mat, &obs, &cfg);
+        assert_eq!(stats.points_analyzed, 0);
+        assert_eq!(mat.element(0, 0), before.as_slice());
+    }
+
+    #[test]
+    fn max_obs_cap_is_respected() {
+        let tw = twin(6, 3, 8, 5);
+        let mut cfg = LetkfConfig::reduced(8);
+        cfg.max_obs_per_grid = 3;
+        // A dense cluster of observations around one point.
+        let mut all_obs = Vec::new();
+        let mut hx: Vec<Vec<f64>> = vec![Vec::new(); 8];
+        for di in 0..3 {
+            for dj in 0..3 {
+                let o = obs_at(&tw, 2 + di, 2 + dj, 1, 7.0, 1.0);
+                all_obs.push(o.obs[0]);
+                for m in 0..8 {
+                    hx[m].push(o.hx[m][0]);
+                }
+            }
+        }
+        let obs = ObsEnsemble::new(all_obs, hx);
+        let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+        let stats = analyze(&mut mat, &obs, &cfg);
+        assert!(stats.max_local_obs <= 3, "cap violated: {}", stats.max_local_obs);
+        assert!(stats.points_analyzed > 0);
+    }
+
+    #[test]
+    fn multiple_variables_all_updated_at_observed_point() {
+        let layout = StateLayout {
+            nx: 6,
+            ny: 6,
+            nz: 3,
+            nvar: 2,
+            dx: 500.0,
+            z_center: vec![500.0, 1000.0, 1500.0],
+        };
+        let mut rng = SplitMix64::new(6);
+        // Variable 1 correlated with variable 0 (so the update propagates).
+        let mut members: Vec<Vec<f64>> = Vec::new();
+        for _ in 0..20 {
+            let mut m = vec![0.0; layout.n_elements()];
+            for i in 0..6 {
+                for j in 0..6 {
+                    for kz in 0..3 {
+                        let base: f64 = rng.gaussian(5.0, 1.0);
+                        m[layout.member_index(0, i, j, kz)] = base;
+                        m[layout.member_index(1, i, j, kz)] = 2.0 * base + rng.gaussian(0.0, 0.1);
+                    }
+                }
+            }
+            members.push(m);
+        }
+        let (x, y) = layout.xy(3, 3);
+        let o = Observation {
+            kind: ObsKind::DopplerVelocity,
+            x,
+            y,
+            z: 1000.0,
+            value: 8.0,
+            error_sd: 0.5,
+        };
+        let src = layout.member_index(0, 3, 3, 1);
+        let hx: Vec<Vec<f64>> = members.iter().map(|m| vec![m[src]]).collect();
+        let obs = ObsEnsemble::new(vec![o], hx);
+        let mut mat = EnsembleMatrix::from_members(&members, layout.clone());
+        let g = (3 * layout.ny + 3) * layout.nz + 1;
+        let v1_before = mat.element_mean(g, 1);
+        analyze(&mut mat, &obs, &LetkfConfig::reduced(20));
+        let v0_after = mat.element_mean(g, 0);
+        let v1_after = mat.element_mean(g, 1);
+        // Var 0 pulled toward 8; var 1 (≈ 2 * var 0) pulled toward 16.
+        assert!((v0_after - 8.0).abs() < 2.0, "v0 = {v0_after}");
+        assert!(
+            (v1_after - 16.0).abs() < (v1_before - 16.0).abs(),
+            "correlated variable not updated: {v1_before} -> {v1_after}"
+        );
+    }
+
+    #[test]
+    fn analysis_reduces_error_against_truth_statistically() {
+        // Multiple observations of a smooth truth: posterior mean RMSE to
+        // truth must beat the prior's.
+        let tw = twin(10, 4, 30, 7);
+        let cfg = LetkfConfig::reduced(30);
+        let truth = 7.5_f64;
+        let mut all_obs = Vec::new();
+        let mut hx: Vec<Vec<f64>> = vec![Vec::new(); 30];
+        for (i, j) in [(2, 2), (2, 7), (7, 2), (7, 7), (5, 5)] {
+            let o = obs_at(&tw, i, j, 2, truth, 0.4);
+            all_obs.push(o.obs[0]);
+            for m in 0..30 {
+                hx[m].push(o.hx[m][0]);
+            }
+        }
+        let obs = ObsEnsemble::new(all_obs, hx);
+        let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+        let rmse_at_obs_points = |mat: &EnsembleMatrix<f64>| -> f64 {
+            let pts = [(2, 2), (2, 7), (7, 2), (7, 7), (5, 5)];
+            let mut s = 0.0;
+            for (i, j) in pts {
+                let g = (i * tw.layout.ny + j) * tw.layout.nz + 2;
+                let (m, _) = point_stats(mat, g);
+                s += (m - truth).powi(2);
+            }
+            (s / pts.len() as f64).sqrt()
+        };
+        let before = rmse_at_obs_points(&mat);
+        let stats = analyze(&mut mat, &obs, &cfg);
+        let after = rmse_at_obs_points(&mat);
+        assert!(after < before, "RMSE did not improve: {before} -> {after}");
+        assert!(stats.mean_local_obs() >= 1.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Observations, model equivalents and quality control.
+
+use crate::config::LetkfConfig;
+use bda_num::Real;
+use serde::{Deserialize, Serialize};
+
+/// Observed quantity. The BDA system assimilates both radar observables
+/// directly (Table 1, bottom row: "Reflectivity, Doppler velocity") instead
+/// of derived humidity/latent-heating proxies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObsKind {
+    /// Radar reflectivity, dBZ.
+    Reflectivity,
+    /// Radial Doppler velocity, m/s.
+    DopplerVelocity,
+}
+
+/// One (superobbed) observation at a physical location.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Observation<T> {
+    pub kind: ObsKind,
+    /// Position in domain coordinates, m.
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+    pub value: T,
+    /// Observation error standard deviation (same unit as `value`).
+    pub error_sd: T,
+}
+
+/// Observations plus their per-member model equivalents `H(x_m)`.
+///
+/// `hx[m][i]` is member `m`'s equivalent for observation `i` — produced by
+/// the radar forward operator in `bda-pawr` applied to each forecast member.
+#[derive(Clone, Debug)]
+pub struct ObsEnsemble<T> {
+    pub obs: Vec<Observation<T>>,
+    pub hx: Vec<Vec<T>>,
+}
+
+impl<T: Real> ObsEnsemble<T> {
+    pub fn new(obs: Vec<Observation<T>>, hx: Vec<Vec<T>>) -> Self {
+        for (m, h) in hx.iter().enumerate() {
+            assert_eq!(h.len(), obs.len(), "member {m} equivalents length mismatch");
+        }
+        Self { obs, hx }
+    }
+
+    pub fn len(&self) -> usize {
+        self.obs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.obs.is_empty()
+    }
+
+    pub fn ensemble_size(&self) -> usize {
+        self.hx.len()
+    }
+
+    /// Ensemble-mean equivalent for observation `i`.
+    pub fn hx_mean(&self, i: usize) -> T {
+        let k = self.hx.len();
+        let sum = self
+            .hx
+            .iter()
+            .fold(T::zero(), |acc, member| acc + member[i]);
+        sum / T::of_usize(k)
+    }
+
+    /// Innovation (obs minus ensemble-mean equivalent) for observation `i`.
+    pub fn innovation(&self, i: usize) -> T {
+        self.obs[i].value - self.hx_mean(i)
+    }
+
+    /// Retain only observations at indices where `keep` is true.
+    pub fn filter(&self, keep: &[bool]) -> Self {
+        assert_eq!(keep.len(), self.obs.len());
+        let obs = self
+            .obs
+            .iter()
+            .zip(keep)
+            .filter(|(_, &k)| k)
+            .map(|(o, _)| *o)
+            .collect();
+        let hx = self
+            .hx
+            .iter()
+            .map(|member| {
+                member
+                    .iter()
+                    .zip(keep)
+                    .filter(|(_, &k)| k)
+                    .map(|(&v, _)| v)
+                    .collect()
+            })
+            .collect();
+        Self { obs, hx }
+    }
+}
+
+/// Result of the gross-error check.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QcStats {
+    pub total: usize,
+    pub rejected_reflectivity: usize,
+    pub rejected_doppler: usize,
+}
+
+impl QcStats {
+    pub fn accepted(&self) -> usize {
+        self.total - self.rejected_reflectivity - self.rejected_doppler
+    }
+}
+
+/// Gross error check (Table 2): discard observations whose innovation
+/// against the ensemble mean exceeds the per-kind threshold. Returns the
+/// filtered set and rejection statistics.
+#[allow(clippy::needless_range_loop)]
+pub fn gross_error_check<T: Real>(
+    ens: &ObsEnsemble<T>,
+    cfg: &LetkfConfig,
+) -> (ObsEnsemble<T>, QcStats) {
+    let mut keep = vec![true; ens.len()];
+    let mut stats = QcStats {
+        total: ens.len(),
+        ..QcStats::default()
+    };
+    for i in 0..ens.len() {
+        let innov = ens.innovation(i).abs().f64();
+        let (threshold, counter) = match ens.obs[i].kind {
+            ObsKind::Reflectivity => (
+                cfg.gross_err_reflectivity_dbz,
+                &mut stats.rejected_reflectivity,
+            ),
+            ObsKind::DopplerVelocity => (cfg.gross_err_doppler_ms, &mut stats.rejected_doppler),
+        };
+        if innov > threshold {
+            keep[i] = false;
+            *counter += 1;
+        }
+    }
+    (ens.filter(&keep), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(kind: ObsKind, value: f64) -> Observation<f64> {
+        Observation {
+            kind,
+            x: 0.0,
+            y: 0.0,
+            z: 1000.0,
+            value,
+            error_sd: 5.0,
+        }
+    }
+
+    #[test]
+    fn innovation_against_ensemble_mean() {
+        let ens = ObsEnsemble::new(
+            vec![obs(ObsKind::Reflectivity, 30.0)],
+            vec![vec![20.0], vec![24.0]],
+        );
+        assert!((ens.hx_mean(0) - 22.0).abs() < 1e-12);
+        assert!((ens.innovation(0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gross_check_rejects_outliers_per_kind() {
+        let cfg = LetkfConfig::reduced(2);
+        let ens = ObsEnsemble::new(
+            vec![
+                obs(ObsKind::Reflectivity, 30.0), // innov 8 < 10: keep
+                obs(ObsKind::Reflectivity, 45.0), // innov 23 > 10: reject
+                obs(ObsKind::DopplerVelocity, 10.0), // innov -12 < 15: keep
+                obs(ObsKind::DopplerVelocity, 60.0), // innov 38 > 15: reject
+            ],
+            vec![vec![20.0, 20.0, 20.0, 20.0], vec![24.0, 24.0, 24.0, 24.0]],
+        );
+        let (filtered, stats) = gross_error_check(&ens, &cfg);
+        assert_eq!(filtered.len(), 2);
+        assert_eq!(stats.rejected_reflectivity, 1);
+        assert_eq!(stats.rejected_doppler, 1);
+        assert_eq!(stats.accepted(), 2);
+        assert_eq!(filtered.obs[0].value, 30.0);
+        assert_eq!(filtered.obs[1].value, 10.0);
+        // hx filtered consistently.
+        assert_eq!(filtered.hx[0], vec![20.0, 20.0]);
+    }
+
+    #[test]
+    fn filter_preserves_alignment() {
+        let ens = ObsEnsemble::new(
+            vec![
+                obs(ObsKind::Reflectivity, 1.0),
+                obs(ObsKind::Reflectivity, 2.0),
+                obs(ObsKind::Reflectivity, 3.0),
+            ],
+            vec![vec![10.0, 20.0, 30.0]],
+        );
+        let f = ens.filter(&[true, false, true]);
+        assert_eq!(f.obs[1].value, 3.0);
+        assert_eq!(f.hx[0], vec![10.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_hx_length_rejected() {
+        let _ = ObsEnsemble::new(vec![obs(ObsKind::Reflectivity, 1.0)], vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn empty_ensemble_passes_qc() {
+        let cfg = LetkfConfig::reduced(2);
+        let ens = ObsEnsemble::<f64>::new(vec![], vec![vec![], vec![]]);
+        let (f, stats) = gross_error_check(&ens, &cfg);
+        assert!(f.is_empty());
+        assert_eq!(stats.total, 0);
+    }
+}

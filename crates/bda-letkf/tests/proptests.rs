@@ -1,0 +1,143 @@
+//! Property-based invariants of the LETKF transform mathematics.
+
+use bda_letkf::weights::{apply_transform, compute_transform, LocalObs};
+use bda_num::{BatchedEigen, MatrixS, SplitMix64};
+use proptest::prelude::*;
+
+/// Build a random scalar ensemble and one localized observation of it.
+fn setup(
+    k: usize,
+    seed: u64,
+    obs_offset: f64,
+    obs_err: f64,
+    loc_w: f64,
+) -> (Vec<f64>, LocalObs<f64>) {
+    let mut rng = SplitMix64::new(seed);
+    let xs: Vec<f64> = (0..k).map(|_| rng.gaussian(5.0, 2.0)).collect();
+    let mean: f64 = xs.iter().sum::<f64>() / k as f64;
+    let yb: Vec<f64> = xs.iter().map(|&x| x - mean).collect();
+    let mut local = LocalObs::new(k);
+    local.push(mean + obs_offset - mean, loc_w / (obs_err * obs_err), &yb);
+    (xs, local)
+}
+
+fn stats(vals: &[f64]) -> (f64, f64) {
+    let k = vals.len();
+    let mean: f64 = vals.iter().sum::<f64>() / k as f64;
+    let var: f64 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (k - 1) as f64;
+    (mean, var.sqrt())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The posterior mean always lies between the prior mean and the
+    /// observation (for a single directly observed scalar), and the spread
+    /// never grows (rtpp < 1, no multiplicative inflation).
+    #[test]
+    fn posterior_mean_between_prior_and_obs(
+        k in 5usize..60,
+        seed in any::<u64>(),
+        offset in -10.0f64..10.0,
+        err in 0.3f64..5.0,
+        loc_w in 0.05f64..1.0,
+        rtpp in 0.0f64..1.0,
+    ) {
+        let (xs, local) = setup(k, seed, offset, err, loc_w);
+        let (prior_mean, prior_sd) = stats(&xs);
+        let obs_value = prior_mean + offset;
+        let mut solver = BatchedEigen::new();
+        let mut trans = MatrixS::zeros(k);
+        prop_assert!(compute_transform(&local, rtpp, 1.0, &mut solver, &mut trans));
+        let mut vals = xs.clone();
+        let mut pert = vec![0.0; k];
+        apply_transform(&mut vals, &trans, &mut pert);
+        let (post_mean, post_sd) = stats(&vals);
+
+        let lo = prior_mean.min(obs_value) - 1e-6;
+        let hi = prior_mean.max(obs_value) + 1e-6;
+        prop_assert!(
+            (lo..=hi).contains(&post_mean),
+            "posterior mean {post_mean} outside [{lo}, {hi}]"
+        );
+        prop_assert!(
+            post_sd <= prior_sd * (1.0 + 1e-6),
+            "spread grew: {prior_sd} -> {post_sd}"
+        );
+        prop_assert!(post_sd.is_finite() && post_sd >= 0.0);
+    }
+
+    /// Zero innovation leaves the mean unchanged (transform still contracts
+    /// the perturbations).
+    #[test]
+    fn zero_innovation_preserves_mean(
+        k in 5usize..40,
+        seed in any::<u64>(),
+        err in 0.5f64..4.0,
+    ) {
+        let (xs, local) = setup(k, seed, 0.0, err, 1.0);
+        let (prior_mean, _) = stats(&xs);
+        let mut solver = BatchedEigen::new();
+        let mut trans = MatrixS::zeros(k);
+        compute_transform(&local, 0.5, 1.0, &mut solver, &mut trans);
+        let mut vals = xs.clone();
+        let mut pert = vec![0.0; k];
+        apply_transform(&mut vals, &trans, &mut pert);
+        let (post_mean, _) = stats(&vals);
+        prop_assert!(
+            (post_mean - prior_mean).abs() < 1e-8 * prior_mean.abs().max(1.0),
+            "mean moved without innovation: {prior_mean} -> {post_mean}"
+        );
+    }
+
+    /// A tighter observation error pulls the mean closer to the observation.
+    #[test]
+    fn sharper_obs_pull_harder(
+        k in 10usize..50,
+        seed in any::<u64>(),
+        offset in 1.0f64..8.0,
+    ) {
+        let run = |err: f64| -> f64 {
+            let (xs, local) = setup(k, seed, offset, err, 1.0);
+            let (prior_mean, _) = stats(&xs);
+            let mut solver = BatchedEigen::new();
+            let mut trans = MatrixS::zeros(k);
+            compute_transform(&local, 0.0, 1.0, &mut solver, &mut trans);
+            let mut vals = xs.clone();
+            let mut pert = vec![0.0; k];
+            apply_transform(&mut vals, &trans, &mut pert);
+            let (post_mean, _) = stats(&vals);
+            (post_mean - (prior_mean + offset)).abs()
+        };
+        let sharp = run(0.3);
+        let blunt = run(5.0);
+        prop_assert!(
+            sharp <= blunt + 1e-9,
+            "sharp obs ({sharp}) further from target than blunt ({blunt})"
+        );
+    }
+
+    /// RTPP interpolates the posterior spread monotonically between the
+    /// no-relaxation spread and the prior spread.
+    #[test]
+    fn rtpp_monotone_in_spread(
+        k in 10usize..40,
+        seed in any::<u64>(),
+    ) {
+        let spread_at = |alpha: f64| -> f64 {
+            let (xs, local) = setup(k, seed, 3.0, 1.0, 1.0);
+            let mut solver = BatchedEigen::new();
+            let mut trans = MatrixS::zeros(k);
+            compute_transform(&local, alpha, 1.0, &mut solver, &mut trans);
+            let mut vals = xs.clone();
+            let mut pert = vec![0.0; k];
+            apply_transform(&mut vals, &trans, &mut pert);
+            stats(&vals).1
+        };
+        let s0 = spread_at(0.0);
+        let s_half = spread_at(0.5);
+        let s1 = spread_at(1.0);
+        prop_assert!(s0 <= s_half + 1e-9 && s_half <= s1 + 1e-9,
+            "rtpp spread not monotone: {s0} {s_half} {s1}");
+    }
+}

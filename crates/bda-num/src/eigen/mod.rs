@@ -1,0 +1,173 @@
+//! Symmetric eigensolvers.
+//!
+//! The LETKF solves, at *every* analysis grid point, a symmetric eigenproblem
+//! of the size of the ensemble (k = 1000 in the paper; 256 x 256 x 60 solves
+//! per 30-second cycle). The paper replaced the standard LAPACK solver with
+//! KeDV (Kudo & Imamura 2019), a cache-efficient, batched tridiagonalization.
+//!
+//! This module provides the same algorithmic contrast from scratch:
+//!
+//! * [`JacobiEigen`] — a robust cyclic Jacobi solver, our stand-in for the
+//!   "reference" dense solver (simple, accurate, O(n^3) per sweep with several
+//!   sweeps).
+//! * [`QlEigen`] — Householder tridiagonalization followed by implicit-shift
+//!   QL iteration (the classic `tred2`/`tqli` pair), which is the algorithm
+//!   family LAPACK's `ssyev` drives and is substantially faster than Jacobi.
+//! * [`BatchedEigen`] — a QL solver that amortizes workspace allocation and
+//!   keeps buffers hot across a batch of same-size problems, mirroring the
+//!   batching idea of KeDV. The `ablation_eigensolver` bench reproduces the
+//!   paper's solver comparison.
+
+mod batched;
+mod jacobi;
+mod ql;
+
+pub use batched::BatchedEigen;
+pub use jacobi::JacobiEigen;
+pub use ql::QlEigen;
+
+use crate::matrix::MatrixS;
+use crate::real::Real;
+
+/// Result of a symmetric eigendecomposition `A = V diag(lambda) V^T`.
+///
+/// Eigenvalues are sorted ascending; column `j` of `vectors` is the
+/// eigenvector for `values[j]`.
+#[derive(Clone, Debug)]
+pub struct SymEigDecomp<T> {
+    pub values: Vec<T>,
+    pub vectors: MatrixS<T>,
+}
+
+impl<T: Real> SymEigDecomp<T> {
+    /// Reconstruct `V f(diag) V^T` for a scalar function of the eigenvalues —
+    /// the LETKF uses this with `f = 1/x` (analysis covariance) and
+    /// `f = 1/sqrt(x)` (transform weights).
+    pub fn apply_spectral(&self, f: impl Fn(T) -> T) -> MatrixS<T> {
+        let n = self.values.len();
+        let v = &self.vectors;
+        let fvals: Vec<T> = self.values.iter().map(|&l| f(l)).collect();
+        let mut out = MatrixS::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                let mut acc = T::zero();
+                for m in 0..n {
+                    acc += v[(i, m)] * fvals[m] * v[(j, m)];
+                }
+                out[(i, j)] = acc;
+                out[(j, i)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Largest |residual| entry of `A v - lambda v` over all pairs, a direct
+    /// correctness gauge used in tests.
+    pub fn max_residual(&self, a: &MatrixS<T>) -> T {
+        let n = self.values.len();
+        let mut worst = T::zero();
+        for j in 0..n {
+            for i in 0..n {
+                let mut av = T::zero();
+                for k in 0..n {
+                    av += a[(i, k)] * self.vectors[(k, j)];
+                }
+                worst = worst.max((av - self.values[j] * self.vectors[(i, j)]).abs());
+            }
+        }
+        worst
+    }
+}
+
+/// A solver for dense symmetric eigenproblems.
+pub trait SymEigSolver<T: Real> {
+    /// Decompose a symmetric matrix. Implementations may assume (and only
+    /// debug-assert) symmetry.
+    fn decompose(&mut self, a: &MatrixS<T>) -> SymEigDecomp<T>;
+
+    /// Human-readable solver name for bench reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Sort an eigendecomposition ascending by eigenvalue, permuting vector
+/// columns to match.
+pub(crate) fn sort_ascending<T: Real>(values: &mut [T], vectors: &mut MatrixS<T>) {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    let old_vals = values.to_vec();
+    let old_vecs = vectors.clone();
+    for (new_j, &old_j) in order.iter().enumerate() {
+        values[new_j] = old_vals[old_j];
+        for i in 0..n {
+            vectors[(i, new_j)] = old_vecs[(i, old_j)];
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Deterministic random symmetric matrix with entries in [-1, 1] and a
+    /// diagonal shift making it comfortably positive definite when asked.
+    pub fn random_symmetric<T: Real>(n: usize, seed: u64, spd_shift: f64) -> MatrixS<T> {
+        let mut rng = crate::rng::SplitMix64::new(seed);
+        let mut a = MatrixS::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                let v = T::of(rng.next_uniform() * 2.0 - 1.0);
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        a.add_scaled_identity(T::of(spd_shift));
+        a
+    }
+
+    pub fn check_orthonormal<T: Real>(v: &MatrixS<T>, tol: f64) {
+        let n = v.n();
+        let vtv = v.transpose().matmul(v);
+        for i in 0..n {
+            for j in 0..n {
+                let want = if i == j { 1.0 } else { 0.0 };
+                let got = vtv[(i, j)].f64();
+                assert!(
+                    (got - want).abs() < tol,
+                    "V^T V [{i},{j}] = {got}, want {want}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn apply_spectral_inverse_recovers_inverse() {
+        let a = random_symmetric::<f64>(8, 42, 10.0);
+        let dec = JacobiEigen::default().decompose(&a);
+        let ainv = dec.apply_spectral(|l| 1.0 / l);
+        let prod = a.matmul(&ainv);
+        for i in 0..8 {
+            for j in 0..8 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_ascending_orders_and_permutes() {
+        let mut vals = vec![3.0_f64, 1.0, 2.0];
+        let mut vecs = MatrixS::from_rows(3, &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        sort_ascending(&mut vals, &mut vecs);
+        assert_eq!(vals, vec![1.0, 2.0, 3.0]);
+        // Column 0 must now be the old column 1 (e_1).
+        assert_eq!(vecs[(1, 0)], 1.0);
+        assert_eq!(vecs[(0, 2)], 1.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Householder tridiagonalization + implicit-shift QL iteration.
+//!
+//! This is the `tred2`/`tqli` algorithm pair — the same family LAPACK's
+//! symmetric drivers use, and the baseline that KeDV restructures for cache
+//! efficiency. Compared to cyclic Jacobi it does one O(n^3) reduction plus a
+//! cheap O(n^2)-per-eigenvalue iteration, which is why the paper's LETKF
+//! gained so much from moving off a slower solver at k = 1000.
+
+use super::{sort_ascending, SymEigDecomp, SymEigSolver};
+use crate::matrix::MatrixS;
+use crate::real::Real;
+
+/// Householder + implicit QL symmetric eigensolver.
+#[derive(Clone, Debug, Default)]
+pub struct QlEigen;
+
+impl QlEigen {
+    /// Reduce symmetric `a` (destroyed; becomes the orthogonal accumulation
+    /// matrix Q) to tridiagonal form with diagonal `d` and subdiagonal `e`
+    /// (where `e[0]` is unused).
+    pub fn tridiagonalize<T: Real>(a: &mut MatrixS<T>, d: &mut [T], e: &mut [T]) {
+        let n = a.n();
+        assert_eq!(d.len(), n);
+        assert_eq!(e.len(), n);
+
+        for i in (1..n).rev() {
+            let l = i - 1;
+            let mut h = T::zero();
+            if l > 0 {
+                let mut scale = T::zero();
+                for k in 0..=l {
+                    scale += a[(i, k)].abs();
+                }
+                if scale == T::zero() {
+                    e[i] = a[(i, l)];
+                } else {
+                    for k in 0..=l {
+                        let v = a[(i, k)] / scale;
+                        a[(i, k)] = v;
+                        h += v * v;
+                    }
+                    let mut f = a[(i, l)];
+                    let g = if f >= T::zero() { -h.sqrt() } else { h.sqrt() };
+                    e[i] = scale * g;
+                    h -= f * g;
+                    a[(i, l)] = f - g;
+                    f = T::zero();
+                    for j in 0..=l {
+                        a[(j, i)] = a[(i, j)] / h;
+                        let mut g = T::zero();
+                        for k in 0..=j {
+                            g += a[(j, k)] * a[(i, k)];
+                        }
+                        for k in (j + 1)..=l {
+                            g += a[(k, j)] * a[(i, k)];
+                        }
+                        e[j] = g / h;
+                        f += e[j] * a[(i, j)];
+                    }
+                    let hh = f / (h + h);
+                    for j in 0..=l {
+                        let fj = a[(i, j)];
+                        let gj = e[j] - hh * fj;
+                        e[j] = gj;
+                        for k in 0..=j {
+                            let delta = fj * e[k] + gj * a[(i, k)];
+                            a[(j, k)] -= delta;
+                        }
+                    }
+                }
+            } else {
+                e[i] = a[(i, l)];
+            }
+            d[i] = h;
+        }
+        d[0] = T::zero();
+        e[0] = T::zero();
+        // Accumulate the transformation matrix.
+        for i in 0..n {
+            if d[i] != T::zero() {
+                for j in 0..i {
+                    let mut g = T::zero();
+                    for k in 0..i {
+                        g += a[(i, k)] * a[(k, j)];
+                    }
+                    for k in 0..i {
+                        let delta = g * a[(k, i)];
+                        a[(k, j)] -= delta;
+                    }
+                }
+            }
+            d[i] = a[(i, i)];
+            a[(i, i)] = T::one();
+            for j in 0..i {
+                a[(j, i)] = T::zero();
+                a[(i, j)] = T::zero();
+            }
+        }
+    }
+
+    /// Implicit-shift QL iteration on a tridiagonal matrix, accumulating the
+    /// rotations into `z` (which should enter as the tridiagonalizing Q).
+    /// `e[0]` is unused on entry.
+    pub fn tqli<T: Real>(d: &mut [T], e: &mut [T], z: &mut MatrixS<T>) {
+        let n = d.len();
+        if n <= 1 {
+            return;
+        }
+        for i in 1..n {
+            e[i - 1] = e[i];
+        }
+        e[n - 1] = T::zero();
+
+        for l in 0..n {
+            let mut iter = 0;
+            'restart: loop {
+                // Find the first negligible subdiagonal element at or after l.
+                let mut m = l;
+                while m + 1 < n {
+                    let dd = d[m].abs() + d[m + 1].abs();
+                    if e[m].abs() <= T::eps() * dd {
+                        break;
+                    }
+                    m += 1;
+                }
+                if m == l {
+                    break;
+                }
+                iter += 1;
+                assert!(iter <= 64, "QL iteration failed to converge");
+
+                let mut g = (d[l + 1] - d[l]) / (T::two() * e[l]);
+                let mut r = g.hypot(T::one());
+                g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+                let mut s = T::one();
+                let mut c = T::one();
+                let mut p = T::zero();
+                for i in (l..m).rev() {
+                    let mut f = s * e[i];
+                    let b = c * e[i];
+                    r = f.hypot(g);
+                    e[i + 1] = r;
+                    if r == T::zero() {
+                        d[i + 1] -= p;
+                        e[m] = T::zero();
+                        continue 'restart;
+                    }
+                    s = f / r;
+                    c = g / r;
+                    g = d[i + 1] - p;
+                    r = (d[i] - g) * s + T::two() * c * b;
+                    p = s * r;
+                    d[i + 1] = g + p;
+                    g = c * r - b;
+                    for k in 0..n {
+                        f = z[(k, i + 1)];
+                        z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                        z[(k, i)] = c * z[(k, i)] - s * f;
+                    }
+                }
+                d[l] -= p;
+                e[l] = g;
+                e[m] = T::zero();
+            }
+        }
+    }
+
+    /// Full decomposition via tridiagonalization + QL, with caller-provided
+    /// scratch (used by [`super::BatchedEigen`] to avoid per-problem
+    /// allocation).
+    pub fn decompose_with_scratch<T: Real>(
+        a: &MatrixS<T>,
+        d: &mut Vec<T>,
+        e: &mut Vec<T>,
+    ) -> SymEigDecomp<T> {
+        let n = a.n();
+        debug_assert!(a.is_symmetric(T::of(1e-4)), "QL requires symmetry");
+        d.clear();
+        d.resize(n, T::zero());
+        e.clear();
+        e.resize(n, T::zero());
+        let mut q = a.clone();
+        Self::tridiagonalize(&mut q, d, e);
+        Self::tqli(d, e, &mut q);
+        let mut values = d.clone();
+        sort_ascending(&mut values, &mut q);
+        SymEigDecomp { values, vectors: q }
+    }
+}
+
+impl<T: Real> SymEigSolver<T> for QlEigen {
+    fn decompose(&mut self, a: &MatrixS<T>) -> SymEigDecomp<T> {
+        let mut d = Vec::new();
+        let mut e = Vec::new();
+        QlEigen::decompose_with_scratch(a, &mut d, &mut e)
+    }
+
+    fn name(&self) -> &'static str {
+        "householder-ql"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::super::JacobiEigen;
+    use super::*;
+
+    #[test]
+    fn known_2x2() {
+        let a = MatrixS::from_rows(2, &[2.0_f64, 1.0, 1.0, 2.0]);
+        let dec = QlEigen.decompose(&a);
+        assert!((dec.values[0] - 1.0).abs() < 1e-12);
+        assert!((dec.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_3x3_tridiagonal() {
+        // Discrete 1-D Laplacian [2,-1] with known spectrum 2 - 2 cos(k pi / 4).
+        let a = MatrixS::from_rows(3, &[2.0_f64, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]);
+        let dec = QlEigen.decompose(&a);
+        let expected: Vec<f64> = (1..=3)
+            .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / 4.0).cos())
+            .collect();
+        for (got, want) in dec.values.iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn matches_jacobi_on_random_matrices() {
+        for seed in 0..6u64 {
+            let n = 10 + (seed as usize) * 5;
+            let a = random_symmetric::<f64>(n, seed.wrapping_mul(17).wrapping_add(1), 0.0);
+            let ql = QlEigen.decompose(&a);
+            let jc = JacobiEigen::default().decompose(&a);
+            for (x, y) in ql.values.iter().zip(&jc.values) {
+                assert!((x - y).abs() < 1e-9, "n={n}: eigenvalue mismatch {x} vs {y}");
+            }
+            assert!(ql.max_residual(&a) < 1e-9, "residual {}", ql.max_residual(&a));
+            check_orthonormal(&ql.vectors, 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_precision_accuracy_sufficient_for_letkf() {
+        // k=40 is a typical operational ensemble size; k=1000 is the paper's.
+        let a = random_symmetric::<f32>(40, 5, 5.0);
+        let dec = QlEigen.decompose(&a);
+        assert!(dec.max_residual(&a) < 5e-3);
+        check_orthonormal(&dec.vectors, 5e-3);
+    }
+
+    #[test]
+    fn handles_n1_and_n2() {
+        let a1 = MatrixS::from_rows(1, &[7.0_f64]);
+        let d1 = QlEigen.decompose(&a1);
+        assert_eq!(d1.values, vec![7.0]);
+
+        let a2 = MatrixS::from_rows(2, &[1.0_f64, 0.0, 0.0, -2.0]);
+        let d2 = QlEigen.decompose(&a2);
+        assert_eq!(d2.values, vec![-2.0, 1.0]);
+    }
+
+    #[test]
+    fn degenerate_spectrum() {
+        // Identity has a fully degenerate spectrum; any orthonormal basis is
+        // a valid eigenbasis.
+        let a = MatrixS::<f64>::identity(6);
+        let dec = QlEigen.decompose(&a);
+        for &v in &dec.values {
+            assert!((v - 1.0).abs() < 1e-13);
+        }
+        check_orthonormal(&dec.vectors, 1e-12);
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let n = 25;
+        let a = random_symmetric::<f64>(n, 1234, 0.0);
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let dec = QlEigen.decompose(&a);
+        let sum: f64 = dec.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+}

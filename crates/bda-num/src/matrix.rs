@@ -1,0 +1,308 @@
+//! Small dense square matrices for ensemble-space algebra.
+//!
+//! The LETKF works in the k-dimensional ensemble space (k = 1000 in the
+//! paper's production configuration, much smaller in tests), so all matrices
+//! here are modest, dense, and row-major. No BLAS is used; these kernels are
+//! simple enough that the compiler autovectorizes the inner loops.
+
+use crate::real::Real;
+
+/// A dense `n x n` matrix in row-major order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixS<T> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Real> MatrixS<T> {
+    /// Zero matrix of size `n x n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![T::zero(); n * n],
+        }
+    }
+
+    /// Identity matrix of size `n x n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    /// Build from a row-major slice; panics if `data.len() != n*n`.
+    pub fn from_rows(n: usize, data: &[T]) -> Self {
+        assert_eq!(data.len(), n * n, "row-major data must be n*n long");
+        Self {
+            n,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Build from a function of (row, col).
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                data.push(f(i, j));
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Raw row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// `self * other`, allocating the result.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.n, other.n);
+        let n = self.n;
+        let mut out = Self::zeros(n);
+        // i-k-j loop order: unit-stride inner loop over the output row.
+        for i in 0..n {
+            for k in 0..n {
+                let a = self.data[i * n + k];
+                if a == T::zero() {
+                    continue;
+                }
+                let orow = &other.data[k * n..(k + 1) * n];
+                let crow = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    crow[j] = a.mul_add(orow[j], crow[j]);
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * v` for a length-n vector.
+    pub fn matvec(&self, v: &[T]) -> Vec<T> {
+        assert_eq!(v.len(), self.n);
+        let n = self.n;
+        let mut out = vec![T::zero(); n];
+        for i in 0..n {
+            let row = &self.data[i * n..(i + 1) * n];
+            let mut acc = T::zero();
+            for j in 0..n {
+                acc = row[j].mul_add(v[j], acc);
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Transpose, allocating the result.
+    pub fn transpose(&self) -> Self {
+        let n = self.n;
+        Self::from_fn(n, |i, j| self.data[j * n + i])
+    }
+
+    /// Maximum absolute off-diagonal element (symmetry/diagonalization gauge).
+    pub fn max_offdiag_abs(&self) -> T {
+        let n = self.n;
+        let mut m = T::zero();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    m = m.max(self.data[i * n + j].abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> T {
+        self.data
+            .iter()
+            .fold(T::zero(), |acc, &x| x.mul_add(x, acc))
+            .sqrt()
+    }
+
+    /// Symmetrize in place: `A <- (A + A^T)/2`. The LETKF background
+    /// covariance in ensemble space is symmetric by construction but
+    /// accumulates rounding asymmetry in single precision.
+    pub fn symmetrize(&mut self) {
+        let n = self.n;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = (self.data[i * n + j] + self.data[j * n + i]) * T::half();
+                self.data[i * n + j] = avg;
+                self.data[j * n + i] = avg;
+            }
+        }
+    }
+
+    /// Is this matrix symmetric to within `tol`?
+    pub fn is_symmetric(&self, tol: T) -> bool {
+        let n = self.n;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (self.data[i * n + j] - self.data[j * n + i]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Add `s * I` in place.
+    pub fn add_scaled_identity(&mut self, s: T) {
+        let n = self.n;
+        for i in 0..n {
+            self.data[i * n + i] += s;
+        }
+    }
+
+    /// Scale all entries in place.
+    pub fn scale(&mut self, s: T) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+}
+
+impl<T: Real> std::ops::Index<(usize, usize)> for MatrixS<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl<T: Real> std::ops::IndexMut<(usize, usize)> for MatrixS<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot<T: Real>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = T::zero();
+    for (&x, &y) in a.iter().zip(b) {
+        acc = x.mul_add(y, acc);
+    }
+    acc
+}
+
+/// `y += alpha * x` (axpy).
+#[inline]
+pub fn axpy<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = alpha.mul_add(xi, *yi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = MatrixS::<f64>::from_fn(4, |i, j| (i * 4 + j) as f64);
+        let i4 = MatrixS::identity(4);
+        assert_eq!(a.matmul(&i4), a);
+        assert_eq!(i4.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = MatrixS::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = MatrixS::from_rows(2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul_column() {
+        let a = MatrixS::from_rows(3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.5, 0.5, 0.5]);
+        let v = [1.0, 2.0, 3.0];
+        let got = a.matvec(&v);
+        assert_eq!(got, vec![7.0, 8.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = MatrixS::<f32>::from_fn(5, |i, j| (i as f32) - 2.0 * (j as f32));
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn symmetrize_produces_symmetric() {
+        let mut a = MatrixS::from_rows(2, &[1.0, 2.0, 4.0, 3.0]);
+        a.symmetrize();
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn frobenius_of_identity() {
+        let i = MatrixS::<f64>::identity(9);
+        assert!((i.frobenius() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_scaled_identity_hits_diagonal_only() {
+        let mut a = MatrixS::<f64>::zeros(3);
+        a.add_scaled_identity(2.5);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a[(i, j)], if i == j { 2.5 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let x = [1.0_f64, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        assert_eq!(dot(&x, &y), 10.0 + 40.0 + 90.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn max_offdiag_ignores_diagonal() {
+        let a = MatrixS::from_rows(2, &[100.0, 1.0, -3.0, 100.0]);
+        assert_eq!(a.max_offdiag_abs(), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_rows_rejects_wrong_len() {
+        let _ = MatrixS::<f64>::from_rows(3, &[1.0, 2.0]);
+    }
+}

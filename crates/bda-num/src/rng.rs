@@ -1,0 +1,204 @@
+//! Deterministic random number generation.
+//!
+//! Ensemble perturbations, radar noise, and the workflow performance model
+//! must be reproducible for tests and benchmarks, so this module provides a
+//! tiny seedable SplitMix64 generator with uniform and Gaussian (Box–Muller)
+//! sampling generic over [`Real`]. Crates that need richer distributions use
+//! `rand`; the hot model/filter paths use this to stay dependency-light.
+
+use crate::real::Real;
+
+/// SplitMix64 PRNG (Steele, Lea & Flood 2014). Passes BigCrush for this use;
+/// one `u64` of state, trivially splittable by re-seeding from output.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derive an independent stream for a sub-task (e.g. per ensemble
+    /// member), keeping the parent stream untouched.
+    pub fn split(&self, stream: u64) -> Self {
+        let mut child = Self::new(
+            self.state
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1))),
+        );
+        // Burn one output so adjacent streams decorrelate immediately.
+        child.next_u64();
+        child
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    #[inline]
+    pub fn next_uniform(&mut self) -> f64 {
+        // 53 high bits -> uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in [lo, hi).
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_uniform()
+    }
+
+    /// Uniform integer in [0, n).
+    #[inline]
+    pub fn next_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_uniform() * n as f64) as usize % n
+    }
+
+    /// Standard normal via Box–Muller (the slower but branch-free variant is
+    /// unnecessary here; perturbation generation is not a hot path).
+    pub fn next_gaussian<T: Real>(&mut self) -> T {
+        let u1 = self.next_uniform().max(1e-300);
+        let u2 = self.next_uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        T::of(r * (std::f64::consts::TAU * u2).cos())
+    }
+
+    /// Gaussian with mean and standard deviation.
+    pub fn gaussian<T: Real>(&mut self, mean: T, sd: T) -> T {
+        mean + sd * self.next_gaussian::<T>()
+    }
+
+    /// Fill a slice with zero-mean Gaussian noise of standard deviation `sd`.
+    pub fn fill_gaussian<T: Real>(&mut self, out: &mut [T], sd: T) {
+        for v in out {
+            *v = self.gaussian(T::zero(), sd);
+        }
+    }
+
+    /// Sample `k` distinct indices from `0..n` (Floyd's algorithm) — used to
+    /// pick the paper's "10 analyses randomly chosen from the 1000-member
+    /// ensemble" for the 30-minute forecast.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct from {n}");
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.next_index(j + 1);
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_parent_consumption() {
+        let parent = SplitMix64::new(7);
+        let mut c1 = parent.split(0);
+        let mut c2 = parent.split(1);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_and_roughly_uniform() {
+        let mut rng = SplitMix64::new(9);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = rng.next_uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SplitMix64::new(11);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let g: f64 = rng.next_gaussian();
+            sum += g;
+            sumsq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_respects_mean_and_sd_in_f32() {
+        let mut rng = SplitMix64::new(13);
+        let n = 30_000;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            sum += rng.gaussian(5.0f32, 2.0f32) as f64;
+        }
+        assert!((sum / n as f64 - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn next_index_in_bounds() {
+        let mut rng = SplitMix64::new(17);
+        for _ in 0..1000 {
+            assert!(rng.next_index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_yields_distinct_in_range() {
+        let mut rng = SplitMix64::new(23);
+        for _ in 0..50 {
+            let s = rng.sample_distinct(1000, 10);
+            assert_eq!(s.len(), 10);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10, "duplicates in {s:?}");
+            assert!(s.iter().all(|&i| i < 1000));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_population() {
+        let mut rng = SplitMix64::new(29);
+        let mut s = rng.sample_distinct(5, 5);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Descriptive statistics used by verification and workflow analytics
+//! (time-to-solution percentiles for Fig. 5, skill aggregation for Fig. 7,
+//! ensemble spread diagnostics).
+
+use crate::real::Real;
+
+/// Arithmetic mean; returns zero for an empty slice.
+pub fn mean<T: Real>(xs: &[T]) -> T {
+    if xs.is_empty() {
+        return T::zero();
+    }
+    let sum = xs.iter().copied().fold(T::zero(), |a, b| a + b);
+    sum / T::of_usize(xs.len())
+}
+
+/// Unbiased sample variance (n-1 denominator); zero for fewer than 2 points.
+pub fn variance<T: Real>(xs: &[T]) -> T {
+    if xs.len() < 2 {
+        return T::zero();
+    }
+    let m = mean(xs);
+    let ss = xs
+        .iter()
+        .fold(T::zero(), |acc, &x| (x - m).mul_add(x - m, acc));
+    ss / T::of_usize(xs.len() - 1)
+}
+
+/// Sample standard deviation.
+pub fn stddev<T: Real>(xs: &[T]) -> T {
+    variance(xs).sqrt()
+}
+
+/// Root-mean-square difference between two equal-length fields.
+pub fn rmse<T: Real>(a: &[T], b: &[T]) -> T {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return T::zero();
+    }
+    let ss = a
+        .iter()
+        .zip(b)
+        .fold(T::zero(), |acc, (&x, &y)| (x - y).mul_add(x - y, acc));
+    (ss / T::of_usize(a.len())).sqrt()
+}
+
+/// Pearson correlation; zero if either side is constant.
+pub fn correlation<T: Real>(a: &[T], b: &[T]) -> T {
+    assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return T::zero();
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut cov = T::zero();
+    let mut va = T::zero();
+    let mut vb = T::zero();
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov = dx.mul_add(dy, cov);
+        va = dx.mul_add(dx, va);
+        vb = dy.mul_add(dy, vb);
+    }
+    let denom = (va * vb).sqrt();
+    if denom == T::zero() {
+        T::zero()
+    } else {
+        cov / denom
+    }
+}
+
+/// Percentile with linear interpolation between order statistics;
+/// `q` in [0, 100]. Sorts a copy.
+pub fn percentile<T: Real>(xs: &[T], q: f64) -> T {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&q));
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = T::of(pos - lo as f64);
+        sorted[lo] * (T::one() - w) + sorted[hi] * w
+    }
+}
+
+/// Fraction of samples strictly below a threshold — the Fig. 5c statistic
+/// ("time-to-solution < 3 minutes for ~97% of cases").
+pub fn fraction_below<T: Real>(xs: &[T], threshold: T) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&x| x < threshold).count() as f64 / xs.len() as f64
+}
+
+/// A fixed-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin (matching how Fig. 5c presents its tail).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo);
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bin center for index `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Render a compact ASCII bar chart (for example binaries and bench
+    /// reports; the paper's Fig. 5c equivalent).
+    pub fn ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = (c as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>8.2} | {:<width$} {}\n",
+                self.center(i),
+                "#".repeat(bar),
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+/// Online mean/min/max/count accumulator for streaming workflow statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Running {
+    n: u64,
+    sum: f64,
+    sumsq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            sum: 0.0,
+            sumsq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sumsq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        ((self.sumsq - self.n as f64 * m * m) / (self.n as f64 - 1.0)).max(0.0).sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known() {
+        let xs = [2.0_f64, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_safe() {
+        let e: [f64; 0] = [];
+        assert_eq!(mean(&e), 0.0);
+        assert_eq!(variance(&e), 0.0);
+        assert_eq!(variance(&[3.0_f64]), 0.0);
+        assert_eq!(stddev(&[3.0_f64]), 0.0);
+    }
+
+    #[test]
+    fn rmse_of_identical_fields_is_zero() {
+        let a = [1.0_f32, 2.0, 3.0];
+        assert_eq!(rmse(&a, &a), 0.0);
+        let b = [2.0_f32, 3.0, 4.0];
+        assert!((rmse(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn correlation_bounds_and_signs() {
+        let a = [1.0_f64, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((correlation(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&a, &c) + 1.0).abs() < 1e-12);
+        let flat = [5.0; 4];
+        assert_eq!(correlation(&a, &flat), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0_f64, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below_matches_fig5c_semantics() {
+        let tts = [1.0_f64, 2.0, 2.5, 2.9, 3.5, 10.0];
+        assert!((fraction_below(&tts, 3.0) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.5);
+        h.add(9.5);
+        h.add(-3.0); // clamped into first bin
+        h.add(42.0); // clamped into last bin
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 2);
+        assert_eq!(h.total(), 4);
+        assert!((h.center(0) - 0.5).abs() < 1e-12);
+        assert!(h.ascii(20).lines().count() == 10);
+    }
+
+    #[test]
+    fn running_accumulator() {
+        let mut r = Running::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 4);
+        assert!((r.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(r.min(), 1.0);
+        assert_eq!(r.max(), 4.0);
+        let expected_sd = (5.0f64 / 3.0).sqrt();
+        assert!((r.stddev() - expected_sd).abs() < 1e-12);
+    }
+}

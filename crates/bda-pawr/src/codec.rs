@@ -1,0 +1,243 @@
+//! Binary volume-file codec.
+//!
+//! The real MP-PAWR writes each 30-second volume as a file on a server at
+//! Saitama University, which JIT-DT then ships to Fugaku. This codec defines
+//! the equivalent self-describing binary format: a magic/version header, the
+//! scan timestamp, fixed-width observation records, and a trailing FNV-1a
+//! checksum that the transfer layer verifies end-to-end.
+
+use crate::scan::ScanResult;
+use bda_letkf::{ObsKind, Observation};
+use bda_num::Real;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"PAWR";
+const VERSION: u16 = 1;
+/// Bytes per observation record: kind(1) + x,y,z,value,error (5 x f32).
+const RECORD_BYTES: usize = 1 + 5 * 4;
+
+/// FNV-1a over a byte slice.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Encode a scan into its on-wire volume file.
+pub fn encode_volume<T: Real>(scan: &ScanResult<T>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 2 + 8 + 8 + scan.obs.len() * RECORD_BYTES + 8);
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_f64(scan.time);
+    buf.put_u64(scan.obs.len() as u64);
+    for o in &scan.obs {
+        buf.put_u8(match o.kind {
+            ObsKind::Reflectivity => 0,
+            ObsKind::DopplerVelocity => 1,
+        });
+        buf.put_f32(o.x as f32);
+        buf.put_f32(o.y as f32);
+        buf.put_f32(o.z as f32);
+        buf.put_f32(o.value.f64() as f32);
+        buf.put_f32(o.error_sd.f64() as f32);
+    }
+    let checksum = fnv1a(&buf);
+    buf.put_u64(checksum);
+    buf.freeze()
+}
+
+/// Decoding errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    TooShort,
+    BadMagic,
+    UnsupportedVersion(u16),
+    ChecksumMismatch,
+    Truncated,
+    UnknownKind(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TooShort => write!(f, "volume file too short"),
+            DecodeError::BadMagic => write!(f, "bad magic bytes"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            DecodeError::Truncated => write!(f, "truncated record section"),
+            DecodeError::UnknownKind(k) => write!(f, "unknown observation kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decoded volume: timestamp and observations.
+#[derive(Clone, Debug)]
+pub struct DecodedVolume<T> {
+    pub time: f64,
+    pub obs: Vec<Observation<T>>,
+}
+
+/// Decode and integrity-check a volume file.
+pub fn decode_volume<T: Real>(data: &[u8]) -> Result<DecodedVolume<T>, DecodeError> {
+    if data.len() < 4 + 2 + 8 + 8 + 8 {
+        return Err(DecodeError::TooShort);
+    }
+    let (payload, tail) = data.split_at(data.len() - 8);
+    let expect = u64::from_be_bytes(tail.try_into().unwrap());
+    if fnv1a(payload) != expect {
+        return Err(DecodeError::ChecksumMismatch);
+    }
+    let mut buf = payload;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let time = buf.get_f64();
+    let n = buf.get_u64() as usize;
+    if buf.remaining() < n * RECORD_BYTES {
+        return Err(DecodeError::Truncated);
+    }
+    let mut obs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = match buf.get_u8() {
+            0 => ObsKind::Reflectivity,
+            1 => ObsKind::DopplerVelocity,
+            k => return Err(DecodeError::UnknownKind(k)),
+        };
+        let x = buf.get_f32() as f64;
+        let y = buf.get_f32() as f64;
+        let z = buf.get_f32() as f64;
+        let value = T::of(buf.get_f32() as f64);
+        let error_sd = T::of(buf.get_f32() as f64);
+        obs.push(Observation {
+            kind,
+            x,
+            y,
+            z,
+            value,
+            error_sd,
+        });
+    }
+    Ok(DecodedVolume { time, obs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_scan() -> ScanResult<f64> {
+        ScanResult {
+            time: 1234.5,
+            obs: vec![
+                Observation {
+                    kind: ObsKind::Reflectivity,
+                    x: 1000.0,
+                    y: 2000.0,
+                    z: 1500.0,
+                    value: 37.5,
+                    error_sd: 5.0,
+                },
+                Observation {
+                    kind: ObsKind::DopplerVelocity,
+                    x: 1000.0,
+                    y: 2000.0,
+                    z: 1500.0,
+                    value: -4.25,
+                    error_sd: 3.0,
+                },
+            ],
+            n_reflectivity: 1,
+            n_doppler: 1,
+            n_clear_air: 0,
+            raw_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_observations() {
+        let scan = sample_scan();
+        let bytes = encode_volume(&scan);
+        let dec: DecodedVolume<f64> = decode_volume(&bytes).unwrap();
+        assert_eq!(dec.time, 1234.5);
+        assert_eq!(dec.obs.len(), 2);
+        assert_eq!(dec.obs[0].kind, ObsKind::Reflectivity);
+        assert_eq!(dec.obs[0].value, 37.5);
+        assert_eq!(dec.obs[1].kind, ObsKind::DopplerVelocity);
+        assert_eq!(dec.obs[1].value, -4.25);
+        assert_eq!(dec.obs[1].error_sd, 3.0);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let scan = sample_scan();
+        let bytes = encode_volume(&scan);
+        let mut corrupted = bytes.to_vec();
+        let mid = corrupted.len() / 2;
+        corrupted[mid] ^= 0xFF;
+        assert_eq!(
+            decode_volume::<f64>(&corrupted).unwrap_err(),
+            DecodeError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let scan = sample_scan();
+        let bytes = encode_volume(&scan);
+        // Chop off some records but keep a (now wrong) tail.
+        let short = &bytes[..bytes.len() - 20];
+        assert!(decode_volume::<f64>(short).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let scan = sample_scan();
+        let bytes = encode_volume(&scan);
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        // Fix up the checksum so the magic check is what fires.
+        let n = bad.len();
+        let sum = fnv1a(&bad[..n - 8]);
+        bad[n - 8..].copy_from_slice(&sum.to_be_bytes());
+        assert_eq!(decode_volume::<f64>(&bad).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn empty_scan_roundtrips() {
+        let scan = ScanResult::<f64> {
+            time: 0.0,
+            obs: vec![],
+            n_reflectivity: 0,
+            n_doppler: 0,
+            n_clear_air: 0,
+            raw_bytes: 0,
+        };
+        let dec: DecodedVolume<f64> = decode_volume(&encode_volume(&scan)).unwrap();
+        assert!(dec.obs.is_empty());
+    }
+
+    #[test]
+    fn too_short_input() {
+        assert_eq!(decode_volume::<f64>(&[1, 2, 3]).unwrap_err(), DecodeError::TooShort);
+    }
+
+    #[test]
+    fn encoded_size_is_linear_in_records() {
+        let scan = sample_scan();
+        let b2 = encode_volume(&scan).len();
+        let mut bigger = sample_scan();
+        bigger.obs.extend_from_slice(&scan.obs.clone());
+        let b4 = encode_volume(&bigger).len();
+        assert_eq!(b4 - b2, 2 * RECORD_BYTES);
+    }
+}

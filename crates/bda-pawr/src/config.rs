@@ -1,0 +1,126 @@
+//! Radar configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// An azimuthal blockage sector: beams with azimuth in `[az_start, az_end)`
+/// (degrees, math convention from +x axis) are blocked below
+/// `blocked_below_elev` degrees — terrain or buildings near the radar.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BlockageSector {
+    pub az_start_deg: f64,
+    pub az_end_deg: f64,
+    pub blocked_below_elev_deg: f64,
+}
+
+/// MP-PAWR configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RadarConfig {
+    /// Radar position in domain coordinates, m.
+    pub x: f64,
+    pub y: f64,
+    /// Antenna height above the surface, m.
+    pub z: f64,
+    /// Maximum observing range, m (MP-PAWR: 60 km).
+    pub range_max: f64,
+    /// Minimum beam elevation, deg (ground clutter limit).
+    pub elev_min_deg: f64,
+    /// Maximum beam elevation, deg (the cone of silence lies above).
+    pub elev_max_deg: f64,
+    /// Scan repeat interval, s (MP-PAWR: 30 s).
+    pub scan_interval: f64,
+    /// Reflectivity noise SD, dBZ (matches the LETKF's assumed 5 dBZ).
+    pub noise_reflectivity_dbz: f64,
+    /// Doppler noise SD, m/s (matches the LETKF's assumed 3 m/s).
+    pub noise_doppler_ms: f64,
+    /// Minimum detectable / clear-air reflectivity floor, dBZ. Cells whose
+    /// true reflectivity is below this report the floor value ("no rain"
+    /// observations, which the BDA system assimilates to suppress spurious
+    /// convection).
+    pub min_detectable_dbz: f64,
+    /// Reflectivity threshold above which Doppler velocity is measurable
+    /// (needs scatterers), dBZ.
+    pub doppler_min_dbz: f64,
+    /// Blockage sectors.
+    pub blockage: Vec<BlockageSector>,
+    /// Raw (polar, pre-regridding) data volume per full scan, bytes — the
+    /// quantity JIT-DT ships (~100 MB per 30-s scan in the paper).
+    pub raw_scan_bytes: usize,
+}
+
+impl RadarConfig {
+    /// The MP-PAWR as deployed for BDA2021, placed relative to the paper's
+    /// 128 km x 128 km inner domain (Fig. 3a: the radar sits near the domain
+    /// center at Saitama University).
+    pub fn mp_pawr_bda2021() -> Self {
+        Self {
+            x: 64_000.0,
+            y: 64_000.0,
+            z: 30.0,
+            range_max: 60_000.0,
+            elev_min_deg: 0.8,
+            elev_max_deg: 60.0,
+            scan_interval: 30.0,
+            noise_reflectivity_dbz: 5.0,
+            noise_doppler_ms: 3.0,
+            min_detectable_dbz: 5.0,
+            doppler_min_dbz: 15.0,
+            blockage: vec![BlockageSector {
+                az_start_deg: 200.0,
+                az_end_deg: 215.0,
+                blocked_below_elev_deg: 2.0,
+            }],
+            raw_scan_bytes: 100 * 1024 * 1024,
+        }
+    }
+
+    /// Scaled-down radar for reduced-domain tests: same geometry rules,
+    /// centered on the given domain extent.
+    pub fn reduced(lx: f64, ly: f64) -> Self {
+        let mut c = Self::mp_pawr_bda2021();
+        c.x = lx / 2.0;
+        c.y = ly / 2.0;
+        c.range_max = (lx.max(ly)) * 0.6;
+        c.raw_scan_bytes = 2 * 1024 * 1024;
+        c
+    }
+
+    pub fn validate(&self) {
+        assert!(self.range_max > 0.0);
+        assert!(self.elev_min_deg >= 0.0 && self.elev_max_deg > self.elev_min_deg);
+        assert!(self.scan_interval > 0.0);
+        assert!(self.min_detectable_dbz <= self.doppler_min_dbz);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bda2021_matches_paper_numbers() {
+        let c = RadarConfig::mp_pawr_bda2021();
+        assert_eq!(c.range_max, 60_000.0);
+        assert_eq!(c.scan_interval, 30.0);
+        assert_eq!(c.noise_reflectivity_dbz, 5.0);
+        assert_eq!(c.noise_doppler_ms, 3.0);
+        assert_eq!(c.raw_scan_bytes, 100 * 1024 * 1024);
+        c.validate();
+    }
+
+    #[test]
+    fn reduced_is_centered() {
+        let c = RadarConfig::reduced(12_000.0, 12_000.0);
+        assert_eq!(c.x, 6000.0);
+        assert_eq!(c.y, 6000.0);
+        assert!(c.range_max >= 6000.0);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_inverted_elevations() {
+        let mut c = RadarConfig::mp_pawr_bda2021();
+        c.elev_max_deg = 0.1;
+        c.validate();
+    }
+}

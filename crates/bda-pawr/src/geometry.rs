@@ -1,0 +1,166 @@
+//! Beam geometry: range, azimuth, elevation and visibility.
+
+use crate::config::RadarConfig;
+
+/// Polar coordinates of a target relative to the radar.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BeamCoords {
+    /// Slant range, m.
+    pub range: f64,
+    /// Azimuth, degrees in [0, 360), math convention (0 = +x, 90 = +y).
+    pub azimuth_deg: f64,
+    /// Elevation angle, degrees.
+    pub elevation_deg: f64,
+    /// Unit vector from radar to target (beam direction).
+    pub dir: (f64, f64, f64),
+}
+
+/// Compute beam coordinates from the radar to a point.
+pub fn beam_to(cfg: &RadarConfig, x: f64, y: f64, z: f64) -> BeamCoords {
+    let dx = x - cfg.x;
+    let dy = y - cfg.y;
+    let dz = z - cfg.z;
+    let rh = dx.hypot(dy);
+    let range = rh.hypot(dz);
+    let azimuth_deg = dy.atan2(dx).to_degrees().rem_euclid(360.0);
+    let elevation_deg = dz.atan2(rh).to_degrees();
+    let dir = if range > 0.0 {
+        (dx / range, dy / range, dz / range)
+    } else {
+        (0.0, 0.0, 1.0)
+    };
+    BeamCoords {
+        range,
+        azimuth_deg,
+        elevation_deg,
+        dir,
+    }
+}
+
+/// Why a cell is not observed (drives the Fig. 6b hatched no-data regions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invisibility {
+    OutOfRange,
+    BelowLowestBeam,
+    ConeOfSilence,
+    Blocked,
+}
+
+/// Check visibility of a point; `Ok(coords)` if observable.
+pub fn visibility(cfg: &RadarConfig, x: f64, y: f64, z: f64) -> Result<BeamCoords, Invisibility> {
+    let b = beam_to(cfg, x, y, z);
+    if b.range > cfg.range_max {
+        return Err(Invisibility::OutOfRange);
+    }
+    if b.elevation_deg < cfg.elev_min_deg {
+        return Err(Invisibility::BelowLowestBeam);
+    }
+    if b.elevation_deg > cfg.elev_max_deg {
+        return Err(Invisibility::ConeOfSilence);
+    }
+    for s in &cfg.blockage {
+        let in_sector = if s.az_start_deg <= s.az_end_deg {
+            b.azimuth_deg >= s.az_start_deg && b.azimuth_deg < s.az_end_deg
+        } else {
+            // Sector wrapping through 0 degrees.
+            b.azimuth_deg >= s.az_start_deg || b.azimuth_deg < s.az_end_deg
+        };
+        if in_sector && b.elevation_deg < s.blocked_below_elev_deg {
+            return Err(Invisibility::Blocked);
+        }
+    }
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BlockageSector;
+
+    fn radar() -> RadarConfig {
+        RadarConfig::mp_pawr_bda2021()
+    }
+
+    #[test]
+    fn range_and_azimuth_basic() {
+        let c = radar();
+        let b = beam_to(&c, c.x + 3000.0, c.y + 4000.0, c.z);
+        assert!((b.range - 5000.0).abs() < 1e-9);
+        assert!((b.azimuth_deg - 53.130).abs() < 0.01);
+        assert!(b.elevation_deg.abs() < 1e-9);
+    }
+
+    #[test]
+    fn azimuth_wraps_into_0_360() {
+        let c = radar();
+        let b = beam_to(&c, c.x + 1000.0, c.y - 1000.0, c.z);
+        assert!((b.azimuth_deg - 315.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direction_is_unit_vector() {
+        let c = radar();
+        let b = beam_to(&c, c.x + 5000.0, c.y - 2000.0, c.z + 3000.0);
+        let norm = (b.dir.0.powi(2) + b.dir.1.powi(2) + b.dir.2.powi(2)).sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_invisible() {
+        let c = radar();
+        let r = visibility(&c, c.x + 100_000.0, c.y, 2000.0);
+        assert_eq!(r.unwrap_err(), Invisibility::OutOfRange);
+    }
+
+    #[test]
+    fn cone_of_silence_above_radar() {
+        let c = radar();
+        let r = visibility(&c, c.x + 100.0, c.y, 10_000.0);
+        assert_eq!(r.unwrap_err(), Invisibility::ConeOfSilence);
+    }
+
+    #[test]
+    fn below_lowest_beam_far_away() {
+        let c = radar();
+        // 50 km out at 100 m height: elevation ~ 0.08 deg < 0.8 deg.
+        let r = visibility(&c, c.x + 50_000.0, c.y, 100.0);
+        assert_eq!(r.unwrap_err(), Invisibility::BelowLowestBeam);
+    }
+
+    #[test]
+    fn midlevel_midrange_visible() {
+        let c = radar();
+        let r = visibility(&c, c.x + 20_000.0, c.y + 5_000.0, 3000.0);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn blockage_sector_blocks_low_beams_only() {
+        let c = radar();
+        // Sector 200-215 deg blocked below 2 deg elevation.
+        let az = 207.5_f64.to_radians();
+        let (dx, dy) = (az.cos() * 20_000.0, az.sin() * 20_000.0);
+        // Low target in the sector: blocked.
+        let low = visibility(&c, c.x + dx, c.y + dy, 400.0);
+        assert_eq!(low.unwrap_err(), Invisibility::Blocked);
+        // High target in the same sector: visible (above the obstacle).
+        let high = visibility(&c, c.x + dx, c.y + dy, 3000.0);
+        assert!(high.is_ok());
+    }
+
+    #[test]
+    fn wrapping_blockage_sector() {
+        let mut c = radar();
+        c.blockage = vec![BlockageSector {
+            az_start_deg: 350.0,
+            az_end_deg: 10.0,
+            blocked_below_elev_deg: 5.0,
+        }];
+        // Azimuth 0 (due +x), low: inside the wrapped sector.
+        let r = visibility(&c, c.x + 20_000.0, c.y, 1000.0);
+        assert_eq!(r.unwrap_err(), Invisibility::Blocked);
+        // Azimuth 90: outside.
+        let r2 = visibility(&c, c.x, c.y + 20_000.0, 1000.0);
+        assert!(r2.is_ok());
+    }
+}

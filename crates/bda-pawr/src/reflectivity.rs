@@ -1,0 +1,126 @@
+//! Radar observable physics: Z–q relations and hydrometeor fall speeds.
+//!
+//! Lin-type power laws relating hydrometeor water content to equivalent
+//! radar reflectivity factor, as used by the SCALE-LETKF radar operator
+//! (Honda et al. 2022). Water contents are in g/m^3; Z in mm^6/m^3.
+
+/// Rain: Z = 2.53e4 * (rho*qr)^1.84.
+pub fn z_rain(rho_q_gm3: f64) -> f64 {
+    if rho_q_gm3 <= 0.0 {
+        0.0
+    } else {
+        2.53e4 * rho_q_gm3.powf(1.84)
+    }
+}
+
+/// Snow (dry): Z = 3.48e3 * (rho*qs)^1.66.
+pub fn z_snow(rho_q_gm3: f64) -> f64 {
+    if rho_q_gm3 <= 0.0 {
+        0.0
+    } else {
+        3.48e3 * rho_q_gm3.powf(1.66)
+    }
+}
+
+/// Graupel (dry): Z = 8.18e3 * (rho*qg)^1.50.
+pub fn z_graupel(rho_q_gm3: f64) -> f64 {
+    if rho_q_gm3 <= 0.0 {
+        0.0
+    } else {
+        8.18e3 * rho_q_gm3.powf(1.50)
+    }
+}
+
+/// Total equivalent reflectivity (mm^6/m^3) from the three precipitating
+/// species' water contents (g/m^3).
+pub fn z_total(rain: f64, snow: f64, graupel: f64) -> f64 {
+    z_rain(rain) + z_snow(snow) + z_graupel(graupel)
+}
+
+/// Convert Z (mm^6/m^3) to dBZ with a floor.
+pub fn to_dbz(z: f64, floor_dbz: f64) -> f64 {
+    if z <= 0.0 {
+        return floor_dbz;
+    }
+    (10.0 * z.log10()).max(floor_dbz)
+}
+
+/// Reflectivity-weighted mean hydrometeor fall speed (m/s, positive
+/// downward) — what biases the Doppler velocity measurement.
+pub fn fall_speed(rain: f64, snow: f64, graupel: f64) -> f64 {
+    let zr = z_rain(rain);
+    let zs = z_snow(snow);
+    let zg = z_graupel(graupel);
+    let ztot = zr + zs + zg;
+    if ztot <= 0.0 {
+        return 0.0;
+    }
+    // Bulk terminal velocities per species (m/s), same power-law family as
+    // the microphysics (inputs here are g/m^3 = 1e-3 kg/m^3).
+    let vt = |coeff: f64, q_gm3: f64, cap: f64| -> f64 {
+        if q_gm3 <= 0.0 {
+            0.0
+        } else {
+            (coeff * (q_gm3 * 1e-3).powf(0.125)).min(cap)
+        }
+    };
+    (zr * vt(16.0, rain, 10.0) + zs * vt(4.0, snow, 2.5) + zg * vt(22.0, graupel, 12.0)) / ztot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_gram_of_rain_is_about_44_dbz() {
+        // Z = 2.53e4 -> 10 log10 = 44.0 dBZ: the textbook heavy-rain value.
+        let dbz = to_dbz(z_rain(1.0), -20.0);
+        assert!((dbz - 44.0).abs() < 0.1, "dbz = {dbz}");
+    }
+
+    #[test]
+    fn reflectivity_monotone_in_content() {
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let q = i as f64 * 0.2;
+            let z = z_total(q, q / 2.0, q / 4.0);
+            assert!(z > prev);
+            prev = z;
+        }
+    }
+
+    #[test]
+    fn snow_reflects_less_than_rain_at_same_content() {
+        assert!(z_snow(1.0) < z_rain(1.0));
+        assert!(z_graupel(1.0) < z_rain(1.0));
+    }
+
+    #[test]
+    fn dbz_floor_applies() {
+        assert_eq!(to_dbz(0.0, 5.0), 5.0);
+        assert_eq!(to_dbz(1e-12, 5.0), 5.0);
+        assert!(to_dbz(1e6, 5.0) > 5.0);
+    }
+
+    #[test]
+    fn heavy_rain_exceeds_40_dbz_threshold() {
+        // Fig. 6's orange shading is > 40 dBZ; ~0.6 g/m^3 of rain suffices.
+        let dbz = to_dbz(z_rain(0.7), 0.0);
+        assert!(dbz > 40.0, "dbz = {dbz}");
+    }
+
+    #[test]
+    fn fall_speed_weighted_toward_dominant_species() {
+        // Pure rain ~ 6-7 m/s at 0.5 g/m^3.
+        let vr = fall_speed(0.5, 0.0, 0.0);
+        assert!((4.0..10.0).contains(&vr), "vr = {vr}");
+        // Pure snow much slower.
+        let vs = fall_speed(0.0, 0.5, 0.0);
+        assert!(vs < 2.6);
+        // Mixture lies between.
+        let vm = fall_speed(0.5, 0.5, 0.0);
+        assert!(vm > vs && vm < vr);
+        // Nothing falling -> zero.
+        assert_eq!(fall_speed(0.0, 0.0, 0.0), 0.0);
+    }
+}

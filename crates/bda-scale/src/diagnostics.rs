@@ -1,0 +1,231 @@
+//! Thermodynamic column diagnostics: CAPE, CIN, precipitable water.
+//!
+//! Used to characterize the convective environment of soundings and model
+//! columns — the quantities a forecaster would read off the Weisman–Klemp
+//! style profiles the OSSE's nature run grows its storms in.
+
+use crate::base::BaseState;
+use crate::constants::*;
+use crate::state::ModelState;
+use bda_grid::VerticalCoord;
+use bda_num::Real;
+
+/// Convective indices for one column.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ConvectiveIndices {
+    /// Convective available potential energy of the surface parcel, J/kg.
+    pub cape: f64,
+    /// Convective inhibition, J/kg (non-negative).
+    pub cin: f64,
+    /// Level of free convection, m (NaN if none).
+    pub lfc: f64,
+    /// Equilibrium level, m (NaN if none).
+    pub el: f64,
+    /// Precipitable water, mm.
+    pub precipitable_water: f64,
+}
+
+/// Compute surface-parcel CAPE/CIN by pseudo-adiabatic ascent.
+///
+/// `theta`, `qv`, `p` are full profiles at cell centers (K, kg/kg, Pa).
+pub fn convective_indices(
+    theta: &[f64],
+    qv: &[f64],
+    p: &[f64],
+    rho: &[f64],
+    vc: &VerticalCoord,
+) -> ConvectiveIndices {
+    let nz = theta.len();
+    assert!(nz >= 3);
+    assert_eq!(qv.len(), nz);
+    assert_eq!(p.len(), nz);
+
+    // Surface parcel: lifted dry-adiabatically (theta, qv conserved) until
+    // saturation, then pseudo-adiabatically (saturated with latent heating).
+    let mut parcel_theta = theta[0];
+    let mut parcel_qv = qv[0];
+    let mut saturated = false;
+
+    let mut cape = 0.0;
+    let mut cin = 0.0;
+    let mut lfc = f64::NAN;
+    let mut el = f64::NAN;
+
+    for k in 1..nz {
+        let pi_k = exner(p[k]);
+        let mut t_parcel = parcel_theta * pi_k;
+        let qsat = q_sat_liquid(t_parcel, p[k]);
+        if !saturated && parcel_qv >= qsat {
+            saturated = true;
+        }
+        if saturated {
+            // One-step saturation adjustment at this level (pseudo-
+            // adiabatic: condensate falls out).
+            let qsat_here = q_sat_liquid(t_parcel, p[k]);
+            if parcel_qv > qsat_here {
+                let lheat = LV;
+                let dqs_dt = qsat_here * lheat / (RV * t_parcel * t_parcel);
+                let denom = 1.0 + lheat / CP * dqs_dt;
+                let dq = (parcel_qv - qsat_here) / denom;
+                parcel_qv -= dq;
+                t_parcel += lheat / CP * dq;
+                parcel_theta = t_parcel / pi_k;
+            }
+        }
+
+        // Buoyancy of the parcel against the environment (virtual temp).
+        let t_env = theta[k] * pi_k;
+        let tv_parcel = t_parcel * (1.0 + 0.61 * parcel_qv);
+        let tv_env = t_env * (1.0 + 0.61 * qv[k]);
+        let b = GRAV * (tv_parcel - tv_env) / tv_env;
+        let dz = vc.dz(k);
+
+        if b > 0.0 {
+            if lfc.is_nan() {
+                lfc = vc.z_center[k];
+            }
+            cape += b * dz;
+            el = vc.z_center[k];
+        } else if lfc.is_nan() {
+            // Below the LFC: negative area counts as inhibition.
+            cin += (-b) * dz;
+        }
+    }
+
+    // Precipitable water: integral of rho * qv dz (kg/m^2 == mm).
+    let pw: f64 = (0..nz).map(|k| rho[k] * qv[k] * vc.dz(k)).sum();
+
+    ConvectiveIndices {
+        cape,
+        cin,
+        lfc,
+        el,
+        precipitable_water: pw,
+    }
+}
+
+/// Indices of the base-state sounding itself.
+pub fn base_state_indices<T: Real>(base: &BaseState<T>, vc: &VerticalCoord) -> ConvectiveIndices {
+    let f = |v: &[T]| -> Vec<f64> { v.iter().map(|&x| x.f64()).collect() };
+    convective_indices(&f(&base.theta0), &f(&base.qv0), &f(&base.p0), &f(&base.rho0), vc)
+}
+
+/// Indices of one model column (base + perturbation).
+pub fn column_indices<T: Real>(
+    state: &ModelState<T>,
+    base: &BaseState<T>,
+    vc: &VerticalCoord,
+    i: usize,
+    j: usize,
+) -> ConvectiveIndices {
+    let nz = vc.nz();
+    let ii = i as isize;
+    let jj = j as isize;
+    let theta: Vec<f64> = (0..nz)
+        .map(|k| (base.theta0[k] + state.theta.at(ii, jj, k)).f64())
+        .collect();
+    let qv: Vec<f64> = (0..nz).map(|k| state.qv.at(ii, jj, k).f64().max(0.0)).collect();
+    let p: Vec<f64> = (0..nz).map(|k| state.pressure(base, ii, jj, k).f64()).collect();
+    let rho: Vec<f64> = (0..nz).map(|k| base.rho0[k].f64()).collect();
+    convective_indices(&theta, &qv, &p, &rho, &vc.clone())
+}
+
+/// Domain-maximum updraft speed, m/s — the storm-intensity diagnostic.
+pub fn max_updraft<T: Real>(state: &ModelState<T>) -> f64 {
+    let (nx, ny, nz, _) = state.w.shape();
+    let mut m = 0.0f64;
+    for i in 0..nx as isize {
+        for j in 0..ny as isize {
+            for k in 0..nz {
+                m = m.max(state.w.at(i, j, k).f64());
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::Sounding;
+
+    fn vc() -> VerticalCoord {
+        VerticalCoord::stretched(50, 16_400.0, 1.04)
+    }
+
+    #[test]
+    fn convective_sounding_has_substantial_cape() {
+        let v = vc();
+        let base = BaseState::<f64>::from_sounding(&Sounding::convective(), &v, 340.0);
+        let idx = base_state_indices(&base, &v);
+        assert!(
+            idx.cape > 300.0,
+            "convective sounding CAPE only {:.0} J/kg",
+            idx.cape
+        );
+        assert!(idx.lfc.is_finite(), "no level of free convection");
+        assert!(idx.el > idx.lfc, "EL below LFC");
+        assert!(
+            idx.precipitable_water > 20.0,
+            "PW = {:.1} mm too dry for heavy rain",
+            idx.precipitable_water
+        );
+    }
+
+    #[test]
+    fn dry_stable_sounding_has_no_cape() {
+        let v = vc();
+        let base = BaseState::<f64>::from_sounding(&Sounding::dry_stable(), &v, 340.0);
+        let idx = base_state_indices(&base, &v);
+        assert!(idx.cape < 10.0, "dry stable CAPE = {:.0}", idx.cape);
+        assert!(idx.precipitable_water < 5.0);
+    }
+
+    #[test]
+    fn warming_the_boundary_layer_increases_cape() {
+        let v = vc();
+        let grid = bda_grid::GridSpec::new(4, 4, 500.0, v.clone());
+        let base = BaseState::<f64>::from_sounding(&Sounding::convective(), &v, 340.0);
+        let mut state = ModelState::init_from_base(&grid, &base);
+        let before = column_indices(&state, &base, &v, 1, 1);
+        // +2 K and +2 g/kg in the lowest ~1 km.
+        for k in 0..v.nz() {
+            if v.z_center[k] < 1000.0 {
+                state.theta.add_at(1, 1, k, 2.0);
+                state.qv.add_at(1, 1, k, 2e-3);
+            }
+        }
+        let after = column_indices(&state, &base, &v, 1, 1);
+        assert!(
+            after.cape > before.cape + 100.0,
+            "CAPE {:.0} -> {:.0}",
+            before.cape,
+            after.cape
+        );
+        // Other columns unaffected.
+        let other = column_indices(&state, &base, &v, 2, 2);
+        assert!((other.cape - before.cape).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_updraft_tracks_w() {
+        let grid = bda_grid::GridSpec::reduced(4, 4, 6);
+        let mut state = ModelState::<f32>::zeros(&grid);
+        assert_eq!(max_updraft(&state), 0.0);
+        state.w.set(2, 2, 3, 12.5);
+        state.w.set(1, 1, 2, -20.0); // downdrafts don't count
+        assert!((max_updraft(&state) - 12.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cin_positive_when_surface_layer_is_capped() {
+        // A strongly stable layer above a moist surface: inhibition.
+        let v = VerticalCoord::uniform(30, 12_000.0);
+        let mut snd = Sounding::convective();
+        snd.dtheta_dz_tropo = 6.0e-3; // strong cap
+        snd.rh_surface = 0.75;
+        let base = BaseState::<f64>::from_sounding(&snd, &v, 340.0);
+        let idx = base_state_indices(&base, &v);
+        assert!(idx.cin > 0.0, "no inhibition under a cap");
+    }
+}

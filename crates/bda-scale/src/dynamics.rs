@@ -1,0 +1,473 @@
+//! HEVI quasi-compressible dynamical core.
+//!
+//! Table 3 of the paper specifies the integration type: *"Hybrid (explicit in
+//! the horizontal, implicit in the vertical)"*. This module implements that
+//! structure for the quasi-compressible equations linearized about the
+//! balanced base state:
+//!
+//! * horizontal momentum and the horizontal part of the pressure (Exner)
+//!   equation are integrated forward-backward explicitly;
+//! * the vertically propagating acoustic coupling between `w` and `pi'` is
+//!   integrated fully implicitly, reducing to one tridiagonal solve per
+//!   column ([`bda_num::tridiag`]), exactly the solver structure SCALE uses.
+//!
+//! The prognostic pressure variable is the Exner perturbation `pi'` with
+//! `d pi'/dt = -cs^2/(cp rho0 theta0^2) div(rho0 theta0 u)`, the standard
+//! Klemp–Wilhelmson quasi-compressible closure.
+
+use crate::advect::{momentum_advection, w_at_center, Metrics};
+use crate::base::BaseState;
+use crate::config::ModelConfig;
+use crate::constants::{CP, GRAV};
+use crate::state::ModelState;
+use bda_grid::Field3;
+use bda_num::tridiag::TridiagWorkspace;
+use bda_num::Real;
+
+/// Fraction of the column depth occupied by the top sponge layer.
+const SPONGE_FRAC: f64 = 0.15;
+/// Sponge e-folding time at the model top, s.
+const SPONGE_TAU: f64 = 100.0;
+
+/// Reusable buffers for one dynamics step.
+pub struct DynWorkspace<T> {
+    tu: Field3<T>,
+    tv: Field3<T>,
+    tw: Field3<T>,
+    /// Horizontal divergence of (rho0 theta0 u, rho0 theta0 v) at centers.
+    div_h: Field3<T>,
+    /// Horizontal Laplacian scratch for the hyperdiffusion.
+    lap: Field3<T>,
+    tri: TridiagWorkspace<T>,
+    sub: Vec<T>,
+    diag: Vec<T>,
+    sup: Vec<T>,
+    rhs: Vec<T>,
+    /// Sponge damping coefficient per level (1/s).
+    sponge: Vec<T>,
+}
+
+impl<T: Real> DynWorkspace<T> {
+    pub fn new(cfg: &ModelConfig) -> Self {
+        let g = &cfg.grid;
+        let nz = g.nz();
+        let f = || Field3::zeros(g.nx, g.ny, nz, crate::state::HALO);
+        let z_top = g.vertical.z_top();
+        let z_sponge = z_top * (1.0 - SPONGE_FRAC);
+        let sponge = (0..nz)
+            .map(|k| {
+                let z = g.vertical.z_center[k];
+                if z <= z_sponge {
+                    T::zero()
+                } else {
+                    let s = (z - z_sponge) / (z_top - z_sponge);
+                    T::of(s * s / SPONGE_TAU)
+                }
+            })
+            .collect();
+        Self {
+            tu: f(),
+            tv: f(),
+            tw: f(),
+            div_h: f(),
+            lap: f(),
+            tri: TridiagWorkspace::new(nz),
+            sub: vec![T::zero(); nz],
+            diag: vec![T::zero(); nz],
+            sup: vec![T::zero(); nz],
+            rhs: vec![T::zero(); nz],
+            sponge,
+        }
+    }
+}
+
+/// One HEVI dynamics step: updates `u`, `v`, `w`, `pi` (and the theta
+/// base-state vertical advection term). Halos must be filled on entry.
+pub fn step_dynamics<T: Real>(
+    state: &mut ModelState<T>,
+    base: &BaseState<T>,
+    cfg: &ModelConfig,
+    m: &Metrics<T>,
+    ws: &mut DynWorkspace<T>,
+) {
+    let g = &cfg.grid;
+    let (nx, ny, nz) = (g.nx as isize, g.ny as isize, g.nz());
+    let dt = T::of(cfg.dt);
+    let cp = T::of(CP);
+    let grav = T::of(GRAV);
+    let f_cor = T::of(cfg.coriolis_f);
+
+    // --- explicit tendencies: advection ---
+    momentum_advection(&state.u, &state.v, &state.w, m, &mut ws.tu, &mut ws.tv, &mut ws.tw);
+
+    // --- horizontal pressure gradient, Coriolis, buoyancy ---
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                // u face (i, j): PGF = -cp theta0 d(pi')/dx.
+                let pgf_u = -cp * base.theta0[k] * (state.pi.at(i, j, k) - state.pi.at(i - 1, j, k))
+                    * m.inv_dx;
+                let v_at_u = (state.v.at(i - 1, j, k)
+                    + state.v.at(i - 1, j + 1, k)
+                    + state.v.at(i, j, k)
+                    + state.v.at(i, j + 1, k))
+                    * T::of(0.25);
+                ws.tu.add_at(i, j, k, pgf_u + f_cor * (v_at_u - base.v0[k]));
+
+                let pgf_v = -cp * base.theta0[k] * (state.pi.at(i, j, k) - state.pi.at(i, j - 1, k))
+                    * m.inv_dx;
+                let u_at_v = (state.u.at(i, j - 1, k)
+                    + state.u.at(i + 1, j - 1, k)
+                    + state.u.at(i, j, k)
+                    + state.u.at(i + 1, j, k))
+                    * T::of(0.25);
+                ws.tv.add_at(i, j, k, pgf_v - f_cor * (u_at_v - base.u0[k]));
+
+                // w face k (skip the rigid surface face k = 0): buoyancy.
+                if k > 0 {
+                    let th_f = (state.theta.at(i, j, k - 1) + state.theta.at(i, j, k)) * T::half();
+                    let qv_f = (state.qv.at(i, j, k - 1) + state.qv.at(i, j, k)) * T::half();
+                    let qv0_f = (base.qv0[k - 1] + base.qv0[k]) * T::half();
+                    let qc_f =
+                        (state.q_condensate(i, j, k - 1) + state.q_condensate(i, j, k)) * T::half();
+                    let buoy = grav
+                        * (th_f / base.theta0_face[k] + T::of(0.61) * (qv_f - qv0_f) - qc_f);
+                    ws.tw.add_at(i, j, k, buoy);
+                }
+            }
+        }
+    }
+
+    // --- 4th-order horizontal hyperdiffusion on momentum and theta ---
+    if cfg.hyperdiffusion > 0.0 {
+        let k4 = T::of(cfg.hyperdiffusion * g.dx.powi(4) / cfg.dt);
+        apply_hyperdiffusion(&state.u, k4, m, &mut ws.lap, &mut ws.tu);
+        apply_hyperdiffusion(&state.v, k4, m, &mut ws.lap, &mut ws.tv);
+        apply_hyperdiffusion(&state.w, k4, m, &mut ws.lap, &mut ws.tw);
+    }
+
+    // --- divergence damping on the horizontal velocity (acoustic filter) ---
+    if cfg.divergence_damping > 0.0 {
+        let alpha = T::of(cfg.divergence_damping * cfg.sound_speed * cfg.sound_speed * cfg.dt);
+        // ws.div_h temporarily holds plain velocity divergence.
+        for i in 0..nx {
+            for j in 0..ny {
+                for k in 0..nz {
+                    let d = (state.u.at(i + 1, j, k) - state.u.at(i, j, k)
+                        + state.v.at(i, j + 1, k)
+                        - state.v.at(i, j, k))
+                        * m.inv_dx;
+                    ws.div_h.set(i, j, k, d);
+                }
+            }
+        }
+        cfg.halo.fill(&mut ws.div_h);
+        for i in 0..nx {
+            for j in 0..ny {
+                for k in 0..nz {
+                    ws.tu.add_at(
+                        i,
+                        j,
+                        k,
+                        alpha * (ws.div_h.at(i, j, k) - ws.div_h.at(i - 1, j, k)) * m.inv_dx,
+                    );
+                    ws.tv.add_at(
+                        i,
+                        j,
+                        k,
+                        alpha * (ws.div_h.at(i, j, k) - ws.div_h.at(i, j - 1, k)) * m.inv_dx,
+                    );
+                }
+            }
+        }
+    }
+
+    // --- forward step for u, v (the "forward" half of forward-backward) ---
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let nu = state.u.at(i, j, k) + dt * ws.tu.at(i, j, k);
+                state.u.set(i, j, k, nu);
+                let nv = state.v.at(i, j, k) + dt * ws.tv.at(i, j, k);
+                state.v.set(i, j, k, nv);
+            }
+        }
+    }
+    cfg.halo.fill(&mut state.u);
+    cfg.halo.fill(&mut state.v);
+
+    // --- horizontal mass-flux divergence with the *updated* winds (the
+    //     "backward" half), rho0 theta0 constant along levels ---
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let a_c = base.rho0[k] * base.theta0[k];
+                let d = a_c
+                    * (state.u.at(i + 1, j, k) - state.u.at(i, j, k) + state.v.at(i, j + 1, k)
+                        - state.v.at(i, j, k))
+                    * m.inv_dx;
+                ws.div_h.set(i, j, k, d);
+            }
+        }
+    }
+
+    // --- implicit vertical solve for w and pi', column by column ---
+    let n_solve = nz - 1; // unknowns w[1..nz-1]
+    for i in 0..nx {
+        for j in 0..ny {
+            if n_solve > 0 {
+                for k in 1..nz {
+                    let c = dt * cp * base.theta0_face[k] / m.dzc[k];
+                    let idx = k - 1;
+                    let b_up = base.b_center[k]; // B at cell above face k
+                    let b_dn = base.b_center[k - 1]; // B at cell below
+                    ws.diag[idx] = T::one()
+                        + c * dt
+                            * (b_up * base.a_face[k] * m.inv_dz[k]
+                                + b_dn * base.a_face[k] * m.inv_dz[k - 1]);
+                    ws.sup[idx] = -c * dt * b_up * base.a_face[k + 1] * m.inv_dz[k];
+                    ws.sub[idx] = -c * dt * b_dn * base.a_face[k - 1] * m.inv_dz[k - 1];
+                    let w_star = state.w.at(i, j, k) + dt * ws.tw.at(i, j, k);
+                    let dpi = state.pi.at(i, j, k) - state.pi.at(i, j, k - 1);
+                    let ddiv = b_up * ws.div_h.at(i, j, k) - b_dn * ws.div_h.at(i, j, k - 1);
+                    ws.rhs[idx] = w_star - c * dpi + c * dt * ddiv;
+                }
+                ws.tri.solve(
+                    &ws.sub[..n_solve],
+                    &ws.diag[..n_solve],
+                    &ws.sup[..n_solve],
+                    &mut ws.rhs[..n_solve],
+                );
+                for k in 1..nz {
+                    state.w.set(i, j, k, ws.rhs[k - 1]);
+                }
+            }
+            // pi' update with the implicit w.
+            for k in 0..nz {
+                let w_top = if k + 1 < nz { state.w.at(i, j, k + 1) } else { T::zero() };
+                let w_bot = state.w.at(i, j, k);
+                let vert =
+                    (base.a_face[k + 1] * w_top - base.a_face[k] * w_bot) * m.inv_dz[k];
+                let dpi = -dt * base.b_center[k] * (ws.div_h.at(i, j, k) + vert);
+                state.pi.add_at(i, j, k, dpi);
+            }
+            // theta': vertical advection of the base-state profile and the
+            // top sponge on w.
+            for k in 0..nz {
+                let wc = w_at_center(&state.w, i, j, k, nz);
+                let dth0_dz = if k == 0 {
+                    (base.theta0[1] - base.theta0[0]) / m.dzc[1]
+                } else if k + 1 >= nz {
+                    (base.theta0[k] - base.theta0[k - 1]) / m.dzc[k]
+                } else {
+                    (base.theta0[k + 1] - base.theta0[k - 1]) / (m.dzc[k] + m.dzc[k + 1])
+                };
+                state.theta.add_at(i, j, k, -dt * wc * dth0_dz);
+                if ws.sponge[k] > T::zero() {
+                    let damp = T::one() / (T::one() + dt * ws.sponge[k]);
+                    let wv = state.w.at(i, j, k) * damp;
+                    state.w.set(i, j, k, wv);
+                    let th = state.theta.at(i, j, k) * damp;
+                    state.theta.set(i, j, k, th);
+                }
+            }
+        }
+    }
+}
+
+/// Add `-k4 * laplacian(laplacian(f))` (horizontal only) to `tend`.
+fn apply_hyperdiffusion<T: Real>(
+    f: &Field3<T>,
+    k4: T,
+    m: &Metrics<T>,
+    lap: &mut Field3<T>,
+    tend: &mut Field3<T>,
+) {
+    let (nx, ny, nz, _) = f.shape();
+    let inv_dx2 = m.inv_dx * m.inv_dx;
+    let four = T::of(4.0);
+    // Laplacian on the interior extended by one cell (uses halo width 2).
+    for i in -1..=(nx as isize) {
+        for j in -1..=(ny as isize) {
+            for k in 0..nz {
+                let l = (f.at(i + 1, j, k) + f.at(i - 1, j, k) + f.at(i, j + 1, k)
+                    + f.at(i, j - 1, k)
+                    - four * f.at(i, j, k))
+                    * inv_dx2;
+                lap.set(i, j, k, l);
+            }
+        }
+    }
+    for i in 0..nx as isize {
+        for j in 0..ny as isize {
+            for k in 0..nz {
+                let l2 = (lap.at(i + 1, j, k) + lap.at(i - 1, j, k) + lap.at(i, j + 1, k)
+                    + lap.at(i, j - 1, k)
+                    - four * lap.at(i, j, k))
+                    * inv_dx2;
+                tend.add_at(i, j, k, -k4 * l2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::Sounding;
+
+    fn setup(nx: usize, nz: usize) -> (ModelConfig, BaseState<f64>, ModelState<f64>, Metrics<f64>) {
+        let mut cfg = ModelConfig::reduced(nx, nx, nz);
+        cfg.halo = bda_grid::halo::HaloPolicy::Periodic;
+        cfg.davies_width = 0;
+        cfg.physics = crate::config::PhysicsSwitches::dry();
+        let base = BaseState::from_sounding(&Sounding::dry_stable(), &cfg.grid.vertical, cfg.sound_speed);
+        let state = ModelState::init_from_base(&cfg.grid, &base);
+        let m = Metrics::new(&cfg.grid);
+        (cfg, base, state, m)
+    }
+
+    fn step(
+        cfg: &ModelConfig,
+        base: &BaseState<f64>,
+        state: &mut ModelState<f64>,
+        m: &Metrics<f64>,
+        ws: &mut DynWorkspace<f64>,
+    ) {
+        state.fill_halos(cfg.halo);
+        step_dynamics(state, base, cfg, m, ws);
+    }
+
+    #[test]
+    fn balanced_state_stays_balanced() {
+        // A resting base state with no perturbation must stay at rest.
+        let (mut cfg, base, mut state, m) = setup(8, 12);
+        cfg.coriolis_f = 0.0;
+        // Remove the background wind so "at rest" is exact.
+        state.u.fill(0.0);
+        state.v.fill(0.0);
+        let mut ws = DynWorkspace::new(&cfg);
+        for _ in 0..20 {
+            step(&cfg, &base, &mut state, &m, &mut ws);
+        }
+        assert!(state.w.interior_max_abs() < 1e-10, "w = {}", state.w.interior_max_abs());
+        assert!(state.pi.interior_max_abs() < 1e-10);
+        assert!(state.theta.interior_max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn warm_bubble_rises() {
+        let (mut cfg, base, mut state, m) = setup(12, 16);
+        cfg.coriolis_f = 0.0;
+        state.u.fill(0.0);
+        state.v.fill(0.0);
+        let g = cfg.grid.clone();
+        state.add_warm_bubble(&g, g.lx() / 2.0, g.ly() / 2.0, 2000.0, 2000.0, 1500.0, 2.0);
+        let mut ws = DynWorkspace::new(&cfg);
+        for _ in 0..60 {
+            step(&cfg, &base, &mut state, &m, &mut ws);
+        }
+        // Updraft must develop above the bubble.
+        let mut wmax = 0.0_f64;
+        for i in 0..g.nx as isize {
+            for j in 0..g.ny as isize {
+                for k in 0..g.nz() {
+                    wmax = wmax.max(state.w.at(i, j, k));
+                }
+            }
+        }
+        assert!(wmax > 0.1, "no updraft developed: wmax = {wmax}");
+        assert!(state.all_finite());
+    }
+
+    #[test]
+    fn cold_bubble_sinks() {
+        let (mut cfg, base, mut state, m) = setup(12, 16);
+        cfg.coriolis_f = 0.0;
+        state.u.fill(0.0);
+        state.v.fill(0.0);
+        let g = cfg.grid.clone();
+        state.add_warm_bubble(&g, g.lx() / 2.0, g.ly() / 2.0, 3000.0, 2000.0, 1500.0, -3.0);
+        let mut ws = DynWorkspace::new(&cfg);
+        for _ in 0..60 {
+            step(&cfg, &base, &mut state, &m, &mut ws);
+        }
+        let mut wmin = 0.0_f64;
+        for i in 0..g.nx as isize {
+            for j in 0..g.ny as isize {
+                for k in 0..g.nz() {
+                    wmin = wmin.min(state.w.at(i, j, k));
+                }
+            }
+        }
+        assert!(wmin < -0.1, "no downdraft developed: wmin = {wmin}");
+    }
+
+    #[test]
+    fn integration_is_acoustically_stable_over_many_steps() {
+        let (mut cfg, base, mut state, m) = setup(10, 14);
+        cfg.coriolis_f = 0.0;
+        let g = cfg.grid.clone();
+        state.add_warm_bubble(&g, g.lx() / 2.0, g.ly() / 2.0, 1500.0, 1500.0, 1000.0, 1.0);
+        let mut ws = DynWorkspace::new(&cfg);
+        for n in 0..300 {
+            step(&cfg, &base, &mut state, &m, &mut ws);
+            assert!(state.all_finite(), "blow-up at step {n}");
+        }
+        // Perturbation energy stays bounded.
+        assert!(state.w.interior_max_abs() < 30.0);
+        assert!(state.pi.interior_max_abs() < 0.1);
+    }
+
+    #[test]
+    fn surface_w_remains_zero() {
+        let (cfg, base, mut state, m) = setup(8, 10);
+        let g = cfg.grid.clone();
+        state.add_warm_bubble(&g, g.lx() / 2.0, g.ly() / 2.0, 1500.0, 1500.0, 800.0, 2.0);
+        let mut ws = DynWorkspace::new(&cfg);
+        for _ in 0..30 {
+            step(&cfg, &base, &mut state, &m, &mut ws);
+        }
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(state.w.at(i, j, 0), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_precision_integration_stays_finite() {
+        let mut cfg = ModelConfig::reduced(10, 10, 12);
+        cfg.halo = bda_grid::halo::HaloPolicy::Periodic;
+        cfg.physics = crate::config::PhysicsSwitches::dry();
+        let base =
+            BaseState::<f32>::from_sounding(&Sounding::dry_stable(), &cfg.grid.vertical, cfg.sound_speed);
+        let mut state = ModelState::<f32>::init_from_base(&cfg.grid, &base);
+        let g = cfg.grid.clone();
+        state.add_warm_bubble(&g, g.lx() / 2.0, g.ly() / 2.0, 2000.0, 1500.0, 1200.0, 2.0);
+        let m = Metrics::new(&cfg.grid);
+        let mut ws = DynWorkspace::new(&cfg);
+        for _ in 0..100 {
+            state.fill_halos(cfg.halo);
+            step_dynamics(&mut state, &base, &cfg, &m, &mut ws);
+        }
+        assert!(state.all_finite());
+        assert!(state.w.interior_max_abs() < 30.0);
+    }
+
+    #[test]
+    fn buoyancy_generates_pressure_response() {
+        // A rising bubble must generate a pi' field (mass continuity).
+        let (mut cfg, base, mut state, m) = setup(10, 12);
+        cfg.coriolis_f = 0.0;
+        state.u.fill(0.0);
+        state.v.fill(0.0);
+        let g = cfg.grid.clone();
+        state.add_warm_bubble(&g, g.lx() / 2.0, g.ly() / 2.0, 2000.0, 1500.0, 1200.0, 2.0);
+        let mut ws = DynWorkspace::new(&cfg);
+        for _ in 0..10 {
+            step(&cfg, &base, &mut state, &m, &mut ws);
+        }
+        assert!(state.pi.interior_max_abs() > 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Two-band radiation stand-in for MSTRN-X (Sekiguchi & Nakajima 2008).
+//!
+//! The full k-distribution transfer code is far beyond what the 30-minute
+//! convective forecasts of the paper are sensitive to; what matters for the
+//! reproduced experiments is (a) a realistic clear-sky tropospheric cooling
+//! that destabilizes the column on multi-hour timescales and (b) cloud-top
+//! longwave cooling / in-cloud shortwave warming that modulates convection.
+//! This module provides exactly those two bands. The substitution is recorded
+//! in DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+
+/// Radiation parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RadiationParams {
+    /// Clear-sky longwave cooling at the surface, K/day (negative = cooling).
+    pub clear_sky_cooling: f64,
+    /// Height where clear-sky cooling fades out, m.
+    pub cooling_top: f64,
+    /// Cloud-top additional longwave cooling, K/day.
+    pub cloud_top_cooling: f64,
+    /// In-cloud shortwave heating, K/day (daytime average).
+    pub cloud_sw_heating: f64,
+    /// Condensate threshold defining "cloudy", kg/kg.
+    pub cloud_threshold: f64,
+}
+
+impl Default for RadiationParams {
+    fn default() -> Self {
+        Self {
+            clear_sky_cooling: -1.5,
+            cooling_top: 12_000.0,
+            cloud_top_cooling: -3.0,
+            cloud_sw_heating: 0.8,
+            cloud_threshold: 1e-5,
+        }
+    }
+}
+
+const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// Compute the radiative theta tendency (K/s) for one column given the total
+/// cloud condensate profile (qc + qi, kg/kg) and cell-center heights.
+pub fn column_heating(params: &RadiationParams, cloud: &[f64], z_center: &[f64], out: &mut [f64]) {
+    let nz = cloud.len();
+    debug_assert_eq!(z_center.len(), nz);
+    debug_assert_eq!(out.len(), nz);
+
+    // Find the cloud top (highest cloudy level), if any.
+    let cloud_top = (0..nz).rev().find(|&k| cloud[k] > params.cloud_threshold);
+
+    for k in 0..nz {
+        // Band 1: clear-sky longwave cooling, fading with height.
+        let fade = (1.0 - z_center[k] / params.cooling_top).max(0.0);
+        let mut rate = params.clear_sky_cooling * fade;
+
+        if cloud[k] > params.cloud_threshold {
+            // Band 2: in-cloud shortwave warming...
+            rate += params.cloud_sw_heating;
+            // ...plus concentrated longwave cooling at the cloud top layer.
+            if Some(k) == cloud_top {
+                rate += params.cloud_top_cooling;
+            }
+        }
+        out[k] = rate / SECONDS_PER_DAY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z_levels(nz: usize, top: f64) -> Vec<f64> {
+        (0..nz).map(|k| (k as f64 + 0.5) * top / nz as f64).collect()
+    }
+
+    #[test]
+    fn clear_sky_cools_troposphere_not_above() {
+        let p = RadiationParams::default();
+        let z = z_levels(20, 16_000.0);
+        let cloud = vec![0.0; 20];
+        let mut out = vec![0.0; 20];
+        column_heating(&p, &cloud, &z, &mut out);
+        assert!(out[0] < 0.0);
+        // Cooling magnitude is ~1.5 K/day at the surface.
+        assert!((out[0] * SECONDS_PER_DAY + 1.5).abs() < 0.2);
+        // Above cooling_top (12 km): zero.
+        let high = z.iter().position(|&zz| zz > 12_000.0).unwrap();
+        assert_eq!(out[high], 0.0);
+    }
+
+    #[test]
+    fn cloud_top_gets_extra_cooling() {
+        let p = RadiationParams::default();
+        let z = z_levels(20, 16_000.0);
+        let mut cloud = vec![0.0; 20];
+        for item in cloud.iter_mut().take(9).skip(5) {
+            *item = 1e-3;
+        }
+        let mut out = vec![0.0; 20];
+        column_heating(&p, &cloud, &z, &mut out);
+        // Cloud top = level 8: more cooling than in-cloud levels below.
+        assert!(out[8] < out[6], "cloud top {} vs in-cloud {}", out[8], out[6]);
+    }
+
+    #[test]
+    fn in_cloud_levels_are_warmed_relative_to_clear() {
+        let p = RadiationParams::default();
+        let z = z_levels(20, 16_000.0);
+        let clear = vec![0.0; 20];
+        let mut cloudy = vec![0.0; 20];
+        cloudy[5] = 1e-3;
+        cloudy[6] = 1e-3;
+        let mut out_clear = vec![0.0; 20];
+        let mut out_cloudy = vec![0.0; 20];
+        column_heating(&p, &clear, &z, &mut out_clear);
+        column_heating(&p, &cloudy, &z, &mut out_cloudy);
+        // Level 5 is in-cloud but below cloud top: SW warming applies.
+        assert!(out_cloudy[5] > out_clear[5]);
+    }
+
+    #[test]
+    fn rates_are_order_kelvin_per_day() {
+        let p = RadiationParams::default();
+        let z = z_levels(30, 16_000.0);
+        let mut cloud = vec![0.0; 30];
+        cloud[10] = 5e-3;
+        let mut out = vec![0.0; 30];
+        column_heating(&p, &cloud, &z, &mut out);
+        for &r in &out {
+            assert!(r.abs() < 10.0 / SECONDS_PER_DAY, "rate {r} K/s too large");
+        }
+    }
+}

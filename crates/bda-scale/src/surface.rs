@@ -1,0 +1,186 @@
+//! Beljaars-type bulk surface fluxes.
+//!
+//! Bulk aerodynamic formulae with a Louis/Beljaars-style stability
+//! correction: exchange coefficients are enhanced in unstable (convective)
+//! conditions and suppressed in stable stratification. The gustiness term
+//! keeps fluxes alive in the free-convection limit — Beljaars' (1991)
+//! signature fix.
+
+use crate::constants::*;
+use serde::{Deserialize, Serialize};
+
+/// Surface-layer parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SurfaceParams {
+    /// Roughness length, m.
+    pub z0: f64,
+    /// Beljaars free-convection gustiness, m/s.
+    pub gustiness: f64,
+    /// Moisture availability (1 = ocean, < 1 over land).
+    pub moisture_availability: f64,
+}
+
+impl Default for SurfaceParams {
+    fn default() -> Self {
+        Self {
+            z0: 0.1,
+            gustiness: 0.5,
+            moisture_availability: 0.8,
+        }
+    }
+}
+
+/// Kinematic surface fluxes for one column.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SurfaceFluxes {
+    /// Kinematic heat flux, K m/s (positive upward = heating the air).
+    pub theta_flux: f64,
+    /// Kinematic moisture flux, kg/kg m/s.
+    pub qv_flux: f64,
+    /// Drag velocity `C_d |U|`, m/s (multiplies the lowest-level wind for
+    /// the momentum sink).
+    pub drag: f64,
+}
+
+/// Louis (1979)-style stability function applied to the neutral exchange
+/// coefficient, given a bulk Richardson number.
+fn stability_factor(rib: f64) -> f64 {
+    if rib < 0.0 {
+        // Unstable: enhancement, saturating to avoid runaway at free
+        // convection (the gustiness handles that limit).
+        1.0 + 7.0 * (-rib) / (1.0 + 5.0 * (-rib).sqrt())
+    } else {
+        // Stable: suppression.
+        let f = 1.0 / (1.0 + 5.0 * rib);
+        f * f
+    }
+}
+
+/// Compute bulk fluxes from the lowest-model-level state.
+///
+/// * `u1`, `v1` — lowest-level wind (m/s)
+/// * `theta1` — lowest-level potential temperature (K, full value)
+/// * `qv1` — lowest-level vapor mixing ratio (kg/kg)
+/// * `z1` — height of the lowest level (m)
+/// * `t_sfc` — surface (skin) temperature (K)
+/// * `p_sfc` — surface pressure (Pa)
+#[allow(clippy::too_many_arguments)]
+pub fn bulk_fluxes(
+    params: &SurfaceParams,
+    u1: f64,
+    v1: f64,
+    theta1: f64,
+    qv1: f64,
+    z1: f64,
+    t_sfc: f64,
+    p_sfc: f64,
+) -> SurfaceFluxes {
+    let wind = (u1 * u1 + v1 * v1).sqrt().hypot(params.gustiness);
+
+    // Surface potential temperature (Exner at the surface ~ surface p).
+    let theta_sfc = t_sfc / exner(p_sfc);
+    let qsat_sfc = q_sat_liquid(t_sfc, p_sfc);
+
+    // Bulk Richardson number over the lowest layer.
+    let thv1 = theta1 * (1.0 + 0.61 * qv1);
+    let thv_sfc = theta_sfc * (1.0 + 0.61 * qsat_sfc * params.moisture_availability);
+    let rib = GRAV * z1 * (thv1 - thv_sfc) / (thv1 * wind * wind).max(1e-6);
+
+    // Neutral coefficient from the log law.
+    let cn = (KARMAN / (z1 / params.z0).ln()).powi(2);
+    let c = cn * stability_factor(rib);
+
+    SurfaceFluxes {
+        theta_flux: c * wind * (theta_sfc - theta1),
+        qv_flux: c * wind * params.moisture_availability * (qsat_sfc - qv1),
+        drag: c * wind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Z1: f64 = 50.0;
+    const PSFC: f64 = 101_325.0;
+
+    #[test]
+    fn warm_surface_gives_upward_heat_flux() {
+        let f = bulk_fluxes(&SurfaceParams::default(), 5.0, 0.0, 300.0, 0.010, Z1, 303.0, PSFC);
+        assert!(f.theta_flux > 0.0, "theta_flux = {}", f.theta_flux);
+        assert!(f.drag > 0.0);
+    }
+
+    #[test]
+    fn cold_surface_gives_downward_heat_flux() {
+        let f = bulk_fluxes(&SurfaceParams::default(), 5.0, 0.0, 305.0, 0.010, Z1, 295.0, PSFC);
+        assert!(f.theta_flux < 0.0);
+    }
+
+    #[test]
+    fn dry_air_over_ocean_gets_moisture() {
+        let f = bulk_fluxes(&SurfaceParams::default(), 5.0, 0.0, 300.0, 0.002, Z1, 300.0, PSFC);
+        assert!(f.qv_flux > 0.0);
+    }
+
+    #[test]
+    fn unstable_fluxes_exceed_stable_at_same_gradient() {
+        // Same |delta theta| but opposite sign: unstable must transfer more.
+        let unstable =
+            bulk_fluxes(&SurfaceParams::default(), 3.0, 0.0, 298.0, 0.008, Z1, 302.0, PSFC);
+        let stable =
+            bulk_fluxes(&SurfaceParams::default(), 3.0, 0.0, 306.0, 0.008, Z1, 302.0, PSFC);
+        assert!(unstable.theta_flux.abs() > stable.theta_flux.abs());
+    }
+
+    #[test]
+    fn gustiness_sustains_fluxes_at_calm() {
+        let f = bulk_fluxes(&SurfaceParams::default(), 0.0, 0.0, 298.0, 0.008, Z1, 303.0, PSFC);
+        assert!(f.theta_flux > 0.0, "free-convection limit dead: {f:?}");
+    }
+
+    #[test]
+    fn drag_grows_with_wind() {
+        let slow = bulk_fluxes(&SurfaceParams::default(), 2.0, 0.0, 300.0, 0.01, Z1, 300.0, PSFC);
+        let fast = bulk_fluxes(&SurfaceParams::default(), 15.0, 0.0, 300.0, 0.01, Z1, 300.0, PSFC);
+        assert!(fast.drag > slow.drag);
+    }
+
+    #[test]
+    fn rough_surface_has_more_drag() {
+        let smooth = SurfaceParams {
+            z0: 0.001,
+            ..SurfaceParams::default()
+        };
+        let rough = SurfaceParams {
+            z0: 0.5,
+            ..SurfaceParams::default()
+        };
+        let fs = bulk_fluxes(&smooth, 8.0, 0.0, 300.0, 0.01, Z1, 300.0, PSFC);
+        let fr = bulk_fluxes(&rough, 8.0, 0.0, 300.0, 0.01, Z1, 300.0, PSFC);
+        assert!(fr.drag > fs.drag);
+    }
+
+    #[test]
+    fn moisture_availability_scales_evaporation() {
+        let ocean = SurfaceParams {
+            moisture_availability: 1.0,
+            ..SurfaceParams::default()
+        };
+        let desert = SurfaceParams {
+            moisture_availability: 0.05,
+            ..SurfaceParams::default()
+        };
+        let fo = bulk_fluxes(&ocean, 5.0, 0.0, 300.0, 0.002, Z1, 300.0, PSFC);
+        let fd = bulk_fluxes(&desert, 5.0, 0.0, 300.0, 0.002, Z1, 300.0, PSFC);
+        assert!(fo.qv_flux > 10.0 * fd.qv_flux);
+    }
+
+    #[test]
+    fn stability_factor_properties() {
+        assert!((stability_factor(0.0) - 1.0).abs() < 1e-12);
+        assert!(stability_factor(-1.0) > 1.0);
+        assert!(stability_factor(1.0) < 1.0);
+        assert!(stability_factor(10.0) > 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Fractions skill score (Roberts & Lean 2008).
+//!
+//! The standard neighborhood verification metric for convective-scale
+//! forecasts: point-wise threat scores double-penalize small displacement
+//! errors that are meteorologically acceptable at 500-m resolution, so
+//! skill is also assessed on event *fractions* within a neighborhood.
+//! FSS = 1 - MSE(fractions) / MSE(worst case); 1 is perfect, 0 is no skill,
+//! and FSS > 0.5 + f0/2 is the usual "useful" threshold.
+
+use bda_num::Real;
+
+/// Event fractions within a square neighborhood of half-width `radius`
+/// cells, via a summed-area table. Row-major `width x height` input.
+fn fractions<T: Real>(
+    field: &[T],
+    width: usize,
+    height: usize,
+    threshold: T,
+    radius: usize,
+) -> Vec<f64> {
+    assert_eq!(field.len(), width * height);
+    // Summed-area table of the event indicator.
+    let mut sat = vec![0u32; (width + 1) * (height + 1)];
+    for j in 0..height {
+        for i in 0..width {
+            let e = u32::from(field[j * width + i] >= threshold);
+            sat[(j + 1) * (width + 1) + (i + 1)] =
+                e + sat[j * (width + 1) + (i + 1)] + sat[(j + 1) * (width + 1) + i]
+                    - sat[j * (width + 1) + i];
+        }
+    }
+    let mut out = Vec::with_capacity(width * height);
+    for j in 0..height {
+        for i in 0..width {
+            let i0 = i.saturating_sub(radius);
+            let j0 = j.saturating_sub(radius);
+            let i1 = (i + radius + 1).min(width);
+            let j1 = (j + radius + 1).min(height);
+            let count = sat[j1 * (width + 1) + i1] + sat[j0 * (width + 1) + i0]
+                - sat[j0 * (width + 1) + i1]
+                - sat[j1 * (width + 1) + i0];
+            let area = (i1 - i0) * (j1 - j0);
+            out.push(count as f64 / area as f64);
+        }
+    }
+    out
+}
+
+/// Fractions skill score of `forecast` against `observed` at `threshold`
+/// with a neighborhood half-width of `radius` cells. Returns `None` when
+/// neither field has any event (FSS undefined).
+pub fn fss<T: Real>(
+    forecast: &[T],
+    observed: &[T],
+    width: usize,
+    height: usize,
+    threshold: T,
+    radius: usize,
+) -> Option<f64> {
+    assert_eq!(forecast.len(), observed.len());
+    let ff = fractions(forecast, width, height, threshold, radius);
+    let fo = fractions(observed, width, height, threshold, radius);
+    let n = ff.len() as f64;
+    let mse: f64 = ff.iter().zip(&fo).map(|(a, b)| (a - b).powi(2)).sum::<f64>() / n;
+    let mse_ref: f64 = ff
+        .iter()
+        .zip(&fo)
+        .map(|(a, b)| a.powi(2) + b.powi(2))
+        .sum::<f64>()
+        / n;
+    if mse_ref <= 0.0 {
+        None
+    } else {
+        Some(1.0 - mse / mse_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(width: usize, height: usize, ci: usize, cj: usize, r: usize) -> Vec<f64> {
+        let mut f = vec![0.0; width * height];
+        for j in 0..height {
+            for i in 0..width {
+                if i.abs_diff(ci) <= r && j.abs_diff(cj) <= r {
+                    f[j * width + i] = 40.0;
+                }
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn perfect_forecast_has_fss_one() {
+        let o = blob(20, 20, 10, 10, 3);
+        let s = fss(&o, &o, 20, 20, 30.0, 2).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_events_anywhere_is_undefined() {
+        let z = vec![0.0_f64; 400];
+        assert_eq!(fss(&z, &z, 20, 20, 30.0, 2), None);
+    }
+
+    #[test]
+    fn complete_miss_far_away_scores_zero() {
+        let f = blob(30, 30, 5, 5, 2);
+        let o = blob(30, 30, 24, 24, 2);
+        let s = fss(&f, &o, 30, 30, 30.0, 1).unwrap();
+        assert!(s < 0.05, "fss = {s}");
+    }
+
+    #[test]
+    fn neighborhood_forgives_small_displacement() {
+        // Forecast displaced by 2 cells: pointwise threat is poor, but FSS
+        // with a radius >= displacement recovers skill.
+        let f = blob(30, 30, 14, 15, 3);
+        let o = blob(30, 30, 16, 15, 3);
+        let tight = fss(&f, &o, 30, 30, 30.0, 0).unwrap();
+        let wide = fss(&f, &o, 30, 30, 30.0, 4).unwrap();
+        assert!(wide > tight + 0.2, "tight {tight:.2}, wide {wide:.2}");
+        assert!(wide > 0.8);
+    }
+
+    #[test]
+    fn fss_increases_monotonically_with_radius_for_displaced_blobs() {
+        let f = blob(40, 40, 17, 20, 3);
+        let o = blob(40, 40, 23, 20, 3);
+        let mut prev = -1.0;
+        for radius in [0usize, 2, 4, 8] {
+            let s = fss(&f, &o, 40, 40, 30.0, radius).unwrap();
+            assert!(s >= prev - 1e-9, "fss not monotone at radius {radius}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn fractions_match_brute_force() {
+        let field = blob(9, 7, 4, 3, 1);
+        let r = 2;
+        let fast = fractions(&field, 9, 7, 30.0, r);
+        for j in 0..7usize {
+            for i in 0..9usize {
+                let mut count = 0;
+                let mut area = 0;
+                for jj in j.saturating_sub(r)..(j + r + 1).min(7) {
+                    for ii in i.saturating_sub(r)..(i + r + 1).min(9) {
+                        area += 1;
+                        if field[jj * 9 + ii] >= 30.0 {
+                            count += 1;
+                        }
+                    }
+                }
+                let want = count as f64 / area as f64;
+                assert!(
+                    (fast[j * 9 + i] - want).abs() < 1e-12,
+                    "({i},{j}): {} vs {want}",
+                    fast[j * 9 + i]
+                );
+            }
+        }
+    }
+}

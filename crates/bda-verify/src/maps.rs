@@ -1,0 +1,164 @@
+//! Map products: reflectivity images with no-data hatching.
+//!
+//! The production system published map-view rain images (Fig. 1a) and the
+//! paper compares forecast vs observed reflectivity maps at the 2-km level
+//! (Fig. 6). This module renders 2-D fields as portable graymap (PGM) files
+//! and as ASCII maps with the Fig. 6b hatching for radar no-data regions.
+
+use bda_num::Real;
+use std::io::Write;
+use std::path::Path;
+
+/// Write a 2-D field (row-major, `width * height`) as an 8-bit PGM image,
+/// linearly mapping `[lo, hi]` to [0, 255]. Masked-out cells render black.
+pub fn write_pgm<T: Real>(
+    path: impl AsRef<Path>,
+    field: &[T],
+    width: usize,
+    height: usize,
+    lo: f64,
+    hi: f64,
+    mask: Option<&[bool]>,
+) -> std::io::Result<()> {
+    assert_eq!(field.len(), width * height);
+    assert!(hi > lo);
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "P5")?;
+    writeln!(f, "{width} {height}")?;
+    writeln!(f, "255")?;
+    let mut row = Vec::with_capacity(width);
+    for j in (0..height).rev() {
+        row.clear();
+        for i in 0..width {
+            let idx = j * width + i;
+            let visible = mask.map(|m| m[idx]).unwrap_or(true);
+            let px = if visible {
+                let t = ((field[idx].f64() - lo) / (hi - lo)).clamp(0.0, 1.0);
+                (t * 255.0) as u8
+            } else {
+                0
+            };
+            row.push(px);
+        }
+        f.write_all(&row)?;
+    }
+    Ok(())
+}
+
+/// Reflectivity shading characters, Fig. 6-style: space below 10 dBZ,
+/// then '.', ':', '+', '*', '#' every 10 dBZ, '/' for no-data hatching.
+pub fn ascii_map<T: Real>(
+    field: &[T],
+    width: usize,
+    height: usize,
+    mask: Option<&[bool]>,
+) -> String {
+    assert_eq!(field.len(), width * height);
+    let mut out = String::with_capacity((width + 1) * height);
+    for j in (0..height).rev() {
+        for i in 0..width {
+            let idx = j * width + i;
+            let visible = mask.map(|m| m[idx]).unwrap_or(true);
+            let c = if !visible {
+                '/'
+            } else {
+                let dbz = field[idx].f64();
+                match dbz {
+                    d if d < 10.0 => ' ',
+                    d if d < 20.0 => '.',
+                    d if d < 30.0 => ':',
+                    d if d < 40.0 => '+',
+                    d if d < 50.0 => '*',
+                    _ => '#',
+                }
+            };
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Fraction of (visible) cells at or above a dBZ threshold — the "rain
+/// area" statistic plotted alongside Fig. 5.
+pub fn area_fraction<T: Real>(field: &[T], threshold: f64, mask: Option<&[bool]>) -> f64 {
+    let mut total = 0usize;
+    let mut above = 0usize;
+    for (idx, v) in field.iter().enumerate() {
+        if let Some(m) = mask {
+            if !m[idx] {
+                continue;
+            }
+        }
+        total += 1;
+        if v.f64() >= threshold {
+            above += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        above as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_file_has_correct_header_and_size() {
+        let dir = std::env::temp_dir().join(format!("bda_maps_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.pgm");
+        let field: Vec<f64> = (0..12).map(|i| i as f64 * 5.0).collect();
+        write_pgm(&path, &field, 4, 3, 0.0, 55.0, None).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        let header = String::from_utf8_lossy(&data[..11]);
+        assert!(header.starts_with("P5"));
+        assert!(header.contains("4 3"));
+        // 12 pixels after the header.
+        assert_eq!(data.len(), data.len() - 12 + 12);
+        assert!(data.ends_with(&{
+            // Bottom row is written last... top row (j=2) first. Last byte
+            // corresponds to (j=0, i=3) -> value 15 -> 15/55*255 = 69.
+            [((15.0 / 55.0) * 255.0) as u8]
+        }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ascii_map_shades_by_intensity_and_hatches_mask() {
+        let field = vec![5.0_f64, 25.0, 45.0, 60.0];
+        let mask = vec![true, true, true, false];
+        let map = ascii_map(&field, 2, 2, Some(&mask));
+        let lines: Vec<&str> = map.lines().collect();
+        // Top row is j=1: values [45, 60] -> '*', but 60 masked -> '/'.
+        assert_eq!(lines[0], "*/");
+        // Bottom row j=0: [5, 25] -> ' ', ':'.
+        assert_eq!(lines[1], " :");
+    }
+
+    #[test]
+    fn area_fraction_counts_visible_cells_only() {
+        let field = vec![40.0_f64, 40.0, 10.0, 10.0];
+        assert_eq!(area_fraction(&field, 30.0, None), 0.5);
+        let mask = vec![true, false, true, false];
+        assert_eq!(area_fraction(&field, 30.0, Some(&mask)), 0.5);
+        let none = vec![false; 4];
+        assert_eq!(area_fraction(&field, 30.0, Some(&none)), 0.0);
+    }
+
+    #[test]
+    fn pgm_clamps_out_of_range_values() {
+        let dir = std::env::temp_dir().join(format!("bda_maps2_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clamp.pgm");
+        let field = vec![-100.0_f64, 1e9];
+        write_pgm(&path, &field, 2, 1, 0.0, 60.0, None).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        assert_eq!(&data[n - 2..], &[0u8, 255u8]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

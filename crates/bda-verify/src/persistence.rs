@@ -1,0 +1,69 @@
+//! The persistence baseline.
+//!
+//! §6.1: "In the persistence forecast, the initial rain patterns are taken
+//! from the MP-PAWR observation and do not evolve." At lead 0 it is
+//! therefore perfect by construction (the paper's "only exception"), and it
+//! degrades as the true field evolves — the baseline the BDA forecast must
+//! beat at every positive lead.
+
+use bda_num::Real;
+
+/// A persistence forecast of one 2-D field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PersistenceForecast<T> {
+    initial: Vec<T>,
+}
+
+impl<T: Real> PersistenceForecast<T> {
+    /// Freeze the observed field at initialization time.
+    pub fn new(observed_at_init: &[T]) -> Self {
+        Self {
+            initial: observed_at_init.to_vec(),
+        }
+    }
+
+    /// The forecast at any lead time is the initial field.
+    pub fn at_lead(&self, _lead_s: f64) -> &[T] {
+        &self.initial
+    }
+
+    pub fn len(&self) -> usize {
+        self.initial.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.initial.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contingency::ContingencyTable;
+
+    #[test]
+    fn forecast_never_evolves() {
+        let obs = vec![10.0_f64, 35.0, 42.0];
+        let p = PersistenceForecast::new(&obs);
+        assert_eq!(p.at_lead(0.0), obs.as_slice());
+        assert_eq!(p.at_lead(1800.0), obs.as_slice());
+    }
+
+    #[test]
+    fn perfect_at_lead_zero() {
+        let obs = vec![10.0_f64, 35.0, 42.0, 5.0];
+        let p = PersistenceForecast::new(&obs);
+        let t = ContingencyTable::from_fields(p.at_lead(0.0), &obs, 30.0, None);
+        assert_eq!(t.threat_score(), Some(1.0));
+    }
+
+    #[test]
+    fn degrades_when_truth_moves() {
+        // Rain feature moves one cell: persistence scores 0 at the new time.
+        let obs_t0 = vec![40.0_f64, 0.0, 0.0];
+        let obs_t1 = vec![0.0_f64, 40.0, 0.0];
+        let p = PersistenceForecast::new(&obs_t0);
+        let t = ContingencyTable::from_fields(p.at_lead(30.0), &obs_t1, 30.0, None);
+        assert_eq!(t.threat_score(), Some(0.0));
+    }
+}

@@ -1,0 +1,201 @@
+//! Outage windows — the gray shadings of Fig. 5.
+//!
+//! The campaign produced forecasts for a net 26 days 3 hours 4 minutes out
+//! of the ~30-day Olympic + Paralympic periods; the remainder (system
+//! trouble, JIT-DT give-ups, upstream data gaps, the planned reallocation
+//! around July 27) appears as gray bands. This module models outages as a
+//! mix of scheduled windows and random failures with exponential
+//! inter-arrival and repair times.
+
+use bda_num::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// A half-open outage interval `[start, end)` in seconds from campaign start.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    pub start: f64,
+    pub end: f64,
+}
+
+impl Window {
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// The outage schedule of one campaign.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OutageSchedule {
+    windows: Vec<Window>,
+    total_duration: f64,
+}
+
+impl OutageSchedule {
+    /// Build from explicit windows (merged and clipped to the campaign).
+    pub fn new(mut windows: Vec<Window>, total_duration: f64) -> Self {
+        windows.retain(|w| w.end > 0.0 && w.start < total_duration);
+        for w in &mut windows {
+            w.start = w.start.max(0.0);
+            w.end = w.end.min(total_duration);
+        }
+        windows.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        // Merge overlaps.
+        let mut merged: Vec<Window> = Vec::new();
+        for w in windows {
+            if let Some(last) = merged.last_mut() {
+                if w.start <= last.end {
+                    last.end = last.end.max(w.end);
+                    continue;
+                }
+            }
+            merged.push(w);
+        }
+        Self {
+            windows: merged,
+            total_duration,
+        }
+    }
+
+    /// Random outage schedule: scheduled maintenance plus exponential
+    /// failures, calibrated by target availability.
+    pub fn generate(total_duration: f64, target_availability: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&target_availability));
+        let mut rng = SplitMix64::new(seed);
+        let mut windows = Vec::new();
+        let outage_budget = total_duration * (1.0 - target_availability);
+        // ~40% of the budget is one long scheduled window (the paper's
+        // July 27 reallocation trouble), the rest random failures.
+        let scheduled = outage_budget * 0.4;
+        let sched_start = rng.uniform_in(0.2, 0.5) * total_duration;
+        windows.push(Window {
+            start: sched_start,
+            end: sched_start + scheduled,
+        });
+        let mut remaining = outage_budget * 0.6;
+        let mean_repair = 40.0 * 60.0; // 40-minute mean repair
+        while remaining > 0.0 {
+            let start = rng.uniform_in(0.0, total_duration);
+            let dur = (-mean_repair * (1.0 - rng.next_uniform()).ln()).min(remaining.max(60.0));
+            windows.push(Window {
+                start,
+                end: start + dur,
+            });
+            remaining -= dur;
+        }
+        Self::new(windows, total_duration)
+    }
+
+    /// Is the system down at time `t`?
+    pub fn is_down(&self, t: f64) -> bool {
+        // Windows are sorted; binary search by start.
+        match self
+            .windows
+            .binary_search_by(|w| w.start.partial_cmp(&t).unwrap())
+        {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => self.windows[i - 1].contains(t),
+        }
+    }
+
+    /// Total downtime, s.
+    pub fn downtime(&self) -> f64 {
+        self.windows.iter().map(Window::duration).sum()
+    }
+
+    /// Availability fraction.
+    pub fn availability(&self) -> f64 {
+        1.0 - self.downtime() / self.total_duration
+    }
+
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_merge_and_clip() {
+        let s = OutageSchedule::new(
+            vec![
+                Window {
+                    start: -10.0,
+                    end: 20.0,
+                },
+                Window {
+                    start: 15.0,
+                    end: 40.0,
+                },
+                Window {
+                    start: 90.0,
+                    end: 200.0,
+                },
+            ],
+            100.0,
+        );
+        assert_eq!(s.windows().len(), 2);
+        assert_eq!(s.windows()[0], Window { start: 0.0, end: 40.0 });
+        assert_eq!(s.windows()[1], Window { start: 90.0, end: 100.0 });
+        assert!((s.downtime() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn is_down_matches_windows() {
+        let s = OutageSchedule::new(
+            vec![Window {
+                start: 10.0,
+                end: 20.0,
+            }],
+            100.0,
+        );
+        assert!(!s.is_down(5.0));
+        assert!(s.is_down(10.0));
+        assert!(s.is_down(19.9));
+        assert!(!s.is_down(20.0));
+        assert!(!s.is_down(99.0));
+    }
+
+    #[test]
+    fn generated_schedule_hits_target_availability() {
+        let month = 30.0 * 86_400.0;
+        let s = OutageSchedule::generate(month, 0.87, 42);
+        let a = s.availability();
+        assert!(
+            (0.82..0.92).contains(&a),
+            "availability {a:.3}, target 0.87"
+        );
+    }
+
+    #[test]
+    fn generated_schedule_is_deterministic() {
+        let month = 30.0 * 86_400.0;
+        let a = OutageSchedule::generate(month, 0.9, 5);
+        let b = OutageSchedule::generate(month, 0.9, 5);
+        assert_eq!(a.windows(), b.windows());
+    }
+
+    #[test]
+    fn full_availability_means_never_down() {
+        let s = OutageSchedule::new(vec![], 1000.0);
+        assert_eq!(s.availability(), 1.0);
+        for i in 0..100 {
+            assert!(!s.is_down(i as f64 * 10.0));
+        }
+    }
+
+    #[test]
+    fn paper_uptime_yields_paper_forecast_count() {
+        // Net uptime of 26 d 3 h 4 min at one forecast per 30 s gives the
+        // paper's 75,248 forecasts.
+        let uptime = 26.0 * 86_400.0 + 3.0 * 3600.0 + 4.0 * 60.0;
+        let forecasts = (uptime / 30.0) as u64;
+        assert_eq!(forecasts, 75_248);
+    }
+}

@@ -1,0 +1,196 @@
+//! Component-time performance model, calibrated to the paper.
+//!
+//! §7: "On average, JIT-DT sends ~100 MB data in ~3 seconds, and <1>
+//! SCALE-LETKF takes ~15 seconds, and <2> SCALE 30-minute forecast takes
+//! ~2 minutes. We would expect some variations of compute time depending on
+//! the area of rain." The time-to-solution anatomy follows Fig. 4: file
+//! creation + JIT-DT + <1-1> LETKF + <2> 30-minute forecast.
+
+use bda_jitdt::JitDt;
+use bda_num::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// One cycle's time-to-solution, segmented as in Fig. 4.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeToSolution {
+    /// MP-PAWR data file creation at Saitama, s.
+    pub file_creation: f64,
+    /// JIT-DT transfer, s.
+    pub transfer: f64,
+    /// Part <1>: LETKF analysis (+ implicit 30-s ensemble forecast overlap).
+    pub assimilation: f64,
+    /// Part <2>: 11-member 30-minute forecast + product output.
+    pub forecast: f64,
+}
+
+impl TimeToSolution {
+    /// Total wall-clock from `T_obs` to product file creation, s.
+    pub fn total(&self) -> f64 {
+        self.file_creation + self.transfer + self.assimilation + self.forecast
+    }
+
+    /// Total in minutes (the Fig. 5 axis).
+    pub fn total_minutes(&self) -> f64 {
+        self.total() / 60.0
+    }
+}
+
+/// Stochastic component-time model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfModel {
+    /// Mean MP-PAWR volume-file creation time, s.
+    pub file_creation_mean: f64,
+    pub file_creation_sd: f64,
+    /// JIT-DT transfer engine (link model, watchdog).
+    pub jitdt: JitDt,
+    /// Volume size shipped per cycle, bytes.
+    pub scan_bytes: usize,
+    /// LETKF base time at zero rain, s.
+    pub letkf_base: f64,
+    /// LETKF rain sensitivity: extra fraction at full-domain rain. More
+    /// echo means more observations pass QC and more grid points carry
+    /// full-size local problems.
+    pub letkf_rain_factor: f64,
+    pub letkf_sd: f64,
+    /// 30-minute forecast base time, s.
+    pub forecast_base: f64,
+    /// Forecast rain sensitivity (microphysics load).
+    pub forecast_rain_factor: f64,
+    pub forecast_sd: f64,
+    /// Probability of a transient system hiccup per cycle (I/O contention,
+    /// JIT-DT restart, node stall) — the isolated spikes of Fig. 5.
+    pub hiccup_probability: f64,
+    /// Mean extra delay of a hiccup, s (exponentially distributed).
+    pub hiccup_mean_s: f64,
+}
+
+impl PerfModel {
+    /// Calibration reproducing the paper's reported means.
+    pub fn bda2021() -> Self {
+        Self {
+            file_creation_mean: 8.0,
+            file_creation_sd: 1.5,
+            jitdt: JitDt::bda2021(),
+            scan_bytes: 100 * 1024 * 1024,
+            letkf_base: 13.0,
+            letkf_rain_factor: 1.0,
+            letkf_sd: 1.2,
+            forecast_base: 115.0,
+            forecast_rain_factor: 0.3,
+            forecast_sd: 6.0,
+            hiccup_probability: 0.04,
+            hiccup_mean_s: 55.0,
+        }
+    }
+
+    /// Sample one cycle. `rain_load` in [0, 1] is the rain-area fraction;
+    /// deterministic in `seed`.
+    ///
+    /// Returns `None` when the transfer watchdog gave up (cycle lost — a
+    /// gray gap in Fig. 5 even outside scheduled outages).
+    pub fn sample(&self, rain_load: f64, seed: u64) -> Option<TimeToSolution> {
+        let mut rng = SplitMix64::new(seed);
+        let file_creation =
+            (self.file_creation_mean + self.file_creation_sd * rng.next_gaussian::<f64>()).max(1.0);
+        let transfer_outcome = self.jitdt.transfer(self.scan_bytes, rng.next_u64());
+        if !transfer_outcome.completed {
+            return None;
+        }
+        let assimilation = (self.letkf_base * (1.0 + self.letkf_rain_factor * rain_load)
+            + self.letkf_sd * rng.next_gaussian::<f64>())
+        .max(2.0);
+        let mut forecast = (self.forecast_base * (1.0 + self.forecast_rain_factor * rain_load)
+            + self.forecast_sd * rng.next_gaussian::<f64>())
+        .max(30.0);
+        if rng.next_uniform() < self.hiccup_probability {
+            forecast += -self.hiccup_mean_s * (1.0 - rng.next_uniform()).ln();
+        }
+        Some(TimeToSolution {
+            file_creation,
+            transfer: transfer_outcome.duration_s,
+            assimilation,
+            forecast,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_means_match_paper() {
+        let m = PerfModel::bda2021();
+        let n = 400;
+        let mut tr = 0.0;
+        let mut asml = 0.0;
+        let mut fc = 0.0;
+        for seed in 0..n {
+            let t = m.sample(0.05, seed).expect("transfer failed");
+            tr += t.transfer;
+            asml += t.assimilation;
+            fc += t.forecast;
+        }
+        let (tr, asml, fc) = (tr / n as f64, asml / n as f64, fc / n as f64);
+        assert!((2.0..4.5).contains(&tr), "JIT-DT mean {tr:.2} s, paper ~3 s");
+        assert!(
+            (12.0..18.0).contains(&asml),
+            "LETKF mean {asml:.1} s, paper ~15 s"
+        );
+        assert!(
+            (100.0..140.0).contains(&fc),
+            "forecast mean {fc:.0} s, paper ~2 min"
+        );
+    }
+
+    #[test]
+    fn typical_total_is_under_three_minutes() {
+        let m = PerfModel::bda2021();
+        let mut below = 0;
+        let n = 500;
+        for seed in 0..n {
+            if let Some(t) = m.sample(0.05, seed) {
+                if t.total_minutes() < 3.0 {
+                    below += 1;
+                }
+            }
+        }
+        let frac = below as f64 / n as f64;
+        assert!(frac > 0.9, "only {:.0}% under 3 min", frac * 100.0);
+    }
+
+    #[test]
+    fn heavy_rain_slows_the_cycle() {
+        let m = PerfModel::bda2021();
+        let mean_total = |load: f64| -> f64 {
+            (0..200)
+                .filter_map(|s| m.sample(load, s).map(|t| t.total()))
+                .sum::<f64>()
+                / 200.0
+        };
+        let quiet = mean_total(0.0);
+        let stormy = mean_total(0.8);
+        assert!(
+            stormy > quiet + 10.0,
+            "rain sensitivity missing: {quiet:.1} vs {stormy:.1}"
+        );
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let m = PerfModel::bda2021();
+        assert_eq!(m.sample(0.3, 99), m.sample(0.3, 99));
+    }
+
+    #[test]
+    fn total_sums_segments() {
+        let t = TimeToSolution {
+            file_creation: 1.0,
+            transfer: 2.0,
+            assimilation: 3.0,
+            forecast: 4.0,
+        };
+        assert_eq!(t.total(), 10.0);
+        assert!((t.total_minutes() - 1.0 / 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Dual-PAWR coverage study — the paper's §8 outlook, quantified.
+//!
+//! "We have new MP-PAWRs installed in Osaka and Kobe, and the dual coverage
+//! is available. Our recent simulation study ... suggested that multiple
+//! PAWR coverage be beneficial for disastrous heavy rain prediction"
+//! (Maejima et al. 2022). This example runs the *same* OSSE twice — once
+//! with a single radar, once with a two-radar network — and compares
+//! coverage, observation counts and analysis quality.
+//!
+//! ```text
+//! cargo run --release --example dual_pawr [-- --cycles N]
+//! ```
+
+use bda_core::osse::{Osse, OsseConfig};
+
+fn run(label: &str, dual: bool, cycles: usize) -> (f64, usize, usize) {
+    let mut cfg = OsseConfig::reduced(18, 10, 10, 3, 515);
+    if dual {
+        cfg = cfg.with_dual_radar();
+    } else {
+        // Match the dual setup's per-radar range so the comparison is about
+        // geometry, not raw reach.
+        cfg.radar.range_max = cfg.model.grid.lx() * 0.75;
+        cfg.radar.x = cfg.model.grid.lx() * 0.3;
+        cfg.radar.y = cfg.model.grid.ly() * 0.35;
+    }
+    let grid = cfg.model.grid.clone();
+    let mut osse = Osse::<f32>::new(cfg);
+    osse.spinup_system(840.0);
+
+    let covered = osse
+        .coverage_mask(2000.0)
+        .iter()
+        .filter(|&&v| v)
+        .count();
+    let mut last_rmse = f64::NAN;
+    let mut obs_used = 0;
+    for out in osse.run_cycles(cycles) {
+        last_rmse = out.posterior_rmse_dbz;
+        obs_used = out.n_obs_used;
+    }
+    println!(
+        "{label:<14} coverage {covered:>4}/{} cells  obs/cycle {obs_used:>6}  final posterior RMSE {last_rmse:.3} dBZ",
+        grid.nx * grid.ny
+    );
+    (last_rmse, covered, obs_used)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let cycles: usize = argv
+        .iter()
+        .position(|a| a == "--cycles")
+        .map(|i| argv[i + 1].parse().expect("--cycles N"))
+        .unwrap_or(4);
+
+    println!("=== dual-PAWR coverage study (§8 / Maejima et al. 2022) ===\n");
+    let (single_rmse, single_cov, single_obs) = run("single radar", false, cycles);
+    let (dual_rmse, dual_cov, dual_obs) = run("dual network", true, cycles);
+
+    println!("\nsummary:");
+    println!(
+        "  coverage gain: {:+.0}% of the domain",
+        (dual_cov as f64 - single_cov as f64) / (18.0 * 18.0) * 100.0
+    );
+    println!(
+        "  observation gain: {:.1}x per cycle",
+        dual_obs as f64 / single_obs.max(1) as f64
+    );
+    if dual_rmse < single_rmse {
+        println!(
+            "  analysis RMSE: {single_rmse:.3} -> {dual_rmse:.3} dBZ ({:.0}% better with dual coverage)",
+            (1.0 - dual_rmse / single_rmse) * 100.0
+        );
+        println!("\nthe dual network fills the single radar's blind spots and adds a second");
+        println!("Doppler look angle over the overlap — the benefit §8 anticipates for Expo 2025.");
+    } else {
+        println!(
+            "  analysis RMSE: {single_rmse:.3} vs {dual_rmse:.3} dBZ (no gain at this scale/seed; try more --cycles)"
+        );
+    }
+}

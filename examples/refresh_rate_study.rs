@@ -1,0 +1,91 @@
+//! 30-second vs slow refresh — the headline claim (§3, §8).
+//!
+//! "The typical 1-hour-refresh NWP is not designed to make precise
+//! prediction of extreme rains ... the hourly refresh rate is too slow."
+//! This study runs two OSSEs from the same seed over the same window: one
+//! assimilates every 30 seconds (BDA), the other only every `slow` interval
+//! (operational-style), then compares analysis error and forecast skill.
+//!
+//! ```text
+//! cargo run --release --example refresh_rate_study [-- --window 600 --slow 300]
+//! ```
+
+use bda_core::osse::{Osse, OsseConfig};
+use bda_verify::ContingencyTable;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: f64| -> f64 {
+        argv.iter()
+            .position(|a| a == flag)
+            .map(|i| argv[i + 1].parse().expect("number"))
+            .unwrap_or(default)
+    };
+    let window = get("--window", 600.0); // total cycling window, s
+    let slow = get("--slow", 300.0); // slow-refresh interval, s
+
+    println!("=== refresh-rate study: 30 s vs {slow:.0} s assimilation ===\n");
+
+    let make = || OsseConfig::reduced(16, 10, 10, 3, 42);
+
+    // --- fast system: assimilate every 30 s ---
+    let mut fast = Osse::<f32>::new(make());
+    fast.spinup_system(720.0);
+    let fast_cycles = (window / 30.0) as usize;
+    let mut fast_last_rmse = f64::NAN;
+    for out in fast.run_cycles(fast_cycles) {
+        fast_last_rmse = out.posterior_rmse_dbz;
+    }
+
+    // --- slow system: same truth evolution, assimilation only every `slow` ---
+    let mut slow_sys = Osse::<f32>::new(make());
+    slow_sys.spinup_system(720.0);
+    slow_sys.cfg.cycle_interval = slow;
+    let slow_cycles = (window / slow).max(1.0) as usize;
+    let mut slow_last_rmse = f64::NAN;
+    for out in slow_sys.run_cycles(slow_cycles) {
+        slow_last_rmse = out.posterior_rmse_dbz;
+    }
+
+    println!("analysis 2-km reflectivity RMSE after {window:.0} s of cycling:");
+    println!("  30-s refresh:   {fast_last_rmse:.3} dBZ ({fast_cycles} analyses)");
+    println!("  {slow:.0}-s refresh:  {slow_last_rmse:.3} dBZ ({slow_cycles} analyses)");
+
+    // --- forecast skill comparison from the final analyses ---
+    let leads = [0.0, 120.0, 300.0];
+    let fast_case = fast.run_forecast_case(&leads, 3);
+    let slow_case = slow_sys.run_forecast_case(&leads, 3);
+    println!("\nforecast threat score (30 dBZ) from the final analysis:");
+    println!("{:>9} {:>12} {:>12}", "lead (s)", "30-s system", "slow system");
+    for (li, &lead) in leads.iter().enumerate() {
+        let f = ContingencyTable::from_fields(
+            &fast_case.forecast_dbz[li],
+            &fast_case.truth_dbz[li],
+            30.0,
+            Some(&fast_case.mask),
+        );
+        let s = ContingencyTable::from_fields(
+            &slow_case.forecast_dbz[li],
+            &slow_case.truth_dbz[li],
+            30.0,
+            Some(&slow_case.mask),
+        );
+        let fmt = |x: Option<f64>| x.map(|v| format!("{v:.3}")).unwrap_or("--".into());
+        println!(
+            "{:>9.0} {:>12} {:>12}",
+            lead,
+            fmt(f.threat_score()),
+            fmt(s.threat_score())
+        );
+    }
+
+    if fast_last_rmse < slow_last_rmse {
+        println!(
+            "\nthe 30-s refresh tracks the rapidly evolving convection more closely \
+             ({:.1}% lower analysis RMSE), the paper's core argument.",
+            (1.0 - fast_last_rmse / slow_last_rmse) * 100.0
+        );
+    } else {
+        println!("\nat this reduced scale/seed the slow system kept up; rerun with a longer --window.");
+    }
+}

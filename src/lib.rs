@@ -1,0 +1,20 @@
+//! # bda — Big Data Assimilation in Rust
+//!
+//! Umbrella crate re-exporting the whole workspace: a from-scratch
+//! reproduction of *"Big Data Assimilation: Real-time 30-second-refresh Heavy
+//! Rain Forecast Using Fugaku during Tokyo Olympics and Paralympics"*
+//! (Miyoshi et al., SC '23).
+//!
+//! Start with [`core`] for the high-level [`core::osse`] harness and the
+//! paper's configuration tables, or run `cargo run --example quickstart`.
+
+pub use bda_core as core;
+pub use bda_grid as grid;
+pub use bda_io as io;
+pub use bda_jitdt as jitdt;
+pub use bda_letkf as letkf;
+pub use bda_num as num;
+pub use bda_pawr as pawr;
+pub use bda_scale as scale;
+pub use bda_verify as verify;
+pub use bda_workflow as workflow;

@@ -1,0 +1,117 @@
+//! End-to-end integration: the full BDA cycle through the public API.
+//!
+//! Exercises the complete chain — nature run → radar scan → forward operator
+//! → QC → LETKF → analysis → forecast → verification — at reduced scale, and
+//! asserts the paper's qualitative results hold: assimilation reduces error
+//! and the forecast beats persistence once the field evolves.
+
+use bda::core::osse::{Osse, OsseConfig};
+use bda::verify::{ContingencyTable, PersistenceForecast};
+
+#[test]
+fn cycling_assimilation_tracks_the_truth() {
+    // Same configuration the quickstart example demonstrates: storms are
+    // mature after the spin-up, so the filter has something to correct.
+    let mut osse = Osse::<f32>::new(OsseConfig::reduced(16, 10, 10, 3, 42));
+    osse.spinup_system(840.0);
+    assert!(
+        osse.truth_max_dbz() > 20.0,
+        "truth never developed storms: {:.1} dBZ",
+        osse.truth_max_dbz()
+    );
+
+    let outcomes = osse.run_cycles(3);
+    for o in &outcomes {
+        assert!(o.n_obs_used > 0, "no observations assimilated");
+        assert!(o.analysis.points_analyzed > 0);
+        // Analysis must not make the mean worse (beyond noise).
+        assert!(
+            o.posterior_rmse_dbz <= o.prior_rmse_dbz + 0.3,
+            "analysis degraded the mean: {} -> {}",
+            o.prior_rmse_dbz,
+            o.posterior_rmse_dbz
+        );
+        // Filter health: innovation consistency ratio in a sane band (an
+        // order of magnitude each way; exact unity needs a tuned system).
+        let ratio = o.innovation_reflectivity.consistency_ratio();
+        assert!(
+            (0.05..100.0).contains(&ratio),
+            "pathological consistency ratio {ratio}"
+        );
+    }
+    // At least one cycle must show a strict improvement.
+    assert!(
+        outcomes
+            .iter()
+            .any(|o| o.posterior_rmse_dbz < o.prior_rmse_dbz - 1e-6),
+        "the filter never improved anything"
+    );
+}
+
+#[test]
+fn qc_rejections_are_bounded() {
+    let mut osse = Osse::<f32>::new(OsseConfig::reduced(10, 8, 6, 2, 78));
+    osse.spinup_system(480.0);
+    let o = osse.cycle();
+    // With a spun-up ensemble, the gross error check should keep the bulk
+    // of the observations (Table 2's thresholds are loose: 10 dBZ / 15 m/s).
+    let keep_fraction = o.n_obs_used as f64 / o.n_obs_scanned as f64;
+    assert!(
+        keep_fraction > 0.6,
+        "QC rejected too much: kept {:.0}%",
+        keep_fraction * 100.0
+    );
+}
+
+#[test]
+fn forecast_case_is_verifiable_and_persistence_degrades() {
+    let mut osse = Osse::<f32>::new(OsseConfig::reduced(12, 8, 6, 3, 79));
+    osse.spinup_system(600.0);
+    osse.run_cycles(2);
+
+    let leads = [0.0, 120.0, 240.0];
+    let case = osse.run_forecast_case(&leads, 2);
+    let persistence = PersistenceForecast::new(&case.observed_dbz_init);
+
+    // Persistence at lead 0 against the truth must be at least as good as
+    // at the last lead (the field evolves away from the frozen map). Use a
+    // low threshold so events exist.
+    let t0 = ContingencyTable::from_fields(
+        persistence.at_lead(0.0),
+        &case.truth_dbz[0],
+        15.0,
+        Some(&case.mask),
+    );
+    let t_last = ContingencyTable::from_fields(
+        persistence.at_lead(240.0),
+        &case.truth_dbz[2],
+        15.0,
+        Some(&case.mask),
+    );
+    if let (Some(a), Some(b)) = (t0.threat_score(), t_last.threat_score()) {
+        assert!(
+            b <= a + 0.05,
+            "persistence got better with lead time: {a} -> {b}"
+        );
+    }
+
+    // The BDA forecast maps must stay in a physical dBZ range.
+    for map in case.forecast_dbz.iter().chain(case.truth_dbz.iter()) {
+        for &v in map {
+            assert!((-35.0..=80.0).contains(&v), "unphysical dBZ {v}");
+        }
+    }
+}
+
+#[test]
+fn ensemble_spread_survives_cycling() {
+    // RTPP (0.95) exists precisely to keep spread alive under dense obs;
+    // after several cycles the ensemble must not have collapsed.
+    let mut osse = Osse::<f32>::new(OsseConfig::reduced(10, 8, 6, 2, 80));
+    osse.spinup_system(480.0);
+    osse.run_cycles(3);
+    let spread = osse
+        .ensemble
+        .spread(bda::scale::PrognosticVar::Theta);
+    assert!(spread > 1e-4, "ensemble collapsed: theta spread = {spread}");
+}
