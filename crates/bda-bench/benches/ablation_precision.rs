@@ -6,8 +6,8 @@
 //! precisions; this bench measures the contrast on the two hot paths: the
 //! model time step and the LETKF ensemble-space transform.
 
-use bda_num::{BatchedEigen, MatrixS, Real, SplitMix64};
 use bda_letkf::weights::{apply_transform, compute_transform, LocalObs};
+use bda_num::{BatchedEigen, MatrixS, Real, SplitMix64};
 use bda_scale::base::Sounding;
 use bda_scale::{Model, ModelConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -68,19 +68,22 @@ fn letkf_transform_bench<T: Real>(c: &mut Criterion, label: &str) {
     rng.fill_gaussian(&mut vals, T::of(3.0));
     let mut pert = vec![T::zero(); k];
 
-    c.bench_function(&format!("precision/letkf_transform_k100/{label}"), |b| {
-        b.iter(|| {
-            compute_transform(
-                black_box(&local),
-                T::of(0.95),
-                T::one(),
-                &mut solver,
-                &mut trans,
-            );
-            apply_transform(&mut vals, &trans, &mut pert);
-            black_box(vals[0])
-        })
-    });
+    c.bench_function(
+        format!("precision/letkf_transform_k100/{label}").as_str(),
+        |b| {
+            b.iter(|| {
+                compute_transform(
+                    black_box(&local),
+                    T::of(0.95),
+                    T::one(),
+                    &mut solver,
+                    &mut trans,
+                );
+                apply_transform(&mut vals, &trans, &mut pert);
+                black_box(vals[0])
+            })
+        },
+    );
 }
 
 fn bench(c: &mut Criterion) {

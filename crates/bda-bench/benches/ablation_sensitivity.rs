@@ -6,7 +6,9 @@
 //! members = bigger eigenproblems; wider localization = more observations
 //! per grid point).
 
-use bda_letkf::{analyze, EnsembleMatrix, LetkfConfig, ObsEnsemble, ObsKind, Observation, StateLayout};
+use bda_letkf::{
+    analyze, EnsembleMatrix, LetkfConfig, ObsEnsemble, ObsKind, Observation, StateLayout,
+};
 use bda_num::SplitMix64;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;

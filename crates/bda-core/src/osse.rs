@@ -11,19 +11,19 @@
 //! * part <2> — 30-minute forecasts from the mean + random members.
 
 use crate::products::reflectivity_map;
+use bda_letkf::diagnostics::{innovation_statistics, InnovationStats};
+use bda_letkf::obs::QcStats;
 use bda_letkf::{
     analyze, gross_error_check, AnalysisStats, EnsembleMatrix, LetkfConfig, ObsEnsemble,
     StateLayout,
 };
-use bda_letkf::diagnostics::{innovation_statistics, InnovationStats};
-use bda_letkf::obs::QcStats;
 use bda_num::{Real, SplitMix64};
 use bda_pawr::operator::ensemble_equivalents;
 use bda_pawr::{PawrSimulator, RadarConfig, RadarNetwork};
+use bda_scale::base::Sounding;
 use bda_scale::forcing::TriggerSchedule;
 use bda_scale::model::Boundary;
 use bda_scale::{BaseState, Ensemble, Model, ModelConfig, ModelState, ANALYZED_VARS};
-use bda_scale::base::Sounding;
 
 /// OSSE configuration.
 #[derive(Clone, Debug)]
@@ -142,6 +142,16 @@ pub struct CycleOutcome {
     pub posterior_rmse_dbz: f64,
 }
 
+impl CycleOutcome {
+    /// True when the cycle ran without an analysis because no observation
+    /// survived the scan + QC (radar outage, dropped scan, total rejection).
+    /// The ensemble still advanced — this is a forecast-only cycle, the
+    /// in-model end of the workflow supervisor's degradation ladder.
+    pub fn analysis_skipped(&self) -> bool {
+        self.n_obs_used == 0
+    }
+}
+
 /// One 30-minute forecast case with verification data at each lead — the
 /// raw material for Figs. 6 and 7.
 #[derive(Clone, Debug)]
@@ -199,7 +209,11 @@ impl<T: Real> Osse<T> {
     pub fn new(cfg: OsseConfig) -> Self {
         cfg.model.validate();
         cfg.letkf.validate();
-        let base = BaseState::from_sounding(&cfg.sounding, &cfg.model.grid.vertical, cfg.model.sound_speed);
+        let base = BaseState::from_sounding(
+            &cfg.sounding,
+            &cfg.model.grid.vertical,
+            cfg.model.sound_speed,
+        );
         let mut nature = Model::from_parts(cfg.model.clone(), base.clone());
         nature.triggers = cfg.nature_triggers.clone();
         nature.boundary = Boundary::BaseState;
@@ -329,8 +343,7 @@ impl<T: Real> Osse<T> {
         let mut mask = self.coverage_mask(z);
         for (idx, m) in mask.iter_mut().enumerate() {
             if *m {
-                let any_echo = truth[idx] > floor
-                    || member_maps.iter().any(|mm| mm[idx] > floor);
+                let any_echo = truth[idx] > floor || member_maps.iter().any(|mm| mm[idx] > floor);
                 *m = any_echo;
             }
         }
@@ -342,7 +355,13 @@ impl<T: Real> Osse<T> {
     /// Ensemble-mean 2-km reflectivity map.
     pub fn mean_reflectivity_map(&self, z: f64) -> Vec<f64> {
         let mean = self.ensemble.mean();
-        reflectivity_map(&mean, &self.base, &self.cfg.model.grid, z, self.cfg.radar.min_detectable_dbz)
+        reflectivity_map(
+            &mean,
+            &self.base,
+            &self.cfg.model.grid,
+            z,
+            self.cfg.radar.min_detectable_dbz,
+        )
     }
 
     /// Truth 2-km reflectivity map.
@@ -390,8 +409,13 @@ impl<T: Real> Osse<T> {
         // forward operator on every member, honoring each radar's geometry.
         let floor = self.cfg.radar.min_detectable_dbz;
         let (scan, hx) = if let Some(net) = &self.cfg.network {
-            let (scan, counts) =
-                net.scan_with_counts(&self.nature.state, &self.base, &grid, self.time, self.cfg.seed);
+            let (scan, counts) = net.scan_with_counts(
+                &self.nature.state,
+                &self.base,
+                &grid,
+                self.time,
+                self.cfg.seed,
+            );
             let hx = net.ensemble_equivalents(
                 &scan.obs,
                 &counts,
@@ -402,9 +426,13 @@ impl<T: Real> Osse<T> {
             );
             (scan, hx)
         } else {
-            let scan = self
-                .sim
-                .scan(&self.nature.state, &self.base, &grid, self.time, self.cfg.seed);
+            let scan = self.sim.scan(
+                &self.nature.state,
+                &self.base,
+                &grid,
+                self.time,
+                self.cfg.seed,
+            );
             let hx = ensemble_equivalents(
                 &scan.obs,
                 &self.ensemble.members,
@@ -427,24 +455,33 @@ impl<T: Real> Osse<T> {
         let prior_map = self.mean_reflectivity_map(2000.0);
         let prior_rmse_dbz = self.masked_rmse(&prior_map, &truth_map, &mask);
 
-        // Part <1-1>: the LETKF analysis.
-        let flats: Vec<Vec<T>> = self
-            .ensemble
-            .members
-            .iter()
-            .map(|m| m.to_flat(&ANALYZED_VARS))
-            .collect();
-        let mut mat = EnsembleMatrix::from_members(&flats, self.layout.clone());
-        let analysis = analyze(&mut mat, &ens_obs, &self.cfg.letkf);
-        let mut flats = flats;
-        mat.to_members(&mut flats);
-        for (member, flat) in self.ensemble.members.iter_mut().zip(&flats) {
-            member.from_flat(&ANALYZED_VARS, flat);
-            member.clamp_physical();
-        }
+        // Part <1-1>: the LETKF analysis. A cycle with no usable
+        // observations — radar outage, dropped scan, or total QC rejection —
+        // degrades to an ensemble-forecast-only cycle: the members continue
+        // unanalyzed and the outcome reports zero points analyzed (see
+        // `CycleOutcome::analysis_skipped`). Observation loss must never
+        // abort the 30-second cadence.
+        let (analysis, posterior_rmse_dbz) = if n_obs_used == 0 {
+            (AnalysisStats::default(), prior_rmse_dbz)
+        } else {
+            let flats: Vec<Vec<T>> = self
+                .ensemble
+                .members
+                .iter()
+                .map(|m| m.to_flat(&ANALYZED_VARS))
+                .collect();
+            let mut mat = EnsembleMatrix::from_members(&flats, self.layout.clone());
+            let analysis = analyze(&mut mat, &ens_obs, &self.cfg.letkf);
+            let mut flats = flats;
+            mat.to_members(&mut flats);
+            for (member, flat) in self.ensemble.members.iter_mut().zip(&flats) {
+                member.from_flat(&ANALYZED_VARS, flat);
+                member.clamp_physical();
+            }
 
-        let post_map = self.mean_reflectivity_map(2000.0);
-        let posterior_rmse_dbz = self.masked_rmse(&post_map, &truth_map, &mask);
+            let post_map = self.mean_reflectivity_map(2000.0);
+            (analysis, self.masked_rmse(&post_map, &truth_map, &mask))
+        };
 
         CycleOutcome {
             time: self.time,
@@ -483,7 +520,9 @@ impl<T: Real> Osse<T> {
             .random_member_indices(extra_members.min(self.ensemble.size()), &mut self.rng);
         let mut fc_members = vec![mean];
         fc_members.extend(idx.into_iter().map(|i| self.ensemble.members[i].clone()));
-        let mut fc_ens = Ensemble { members: fc_members };
+        let mut fc_ens = Ensemble {
+            members: fc_members,
+        };
 
         // Clone the truth engine to produce verifying fields.
         let mut truth_engine = Model::from_parts(self.cfg.model.clone(), self.base.clone());
@@ -560,6 +599,34 @@ mod tests {
         assert!(out.n_obs_used <= out.n_obs_scanned);
         assert!(out.analysis.points_analyzed > 0, "no grid points analyzed");
         assert!((out.time - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_survives_total_observation_loss() {
+        // A radar that can see nothing (1 m range) models a scan outage:
+        // the cycle must still advance every clock, skip the analysis, and
+        // report an unchanged posterior instead of panicking.
+        let mut cfg = OsseConfig::reduced(10, 8, 6, 2, 11);
+        cfg.radar.range_max = 1.0;
+        let mut osse = Osse::<f32>::new(cfg);
+        let out = osse.cycle();
+        assert_eq!(out.n_obs_scanned, 0);
+        assert_eq!(out.n_obs_used, 0);
+        assert!(out.analysis_skipped());
+        assert_eq!(out.analysis, AnalysisStats::default());
+        assert_eq!(out.posterior_rmse_dbz, out.prior_rmse_dbz);
+        assert!((out.time - 30.0).abs() < 1e-9);
+        assert!((osse.truth().time - 30.0).abs() < 1e-6);
+        for m in &osse.ensemble.members {
+            assert!((m.time - 30.0).abs() < 1e-6);
+        }
+        // A later healthy cycle resumes analysis from the degraded state.
+        osse.cfg.radar.range_max =
+            RadarConfig::reduced(osse.cfg.model.grid.lx(), osse.cfg.model.grid.ly()).range_max;
+        osse.sim = PawrSimulator::new(osse.cfg.radar.clone());
+        let healthy = osse.cycle();
+        assert!(healthy.n_obs_used > 0);
+        assert!(!healthy.analysis_skipped());
     }
 
     #[test]

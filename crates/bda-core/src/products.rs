@@ -1,9 +1,9 @@
 //! Final products: reflectivity maps and 3-D structure views.
 
+use bda_grid::GridSpec;
 use bda_num::Real;
 use bda_pawr::operator::h_reflectivity;
 use bda_pawr::PawrSimulator;
-use bda_grid::GridSpec;
 use bda_scale::{BaseState, ModelState};
 
 /// Simulated-reflectivity map (dBZ) at the model level closest to height
@@ -222,7 +222,7 @@ mod tests {
         let k2km = grid.vertical.level_of(2000.0);
         let mut wet = state.clone();
         wet.qr.set(3, 3, k2km, 3e-3); // > 40 dBZ
-        // 1 of 4 members exceeds at (3,3); none elsewhere.
+                                      // 1 of 4 members exceeds at (3,3); none elsewhere.
         let members = vec![state.clone(), state.clone(), state.clone(), wet];
         let p = exceedance_probability_map(&members, &base, &grid, 2000.0, 30.0);
         assert!((p[3 * 10 + 3] - 0.25).abs() < 1e-12);

@@ -197,7 +197,11 @@ mod tests {
         // Grid spacings all <= 5 km as the caption says.
         for s in &TABLE1 {
             assert!(s.grid_spacing_m <= 5000.0, "{}", s.name);
-            assert!(s.refresh_s >= 3600.0, "{} refreshes faster than hourly", s.name);
+            assert!(
+                s.refresh_s >= 3600.0,
+                "{} refreshes faster than hourly",
+                s.name
+            );
         }
     }
 

@@ -23,7 +23,10 @@ pub struct DaviesWeights {
 impl DaviesWeights {
     /// Cosine-ramp weights over a rim of `width` cells.
     pub fn new(nx: usize, ny: usize, width: usize) -> Self {
-        assert!(width * 2 <= nx && width * 2 <= ny, "rim too wide for domain");
+        assert!(
+            width * 2 <= nx && width * 2 <= ny,
+            "rim too wide for domain"
+        );
         let mut w = vec![0.0; nx * ny];
         for i in 0..nx {
             for j in 0..ny {

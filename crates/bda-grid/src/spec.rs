@@ -99,14 +99,24 @@ impl GridSpec {
     /// The paper's inner BDA2021 domain: 256 x 256 x 60 at 500 m over
     /// 128 km x 128 km x 16.4 km (Table 3).
     pub fn inner_bda2021() -> Self {
-        Self::new(256, 256, 500.0, VerticalCoord::stretched(60, 16_400.0, 1.04))
+        Self::new(
+            256,
+            256,
+            500.0,
+            VerticalCoord::stretched(60, 16_400.0, 1.04),
+        )
     }
 
     /// The paper's outer domain at 1.5 km grid spacing (Fig. 3b). The paper
     /// does not print the outer extents; we size it to comfortably contain
     /// the inner domain with nesting margin.
     pub fn outer_bda2021() -> Self {
-        Self::new(192, 192, 1500.0, VerticalCoord::stretched(60, 16_400.0, 1.04))
+        Self::new(
+            192,
+            192,
+            1500.0,
+            VerticalCoord::stretched(60, 16_400.0, 1.04),
+        )
     }
 
     /// A reduced grid preserving aspect ratios, for tests and live examples.

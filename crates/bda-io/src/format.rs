@@ -27,11 +27,22 @@ fn precision_tag<T: Real>() -> u8 {
 }
 
 /// Encode an ensemble of flat member states.
-pub fn encode_states<T: Real>(members: &[Vec<T>]) -> Bytes {
+///
+/// A ragged ensemble (members of unequal length) is a reportable
+/// [`FormatError`], consistent with the decode path — a malformed input
+/// must surface as an error the caller can degrade on, not a panic that
+/// takes the writer thread down.
+pub fn encode_states<T: Real>(members: &[Vec<T>]) -> Result<Bytes, FormatError> {
     let k = members.len();
     let n = members.first().map(|m| m.len()).unwrap_or(0);
     for (i, m) in members.iter().enumerate() {
-        assert_eq!(m.len(), n, "member {i} length mismatch");
+        if m.len() != n {
+            return Err(FormatError::RaggedEnsemble {
+                member: i,
+                len: m.len(),
+                expected: n,
+            });
+        }
     }
     let prec = precision_tag::<T>() as usize;
     let mut buf = BytesMut::with_capacity(4 + 2 + 1 + 16 + k * n * prec + 8);
@@ -51,18 +62,28 @@ pub fn encode_states<T: Real>(members: &[Vec<T>]) -> Bytes {
     }
     let sum = fnv1a(&buf);
     buf.put_u64(sum);
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
-/// Decoding errors.
+/// Encoding/decoding errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FormatError {
     TooShort,
     BadMagic,
     UnsupportedVersion(u16),
-    PrecisionMismatch { file: u8, expected: u8 },
+    PrecisionMismatch {
+        file: u8,
+        expected: u8,
+    },
     ChecksumMismatch,
     Truncated,
+    /// Encode-side: member `member` has `len` values where the first
+    /// member established `expected`.
+    RaggedEnsemble {
+        member: usize,
+        len: usize,
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for FormatError {
@@ -72,10 +93,21 @@ impl std::fmt::Display for FormatError {
             FormatError::BadMagic => write!(f, "bad magic"),
             FormatError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
             FormatError::PrecisionMismatch { file, expected } => {
-                write!(f, "precision mismatch: file {file} bytes, expected {expected}")
+                write!(
+                    f,
+                    "precision mismatch: file {file} bytes, expected {expected}"
+                )
             }
             FormatError::ChecksumMismatch => write!(f, "checksum mismatch"),
             FormatError::Truncated => write!(f, "payload truncated"),
+            FormatError::RaggedEnsemble {
+                member,
+                len,
+                expected,
+            } => write!(
+                f,
+                "ragged ensemble: member {member} has {len} values, expected {expected}"
+            ),
         }
     }
 }
@@ -137,7 +169,7 @@ mod tests {
     #[test]
     fn roundtrip_f64() {
         let members = vec![vec![1.0_f64, -2.5, 3.25], vec![0.0, 1e-30, 1e30]];
-        let bytes = encode_states(&members);
+        let bytes = encode_states(&members).unwrap();
         let back: Vec<Vec<f64>> = decode_states(&bytes).unwrap();
         assert_eq!(back, members);
     }
@@ -145,7 +177,7 @@ mod tests {
     #[test]
     fn roundtrip_f32() {
         let members = vec![vec![1.5_f32, -0.25], vec![7.0, 9.5]];
-        let bytes = encode_states(&members);
+        let bytes = encode_states(&members).unwrap();
         let back: Vec<Vec<f32>> = decode_states(&bytes).unwrap();
         assert_eq!(back, members);
     }
@@ -154,8 +186,8 @@ mod tests {
     fn single_precision_files_are_half_the_size() {
         let m64 = vec![vec![0.0_f64; 1000]; 4];
         let m32 = vec![vec![0.0_f32; 1000]; 4];
-        let b64 = encode_states(&m64).len();
-        let b32 = encode_states(&m32).len();
+        let b64 = encode_states(&m64).unwrap().len();
+        let b32 = encode_states(&m32).unwrap().len();
         // Header + trailer are fixed; payload halves exactly.
         assert_eq!(b64 - b32, 4 * 1000 * 4);
     }
@@ -163,7 +195,7 @@ mod tests {
     #[test]
     fn precision_mismatch_detected() {
         let members = vec![vec![1.0_f64, 2.0]];
-        let bytes = encode_states(&members);
+        let bytes = encode_states(&members).unwrap();
         let r: Result<Vec<Vec<f32>>, _> = decode_states(&bytes);
         assert_eq!(
             r.unwrap_err(),
@@ -177,7 +209,7 @@ mod tests {
     #[test]
     fn corruption_detected() {
         let members = vec![vec![1.0_f64, 2.0, 3.0]];
-        let mut bytes = encode_states(&members).to_vec();
+        let mut bytes = encode_states(&members).unwrap().to_vec();
         bytes[10] ^= 0x55;
         assert_eq!(
             decode_states::<f64>(&bytes).unwrap_err(),
@@ -188,13 +220,21 @@ mod tests {
     #[test]
     fn empty_ensemble_roundtrips() {
         let members: Vec<Vec<f64>> = vec![];
-        let back: Vec<Vec<f64>> = decode_states(&encode_states(&members)).unwrap();
+        let back: Vec<Vec<f64>> = decode_states(&encode_states(&members).unwrap()).unwrap();
         assert!(back.is_empty());
     }
 
     #[test]
-    #[should_panic]
-    fn ragged_members_rejected() {
-        let _ = encode_states(&[vec![1.0_f64], vec![1.0, 2.0]]);
+    fn ragged_members_rejected_as_error() {
+        let err = encode_states(&[vec![1.0_f64], vec![1.0, 2.0]]).unwrap_err();
+        assert_eq!(
+            err,
+            FormatError::RaggedEnsemble {
+                member: 1,
+                len: 2,
+                expected: 1
+            }
+        );
+        assert!(err.to_string().contains("ragged"));
     }
 }

@@ -51,7 +51,8 @@ impl FileTransport {
 
 impl<T: Real> EnsembleTransport<T> for FileTransport {
     fn send(&mut self, members: &[Vec<T>]) -> std::io::Result<()> {
-        let bytes = encode_states(members);
+        let bytes = encode_states(members)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         let path = self.path(self.write_counter);
         let tmp = path.with_extension("bdaf.part");
         {

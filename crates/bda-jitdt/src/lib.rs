@@ -25,6 +25,9 @@ pub mod stats;
 pub mod transfer;
 pub mod watcher;
 
+/// The byte-buffer type flowing through [`pipe`] — re-exported so pipeline
+/// code can name it without depending on the `bytes` crate directly.
+pub use bytes::Bytes;
 pub use link::LinkModel;
 pub use stats::TransferStats;
 pub use transfer::{JitDt, TransferOutcome};

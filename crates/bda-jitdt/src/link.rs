@@ -84,6 +84,8 @@ mod tests {
 
     #[test]
     fn degraded_link_stalls_more() {
-        assert!(LinkModel::degraded().stall_probability > LinkModel::sinet_bda2021().stall_probability);
+        assert!(
+            LinkModel::degraded().stall_probability > LinkModel::sinet_bda2021().stall_probability
+        );
     }
 }

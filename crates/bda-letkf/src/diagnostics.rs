@@ -53,9 +53,7 @@ impl InnovationStats {
 }
 
 /// Compute innovation statistics per observation kind.
-pub fn innovation_statistics<T: Real>(
-    ens: &ObsEnsemble<T>,
-) -> (InnovationStats, InnovationStats) {
+pub fn innovation_statistics<T: Real>(ens: &ObsEnsemble<T>) -> (InnovationStats, InnovationStats) {
     let k = ens.ensemble_size();
     let mut stats = [InnovationStats::default(), InnovationStats::default()];
     let mut sums = [(0.0f64, 0.0f64, 0.0f64, 0.0f64); 2]; // (d, d^2, hpht, r)
@@ -191,7 +189,11 @@ mod tests {
         // Tiny spread but large innovations: the filter is overconfident.
         let ens = make_ens(50, 200, 0.1, 6.0, 1.0, 2);
         let (r, _) = innovation_statistics(&ens);
-        assert!(r.consistency_ratio() > 5.0, "ratio {:.1}", r.consistency_ratio());
+        assert!(
+            r.consistency_ratio() > 5.0,
+            "ratio {:.1}",
+            r.consistency_ratio()
+        );
         assert!(r.inflation_estimate(100.0) > 5.0);
     }
 

@@ -208,7 +208,14 @@ mod tests {
         Twin { layout, members }
     }
 
-    fn obs_at(twin: &Twin, i: usize, j: usize, kz: usize, value: f64, err: f64) -> ObsEnsemble<f64> {
+    fn obs_at(
+        twin: &Twin,
+        i: usize,
+        j: usize,
+        kz: usize,
+        value: f64,
+        err: f64,
+    ) -> ObsEnsemble<f64> {
         let (x, y) = twin.layout.xy(i, j);
         let z = twin.layout.z_center[kz];
         let o = Observation {
@@ -303,15 +310,19 @@ mod tests {
             for dj in 0..3 {
                 let o = obs_at(&tw, 2 + di, 2 + dj, 1, 7.0, 1.0);
                 all_obs.push(o.obs[0]);
-                for m in 0..8 {
-                    hx[m].push(o.hx[m][0]);
+                for (m, hxm) in hx.iter_mut().enumerate() {
+                    hxm.push(o.hx[m][0]);
                 }
             }
         }
         let obs = ObsEnsemble::new(all_obs, hx);
         let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
         let stats = analyze(&mut mat, &obs, &cfg);
-        assert!(stats.max_local_obs <= 3, "cap violated: {}", stats.max_local_obs);
+        assert!(
+            stats.max_local_obs <= 3,
+            "cap violated: {}",
+            stats.max_local_obs
+        );
         assert!(stats.points_analyzed > 0);
     }
 
@@ -379,8 +390,8 @@ mod tests {
         for (i, j) in [(2, 2), (2, 7), (7, 2), (7, 7), (5, 5)] {
             let o = obs_at(&tw, i, j, 2, truth, 0.4);
             all_obs.push(o.obs[0]);
-            for m in 0..30 {
-                hx[m].push(o.hx[m][0]);
+            for (m, hxm) in hx.iter_mut().enumerate() {
+                hxm.push(o.hx[m][0]);
             }
         }
         let obs = ObsEnsemble::new(all_obs, hx);

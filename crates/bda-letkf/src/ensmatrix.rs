@@ -155,11 +155,7 @@ mod tests {
     fn members() -> Vec<Vec<f64>> {
         let l = layout();
         (0..3)
-            .map(|m| {
-                (0..l.n_elements())
-                    .map(|e| (m * 1000 + e) as f64)
-                    .collect()
-            })
+            .map(|m| (0..l.n_elements()).map(|e| (m * 1000 + e) as f64).collect())
             .collect()
     }
 

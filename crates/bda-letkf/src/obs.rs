@@ -173,8 +173,8 @@ mod tests {
         let cfg = LetkfConfig::reduced(2);
         let ens = ObsEnsemble::new(
             vec![
-                obs(ObsKind::Reflectivity, 30.0), // innov 8 < 10: keep
-                obs(ObsKind::Reflectivity, 45.0), // innov 23 > 10: reject
+                obs(ObsKind::Reflectivity, 30.0),    // innov 8 < 10: keep
+                obs(ObsKind::Reflectivity, 45.0),    // innov 23 > 10: reject
                 obs(ObsKind::DopplerVelocity, 10.0), // innov -12 < 15: keep
                 obs(ObsKind::DopplerVelocity, 60.0), // innov 38 > 15: reject
             ],

@@ -336,7 +336,10 @@ mod tests {
         let s_none = run(0.0);
         let s_mid = run(0.95);
         let s_full = run(1.0);
-        assert!(s_none < s_mid && s_mid < s_full, "{s_none} {s_mid} {s_full}");
+        assert!(
+            s_none < s_mid && s_mid < s_full,
+            "{s_none} {s_mid} {s_full}"
+        );
         assert!((s_full - spread(&xs)).abs() < 1e-9);
     }
 

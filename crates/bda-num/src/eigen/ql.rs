@@ -235,9 +235,16 @@ mod tests {
             let ql = QlEigen.decompose(&a);
             let jc = JacobiEigen::default().decompose(&a);
             for (x, y) in ql.values.iter().zip(&jc.values) {
-                assert!((x - y).abs() < 1e-9, "n={n}: eigenvalue mismatch {x} vs {y}");
+                assert!(
+                    (x - y).abs() < 1e-9,
+                    "n={n}: eigenvalue mismatch {x} vs {y}"
+                );
             }
-            assert!(ql.max_residual(&a) < 1e-9, "residual {}", ql.max_residual(&a));
+            assert!(
+                ql.max_residual(&a) < 1e-9,
+                "residual {}",
+                ql.max_residual(&a)
+            );
             check_orthonormal(&ql.vectors, 1e-9);
         }
     }

@@ -109,13 +109,13 @@ impl<T: Real> MatrixS<T> {
         assert_eq!(v.len(), self.n);
         let n = self.n;
         let mut out = vec![T::zero(); n];
-        for i in 0..n {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * n..(i + 1) * n];
             let mut acc = T::zero();
             for j in 0..n {
                 acc = row[j].mul_add(v[j], acc);
             }
-            out[i] = acc;
+            *o = acc;
         }
         out
     }

@@ -204,7 +204,9 @@ impl Running {
             return 0.0;
         }
         let m = self.mean();
-        ((self.sumsq - self.n as f64 * m * m) / (self.n as f64 - 1.0)).max(0.0).sqrt()
+        ((self.sumsq - self.n as f64 * m * m) / (self.n as f64 - 1.0))
+            .max(0.0)
+            .sqrt()
     }
 
     pub fn min(&self) -> f64 {

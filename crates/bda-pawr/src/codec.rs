@@ -209,7 +209,10 @@ mod tests {
         let n = bad.len();
         let sum = fnv1a(&bad[..n - 8]);
         bad[n - 8..].copy_from_slice(&sum.to_be_bytes());
-        assert_eq!(decode_volume::<f64>(&bad).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(
+            decode_volume::<f64>(&bad).unwrap_err(),
+            DecodeError::BadMagic
+        );
     }
 
     #[test]
@@ -228,7 +231,10 @@ mod tests {
 
     #[test]
     fn too_short_input() {
-        assert_eq!(decode_volume::<f64>(&[1, 2, 3]).unwrap_err(), DecodeError::TooShort);
+        assert_eq!(
+            decode_volume::<f64>(&[1, 2, 3]).unwrap_err(),
+            DecodeError::TooShort
+        );
     }
 
     #[test]

@@ -115,12 +115,7 @@ impl RadarNetwork {
         for (sim, &count) in self.radars.iter().zip(per_radar_counts) {
             let slice = &obs[offset..offset + count];
             let part = crate::operator::ensemble_equivalents(
-                slice,
-                members,
-                base,
-                grid,
-                &sim.cfg,
-                floor_dbz,
+                slice, members, base, grid, &sim.cfg, floor_dbz,
             );
             for (m, p) in hx.iter_mut().zip(part) {
                 m.extend(p);

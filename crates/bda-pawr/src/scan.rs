@@ -64,9 +64,8 @@ impl PawrSimulator {
                     }
                     let true_dbz =
                         h_reflectivity(state, base, i, j, k, self.cfg.min_detectable_dbz);
-                    let noisy_dbz = (true_dbz
-                        + rng.gaussian(0.0, self.cfg.noise_reflectivity_dbz))
-                    .max(self.cfg.min_detectable_dbz);
+                    let noisy_dbz = (true_dbz + rng.gaussian(0.0, self.cfg.noise_reflectivity_dbz))
+                        .max(self.cfg.min_detectable_dbz);
                     if true_dbz <= self.cfg.min_detectable_dbz {
                         n_clear_air += 1;
                         // Clear-air observations report the floor exactly —
@@ -125,9 +124,7 @@ impl PawrSimulator {
         let mut mask = Vec::with_capacity(grid.nx * grid.ny);
         for j in 0..grid.ny {
             for i in 0..grid.nx {
-                mask.push(
-                    visibility(&self.cfg, grid.x_center(i), grid.y_center(j), z).is_ok(),
-                );
+                mask.push(visibility(&self.cfg, grid.x_center(i), grid.y_center(j), z).is_ok());
             }
         }
         mask
@@ -161,7 +158,9 @@ mod tests {
     fn rain_produces_echo_and_doppler() {
         let (grid, base, mut state, sim) = setup();
         // Rain column near but not at the radar (avoid the cone of silence).
-        let (i, j) = grid.cell_of(grid.lx() / 2.0 + 2500.0, grid.ly() / 2.0).unwrap();
+        let (i, j) = grid
+            .cell_of(grid.lx() / 2.0 + 2500.0, grid.ly() / 2.0)
+            .unwrap();
         for k in 2..8 {
             state.qr.set(i as isize, j as isize, k, 3e-3);
         }
@@ -182,7 +181,9 @@ mod tests {
         let (grid, base, mut state, sim) = setup();
         // Rain somewhere so some observations carry actual noise (clear-air
         // obs report the floor exactly and would compare equal trivially).
-        let (i, j) = grid.cell_of(grid.lx() / 2.0 + 2000.0, grid.ly() / 2.0).unwrap();
+        let (i, j) = grid
+            .cell_of(grid.lx() / 2.0 + 2000.0, grid.ly() / 2.0)
+            .unwrap();
         for k in 2..8 {
             state.qr.set(i as isize, j as isize, k, 2e-3);
         }
@@ -193,11 +194,7 @@ mod tests {
             assert_eq!(x.value, y.value);
         }
         let c = sim.scan(&state, &base, &grid, 90.0, 7);
-        let same = a
-            .obs
-            .iter()
-            .zip(&c.obs)
-            .all(|(x, y)| x.value == y.value);
+        let same = a.obs.iter().zip(&c.obs).all(|(x, y)| x.value == y.value);
         assert!(!same, "different scan times must draw different noise");
     }
 

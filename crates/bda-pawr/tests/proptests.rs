@@ -45,8 +45,8 @@ proptest! {
             let (s, c) = az.to_radians().sin_cos();
             visibility(&cfg, cfg.x + r * c, cfg.y + r * s, z)
         };
-        let v1 = at(az1).map(|_| ()).map_err(|e| e);
-        let v2 = at(az2).map(|_| ()).map_err(|e| e);
+        let v1 = at(az1).map(|_| ());
+        let v2 = at(az2).map(|_| ());
         prop_assert_eq!(v1.is_ok(), v2.is_ok());
         if let (Err(a), Err(b)) = (v1, v2) {
             prop_assert_eq!(a, b);

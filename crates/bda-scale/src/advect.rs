@@ -51,7 +51,11 @@ impl<T: Real> Metrics<T> {
 #[inline]
 pub fn w_at_center<T: Real>(w: &Field3<T>, i: isize, j: isize, k: usize, nz: usize) -> T {
     let below = w.at(i, j, k);
-    let above = if k + 1 < nz { w.at(i, j, k + 1) } else { T::zero() };
+    let above = if k + 1 < nz {
+        w.at(i, j, k + 1)
+    } else {
+        T::zero()
+    };
     (below + above) * T::half()
 }
 
@@ -168,14 +172,22 @@ pub fn momentum_advection<T: Real>(
                     let wc = w.at(i, j, k);
                     let dwdx = (w.at(i + 1, j, k) - w.at(i - 1, j, k)) * half * m.inv_dx;
                     let dwdy = (w.at(i, j + 1, k) - w.at(i, j - 1, k)) * half * m.inv_dx;
-                    let uf = (u.at(i, j, k - 1) + u.at(i + 1, j, k - 1) + u.at(i, j, k)
+                    let uf = (u.at(i, j, k - 1)
+                        + u.at(i + 1, j, k - 1)
+                        + u.at(i, j, k)
                         + u.at(i + 1, j, k))
                         * quarter;
-                    let vf = (v.at(i, j, k - 1) + v.at(i, j + 1, k - 1) + v.at(i, j, k)
+                    let vf = (v.at(i, j, k - 1)
+                        + v.at(i, j + 1, k - 1)
+                        + v.at(i, j, k)
                         + v.at(i, j + 1, k))
                         * quarter;
                     // dw/dz at the face uses the two adjacent faces.
-                    let w_above = if k + 1 < nz { w.at(i, j, k + 1) } else { T::zero() };
+                    let w_above = if k + 1 < nz {
+                        w.at(i, j, k + 1)
+                    } else {
+                        T::zero()
+                    };
                     let w_below = if k >= 2 { w.at(i, j, k - 1) } else { T::zero() };
                     let dwdz = (w_above - w_below) / (m.dz[k] + m.dz[k - 1]);
                     tw.set(i, j, k, -(uf * dwdx + vf * dwdy + wc * dwdz));

@@ -230,7 +230,11 @@ mod tests {
     #[test]
     fn density_is_physical() {
         let b = BaseState::<f64>::from_sounding(&Sounding::convective(), &vc(), 340.0);
-        assert!(b.rho0[0] > 1.0 && b.rho0[0] < 1.3, "rho_sfc = {}", b.rho0[0]);
+        assert!(
+            b.rho0[0] > 1.0 && b.rho0[0] < 1.3,
+            "rho_sfc = {}",
+            b.rho0[0]
+        );
         let top = b.nz() - 1;
         assert!(b.rho0[top] < 0.4, "rho_top = {}", b.rho0[top]);
         for k in 0..b.nz() {

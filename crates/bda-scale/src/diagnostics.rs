@@ -107,7 +107,13 @@ pub fn convective_indices(
 /// Indices of the base-state sounding itself.
 pub fn base_state_indices<T: Real>(base: &BaseState<T>, vc: &VerticalCoord) -> ConvectiveIndices {
     let f = |v: &[T]| -> Vec<f64> { v.iter().map(|&x| x.f64()).collect() };
-    convective_indices(&f(&base.theta0), &f(&base.qv0), &f(&base.p0), &f(&base.rho0), vc)
+    convective_indices(
+        &f(&base.theta0),
+        &f(&base.qv0),
+        &f(&base.p0),
+        &f(&base.rho0),
+        vc,
+    )
 }
 
 /// Indices of one model column (base + perturbation).
@@ -124,8 +130,12 @@ pub fn column_indices<T: Real>(
     let theta: Vec<f64> = (0..nz)
         .map(|k| (base.theta0[k] + state.theta.at(ii, jj, k)).f64())
         .collect();
-    let qv: Vec<f64> = (0..nz).map(|k| state.qv.at(ii, jj, k).f64().max(0.0)).collect();
-    let p: Vec<f64> = (0..nz).map(|k| state.pressure(base, ii, jj, k).f64()).collect();
+    let qv: Vec<f64> = (0..nz)
+        .map(|k| state.qv.at(ii, jj, k).f64().max(0.0))
+        .collect();
+    let p: Vec<f64> = (0..nz)
+        .map(|k| state.pressure(base, ii, jj, k).f64())
+        .collect();
     let rho: Vec<f64> = (0..nz).map(|k| base.rho0[k].f64()).collect();
     convective_indices(&theta, &qv, &p, &rho, &vc.clone())
 }

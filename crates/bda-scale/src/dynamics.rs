@@ -98,14 +98,18 @@ pub fn step_dynamics<T: Real>(
     let f_cor = T::of(cfg.coriolis_f);
 
     // --- explicit tendencies: advection ---
-    momentum_advection(&state.u, &state.v, &state.w, m, &mut ws.tu, &mut ws.tv, &mut ws.tw);
+    momentum_advection(
+        &state.u, &state.v, &state.w, m, &mut ws.tu, &mut ws.tv, &mut ws.tw,
+    );
 
     // --- horizontal pressure gradient, Coriolis, buoyancy ---
     for i in 0..nx {
         for j in 0..ny {
             for k in 0..nz {
                 // u face (i, j): PGF = -cp theta0 d(pi')/dx.
-                let pgf_u = -cp * base.theta0[k] * (state.pi.at(i, j, k) - state.pi.at(i - 1, j, k))
+                let pgf_u = -cp
+                    * base.theta0[k]
+                    * (state.pi.at(i, j, k) - state.pi.at(i - 1, j, k))
                     * m.inv_dx;
                 let v_at_u = (state.v.at(i - 1, j, k)
                     + state.v.at(i - 1, j + 1, k)
@@ -114,7 +118,9 @@ pub fn step_dynamics<T: Real>(
                     * T::of(0.25);
                 ws.tu.add_at(i, j, k, pgf_u + f_cor * (v_at_u - base.v0[k]));
 
-                let pgf_v = -cp * base.theta0[k] * (state.pi.at(i, j, k) - state.pi.at(i, j - 1, k))
+                let pgf_v = -cp
+                    * base.theta0[k]
+                    * (state.pi.at(i, j, k) - state.pi.at(i, j - 1, k))
                     * m.inv_dx;
                 let u_at_v = (state.u.at(i, j - 1, k)
                     + state.u.at(i + 1, j - 1, k)
@@ -130,8 +136,8 @@ pub fn step_dynamics<T: Real>(
                     let qv0_f = (base.qv0[k - 1] + base.qv0[k]) * T::half();
                     let qc_f =
                         (state.q_condensate(i, j, k - 1) + state.q_condensate(i, j, k)) * T::half();
-                    let buoy = grav
-                        * (th_f / base.theta0_face[k] + T::of(0.61) * (qv_f - qv0_f) - qc_f);
+                    let buoy =
+                        grav * (th_f / base.theta0_face[k] + T::of(0.61) * (qv_f - qv0_f) - qc_f);
                     ws.tw.add_at(i, j, k, buoy);
                 }
             }
@@ -244,10 +250,13 @@ pub fn step_dynamics<T: Real>(
             }
             // pi' update with the implicit w.
             for k in 0..nz {
-                let w_top = if k + 1 < nz { state.w.at(i, j, k + 1) } else { T::zero() };
+                let w_top = if k + 1 < nz {
+                    state.w.at(i, j, k + 1)
+                } else {
+                    T::zero()
+                };
                 let w_bot = state.w.at(i, j, k);
-                let vert =
-                    (base.a_face[k + 1] * w_top - base.a_face[k] * w_bot) * m.inv_dz[k];
+                let vert = (base.a_face[k + 1] * w_top - base.a_face[k] * w_bot) * m.inv_dz[k];
                 let dpi = -dt * base.b_center[k] * (ws.div_h.at(i, j, k) + vert);
                 state.pi.add_at(i, j, k, dpi);
             }
@@ -290,10 +299,10 @@ fn apply_hyperdiffusion<T: Real>(
     for i in -1..=(nx as isize) {
         for j in -1..=(ny as isize) {
             for k in 0..nz {
-                let l = (f.at(i + 1, j, k) + f.at(i - 1, j, k) + f.at(i, j + 1, k)
-                    + f.at(i, j - 1, k)
-                    - four * f.at(i, j, k))
-                    * inv_dx2;
+                let l =
+                    (f.at(i + 1, j, k) + f.at(i - 1, j, k) + f.at(i, j + 1, k) + f.at(i, j - 1, k)
+                        - four * f.at(i, j, k))
+                        * inv_dx2;
                 lap.set(i, j, k, l);
             }
         }
@@ -301,7 +310,9 @@ fn apply_hyperdiffusion<T: Real>(
     for i in 0..nx as isize {
         for j in 0..ny as isize {
             for k in 0..nz {
-                let l2 = (lap.at(i + 1, j, k) + lap.at(i - 1, j, k) + lap.at(i, j + 1, k)
+                let l2 = (lap.at(i + 1, j, k)
+                    + lap.at(i - 1, j, k)
+                    + lap.at(i, j + 1, k)
                     + lap.at(i, j - 1, k)
                     - four * lap.at(i, j, k))
                     * inv_dx2;
@@ -321,7 +332,8 @@ mod tests {
         cfg.halo = bda_grid::halo::HaloPolicy::Periodic;
         cfg.davies_width = 0;
         cfg.physics = crate::config::PhysicsSwitches::dry();
-        let base = BaseState::from_sounding(&Sounding::dry_stable(), &cfg.grid.vertical, cfg.sound_speed);
+        let base =
+            BaseState::from_sounding(&Sounding::dry_stable(), &cfg.grid.vertical, cfg.sound_speed);
         let state = ModelState::init_from_base(&cfg.grid, &base);
         let m = Metrics::new(&cfg.grid);
         (cfg, base, state, m)
@@ -350,7 +362,11 @@ mod tests {
         for _ in 0..20 {
             step(&cfg, &base, &mut state, &m, &mut ws);
         }
-        assert!(state.w.interior_max_abs() < 1e-10, "w = {}", state.w.interior_max_abs());
+        assert!(
+            state.w.interior_max_abs() < 1e-10,
+            "w = {}",
+            state.w.interior_max_abs()
+        );
         assert!(state.pi.interior_max_abs() < 1e-10);
         assert!(state.theta.interior_max_abs() < 1e-10);
     }
@@ -440,8 +456,11 @@ mod tests {
         let mut cfg = ModelConfig::reduced(10, 10, 12);
         cfg.halo = bda_grid::halo::HaloPolicy::Periodic;
         cfg.physics = crate::config::PhysicsSwitches::dry();
-        let base =
-            BaseState::<f32>::from_sounding(&Sounding::dry_stable(), &cfg.grid.vertical, cfg.sound_speed);
+        let base = BaseState::<f32>::from_sounding(
+            &Sounding::dry_stable(),
+            &cfg.grid.vertical,
+            cfg.sound_speed,
+        );
         let mut state = ModelState::<f32>::init_from_base(&cfg.grid, &base);
         let g = cfg.grid.clone();
         state.add_warm_bubble(&g, g.lx() / 2.0, g.ly() / 2.0, 2000.0, 1500.0, 1200.0, 2.0);

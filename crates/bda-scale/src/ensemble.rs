@@ -112,10 +112,8 @@ impl<T: Real> Ensemble<T> {
             .map(|(idx, member)| {
                 let mut engine = Model::from_parts(cfg.clone(), base.clone());
                 setup(idx, &mut engine);
-                let placeholder = engine.swap_state(std::mem::replace(
-                    member,
-                    ModelState::zeros(&cfg.grid),
-                ));
+                let placeholder =
+                    engine.swap_state(std::mem::replace(member, ModelState::zeros(&cfg.grid)));
                 drop(placeholder);
                 let r = engine.integrate(duration);
                 *member = engine.swap_state(ModelState::zeros(&cfg.grid));
@@ -150,7 +148,8 @@ mod tests {
         cfg.halo = bda_grid::halo::HaloPolicy::Periodic;
         cfg.davies_width = 0;
         cfg.physics = PhysicsSwitches::dry();
-        let base = BaseState::from_sounding(&Sounding::dry_stable(), &cfg.grid.vertical, cfg.sound_speed);
+        let base =
+            BaseState::from_sounding(&Sounding::dry_stable(), &cfg.grid.vertical, cfg.sound_speed);
         let init = ModelState::init_from_base(&cfg.grid, &base);
         (cfg, base, init)
     }
@@ -221,7 +220,8 @@ mod tests {
         init.add_warm_bubble(&g, g.lx() / 2.0, g.ly() / 2.0, 1500.0, 2000.0, 1000.0, 2.0);
         let mut ens = Ensemble::from_perturbations(&init, &cfg, 3, 8, 0.3, 5e-5);
         let before = ens.spread(PrognosticVar::W);
-        ens.forecast(&cfg, &base, 30.0, |_| Boundary::BaseState).unwrap();
+        ens.forecast(&cfg, &base, 30.0, |_| Boundary::BaseState)
+            .unwrap();
         let after = ens.spread(PrognosticVar::W);
         assert!(after > 0.0);
         // w spread must have been created from zero initial w spread... the

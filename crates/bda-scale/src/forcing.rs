@@ -81,8 +81,7 @@ impl LargeScaleForcing {
             let p_est = self.sounding.p_surface * (-z / 8000.0_f64).exp();
             let t_est = self.sounding.theta(z) * crate::constants::exner(p_est);
             let qv_env = self.sounding.rh(z) * crate::constants::q_sat_liquid(t_est, p_est);
-            p.qv
-                .push((qv_env * (1.0 + self.moisture_amplitude * mq * shape)).max(0.0));
+            p.qv.push((qv_env * (1.0 + self.moisture_amplitude * mq * shape)).max(0.0));
         }
         p
     }

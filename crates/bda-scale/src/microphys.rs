@@ -225,7 +225,9 @@ pub fn column_microphysics<T: Real>(
             let qsat_l = q_sat_liquid(t, p);
             if qv < qsat_l {
                 let subsat = (qsat_l - qv) / qsat_l;
-                let dq = (params.evap * subsat * qr.powf(0.65) * dt).min(qr).min(qsat_l - qv);
+                let dq = (params.evap * subsat * qr.powf(0.65) * dt)
+                    .min(qr)
+                    .min(qsat_l - qv);
                 qr -= dq;
                 qv += dq;
                 t -= LV / CP * dq;
@@ -305,7 +307,19 @@ mod tests {
         (base, dz)
     }
 
-    fn zero_cols(nz: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    /// (theta', pi', qv, qc, qr, qi, qs, qg) working columns.
+    type Cols = (
+        Vec<f64>,
+        Vec<f64>,
+        Vec<f64>,
+        Vec<f64>,
+        Vec<f64>,
+        Vec<f64>,
+        Vec<f64>,
+        Vec<f64>,
+    );
+
+    fn zero_cols(nz: usize) -> Cols {
         (
             vec![0.0; nz],
             vec![0.0; nz],
@@ -323,8 +337,8 @@ mod tests {
         let (base, dz) = setup(20);
         let (mut th, pi, mut qv, mut qc, mut qr, mut qi, mut qs, mut qg) = zero_cols(20);
         // Strong supersaturation at low levels.
-        for k in 0..5 {
-            qv[k] = base.qv0[k] + 1.2e-2;
+        for (k, v) in qv.iter_mut().enumerate().take(5) {
+            *v = base.qv0[k] + 1.2e-2;
         }
         let qv_before = qv[2];
         let mut col = ColumnView {
@@ -368,9 +382,7 @@ mod tests {
     fn heavy_cloud_water_autoconverts_to_rain() {
         let (base, dz) = setup(20);
         let (mut th, pi, mut qv, mut qc, mut qr, mut qi, mut qs, mut qg) = zero_cols(20);
-        for k in 0..20 {
-            qv[k] = base.qv0[k];
-        }
+        qv.copy_from_slice(&base.qv0[..20]);
         qc[3] = 3e-3; // well above threshold
         let mut col = ColumnView {
             theta: &mut th,
@@ -392,12 +404,11 @@ mod tests {
     fn rain_aloft_reaches_the_surface() {
         let (base, dz) = setup(20);
         let (mut th, pi, mut qv, mut qc, mut qr, mut qi, mut qs, mut qg) = zero_cols(20);
-        for k in 0..20 {
-            qv[k] = base.qv0[k]; // keep air near saturation to limit evaporation
-        }
+        // Keep air near saturation to limit evaporation.
+        qv.copy_from_slice(&base.qv0[..20]);
         // 2 g/kg of rain in layers 4-8 (~1.5-3.5 km).
-        for k in 4..=8 {
-            qr[k] = 2e-3;
+        for q in qr.iter_mut().take(9).skip(4) {
+            *q = 2e-3;
         }
         let mut total_rain = 0.0;
         let mut col = ColumnView {
@@ -425,20 +436,17 @@ mod tests {
         // only by the surface precipitation flux.
         let (base, dz) = setup(20);
         let (mut th, pi, mut qv, mut qc, mut qr, mut qi, mut qs, mut qg) = zero_cols(20);
-        for k in 0..20 {
-            qv[k] = base.qv0[k] * 1.1; // slight supersaturation somewhere
+        for (k, v) in qv.iter_mut().enumerate() {
+            *v = base.qv0[k] * 1.1; // slight supersaturation somewhere
         }
         qc[4] = 2e-3;
         qr[5] = 1e-3;
-        let column_water = |qv: &[f64], qc: &[f64], qr: &[f64], qi: &[f64], qs: &[f64], qg: &[f64]| -> f64 {
-            (0..20)
-                .map(|k| {
-                    base.rho0[k]
-                        * dz[k]
-                        * (qv[k] + qc[k] + qr[k] + qi[k] + qs[k] + qg[k])
-                })
-                .sum()
-        };
+        let column_water =
+            |qv: &[f64], qc: &[f64], qr: &[f64], qi: &[f64], qs: &[f64], qg: &[f64]| -> f64 {
+                (0..20)
+                    .map(|k| base.rho0[k] * dz[k] * (qv[k] + qc[k] + qr[k] + qi[k] + qs[k] + qg[k]))
+                    .sum()
+            };
         let before = column_water(&qv, &qc, &qr, &qi, &qs, &qg);
         let mut precip_total = 0.0;
         {
@@ -470,8 +478,8 @@ mod tests {
         let (base, dz) = setup(30);
         let (mut th, pi, mut qv, mut qc, mut qr, mut qi, mut qs, mut qg) = zero_cols(30);
         // Strong moisture injection at mid/upper levels (cold).
-        for k in 15..25 {
-            qv[k] = base.qv0[k] + 3e-3;
+        for (k, v) in qv.iter_mut().enumerate().take(25).skip(15) {
+            *v = base.qv0[k] + 3e-3;
         }
         let mut col = ColumnView {
             theta: &mut th,

@@ -149,7 +149,13 @@ impl<T: Real> Model<T> {
 
         // --- dynamics (HEVI) ---
         self.state.fill_halos(self.cfg.halo);
-        step_dynamics(&mut self.state, &self.base, &self.cfg, &self.metrics, &mut self.dynws);
+        step_dynamics(
+            &mut self.state,
+            &self.base,
+            &self.cfg,
+            &self.metrics,
+            &mut self.dynws,
+        );
         self.state.fill_halos(self.cfg.halo);
 
         // --- scalar advection ---
@@ -275,8 +281,8 @@ impl<T: Real> Model<T> {
                     }
                     column_heating(&self.rad_params, &self.cloud_buf, &zc, &mut self.rad_buf);
                     let th = self.state.theta.column_mut(ii, jj);
-                    for k in 0..nz {
-                        th[k] += T::of(self.rad_buf[k] * dt);
+                    for (t, h) in th.iter_mut().zip(&self.rad_buf) {
+                        *t += T::of(h * dt);
                     }
                 }
             }
@@ -416,7 +422,10 @@ mod tests {
         let before = m.state.theta.interior_max_abs();
         m.step(); // 2 -> 3: trigger fires
         let after = m.state.theta.interior_max_abs();
-        assert!(after > before + 0.5, "trigger did not fire: {before} -> {after}");
+        assert!(
+            after > before + 0.5,
+            "trigger did not fire: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -483,6 +492,10 @@ mod tests {
         m.boundary = Boundary::Profiles(forcing);
         m.integrate(60.0).unwrap();
         // Rim u pulled toward 10 m/s while the interior stays near 0.
-        assert!(m.state.u.at(0, 8, 0) > 3.0, "rim u = {}", m.state.u.at(0, 8, 0));
+        assert!(
+            m.state.u.at(0, 8, 0) > 3.0,
+            "rim u = {}",
+            m.state.u.at(0, 8, 0)
+        );
     }
 }

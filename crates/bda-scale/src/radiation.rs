@@ -71,7 +71,9 @@ mod tests {
     use super::*;
 
     fn z_levels(nz: usize, top: f64) -> Vec<f64> {
-        (0..nz).map(|k| (k as f64 + 0.5) * top / nz as f64).collect()
+        (0..nz)
+            .map(|k| (k as f64 + 0.5) * top / nz as f64)
+            .collect()
     }
 
     #[test]
@@ -100,7 +102,12 @@ mod tests {
         let mut out = vec![0.0; 20];
         column_heating(&p, &cloud, &z, &mut out);
         // Cloud top = level 8: more cooling than in-cloud levels below.
-        assert!(out[8] < out[6], "cloud top {} vs in-cloud {}", out[8], out[6]);
+        assert!(
+            out[8] < out[6],
+            "cloud top {} vs in-cloud {}",
+            out[8],
+            out[6]
+        );
     }
 
     #[test]

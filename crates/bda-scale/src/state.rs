@@ -143,10 +143,8 @@ impl<T: Real> ModelState<T> {
         let nz = grid.nz();
         s.u.par_columns_mut(|_, _, col| col.copy_from_slice(&base.u0[..nz]));
         s.v.par_columns_mut(|_, _, col| col.copy_from_slice(&base.v0[..nz]));
-        s.qv
-            .par_columns_mut(|_, _, col| col.copy_from_slice(&base.qv0[..nz]));
-        s.tke
-            .par_columns_mut(|_, _, col| col.fill(T::of(0.01)));
+        s.qv.par_columns_mut(|_, _, col| col.copy_from_slice(&base.qv0[..nz]));
+        s.tke.par_columns_mut(|_, _, col| col.fill(T::of(0.01)));
         s
     }
 
@@ -229,7 +227,8 @@ impl<T: Real> ModelState<T> {
         let n = self.cells();
         assert_eq!(flat.len(), vars.len() * n);
         for (vi, &var) in vars.iter().enumerate() {
-            self.field_mut(var).interior_from_vec(&flat[vi * n..(vi + 1) * n]);
+            self.field_mut(var)
+                .interior_from_vec(&flat[vi * n..(vi + 1) * n]);
         }
     }
 

@@ -106,43 +106,113 @@ mod tests {
 
     #[test]
     fn warm_surface_gives_upward_heat_flux() {
-        let f = bulk_fluxes(&SurfaceParams::default(), 5.0, 0.0, 300.0, 0.010, Z1, 303.0, PSFC);
+        let f = bulk_fluxes(
+            &SurfaceParams::default(),
+            5.0,
+            0.0,
+            300.0,
+            0.010,
+            Z1,
+            303.0,
+            PSFC,
+        );
         assert!(f.theta_flux > 0.0, "theta_flux = {}", f.theta_flux);
         assert!(f.drag > 0.0);
     }
 
     #[test]
     fn cold_surface_gives_downward_heat_flux() {
-        let f = bulk_fluxes(&SurfaceParams::default(), 5.0, 0.0, 305.0, 0.010, Z1, 295.0, PSFC);
+        let f = bulk_fluxes(
+            &SurfaceParams::default(),
+            5.0,
+            0.0,
+            305.0,
+            0.010,
+            Z1,
+            295.0,
+            PSFC,
+        );
         assert!(f.theta_flux < 0.0);
     }
 
     #[test]
     fn dry_air_over_ocean_gets_moisture() {
-        let f = bulk_fluxes(&SurfaceParams::default(), 5.0, 0.0, 300.0, 0.002, Z1, 300.0, PSFC);
+        let f = bulk_fluxes(
+            &SurfaceParams::default(),
+            5.0,
+            0.0,
+            300.0,
+            0.002,
+            Z1,
+            300.0,
+            PSFC,
+        );
         assert!(f.qv_flux > 0.0);
     }
 
     #[test]
     fn unstable_fluxes_exceed_stable_at_same_gradient() {
         // Same |delta theta| but opposite sign: unstable must transfer more.
-        let unstable =
-            bulk_fluxes(&SurfaceParams::default(), 3.0, 0.0, 298.0, 0.008, Z1, 302.0, PSFC);
-        let stable =
-            bulk_fluxes(&SurfaceParams::default(), 3.0, 0.0, 306.0, 0.008, Z1, 302.0, PSFC);
+        let unstable = bulk_fluxes(
+            &SurfaceParams::default(),
+            3.0,
+            0.0,
+            298.0,
+            0.008,
+            Z1,
+            302.0,
+            PSFC,
+        );
+        let stable = bulk_fluxes(
+            &SurfaceParams::default(),
+            3.0,
+            0.0,
+            306.0,
+            0.008,
+            Z1,
+            302.0,
+            PSFC,
+        );
         assert!(unstable.theta_flux.abs() > stable.theta_flux.abs());
     }
 
     #[test]
     fn gustiness_sustains_fluxes_at_calm() {
-        let f = bulk_fluxes(&SurfaceParams::default(), 0.0, 0.0, 298.0, 0.008, Z1, 303.0, PSFC);
+        let f = bulk_fluxes(
+            &SurfaceParams::default(),
+            0.0,
+            0.0,
+            298.0,
+            0.008,
+            Z1,
+            303.0,
+            PSFC,
+        );
         assert!(f.theta_flux > 0.0, "free-convection limit dead: {f:?}");
     }
 
     #[test]
     fn drag_grows_with_wind() {
-        let slow = bulk_fluxes(&SurfaceParams::default(), 2.0, 0.0, 300.0, 0.01, Z1, 300.0, PSFC);
-        let fast = bulk_fluxes(&SurfaceParams::default(), 15.0, 0.0, 300.0, 0.01, Z1, 300.0, PSFC);
+        let slow = bulk_fluxes(
+            &SurfaceParams::default(),
+            2.0,
+            0.0,
+            300.0,
+            0.01,
+            Z1,
+            300.0,
+            PSFC,
+        );
+        let fast = bulk_fluxes(
+            &SurfaceParams::default(),
+            15.0,
+            0.0,
+            300.0,
+            0.01,
+            Z1,
+            300.0,
+            PSFC,
+        );
         assert!(fast.drag > slow.drag);
     }
 

@@ -187,7 +187,15 @@ impl<T: Real> ColumnPbl<T> {
         self.diffuse_implicit(u, z_center, dz, dt_t, T::one(), Some(drag_term), T::zero());
         self.diffuse_implicit(v, z_center, dz, dt_t, T::one(), Some(drag_term), T::zero());
         let inv_pr = T::one() / T::of(PRT);
-        self.diffuse_implicit(theta, z_center, dz, dt_t, inv_pr, None, sfc_flux_theta / dz[0]);
+        self.diffuse_implicit(
+            theta,
+            z_center,
+            dz,
+            dt_t,
+            inv_pr,
+            None,
+            sfc_flux_theta / dz[0],
+        );
         self.diffuse_implicit(qv, z_center, dz, dt_t, inv_pr, None, sfc_flux_qv / dz[0]);
     }
 
@@ -234,8 +242,12 @@ impl<T: Real> ColumnPbl<T> {
             self.diag[0] += dt * d;
         }
         self.rhs[0] += dt * sfc_source;
-        self.tri
-            .solve(&self.sub[..nz], &self.diag[..nz], &self.sup[..nz], &mut self.rhs[..nz]);
+        self.tri.solve(
+            &self.sub[..nz],
+            &self.diag[..nz],
+            &self.sup[..nz],
+            &mut self.rhs[..nz],
+        );
         q.copy_from_slice(&self.rhs[..nz]);
     }
 }
@@ -316,11 +328,25 @@ mod tests {
         let mut tke = vec![TKE_MIN; 20];
         for _ in 0..100 {
             pbl.step_column(
-                &mut u, &mut v, &mut th, &mut qv, &mut tke, &base, &vc.z_center, &dz_t, 2.0,
-                0.0, 0.0, 0.0,
+                &mut u,
+                &mut v,
+                &mut th,
+                &mut qv,
+                &mut tke,
+                &base,
+                &vc.z_center,
+                &dz_t,
+                2.0,
+                0.0,
+                0.0,
+                0.0,
             );
         }
-        assert!(tke.iter().any(|&e| e > 10.0 * TKE_MIN), "tke = {:?}", &tke[..5]);
+        assert!(
+            tke.iter().any(|&e| e > 10.0 * TKE_MIN),
+            "tke = {:?}",
+            &tke[..5]
+        );
     }
 
     #[test]
@@ -334,8 +360,18 @@ mod tests {
         let mut tke = vec![0.1; 15];
         for _ in 0..50 {
             pbl.step_column(
-                &mut u, &mut v, &mut th, &mut qv, &mut tke, &base, &vc.z_center, &dz, 2.0,
-                0.1, 0.0, 0.0,
+                &mut u,
+                &mut v,
+                &mut th,
+                &mut qv,
+                &mut tke,
+                &base,
+                &vc.z_center,
+                &dz,
+                2.0,
+                0.1,
+                0.0,
+                0.0,
             );
         }
         assert!(th[0] > 0.05, "theta'[0] = {}", th[0]);
@@ -353,8 +389,18 @@ mod tests {
         let mut tke = vec![0.1; 15];
         for _ in 0..50 {
             pbl.step_column(
-                &mut u, &mut v, &mut th, &mut qv, &mut tke, &base, &vc.z_center, &dz, 2.0,
-                0.0, 0.0, 0.01,
+                &mut u,
+                &mut v,
+                &mut th,
+                &mut qv,
+                &mut tke,
+                &base,
+                &vc.z_center,
+                &dz,
+                2.0,
+                0.0,
+                0.0,
+                0.01,
             );
         }
         assert!(u[0] < 10.0);
@@ -372,8 +418,18 @@ mod tests {
         let mut tke = vec![0.0; 25];
         for _ in 0..300 {
             pbl.step_column(
-                &mut u, &mut v, &mut th, &mut qv, &mut tke, &base, &vc.z_center, &dz, 5.0,
-                0.05, 1e-5, 0.005,
+                &mut u,
+                &mut v,
+                &mut th,
+                &mut qv,
+                &mut tke,
+                &base,
+                &vc.z_center,
+                &dz,
+                5.0,
+                0.05,
+                1e-5,
+                0.005,
             );
         }
         for (k, &e) in tke.iter().enumerate() {
@@ -396,8 +452,18 @@ mod tests {
         let before = mass(&th);
         for _ in 0..20 {
             pbl.step_column(
-                &mut u, &mut v, &mut th, &mut qv, &mut tke, &base, &vc.z_center, &dz, 2.0,
-                0.0, 0.0, 0.0,
+                &mut u,
+                &mut v,
+                &mut th,
+                &mut qv,
+                &mut tke,
+                &base,
+                &vc.z_center,
+                &dz,
+                2.0,
+                0.0,
+                0.0,
+                0.0,
             );
         }
         let after = mass(&th);

@@ -61,7 +61,12 @@ pub fn fss<T: Real>(
     let ff = fractions(forecast, width, height, threshold, radius);
     let fo = fractions(observed, width, height, threshold, radius);
     let n = ff.len() as f64;
-    let mse: f64 = ff.iter().zip(&fo).map(|(a, b)| (a - b).powi(2)).sum::<f64>() / n;
+    let mse: f64 = ff
+        .iter()
+        .zip(&fo)
+        .map(|(a, b)| (a - b).powi(2))
+        .sum::<f64>()
+        / n;
     let mse_ref: f64 = ff
         .iter()
         .zip(&fo)

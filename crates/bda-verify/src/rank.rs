@@ -123,9 +123,7 @@ mod tests {
             let dev = (c as f64 - expected).abs() / expected;
             assert!(dev < 0.15, "bin {r}: {c} vs {expected}");
         }
-        assert!(
-            (h.outlier_fraction() - h.calibrated_outlier_fraction()).abs() < 0.03
-        );
+        assert!((h.outlier_fraction() - h.calibrated_outlier_fraction()).abs() < 0.03);
         assert!(h.flatness_deficit() < 0.01);
     }
 

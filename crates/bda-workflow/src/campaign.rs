@@ -110,7 +110,10 @@ pub struct CampaignResult {
 impl CampaignResult {
     /// Total forecasts issued (paper: 75,248).
     pub fn total_forecasts(&self) -> usize {
-        self.periods.iter().map(PeriodResult::forecasts_issued).sum()
+        self.periods
+            .iter()
+            .map(PeriodResult::forecasts_issued)
+            .sum()
     }
 
     /// All time-to-solution samples, minutes.
@@ -213,7 +216,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
     for (pi, period) in cfg.periods.iter().enumerate() {
         let seed_p = rng.next_u64() ^ (pi as u64);
         let trace = RainTrace::generate(period.duration_s, seed_p);
-        let outages = OutageSchedule::generate(period.duration_s, cfg.availability, seed_p ^ 0xABCD);
+        let outages =
+            OutageSchedule::generate(period.duration_s, cfg.availability, seed_p ^ 0xABCD);
         let n_cycles = (period.duration_s / cfg.cycle_interval) as usize;
         let mut records = Vec::with_capacity(n_cycles);
         // Completion times of in-flight part <2> forecasts (slot scheduler).
@@ -225,8 +229,9 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
             let a20 = trace.area_20mmh(t);
             let tts = if outages.is_down(t) {
                 None
-            } else if let Some(sample) =
-                cfg.perf.sample(trace.load_factor(t), seed_p.wrapping_add(c as u64))
+            } else if let Some(sample) = cfg
+                .perf
+                .sample(trace.load_factor(t), seed_p.wrapping_add(c as u64))
             {
                 // Part <2> nodes are busy only while a 30-minute forecast
                 // actually runs (transfer and analysis live on part <1>).
@@ -367,6 +372,24 @@ mod tests {
             (skipped as f64) < 0.05 * issued as f64,
             "skipped {skipped} of {issued}"
         );
+    }
+
+    #[test]
+    fn degraded_link_campaign_records_outage_cycles() {
+        // Regression: exhausted transfers must land as tts == None rows
+        // (gray Fig. 5 bands), never abort the campaign run.
+        let mut cfg = CampaignConfig::short(2.0, 17);
+        cfg.availability = 1.0; // isolate link losses from scheduled outages
+        cfg.perf.jitdt.link.stall_probability = 0.05;
+        cfg.perf.jitdt.link.stall_mean_s = 10.0;
+        cfg.perf.jitdt.stall_timeout_s = 5.0;
+        cfg.perf.jitdt.max_restarts = 1;
+        let r = run_campaign(&cfg);
+        let records = &r.periods[0].records;
+        let lost = records.iter().filter(|rec| rec.tts.is_none()).count();
+        assert!(lost > 0, "a link this bad must lose cycles");
+        assert!(r.total_forecasts() > 0, "not every cycle should be lost");
+        assert_eq!(records.len(), (2.0 * 3600.0 / 30.0) as usize);
     }
 
     #[test]

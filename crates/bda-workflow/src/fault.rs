@@ -1,0 +1,333 @@
+//! Deterministic fault injection for the live pipeline.
+//!
+//! A [`FaultPlan`] declares, per cycle, which failures the supervised
+//! pipeline must absorb: stage panics, transfer stalls, corrupted volume
+//! payloads, and dropped scans. Plans are built explicitly (tests), parsed
+//! from a compact spec string (the `--inject` flag of the realtime example),
+//! or generated from a seed — so every failure scenario is reproducible
+//! bit-for-bit, which is what makes degraded-mode behaviour testable at all.
+
+use bda_num::rng::SplitMix64;
+use std::collections::BTreeMap;
+
+/// The pipeline stages a fault can target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    Scan,
+    Transfer,
+    Assimilation,
+    Forecast,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Stage::Scan => "scan",
+            Stage::Transfer => "transfer",
+            Stage::Assimilation => "assimilation",
+            Stage::Forecast => "forecast",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One injected failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the named stage closure (scan, assimilation or
+    /// forecast; transfer has no user closure to panic in).
+    StagePanic(Stage),
+    /// The transfer appears stalled: the receiver's first `timeouts`
+    /// watchdog windows elapse without data before the volume shows up.
+    TransferStall { timeouts: usize },
+    /// The volume payload is corrupted after the scan-time checksum is
+    /// taken, so the assimilation side must reject it.
+    CorruptVolume,
+    /// The scan produces nothing at all (radar outage for one cycle).
+    DropScan,
+}
+
+/// Per-cycle fault schedule. Ordered map so iteration (and therefore any
+/// behaviour derived from it) is deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    by_cycle: BTreeMap<usize, Vec<Fault>>,
+}
+
+/// Per-cycle probabilities for [`FaultPlan::random`].
+#[derive(Clone, Copy, Debug)]
+pub struct FaultRates {
+    pub panic_assimilation: f64,
+    pub panic_forecast: f64,
+    pub panic_scan: f64,
+    pub stall: f64,
+    pub corrupt: f64,
+    pub drop_scan: f64,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        Self {
+            panic_assimilation: 0.03,
+            panic_forecast: 0.02,
+            panic_scan: 0.02,
+            stall: 0.05,
+            corrupt: 0.03,
+            drop_scan: 0.03,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing is injected, the pipeline runs clean.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no cycle has any fault scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.by_cycle.is_empty()
+    }
+
+    fn push(&mut self, cycle: usize, fault: Fault) {
+        self.by_cycle.entry(cycle).or_default().push(fault);
+    }
+
+    /// Panic inside `stage` on `cycle`.
+    pub fn panic_at(mut self, stage: Stage, cycle: usize) -> Self {
+        self.push(cycle, Fault::StagePanic(stage));
+        self
+    }
+
+    /// Corrupt the volume payload of `cycle` after its checksum is taken.
+    pub fn corrupt_volume(mut self, cycle: usize) -> Self {
+        self.push(cycle, Fault::CorruptVolume);
+        self
+    }
+
+    /// Stall `cycle`'s transfer for `timeouts` watchdog windows.
+    pub fn stall_transfer(mut self, cycle: usize, timeouts: usize) -> Self {
+        self.push(cycle, Fault::TransferStall { timeouts });
+        self
+    }
+
+    /// Drop `cycle`'s scan entirely.
+    pub fn drop_scan(mut self, cycle: usize) -> Self {
+        self.push(cycle, Fault::DropScan);
+        self
+    }
+
+    /// Faults scheduled for `cycle` (empty slice when none).
+    pub fn faults_for(&self, cycle: usize) -> &[Fault] {
+        self.by_cycle.get(&cycle).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// First `TransferStall` scheduled for `cycle`, as a timeout count.
+    pub fn stall_timeouts(&self, cycle: usize) -> usize {
+        self.faults_for(cycle)
+            .iter()
+            .find_map(|f| match f {
+                Fault::TransferStall { timeouts } => Some(*timeouts),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether `cycle` has `fault` scheduled.
+    pub fn has(&self, cycle: usize, fault: Fault) -> bool {
+        self.faults_for(cycle).contains(&fault)
+    }
+
+    /// Total number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.by_cycle.values().map(Vec::len).sum()
+    }
+
+    /// Seed-driven plan over `n_cycles`: each fault class fires
+    /// independently per cycle with its [`FaultRates`] probability. The
+    /// same `(seed, n_cycles, rates)` always yields the same plan.
+    pub fn random(seed: u64, n_cycles: usize, rates: FaultRates) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = Self::none();
+        for cycle in 0..n_cycles {
+            if rng.next_uniform() < rates.panic_scan {
+                plan.push(cycle, Fault::StagePanic(Stage::Scan));
+            }
+            if rng.next_uniform() < rates.panic_assimilation {
+                plan.push(cycle, Fault::StagePanic(Stage::Assimilation));
+            }
+            if rng.next_uniform() < rates.panic_forecast {
+                plan.push(cycle, Fault::StagePanic(Stage::Forecast));
+            }
+            if rng.next_uniform() < rates.stall {
+                let timeouts = 1 + rng.next_index(2); // 1 or 2 windows
+                plan.push(cycle, Fault::TransferStall { timeouts });
+            }
+            if rng.next_uniform() < rates.corrupt {
+                plan.push(cycle, Fault::CorruptVolume);
+            }
+            if rng.next_uniform() < rates.drop_scan {
+                plan.push(cycle, Fault::DropScan);
+            }
+        }
+        plan
+    }
+
+    /// Parse the compact `--inject` spec: comma-separated tokens, each one
+    /// of
+    ///
+    /// * `panic:scan@C` / `panic:assim@C` / `panic:fcst@C` — panic in that
+    ///   stage on cycle `C`;
+    /// * `stall@CxN` — stall cycle `C`'s transfer for `N` watchdog windows
+    ///   (`stall@C` means one window);
+    /// * `corrupt@C` — corrupt cycle `C`'s volume payload;
+    /// * `drop@C` — drop cycle `C`'s scan;
+    /// * `random:SEED` — a seed-driven plan at default rates (requires the
+    ///   caller to know `n_cycles`, so it takes it via [`FaultPlan::random`]
+    ///   — here it is expanded with `n_cycles` passed in).
+    pub fn parse(spec: &str, n_cycles: usize) -> Result<Self, String> {
+        let mut plan = Self::none();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(seed) = token.strip_prefix("random:") {
+                let seed: u64 = seed.parse().map_err(|_| format!("bad seed in `{token}`"))?;
+                let random = Self::random(seed, n_cycles, FaultRates::default());
+                for (cycle, faults) in random.by_cycle {
+                    for f in faults {
+                        plan.push(cycle, f);
+                    }
+                }
+                continue;
+            }
+            let (kind, at) = token
+                .split_once('@')
+                .ok_or_else(|| format!("missing `@cycle` in `{token}`"))?;
+            match kind {
+                "panic:scan" | "panic:assim" | "panic:fcst" => {
+                    let cycle: usize = at.parse().map_err(|_| format!("bad cycle in `{token}`"))?;
+                    let stage = match kind {
+                        "panic:scan" => Stage::Scan,
+                        "panic:assim" => Stage::Assimilation,
+                        _ => Stage::Forecast,
+                    };
+                    plan.push(cycle, Fault::StagePanic(stage));
+                }
+                "stall" => {
+                    let (cycle, timeouts) = match at.split_once('x') {
+                        Some((c, n)) => (
+                            c.parse().map_err(|_| format!("bad cycle in `{token}`"))?,
+                            n.parse().map_err(|_| format!("bad count in `{token}`"))?,
+                        ),
+                        None => (
+                            at.parse().map_err(|_| format!("bad cycle in `{token}`"))?,
+                            1usize,
+                        ),
+                    };
+                    plan.push(cycle, Fault::TransferStall { timeouts });
+                }
+                "corrupt" => {
+                    let cycle: usize = at.parse().map_err(|_| format!("bad cycle in `{token}`"))?;
+                    plan.push(cycle, Fault::CorruptVolume);
+                }
+                "drop" => {
+                    let cycle: usize = at.parse().map_err(|_| format!("bad cycle in `{token}`"))?;
+                    plan.push(cycle, Fault::DropScan);
+                }
+                other => return Err(format!("unknown fault kind `{other}` in `{token}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Deterministically corrupt a payload in place (used by the injector:
+    /// flips one bit past the point where the scan-time checksum was taken).
+    pub fn corrupt_payload(payload: &mut [u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        let mid = payload.len() / 2;
+        payload[mid] ^= 0x5A;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_per_cycle() {
+        let plan = FaultPlan::none()
+            .panic_at(Stage::Assimilation, 3)
+            .corrupt_volume(3)
+            .stall_transfer(5, 2)
+            .drop_scan(7);
+        assert_eq!(plan.len(), 4);
+        assert!(plan.has(3, Fault::StagePanic(Stage::Assimilation)));
+        assert!(plan.has(3, Fault::CorruptVolume));
+        assert_eq!(plan.stall_timeouts(5), 2);
+        assert_eq!(plan.stall_timeouts(3), 0);
+        assert!(plan.has(7, Fault::DropScan));
+        assert!(plan.faults_for(0).is_empty());
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let plan = FaultPlan::parse(
+            "panic:assim@3, corrupt@5, stall@2x3, drop@7, panic:fcst@9",
+            16,
+        )
+        .unwrap();
+        assert!(plan.has(3, Fault::StagePanic(Stage::Assimilation)));
+        assert!(plan.has(5, Fault::CorruptVolume));
+        assert_eq!(plan.stall_timeouts(2), 3);
+        assert!(plan.has(7, Fault::DropScan));
+        assert!(plan.has(9, Fault::StagePanic(Stage::Forecast)));
+    }
+
+    #[test]
+    fn parse_stall_default_one_window() {
+        let plan = FaultPlan::parse("stall@4", 8).unwrap();
+        assert_eq!(plan.stall_timeouts(4), 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        assert!(FaultPlan::parse("explode@3", 8).is_err());
+        assert!(FaultPlan::parse("corrupt@x", 8).is_err());
+        assert!(FaultPlan::parse("corrupt", 8).is_err());
+        assert!(FaultPlan::parse("random:notanumber", 8).is_err());
+    }
+
+    #[test]
+    fn parse_empty_spec_is_empty_plan() {
+        assert!(FaultPlan::parse("", 8).unwrap().is_empty());
+        assert!(FaultPlan::parse(" , ", 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_in_seed() {
+        let a = FaultPlan::random(42, 200, FaultRates::default());
+        let b = FaultPlan::random(42, 200, FaultRates::default());
+        let c = FaultPlan::random(43, 200, FaultRates::default());
+        for cycle in 0..200 {
+            assert_eq!(a.faults_for(cycle), b.faults_for(cycle));
+        }
+        assert!(
+            (0..200).any(|cy| a.faults_for(cy) != c.faults_for(cy)),
+            "different seeds produced identical plans"
+        );
+        assert!(
+            !a.is_empty(),
+            "default rates over 200 cycles injected nothing"
+        );
+    }
+
+    #[test]
+    fn corrupt_payload_flips_exactly_one_bit() {
+        let mut p = vec![0u8; 9];
+        FaultPlan::corrupt_payload(&mut p);
+        assert_eq!(p.iter().filter(|&&b| b != 0).count(), 1);
+        assert_eq!(p[4], 0x5A);
+        let mut empty: Vec<u8> = vec![];
+        FaultPlan::corrupt_payload(&mut empty); // must not panic
+    }
+}

@@ -15,18 +15,31 @@
 //!   rain-area-dependent load, scheduled and random outages — regenerating
 //!   the Fig. 5 time-to-solution series and histogram.
 //!
+//! A third layer hardens the live pipeline for unattended operation:
+//! [`supervisor`] wraps the same three-thread layout with panic isolation,
+//! transfer stall watchdogs with retry, per-stage deadlines,
+//! newest-scan-wins supersession, and a graceful-degradation ladder —
+//! driven by the deterministic fault-injection plans of [`fault`].
+//!
 //! Supporting modules: [`nodes`] (the Fugaku allocation arithmetic),
 //! [`raintrace`] (the synthetic rain-area series standing in for the JMA
 //! rain analysis curves of Fig. 5), [`outage`] (gray-shading windows).
 
 pub mod campaign;
+pub mod fault;
 pub mod nodes;
 pub mod outage;
 pub mod perfmodel;
 pub mod pipeline;
 pub mod raintrace;
+pub mod supervisor;
 
 pub use campaign::{CampaignConfig, CampaignResult};
+pub use fault::{Fault, FaultPlan, FaultRates, Stage};
 pub use nodes::NodeAllocation;
 pub use perfmodel::{PerfModel, TimeToSolution};
 pub use pipeline::{CycleTiming, RealtimePipeline};
+pub use supervisor::{
+    CycleDisposition, CycleReport, CycleSupervisor, DegradedMode, ForecastInput, SkipCause,
+    StageError, SupervisorReport,
+};

@@ -42,6 +42,10 @@ impl OutageSchedule {
             w.start = w.start.max(0.0);
             w.end = w.end.min(total_duration);
         }
+        // Clipping (or the caller) can leave zero- or negative-width
+        // windows; they carry no downtime and would confuse `is_down`'s
+        // binary search, so drop them.
+        windows.retain(|w| w.end > w.start);
         windows.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
         // Merge overlaps.
         let mut merged: Vec<Window> = Vec::new();
@@ -107,8 +111,12 @@ impl OutageSchedule {
         self.windows.iter().map(Window::duration).sum()
     }
 
-    /// Availability fraction.
+    /// Availability fraction. A zero-duration campaign has no time to be
+    /// down in, so it counts as fully available.
     pub fn availability(&self) -> f64 {
+        if self.total_duration <= 0.0 {
+            return 1.0;
+        }
         1.0 - self.downtime() / self.total_duration
     }
 
@@ -141,8 +149,20 @@ mod tests {
             100.0,
         );
         assert_eq!(s.windows().len(), 2);
-        assert_eq!(s.windows()[0], Window { start: 0.0, end: 40.0 });
-        assert_eq!(s.windows()[1], Window { start: 90.0, end: 100.0 });
+        assert_eq!(
+            s.windows()[0],
+            Window {
+                start: 0.0,
+                end: 40.0
+            }
+        );
+        assert_eq!(
+            s.windows()[1],
+            Window {
+                start: 90.0,
+                end: 100.0
+            }
+        );
         assert!((s.downtime() - 50.0).abs() < 1e-9);
     }
 
@@ -188,6 +208,90 @@ mod tests {
         for i in 0..100 {
             assert!(!s.is_down(i as f64 * 10.0));
         }
+    }
+
+    #[test]
+    fn zero_duration_campaign_is_fully_available() {
+        let s = OutageSchedule::new(
+            vec![Window {
+                start: 0.0,
+                end: 10.0,
+            }],
+            0.0,
+        );
+        assert!(s.windows().is_empty());
+        assert_eq!(s.downtime(), 0.0);
+        assert_eq!(s.availability(), 1.0);
+        let g = OutageSchedule::generate(0.0, 0.9, 3);
+        assert_eq!(g.availability(), 1.0);
+    }
+
+    #[test]
+    fn target_availability_one_generates_no_windows() {
+        let s = OutageSchedule::generate(86_400.0, 1.0, 11);
+        assert!(s.windows().is_empty(), "windows: {:?}", s.windows());
+        assert_eq!(s.availability(), 1.0);
+        assert!(!s.is_down(0.0));
+        assert!(!s.is_down(43_200.0));
+    }
+
+    #[test]
+    fn zero_width_windows_are_dropped() {
+        let s = OutageSchedule::new(
+            vec![
+                Window {
+                    start: 50.0,
+                    end: 50.0,
+                },
+                Window {
+                    start: 10.0,
+                    end: 20.0,
+                },
+            ],
+            100.0,
+        );
+        assert_eq!(s.windows().len(), 1);
+        assert!(!s.is_down(50.0));
+        assert!((s.downtime() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_and_touching_windows_merge() {
+        let s = OutageSchedule::new(
+            vec![
+                Window {
+                    start: 0.0,
+                    end: 10.0,
+                },
+                Window {
+                    start: 10.0,
+                    end: 20.0,
+                }, // touching: merges
+                Window {
+                    start: 5.0,
+                    end: 12.0,
+                }, // contained/overlapping
+                Window {
+                    start: 30.0,
+                    end: 35.0,
+                },
+            ],
+            100.0,
+        );
+        assert_eq!(
+            s.windows(),
+            &[
+                Window {
+                    start: 0.0,
+                    end: 20.0
+                },
+                Window {
+                    start: 30.0,
+                    end: 35.0
+                }
+            ]
+        );
+        assert!((s.downtime() - 25.0).abs() < 1e-9);
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl RainTrace {
     pub fn area_1mmh(&self, t: f64) -> f64 {
         // Diurnal factor: peaks mid-afternoon (t measured from 00 JST).
         let hour = (t / 3600.0).rem_euclid(24.0);
-        let diurnal = 1.0 + 0.8 * (std::f64::consts::TAU * (hour - 15.0) / 24.0).cos().max(-0.9);
+        let diurnal = 1.0
+            + 0.8
+                * (std::f64::consts::TAU * (hour - 15.0) / 24.0)
+                    .cos()
+                    .max(-0.9);
         let mut area = self.background_km2 * diurnal;
         for e in &self.episodes {
             let x = (t - e.t_center) / e.width;

@@ -1,0 +1,1040 @@
+//! Fault-tolerant supervisor for the live 30-second pipeline.
+//!
+//! [`RealtimePipeline`](crate::pipeline::RealtimePipeline) is the
+//! happy-path reproduction of Figs. 2/4: it assumes every scan arrives,
+//! every transfer completes, and every stage returns. The production system
+//! on Fugaku could not assume any of that — a 30-second cadence with a
+//! month-long deployment means every component *will* fail mid-campaign,
+//! and the right response is almost never "stop". [`CycleSupervisor`] wraps
+//! the same three-thread layout with the operational armor:
+//!
+//! * **panic isolation** — each stage closure runs under `catch_unwind`;
+//!   a panicking assimilation poisons one cycle, not the pipeline;
+//! * **stall watchdog + retry** — the transfer wait uses the JIT-DT pipe's
+//!   [`recv_timeout`](bda_jitdt::pipe::PipeReceiver::recv_timeout) watchdog
+//!   and retries with bounded exponential backoff, mirroring the paper's
+//!   transfer-daemon auto-restart;
+//! * **newest-scan-wins** — when the assimilation falls behind, queued
+//!   stale scans are superseded by the latest one (a 30-second-old analysis
+//!   is worth more than a 90-second-old one delivered late);
+//! * **per-stage deadlines** — a cycle that blows its deadline is recorded
+//!   as skipped rather than delaying every cycle after it;
+//! * **graceful degradation** — failed assimilation falls back to the
+//!   previous analysis (forecast–forecast continuation); missing or
+//!   corrupt observations fall back to persistence;
+//! * **end-to-end payload checksum** — volumes are checksummed at scan
+//!   time and verified before assimilation, catching corruption the pipe's
+//!   own per-hop trailer cannot see.
+//!
+//! Every cycle ends in exactly one [`CycleDisposition`], and the
+//! [`SupervisorReport`] aggregates them into the availability statistic
+//! that corresponds to the gray outage shading of the paper's Fig. 5.
+
+use crate::fault::{Fault, FaultPlan, Stage};
+use crate::pipeline::{CycleTiming, RealtimePipeline};
+use bda_jitdt::pipe::{fnv1a, pipe, PipeError};
+use bytes::Bytes;
+use crossbeam::channel::bounded;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// A typed stage failure. The `Display` form reads as an error chain
+/// (`stage: cause`), and the variants carry enough context to reconstruct
+/// what the supervisor saw.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StageError {
+    /// The stage closure panicked (caught at the stage boundary).
+    Panicked { stage: Stage, message: String },
+    /// The stage closure returned an error.
+    Failed { stage: Stage, message: String },
+    /// The stage finished but past its deadline.
+    DeadlineExceeded {
+        stage: Stage,
+        elapsed_s: f64,
+        deadline_s: f64,
+    },
+    /// The transfer watchdog fired `attempts` times and the retry budget
+    /// ran out — the volume never arrived.
+    TransferTimeout { attempts: usize },
+    /// The volume arrived but its payload checksum did not match the one
+    /// taken at scan time.
+    CorruptVolume { expected: u64, got: u64 },
+    /// The scan produced no volume at all this cycle.
+    ScanDropped,
+    /// The underlying pipe failed structurally (disconnect, framing).
+    Pipe(String),
+}
+
+impl std::fmt::Display for StageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageError::Panicked { stage, message } => {
+                write!(f, "{stage} panicked: {message}")
+            }
+            StageError::Failed { stage, message } => write!(f, "{stage} failed: {message}"),
+            StageError::DeadlineExceeded {
+                stage,
+                elapsed_s,
+                deadline_s,
+            } => write!(
+                f,
+                "{stage} missed deadline: {elapsed_s:.3}s > {deadline_s:.3}s"
+            ),
+            StageError::TransferTimeout { attempts } => {
+                write!(f, "transfer timed out after {attempts} watchdog windows")
+            }
+            StageError::CorruptVolume { expected, got } => write!(
+                f,
+                "volume corrupt: checksum {got:#018x} != scan-time {expected:#018x}"
+            ),
+            StageError::ScanDropped => write!(f, "scan produced no volume"),
+            StageError::Pipe(msg) => write!(f, "pipe error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StageError {}
+
+/// How a degraded cycle's forecast was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Fresh observations were unusable, but a previous analysis exists:
+    /// the forecast continues from it (forecast–forecast continuation).
+    PreviousAnalysis,
+    /// No analysis at all is available: advect the last product forward
+    /// unchanged (persistence forecast).
+    Persistence,
+}
+
+impl std::fmt::Display for DegradedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedMode::PreviousAnalysis => f.write_str("previous-analysis"),
+            DegradedMode::Persistence => f.write_str("persistence"),
+        }
+    }
+}
+
+/// Why a cycle was skipped without producing a forecast.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SkipCause {
+    /// A newer scan arrived before this one was assimilated.
+    Superseded { by: usize },
+    /// A stage finished past its deadline; the product was discarded.
+    Deadline(StageError),
+}
+
+impl std::fmt::Display for SkipCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkipCause::Superseded { by } => write!(f, "superseded by cycle {by}"),
+            SkipCause::Deadline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// The outcome taxonomy: every supervised cycle ends in exactly one of
+/// these.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CycleDisposition {
+    /// Fresh analysis, forecast delivered on time.
+    Completed,
+    /// A forecast was delivered, but from a degraded source.
+    Degraded {
+        mode: DegradedMode,
+        cause: StageError,
+    },
+    /// No forecast for this cycle, by design (superseded or late).
+    Skipped { cause: SkipCause },
+    /// No forecast and no graceful path: the forecast stage itself died.
+    Failed { cause: StageError },
+}
+
+impl CycleDisposition {
+    pub fn label(&self) -> &'static str {
+        match self {
+            CycleDisposition::Completed => "completed",
+            CycleDisposition::Degraded { .. } => "degraded",
+            CycleDisposition::Skipped { .. } => "skipped",
+            CycleDisposition::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether a forecast product reached the consumer this cycle.
+    pub fn delivered_forecast(&self) -> bool {
+        matches!(
+            self,
+            CycleDisposition::Completed | CycleDisposition::Degraded { .. }
+        )
+    }
+}
+
+/// What the forecast stage is given to work from.
+#[derive(Debug)]
+pub enum ForecastInput<'a, P> {
+    /// This cycle's fresh analysis.
+    Analysis(&'a P),
+    /// The most recent earlier analysis (degraded).
+    PreviousAnalysis(&'a P),
+    /// No analysis available: persistence (degraded).
+    Persistence,
+}
+
+/// One cycle's supervised outcome.
+#[derive(Clone, Debug)]
+pub struct CycleReport {
+    pub cycle: usize,
+    pub disposition: CycleDisposition,
+    /// Stage timings, present whenever the forecast stage ran.
+    pub timing: Option<CycleTiming>,
+    /// Transfer watchdog windows that elapsed before the volume arrived.
+    pub transfer_retries: usize,
+}
+
+/// Aggregated outcome of a supervised run.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisorReport {
+    pub cycles: Vec<CycleReport>,
+}
+
+impl SupervisorReport {
+    fn count(&self, f: impl Fn(&CycleDisposition) -> bool) -> usize {
+        self.cycles.iter().filter(|c| f(&c.disposition)).count()
+    }
+
+    pub fn completed(&self) -> usize {
+        self.count(|d| matches!(d, CycleDisposition::Completed))
+    }
+
+    pub fn degraded(&self) -> usize {
+        self.count(|d| matches!(d, CycleDisposition::Degraded { .. }))
+    }
+
+    pub fn skipped(&self) -> usize {
+        self.count(|d| matches!(d, CycleDisposition::Skipped { .. }))
+    }
+
+    pub fn failed(&self) -> usize {
+        self.count(|d| matches!(d, CycleDisposition::Failed { .. }))
+    }
+
+    /// Fraction of cycles that delivered a forecast (fresh or degraded) —
+    /// the Fig. 5 availability analogue: skipped and failed cycles are the
+    /// gray bands.
+    pub fn availability(&self) -> f64 {
+        if self.cycles.is_empty() {
+            return 1.0;
+        }
+        self.count(CycleDisposition::delivered_forecast) as f64 / self.cycles.len() as f64
+    }
+
+    /// Per-cycle outcome table (the `--inject` report of the realtime
+    /// example).
+    pub fn table(&self) -> String {
+        let mut out = String::from("cycle  outcome    tts(ms)  retries  detail\n");
+        for c in &self.cycles {
+            let tts = c
+                .timing
+                .map(|t| format!("{:8.1}", t.time_to_solution_s * 1e3))
+                .unwrap_or_else(|| "       -".into());
+            let detail = match &c.disposition {
+                CycleDisposition::Completed => String::new(),
+                CycleDisposition::Degraded { mode, cause } => format!("{mode}: {cause}"),
+                CycleDisposition::Skipped { cause } => cause.to_string(),
+                CycleDisposition::Failed { cause } => cause.to_string(),
+            };
+            out.push_str(&format!(
+                "{:5}  {:<9} {tts}  {:7}  {detail}\n",
+                c.cycle,
+                c.disposition.label(),
+                c.transfer_retries,
+            ));
+        }
+        out.push_str(&format!(
+            "availability {:.1}% ({} completed, {} degraded, {} skipped, {} failed)\n",
+            self.availability() * 100.0,
+            self.completed(),
+            self.degraded(),
+            self.skipped(),
+            self.failed(),
+        ));
+        out
+    }
+}
+
+/// Supervisor configuration. With the default settings and an empty
+/// [`FaultPlan`], the supervised pipeline is semantically identical to
+/// [`RealtimePipeline::run`] — same thread layout, same channel
+/// capacities, same overlap behaviour.
+#[derive(Clone, Debug)]
+pub struct CycleSupervisor {
+    pub pipeline: RealtimePipeline,
+    /// Transfer stall watchdog window (per-frame progress timeout).
+    pub stall_timeout: Duration,
+    /// Watchdog firings tolerated before the transfer is declared dead —
+    /// the JIT-DT `max_restarts` analogue.
+    pub max_restarts: usize,
+    /// Base backoff slept after each watchdog firing (doubles per retry,
+    /// capped at 16x).
+    pub backoff_base: Duration,
+    /// Assimilation wall-clock deadline; exceeding it skips the cycle.
+    pub assimilation_deadline: Option<Duration>,
+    /// Forecast wall-clock deadline; exceeding it skips the cycle.
+    pub forecast_deadline: Option<Duration>,
+    /// Newest-scan-wins: skip queued stale scans instead of draining the
+    /// backlog in order. Off by default — it is the right policy when the
+    /// radar paces scans at a real cadence and assimilation can fall
+    /// behind it, but with free-running (unpaced) scan closures it would
+    /// supersede everything the radar gets ahead of.
+    pub supersede_stale: bool,
+    /// Deterministic fault injection schedule.
+    pub faults: FaultPlan,
+}
+
+impl Default for CycleSupervisor {
+    fn default() -> Self {
+        Self {
+            pipeline: RealtimePipeline::default(),
+            stall_timeout: Duration::from_millis(50),
+            max_restarts: 3,
+            backoff_base: Duration::from_millis(5),
+            assimilation_deadline: None,
+            forecast_deadline: None,
+            supersede_stale: false,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// Scan-side metadata for one cycle. `payload` is `Err` when no volume was
+/// sent through the pipe (dropped scan or scan-stage failure).
+struct ScanMeta {
+    cycle: usize,
+    t_obs: Instant,
+    scan_s: f64,
+    payload: Result<PayloadMeta, StageError>,
+}
+
+#[derive(Clone, Copy)]
+struct PayloadMeta {
+    checksum: u64,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Volumes travel through the pipe prefixed with an 8-byte little-endian
+/// cycle tag, so a receiver that abandoned or superseded a cycle can
+/// recognize and discard its late volume instead of mis-pairing it.
+fn tag_volume(cycle: usize, payload: &[u8]) -> Bytes {
+    let mut framed = Vec::with_capacity(8 + payload.len());
+    framed.extend_from_slice(&(cycle as u64).to_le_bytes());
+    framed.extend_from_slice(payload);
+    Bytes::from(framed)
+}
+
+fn split_tag(tagged: Bytes) -> Result<(u64, Bytes), StageError> {
+    if tagged.len() < 8 {
+        return Err(StageError::Pipe("volume shorter than cycle tag".into()));
+    }
+    let mut tag_bytes = [0u8; 8];
+    tag_bytes.copy_from_slice(&tagged[..8]);
+    Ok((u64::from_le_bytes(tag_bytes), tagged.slice(8..)))
+}
+
+impl CycleSupervisor {
+    /// Run `n_cycles` under supervision.
+    ///
+    /// The stage closures mirror [`RealtimePipeline::run`] but return
+    /// `Result` so recoverable failures flow into the degradation ladder
+    /// (panics are additionally caught at every stage boundary):
+    ///
+    /// * `scan(cycle)` produces the encoded volume;
+    /// * `assimilate(cycle, volume)` returns the analysis product;
+    /// * `forecast(cycle, input)` consumes a [`ForecastInput`] — fresh
+    ///   analysis, previous analysis, or persistence.
+    pub fn run<P, S, A, F>(
+        &self,
+        n_cycles: usize,
+        mut scan: S,
+        mut assimilate: A,
+        mut forecast: F,
+    ) -> SupervisorReport
+    where
+        P: Send,
+        S: FnMut(usize) -> Result<Bytes, String> + Send,
+        A: FnMut(usize, Bytes) -> Result<P, String> + Send,
+        F: FnMut(usize, ForecastInput<'_, P>) -> Result<(), String> + Send,
+    {
+        let capacity = self.pipeline.capacity;
+        let (vol_tx, vol_rx) = pipe(self.pipeline.chunk_bytes, capacity);
+        let (meta_tx, meta_rx) = bounded::<ScanMeta>(capacity);
+        let (ana_tx, ana_rx) =
+            bounded::<(ScanMeta, usize, f64, f64, Result<P, StageError>)>(capacity);
+        let (out_tx, out_rx) = bounded::<CycleReport>(n_cycles.max(1));
+        let out_tx_assim = out_tx.clone();
+        let plan = &self.faults;
+
+        std::thread::scope(|s| {
+            // Radar thread: scan (panic-isolated), checksum at T_obs, then
+            // apply scheduled payload corruption *after* the checksum — the
+            // supervised receiver must catch it.
+            s.spawn(move || {
+                for cycle in 0..n_cycles {
+                    let t0 = Instant::now();
+                    if plan.has(cycle, Fault::DropScan) {
+                        let meta = ScanMeta {
+                            cycle,
+                            t_obs: Instant::now(),
+                            scan_s: 0.0,
+                            payload: Err(StageError::ScanDropped),
+                        };
+                        if meta_tx.send(meta).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                    let inject_panic = plan.has(cycle, Fault::StagePanic(Stage::Scan));
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if inject_panic {
+                            panic!("injected scan panic (cycle {cycle})");
+                        }
+                        scan(cycle)
+                    }));
+                    let t_obs = Instant::now();
+                    let scan_s = (t_obs - t0).as_secs_f64();
+                    let payload = match result {
+                        Err(p) => Err(StageError::Panicked {
+                            stage: Stage::Scan,
+                            message: panic_message(p),
+                        }),
+                        Ok(Err(message)) => Err(StageError::Failed {
+                            stage: Stage::Scan,
+                            message,
+                        }),
+                        Ok(Ok(volume)) => {
+                            let checksum = fnv1a(&volume);
+                            let wire = if plan.has(cycle, Fault::CorruptVolume) {
+                                let mut bytes = volume.to_vec();
+                                FaultPlan::corrupt_payload(&mut bytes);
+                                Bytes::from(bytes)
+                            } else {
+                                volume
+                            };
+                            let meta = ScanMeta {
+                                cycle,
+                                t_obs,
+                                scan_s,
+                                payload: Ok(PayloadMeta { checksum }),
+                            };
+                            if meta_tx.send(meta).is_err() {
+                                return;
+                            }
+                            if vol_tx.send(tag_volume(cycle, &wire)).is_err() {
+                                return;
+                            }
+                            continue;
+                        }
+                    };
+                    let meta = ScanMeta {
+                        cycle,
+                        t_obs,
+                        scan_s,
+                        payload,
+                    };
+                    if meta_tx.send(meta).is_err() {
+                        break;
+                    }
+                }
+            });
+
+            // Assimilation thread: newest-scan-wins, watchdog + retry on
+            // the transfer, checksum verification, panic-isolated
+            // assimilation under a deadline.
+            s.spawn(move || {
+                while let Ok(first) = meta_rx.recv() {
+                    let mut meta = first;
+                    if self.supersede_stale {
+                        let mut superseded = Vec::new();
+                        while let Ok(newer) = meta_rx.try_recv() {
+                            superseded.push(std::mem::replace(&mut meta, newer));
+                        }
+                        let by = meta.cycle;
+                        for old in superseded {
+                            let _ = out_tx_assim.send(CycleReport {
+                                cycle: old.cycle,
+                                disposition: CycleDisposition::Skipped {
+                                    cause: SkipCause::Superseded { by },
+                                },
+                                timing: None,
+                                transfer_retries: 0,
+                            });
+                        }
+                    }
+                    let cycle = meta.cycle;
+                    let (retries, transfer_s, result) = match meta.payload {
+                        Err(ref e) => (0, 0.0, Err(e.clone())),
+                        Ok(pm) => {
+                            let received = self.receive_volume(&vol_rx, cycle);
+                            let transfer_s = meta.t_obs.elapsed().as_secs_f64();
+                            let (retries, volume) = match received {
+                                Ok(pair) => pair,
+                                Err((retries, e)) => {
+                                    let _ = ana_tx.send((meta, retries, transfer_s, 0.0, Err(e)));
+                                    continue;
+                                }
+                            };
+                            let got = fnv1a(&volume);
+                            if got != pm.checksum {
+                                let err = StageError::CorruptVolume {
+                                    expected: pm.checksum,
+                                    got,
+                                };
+                                let _ = ana_tx.send((meta, retries, transfer_s, 0.0, Err(err)));
+                                continue;
+                            }
+                            let inject_panic =
+                                plan.has(cycle, Fault::StagePanic(Stage::Assimilation));
+                            let t1 = Instant::now();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                if inject_panic {
+                                    panic!("injected assimilation panic (cycle {cycle})");
+                                }
+                                assimilate(cycle, volume)
+                            }));
+                            let assim_s = t1.elapsed().as_secs_f64();
+                            let result = match outcome {
+                                Err(p) => Err(StageError::Panicked {
+                                    stage: Stage::Assimilation,
+                                    message: panic_message(p),
+                                }),
+                                Ok(Err(message)) => Err(StageError::Failed {
+                                    stage: Stage::Assimilation,
+                                    message,
+                                }),
+                                Ok(Ok(product)) => Ok(product),
+                            };
+                            if result.is_ok() {
+                                if let Some(deadline) = self.assimilation_deadline {
+                                    let deadline_s = deadline.as_secs_f64();
+                                    if assim_s > deadline_s {
+                                        // Late analysis: discard the product
+                                        // rather than delay every later cycle.
+                                        let _ = out_tx_assim.send(CycleReport {
+                                            cycle,
+                                            disposition: CycleDisposition::Skipped {
+                                                cause: SkipCause::Deadline(
+                                                    StageError::DeadlineExceeded {
+                                                        stage: Stage::Assimilation,
+                                                        elapsed_s: assim_s,
+                                                        deadline_s,
+                                                    },
+                                                ),
+                                            },
+                                            timing: None,
+                                            transfer_retries: retries,
+                                        });
+                                        continue;
+                                    }
+                                }
+                            }
+                            if ana_tx
+                                .send((meta, retries, transfer_s, assim_s, result))
+                                .is_err()
+                            {
+                                return;
+                            }
+                            continue;
+                        }
+                    };
+                    if ana_tx
+                        .send((meta, retries, transfer_s, 0.0, result))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            });
+
+            // Forecast thread: degradation ladder, panic-isolated forecast
+            // under a deadline, final disposition.
+            s.spawn(move || {
+                let mut last_good: Option<P> = None;
+                while let Ok((meta, retries, transfer_s, assim_s, result)) = ana_rx.recv() {
+                    let cycle = meta.cycle;
+                    let (fresh, degradation) = match result {
+                        Ok(product) => (Some(product), None),
+                        Err(cause) => {
+                            // Ladder: an assimilation-side failure means
+                            // observations arrived but no analysis was
+                            // computed — continue from the previous one if
+                            // it exists. Anything earlier (no scan, lost or
+                            // corrupt volume) means no usable observations:
+                            // persistence.
+                            let assimilation_side = matches!(
+                                &cause,
+                                StageError::Panicked {
+                                    stage: Stage::Assimilation,
+                                    ..
+                                } | StageError::Failed {
+                                    stage: Stage::Assimilation,
+                                    ..
+                                }
+                            );
+                            let mode = if assimilation_side && last_good.is_some() {
+                                DegradedMode::PreviousAnalysis
+                            } else {
+                                DegradedMode::Persistence
+                            };
+                            (None, Some((mode, cause)))
+                        }
+                    };
+                    let input = match (&fresh, &degradation) {
+                        (Some(p), _) => ForecastInput::Analysis(p),
+                        (None, Some((DegradedMode::PreviousAnalysis, _))) => {
+                            ForecastInput::PreviousAnalysis(
+                                last_good.as_ref().expect("checked above"),
+                            )
+                        }
+                        _ => ForecastInput::Persistence,
+                    };
+                    let inject_panic = plan.has(cycle, Fault::StagePanic(Stage::Forecast));
+                    let t2 = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if inject_panic {
+                            panic!("injected forecast panic (cycle {cycle})");
+                        }
+                        forecast(cycle, input)
+                    }));
+                    let forecast_s = t2.elapsed().as_secs_f64();
+                    let time_to_solution_s = meta.t_obs.elapsed().as_secs_f64();
+                    let timing = CycleTiming {
+                        cycle,
+                        scan_s: meta.scan_s,
+                        transfer_s,
+                        assimilation_s: assim_s,
+                        forecast_s,
+                        time_to_solution_s,
+                    };
+                    let disposition = match outcome {
+                        Err(p) => CycleDisposition::Failed {
+                            cause: StageError::Panicked {
+                                stage: Stage::Forecast,
+                                message: panic_message(p),
+                            },
+                        },
+                        Ok(Err(message)) => CycleDisposition::Failed {
+                            cause: StageError::Failed {
+                                stage: Stage::Forecast,
+                                message,
+                            },
+                        },
+                        Ok(Ok(())) => {
+                            let late = self.forecast_deadline.and_then(|d| {
+                                let deadline_s = d.as_secs_f64();
+                                (forecast_s > deadline_s).then_some(deadline_s)
+                            });
+                            match (late, degradation) {
+                                (Some(deadline_s), _) => CycleDisposition::Skipped {
+                                    cause: SkipCause::Deadline(StageError::DeadlineExceeded {
+                                        stage: Stage::Forecast,
+                                        elapsed_s: forecast_s,
+                                        deadline_s,
+                                    }),
+                                },
+                                (None, None) => CycleDisposition::Completed,
+                                (None, Some((mode, cause))) => {
+                                    CycleDisposition::Degraded { mode, cause }
+                                }
+                            }
+                        }
+                    };
+                    // A fresh analysis is valid even if this forecast run
+                    // failed — keep it for the next cycle's ladder.
+                    if let Some(p) = fresh {
+                        last_good = Some(p);
+                    }
+                    let _ = out_tx.send(CycleReport {
+                        cycle,
+                        disposition,
+                        timing: Some(timing),
+                        transfer_retries: retries,
+                    });
+                }
+            });
+        });
+
+        let mut cycles: Vec<CycleReport> = out_rx.try_iter().collect();
+        cycles.sort_by_key(|c| c.cycle);
+        SupervisorReport { cycles }
+    }
+
+    /// Wait for `cycle`'s volume under the stall watchdog, retrying with
+    /// bounded exponential backoff. Late volumes from abandoned or
+    /// superseded cycles (older tag) are discarded transparently.
+    ///
+    /// Injected `TransferStall` faults consume the first watchdog windows
+    /// deterministically: the receiver behaves exactly as if the stream had
+    /// been silent for that many windows, regardless of thread scheduling.
+    fn receive_volume(
+        &self,
+        vol_rx: &bda_jitdt::pipe::PipeReceiver,
+        cycle: usize,
+    ) -> Result<(usize, Bytes), (usize, StageError)> {
+        let mut injected_left = self.faults.stall_timeouts(cycle);
+        let mut timeouts = 0usize;
+        loop {
+            let stalled = if injected_left > 0 {
+                injected_left -= 1;
+                std::thread::sleep(self.stall_timeout);
+                true
+            } else {
+                match vol_rx.recv_timeout(self.stall_timeout) {
+                    Ok(tagged) => match split_tag(tagged) {
+                        Ok((tag, payload)) => {
+                            if tag < cycle as u64 {
+                                // Late volume from an abandoned cycle.
+                                continue;
+                            }
+                            if tag > cycle as u64 {
+                                return Err((
+                                    timeouts,
+                                    StageError::Pipe(format!(
+                                        "volume tag {tag} ahead of expected cycle {cycle}"
+                                    )),
+                                ));
+                            }
+                            return Ok((timeouts, payload));
+                        }
+                        Err(e) => return Err((timeouts, e)),
+                    },
+                    Err(PipeError::Stalled) => true,
+                    Err(e) => return Err((timeouts, StageError::Pipe(e.to_string()))),
+                }
+            };
+            if stalled {
+                timeouts += 1;
+                if timeouts > self.max_restarts {
+                    return Err((timeouts, StageError::TransferTimeout { attempts: timeouts }));
+                }
+                let backoff = self.backoff_base * (1u32 << (timeouts - 1).min(4));
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_stages(
+        n: usize,
+        sup: &CycleSupervisor,
+    ) -> (SupervisorReport, Vec<(usize, &'static str)>) {
+        let log = std::sync::Mutex::new(Vec::new());
+        let report = sup.run(
+            n,
+            |c| Ok(Bytes::from(vec![c as u8; 100])),
+            |c, v: Bytes| {
+                assert_eq!(v.len(), 100);
+                Ok(c * 10)
+            },
+            |c, input: ForecastInput<'_, usize>| {
+                let kind = match input {
+                    ForecastInput::Analysis(p) => {
+                        assert_eq!(*p, c * 10);
+                        "fresh"
+                    }
+                    ForecastInput::PreviousAnalysis(_) => "previous",
+                    ForecastInput::Persistence => "persistence",
+                };
+                log.lock().unwrap().push((c, kind));
+                Ok(())
+            },
+        );
+        (report, log.into_inner().unwrap())
+    }
+
+    #[test]
+    fn clean_run_all_cycles_complete() {
+        let sup = CycleSupervisor::default();
+        let (report, log) = counting_stages(6, &sup);
+        assert_eq!(report.cycles.len(), 6);
+        assert_eq!(report.completed(), 6);
+        assert_eq!(report.availability(), 1.0);
+        assert!(log.iter().all(|(_, k)| *k == "fresh"));
+        for (i, c) in report.cycles.iter().enumerate() {
+            assert_eq!(c.cycle, i);
+            assert!(c.timing.is_some());
+            assert_eq!(c.transfer_retries, 0);
+        }
+    }
+
+    #[test]
+    fn empty_run_reports_nothing() {
+        let sup = CycleSupervisor::default();
+        let (report, _) = counting_stages(0, &sup);
+        assert!(report.cycles.is_empty());
+        assert_eq!(report.availability(), 1.0);
+    }
+
+    #[test]
+    fn assimilation_panic_degrades_to_previous_analysis() {
+        let sup = CycleSupervisor {
+            faults: FaultPlan::none().panic_at(Stage::Assimilation, 2),
+            ..CycleSupervisor::default()
+        };
+        let (report, log) = counting_stages(5, &sup);
+        assert_eq!(report.cycles.len(), 5);
+        assert_eq!(report.completed(), 4);
+        assert_eq!(report.degraded(), 1);
+        match &report.cycles[2].disposition {
+            CycleDisposition::Degraded { mode, cause } => {
+                assert_eq!(*mode, DegradedMode::PreviousAnalysis);
+                assert!(matches!(
+                    cause,
+                    StageError::Panicked {
+                        stage: Stage::Assimilation,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        assert_eq!(log[2], (2, "previous"));
+        // Neighbours unaffected.
+        assert_eq!(log[1], (1, "fresh"));
+        assert_eq!(log[3], (3, "fresh"));
+    }
+
+    #[test]
+    fn first_cycle_assimilation_panic_falls_to_persistence() {
+        // No previous analysis exists yet, so the ladder bottoms out.
+        let sup = CycleSupervisor {
+            faults: FaultPlan::none().panic_at(Stage::Assimilation, 0),
+            ..CycleSupervisor::default()
+        };
+        let (report, log) = counting_stages(3, &sup);
+        match &report.cycles[0].disposition {
+            CycleDisposition::Degraded { mode, .. } => {
+                assert_eq!(*mode, DegradedMode::Persistence)
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        assert_eq!(log[0], (0, "persistence"));
+    }
+
+    #[test]
+    fn dropped_scan_forecasts_from_persistence() {
+        let sup = CycleSupervisor {
+            faults: FaultPlan::none().drop_scan(1),
+            ..CycleSupervisor::default()
+        };
+        let (report, log) = counting_stages(3, &sup);
+        match &report.cycles[1].disposition {
+            CycleDisposition::Degraded { mode, cause } => {
+                assert_eq!(*mode, DegradedMode::Persistence);
+                assert_eq!(*cause, StageError::ScanDropped);
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        assert_eq!(log[1], (1, "persistence"));
+        assert_eq!(report.availability(), 1.0);
+    }
+
+    #[test]
+    fn corrupt_volume_rejected_by_checksum() {
+        let sup = CycleSupervisor {
+            faults: FaultPlan::none().corrupt_volume(2),
+            ..CycleSupervisor::default()
+        };
+        let (report, log) = counting_stages(4, &sup);
+        match &report.cycles[2].disposition {
+            CycleDisposition::Degraded { mode, cause } => {
+                assert_eq!(*mode, DegradedMode::Persistence);
+                assert!(matches!(cause, StageError::CorruptVolume { .. }));
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        assert_eq!(log[2], (2, "persistence"));
+    }
+
+    #[test]
+    fn stalled_transfer_retries_and_completes() {
+        let sup = CycleSupervisor {
+            stall_timeout: Duration::from_millis(10),
+            max_restarts: 4,
+            backoff_base: Duration::from_millis(1),
+            faults: FaultPlan::none().stall_transfer(1, 2),
+            ..CycleSupervisor::default()
+        };
+        let (report, _) = counting_stages(3, &sup);
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.cycles[1].transfer_retries, 2);
+        assert_eq!(report.cycles[0].transfer_retries, 0);
+        // The stalled cycle's transfer time reflects the quiet windows.
+        let t = report.cycles[1].timing.unwrap();
+        assert!(t.transfer_s >= 0.02, "transfer {:.3}", t.transfer_s);
+    }
+
+    #[test]
+    fn exhausted_transfer_retries_degrade_to_persistence() {
+        let sup = CycleSupervisor {
+            stall_timeout: Duration::from_millis(5),
+            max_restarts: 2,
+            backoff_base: Duration::from_millis(1),
+            faults: FaultPlan::none().stall_transfer(1, 8),
+            ..CycleSupervisor::default()
+        };
+        let (report, _) = counting_stages(3, &sup);
+        match &report.cycles[1].disposition {
+            CycleDisposition::Degraded { mode, cause } => {
+                assert_eq!(*mode, DegradedMode::Persistence);
+                assert_eq!(*cause, StageError::TransferTimeout { attempts: 3 });
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        // The abandoned volume must not poison later cycles.
+        assert!(matches!(
+            report.cycles[2].disposition,
+            CycleDisposition::Completed
+        ));
+    }
+
+    #[test]
+    fn forecast_panic_is_failed_but_isolated() {
+        let sup = CycleSupervisor {
+            faults: FaultPlan::none().panic_at(Stage::Forecast, 1),
+            ..CycleSupervisor::default()
+        };
+        let (report, _) = counting_stages(3, &sup);
+        assert!(matches!(
+            report.cycles[1].disposition,
+            CycleDisposition::Failed {
+                cause: StageError::Panicked {
+                    stage: Stage::Forecast,
+                    ..
+                }
+            }
+        ));
+        assert!(matches!(
+            report.cycles[2].disposition,
+            CycleDisposition::Completed
+        ));
+    }
+
+    #[test]
+    fn assimilation_deadline_skips_late_cycle() {
+        let sup = CycleSupervisor {
+            assimilation_deadline: Some(Duration::from_millis(5)),
+            ..CycleSupervisor::default()
+        };
+        let report = sup.run(
+            3,
+            |_| Ok(Bytes::from_static(b"v")),
+            |c, _| {
+                if c == 1 {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                Ok(c)
+            },
+            |_, _: ForecastInput<'_, usize>| Ok(()),
+        );
+        assert!(matches!(
+            &report.cycles[1].disposition,
+            CycleDisposition::Skipped {
+                cause: SkipCause::Deadline(StageError::DeadlineExceeded {
+                    stage: Stage::Assimilation,
+                    ..
+                })
+            }
+        ));
+        assert!(report.cycles[1].timing.is_none());
+        assert!(matches!(
+            report.cycles[2].disposition,
+            CycleDisposition::Completed
+        ));
+    }
+
+    #[test]
+    fn slow_assimilation_supersedes_stale_scans() {
+        // Scans arrive every ~2 ms but each assimilation takes ~40 ms: by
+        // the time a cycle finishes, several scans are queued; the
+        // supervisor must jump to the newest and skip the rest.
+        let sup = CycleSupervisor {
+            supersede_stale: true,
+            ..CycleSupervisor::default()
+        };
+        let assimilated = std::sync::Mutex::new(Vec::new());
+        let report = sup.run(
+            8,
+            |c| {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(Bytes::from(vec![c as u8]))
+            },
+            |c, _| {
+                assimilated.lock().unwrap().push(c);
+                std::thread::sleep(Duration::from_millis(40));
+                Ok(c)
+            },
+            |_, _: ForecastInput<'_, usize>| Ok(()),
+        );
+        assert_eq!(report.cycles.len(), 8);
+        let skipped = report.skipped();
+        assert!(skipped > 0, "expected superseded cycles, got none");
+        for c in &report.cycles {
+            if let CycleDisposition::Skipped {
+                cause: SkipCause::Superseded { by },
+            } = &c.disposition
+            {
+                assert!(*by > c.cycle, "superseded by an older cycle");
+            }
+        }
+        // The last cycle is never superseded.
+        assert!(report.cycles[7].disposition.delivered_forecast());
+    }
+
+    #[test]
+    fn report_table_mentions_every_cycle_and_availability() {
+        let sup = CycleSupervisor {
+            faults: FaultPlan::none().corrupt_volume(1),
+            ..CycleSupervisor::default()
+        };
+        let (report, _) = counting_stages(3, &sup);
+        let table = report.table();
+        assert!(table.contains("availability"));
+        assert!(table.contains("degraded"));
+        for c in 0..3 {
+            assert!(
+                table.contains(&format!("\n{c:5}  ")),
+                "missing cycle {c}:\n{table}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_faults_matches_unsupervised_semantics() {
+        // Same closures through RealtimePipeline and CycleSupervisor with
+        // no faults: both must see every cycle with a fresh analysis.
+        let p = RealtimePipeline::default();
+        let plain = p.run(
+            4,
+            |c| Bytes::from(vec![c as u8; 10]),
+            |c, _| c,
+            |c, product| assert_eq!(product, c),
+        );
+        let sup = CycleSupervisor::default();
+        let (report, log) = counting_stages(4, &sup);
+        assert_eq!(plain.len(), report.cycles.len());
+        assert_eq!(report.completed(), 4);
+        assert!(log.iter().all(|(_, k)| *k == "fresh"));
+    }
+}

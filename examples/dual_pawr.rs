@@ -28,11 +28,7 @@ fn run(label: &str, dual: bool, cycles: usize) -> (f64, usize, usize) {
     let mut osse = Osse::<f32>::new(cfg);
     osse.spinup_system(840.0);
 
-    let covered = osse
-        .coverage_mask(2000.0)
-        .iter()
-        .filter(|&&v| v)
-        .count();
+    let covered = osse.coverage_mask(2000.0).iter().filter(|&&v| v).count();
     let mut last_rmse = f64::NAN;
     let mut obs_used = 0;
     for out in osse.run_cycles(cycles) {

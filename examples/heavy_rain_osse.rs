@@ -110,7 +110,10 @@ fn main() {
     }
 
     println!("\nFig. 7 analogue — threat score (30 dBZ) vs lead time:");
-    print!("{}", bda_series.comparison_report("BDA", &per_series, "persistence"));
+    print!(
+        "{}",
+        bda_series.comparison_report("BDA", &per_series, "persistence")
+    );
 
     // --- Fig. 6: final maps of the last case ---
     let case = last_case.expect("at least one case");

@@ -108,8 +108,8 @@ fn main() {
     if let Boundary::Fields(bf) = &inner.boundary {
         for j in 0..inner_cfg.grid.ny {
             for k in 0..inner_cfg.grid.nz() {
-                err += (inner.state.u.at(0, j as isize, k) - bf.u.at(0, j as isize, k)).abs()
-                    as f64;
+                err +=
+                    (inner.state.u.at(0, j as isize, k) - bf.u.at(0, j as isize, k)).abs() as f64;
                 n += 1;
             }
         }

@@ -105,5 +105,7 @@ fn main() {
         );
     }
 
-    println!("\ndone. Try `cargo run --release --example heavy_rain_osse` for the full Fig. 6/7 study.");
+    println!(
+        "\ndone. Try `cargo run --release --example heavy_rain_osse` for the full Fig. 6/7 study."
+    );
 }

@@ -6,8 +6,14 @@
 //! to the forecast thread, which integrates it forward. Per-cycle stage
 //! timings are reported with the Fig. 4 segmentation.
 //!
+//! With `--inject` the pipeline runs under the fault-tolerant cycle
+//! supervisor and the requested faults are injected deterministically; the
+//! per-cycle outcome table and availability (the Fig. 5 accounting) are
+//! printed at the end.
+//!
 //! ```text
-//! cargo run --release --example realtime_pipeline [-- --cycles N]
+//! cargo run --release --example realtime_pipeline [-- --cycles N] \
+//!     [--inject "panic:assim@2,corrupt@3,stall@1x2,drop@4,random:SEED"]
 //! ```
 
 use bda_core::osse::OsseConfig;
@@ -18,13 +24,23 @@ use bda_pawr::PawrSimulator;
 use bda_scale::model::Boundary;
 use bda_scale::{Ensemble, Model, ModelState, ANALYZED_VARS};
 use bda_verify::maps::area_fraction;
-use bda_workflow::RealtimePipeline;
+use bda_workflow::{CycleSupervisor, FaultPlan, ForecastInput, RealtimePipeline};
 
 fn main() {
     let mut n_cycles = 5usize;
+    let mut inject: Option<String> = None;
     let argv: Vec<String> = std::env::args().collect();
     if let Some(i) = argv.iter().position(|a| a == "--cycles") {
         n_cycles = argv[i + 1].parse().expect("--cycles N");
+    }
+    if let Some(i) = argv.iter().position(|a| a == "--inject") {
+        match argv.get(i + 1) {
+            Some(spec) => inject = Some(spec.clone()),
+            None => {
+                eprintln!("--inject requires a fault spec, e.g. --inject \"panic:assim@2\"");
+                std::process::exit(2);
+            }
+        }
     }
 
     println!("=== live real-time pipeline ({n_cycles} cycles of 30 model-seconds) ===\n");
@@ -84,6 +100,102 @@ fn main() {
     let mut fc_engine = Model::from_parts(model_cfg.clone(), base.clone());
     let base_f = base.clone();
     let grid_f = grid.clone();
+
+    if let Some(spec) = inject {
+        let plan = FaultPlan::parse(&spec, n_cycles).unwrap_or_else(|e| {
+            eprintln!("bad --inject spec: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "running under the cycle supervisor, {} fault(s) injected\n",
+            plan.len()
+        );
+        let supervisor = CycleSupervisor {
+            faults: plan,
+            ..CycleSupervisor::default()
+        };
+        let report = supervisor.run(
+            n_cycles,
+            // --- radar thread (supervised): scan faults become errors ---
+            move |cycle: usize| {
+                nature
+                    .integrate(30.0)
+                    .map_err(|e| format!("nature blew up: {e:?}"))?;
+                let scan = sim_scan.scan(
+                    &nature.state,
+                    &base_scan,
+                    &grid_scan,
+                    (cycle as f64 + 1.0) * 30.0,
+                    7,
+                );
+                Ok(encode_volume(&scan))
+            },
+            // --- assimilation thread: decode + LETKF, errors reported ---
+            move |_cycle: usize, bytes| {
+                let vol =
+                    decode_volume::<f32>(&bytes).map_err(|e| format!("corrupt volume: {e:?}"))?;
+                ensemble
+                    .forecast(&model_cfg_a, &base_a, 30.0, |_| Boundary::BaseState)
+                    .map_err(|e| format!("member blew up: {e:?}"))?;
+                let hx = ensemble_equivalents(
+                    &vol.obs,
+                    &ensemble.members,
+                    &base_a,
+                    &grid_a,
+                    &radar_a,
+                    radar_a.min_detectable_dbz,
+                );
+                let obs = ObsEnsemble::new(vol.obs, hx);
+                let (obs, _qc) = gross_error_check(&obs, &letkf_cfg);
+                let flats: Vec<Vec<f32>> = ensemble
+                    .members
+                    .iter()
+                    .map(|m| m.to_flat(&ANALYZED_VARS))
+                    .collect();
+                let mut mat = EnsembleMatrix::from_members(&flats, layout.clone());
+                let stats = analyze(&mut mat, &obs, &letkf_cfg);
+                let mut flats = flats;
+                mat.to_members(&mut flats);
+                for (m, f) in ensemble.members.iter_mut().zip(&flats) {
+                    m.from_flat(&ANALYZED_VARS, f);
+                    m.clamp_physical();
+                }
+                Ok((ensemble.mean(), stats.points_analyzed, obs.len()))
+            },
+            // --- forecast thread: honors the degradation ladder ---
+            move |cycle: usize, input: ForecastInput<'_, (ModelState<f32>, usize, usize)>| {
+                let (mean, provenance) = match input {
+                    ForecastInput::Analysis((mean, _, _)) => (mean.clone(), "fresh analysis"),
+                    ForecastInput::PreviousAnalysis((mean, _, _)) => {
+                        (mean.clone(), "previous analysis (degraded)")
+                    }
+                    ForecastInput::Persistence => {
+                        println!("cycle {cycle}: persistence product (no analysis available)");
+                        return Ok(());
+                    }
+                };
+                let _ = fc_engine.swap_state(mean);
+                fc_engine
+                    .integrate(120.0)
+                    .map_err(|e| format!("forecast blew up: {e:?}"))?;
+                let map = bda_core::products::reflectivity_map(
+                    &fc_engine.state,
+                    &base_f,
+                    &grid_f,
+                    2000.0,
+                    5.0,
+                );
+                let rain = area_fraction(&map, 30.0, None);
+                println!(
+                    "cycle {cycle}: forecast from {provenance}, rain area {:.1}%",
+                    rain * 100.0
+                );
+                Ok(())
+            },
+        );
+        println!("\n{}", report.table());
+        return;
+    }
 
     let pipeline = RealtimePipeline::default();
     let timings = pipeline.run(

@@ -56,7 +56,10 @@ fn main() {
     let fast_case = fast.run_forecast_case(&leads, 3);
     let slow_case = slow_sys.run_forecast_case(&leads, 3);
     println!("\nforecast threat score (30 dBZ) from the final analysis:");
-    println!("{:>9} {:>12} {:>12}", "lead (s)", "30-s system", "slow system");
+    println!(
+        "{:>9} {:>12} {:>12}",
+        "lead (s)", "30-s system", "slow system"
+    );
     for (li, &lead) in leads.iter().enumerate() {
         let f = ContingencyTable::from_fields(
             &fast_case.forecast_dbz[li],
@@ -86,6 +89,8 @@ fn main() {
             (1.0 - fast_last_rmse / slow_last_rmse) * 100.0
         );
     } else {
-        println!("\nat this reduced scale/seed the slow system kept up; rerun with a longer --window.");
+        println!(
+            "\nat this reduced scale/seed the slow system kept up; rerun with a longer --window."
+        );
     }
 }

@@ -110,8 +110,6 @@ fn ensemble_spread_survives_cycling() {
     let mut osse = Osse::<f32>::new(OsseConfig::reduced(10, 8, 6, 2, 80));
     osse.spinup_system(480.0);
     osse.run_cycles(3);
-    let spread = osse
-        .ensemble
-        .spread(bda::scale::PrognosticVar::Theta);
+    let spread = osse.ensemble.spread(bda::scale::PrognosticVar::Theta);
     assert!(spread > 1e-4, "ensemble collapsed: theta spread = {spread}");
 }

@@ -197,7 +197,7 @@ proptest! {
             .map(|_| (0..n).map(|_| rng.gaussian(0.0f32, 10.0)).collect())
             .collect();
         let decoded: Vec<Vec<f32>> =
-            bda::io::decode_states(&bda::io::encode_states(&members)).unwrap();
+            bda::io::decode_states(&bda::io::encode_states(&members).unwrap()).unwrap();
         prop_assert_eq!(decoded, members);
     }
 }

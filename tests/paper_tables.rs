@@ -22,7 +22,10 @@ fn table2_letkf_settings() {
         (5.0, 3.0),
         "Observation error standard deviation"
     );
-    assert_eq!(c.max_obs_per_grid, 1000, "Maximum observation number per grid");
+    assert_eq!(
+        c.max_obs_per_grid, 1000,
+        "Maximum observation number per grid"
+    );
     assert_eq!(
         (c.gross_err_reflectivity_dbz, c.gross_err_doppler_ms),
         (10.0, 15.0),

@@ -4,8 +4,8 @@
 //! analyses stay statistically equivalent to f64 — these tests check that
 //! property on the reproduced system at reduced scale.
 
-use bda::num::{BatchedEigen, MatrixS, SplitMix64};
 use bda::letkf::weights::{apply_transform, compute_transform, LocalObs};
+use bda::num::{BatchedEigen, MatrixS, SplitMix64};
 use bda::scale::base::Sounding;
 use bda::scale::{Model, ModelConfig};
 
@@ -89,7 +89,7 @@ fn state_size_halves_in_single_precision() {
     // The memory/transfer argument behind the f32 conversion.
     let members64 = vec![vec![0.0_f64; 1000]; 8];
     let members32 = vec![vec![0.0_f32; 1000]; 8];
-    let b64 = bda::io::encode_states(&members64).len();
-    let b32 = bda::io::encode_states(&members32).len();
+    let b64 = bda::io::encode_states(&members64).unwrap().len();
+    let b32 = bda::io::encode_states(&members32).unwrap().len();
     assert_eq!(b64 - b32, 8 * 1000 * 4, "payload must shrink by half");
 }

@@ -1,0 +1,297 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the workspace vendors minimal API-compatible implementations of its
+//! external dependencies (see `vendor/README.md`). This crate provides the
+//! subset used by the workspace: `channel::{bounded, unbounded}` MPMC
+//! channels with blocking, non-blocking and timed receive, built on a
+//! `Mutex<VecDeque>` + two `Condvar`s.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<Inner<T>>,
+        /// Signalled when an item is pushed or all senders drop.
+        not_empty: Condvar,
+        /// Signalled when an item is popped or all receivers drop.
+        not_full: Condvar,
+    }
+
+    struct Inner<T> {
+        items: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half. `Clone` for MPMC use.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half. `Clone` for MPMC use.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// All receivers disconnected; the unsent value is returned.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// All senders disconnected and the queue is drained.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty disconnected channel")
+        }
+    }
+
+    /// Channel with at most `cap` queued items; sends block when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap))
+    }
+
+    /// Channel with unbounded queue; sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Inner {
+                items: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the value is queued or every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.queue.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match inner.cap {
+                    Some(cap) if inner.items.len() >= cap.max(1) => {
+                        inner = self.shared.not_full.wait(inner).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            inner.items.push_back(value);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = inner.items.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.not_empty.wait(inner).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.queue.lock().unwrap();
+            if let Some(v) = inner.items.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Block up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = inner.items.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap();
+                inner = guard;
+            }
+        }
+
+        /// Drain currently queued values without blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+    }
+
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.queue.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.queue.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_in_order() {
+            let (tx, rx) = bounded(4);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || tx.send(2).unwrap());
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn drop_sender_disconnects() {
+            let (tx, rx) = bounded::<u8>(2);
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn drop_receiver_fails_send() {
+            let (tx, rx) = bounded(2);
+            drop(rx);
+            assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_succeeds() {
+            let (tx, rx) = bounded(2);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(30)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Ok(9));
+        }
+
+        #[test]
+        fn try_iter_drains_queue() {
+            let (tx, rx) = bounded(8);
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            let got: Vec<i32> = rx.try_iter().collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        }
+    }
+}

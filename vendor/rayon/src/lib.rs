@@ -1,0 +1,191 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the workspace vendors minimal API-compatible implementations of its
+//! external dependencies (see `vendor/README.md`). This crate reproduces the
+//! `par_iter`/`par_iter_mut`/`into_par_iter`/`par_chunks_mut` surface the
+//! workspace uses, executing **sequentially**: every `ParIter` wraps a
+//! standard iterator, and `fold(..).map(..).reduce(..)` chains collapse to a
+//! single-accumulator fold. Swapping the real rayon back in later changes
+//! only Cargo metadata, not call sites.
+
+/// Sequential stand-in for rayon's `ParallelIterator`.
+pub struct ParIter<I: Iterator> {
+    it: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            it: self.it.enumerate(),
+        }
+    }
+
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter { it: self.it.map(f) }
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.it.for_each(f)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.it.collect()
+    }
+
+    /// Rayon's per-split fold; sequentially there is exactly one split, so
+    /// this yields a one-element iterator holding the full fold.
+    pub fn fold<T, ID, F>(self, mut identity: ID, f: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: FnMut() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        let acc = self.it.fold(identity(), f);
+        ParIter {
+            it: std::iter::once(acc),
+        }
+    }
+
+    /// Rayon's reduce with identity element.
+    pub fn reduce<ID, OP>(self, mut identity: ID, op: OP) -> I::Item
+    where
+        ID: FnMut() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.it.fold(identity(), op)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.it.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.it.count()
+    }
+}
+
+/// `into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Iter: Iterator;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator,
+{
+    type Iter = std::ops::Range<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { it: self }
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            it: self.into_iter(),
+        }
+    }
+}
+
+/// `par_iter()` on shared slices.
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: Iterator;
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter { it: self.iter() }
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter { it: self.iter() }
+    }
+}
+
+/// `par_iter_mut()` on exclusive slices.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: Iterator;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = std::slice::IterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+        ParIter {
+            it: self.iter_mut(),
+        }
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = std::slice::IterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+        ParIter {
+            it: self.iter_mut(),
+        }
+    }
+}
+
+/// `par_chunks_mut()` on exclusive slices.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter {
+            it: self.chunks_mut(chunk_size),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_serial() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn fold_map_reduce_chain() {
+        let mut data = [1u64, 2, 3, 4, 5, 6];
+        let total: u64 = data
+            .par_chunks_mut(2)
+            .enumerate()
+            .fold(|| 0u64, |acc, (_, c)| acc + c.iter().sum::<u64>())
+            .map(|s| s)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the workspace vendors minimal API-compatible implementations of its
+//! external dependencies (see `vendor/README.md`). The workspace only uses
+//! serde to *derive* `Serialize`/`Deserialize` on config/record structs; no
+//! code path serializes at runtime. The traits are therefore empty markers
+//! and the derives (re-exported from the vendored `serde_derive`) expand to
+//! nothing.
+
+/// Marker trait; the vendored derive is a no-op.
+pub trait Serialize {}
+
+/// Marker trait; the vendored derive is a no-op.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

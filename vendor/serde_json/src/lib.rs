@@ -1,0 +1,6 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Declared as a dependency by the root package and `bda-bench` but unused
+//! by any code path; this empty crate satisfies the dependency offline (see
+//! `vendor/README.md`). If JSON output is needed later, grow this into a
+//! real serializer or restore the upstream crate.
