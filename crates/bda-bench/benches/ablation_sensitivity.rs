@@ -76,7 +76,7 @@ fn bench(c: &mut Criterion) {
             let cfg = LetkfConfig::reduced(k);
             b.iter(|| {
                 let mut mat = EnsembleMatrix::from_members(black_box(&ms), l.clone());
-                black_box(analyze(&mut mat, &obs, &cfg))
+                black_box(analyze(&mut mat, &obs, &cfg).unwrap())
             })
         });
     }
@@ -95,7 +95,7 @@ fn bench(c: &mut Criterion) {
             cfg.loc_vertical = loc;
             b.iter(|| {
                 let mut mat = EnsembleMatrix::from_members(black_box(&ms), l.clone());
-                black_box(analyze(&mut mat, &obs, &cfg))
+                black_box(analyze(&mut mat, &obs, &cfg).unwrap())
             })
         });
     }

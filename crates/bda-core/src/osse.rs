@@ -11,10 +11,11 @@
 //! * part <2> — 30-minute forecasts from the mean + random members.
 
 use crate::products::reflectivity_map;
+use bda_io::checkpoint::CampaignSnapshot;
 use bda_letkf::diagnostics::{innovation_statistics, InnovationStats};
 use bda_letkf::obs::QcStats;
 use bda_letkf::{
-    analyze, gross_error_check, AnalysisStats, EnsembleMatrix, LetkfConfig, ObsEnsemble,
+    analyze_quorum, gross_error_check, AnalysisError, AnalysisStats, LetkfConfig, ObsEnsemble,
     StateLayout,
 };
 use bda_num::{Real, SplitMix64};
@@ -23,7 +24,10 @@ use bda_pawr::{PawrSimulator, RadarConfig, RadarNetwork};
 use bda_scale::base::Sounding;
 use bda_scale::forcing::TriggerSchedule;
 use bda_scale::model::Boundary;
-use bda_scale::{BaseState, Ensemble, Model, ModelConfig, ModelState, ANALYZED_VARS};
+use bda_scale::state::PrognosticVar;
+use bda_scale::{
+    BaseState, Ensemble, HealthBounds, MemberError, Model, ModelConfig, ModelState, ANALYZED_VARS,
+};
 
 /// OSSE configuration.
 #[derive(Clone, Debug)]
@@ -140,6 +144,16 @@ pub struct CycleOutcome {
     /// and after the analysis (visible cells only).
     pub prior_rmse_dbz: f64,
     pub posterior_rmse_dbz: f64,
+    /// Members that survived the post-forecast health scan and entered the
+    /// analysis (equals the ensemble size on a healthy cycle).
+    pub n_alive: usize,
+    /// Typed errors behind every quarantined member this cycle.
+    pub member_errors: Vec<MemberError>,
+    /// Members respawned from the analysis mean after quarantine.
+    pub respawned: Vec<usize>,
+    /// The surviving-member count fell below the configured quorum, so the
+    /// analysis was skipped (the supervisor's ladder handles the cycle).
+    pub below_quorum: bool,
 }
 
 impl CycleOutcome {
@@ -148,7 +162,12 @@ impl CycleOutcome {
     /// The ensemble still advanced — this is a forecast-only cycle, the
     /// in-model end of the workflow supervisor's degradation ladder.
     pub fn analysis_skipped(&self) -> bool {
-        self.n_obs_used == 0
+        self.n_obs_used == 0 || self.below_quorum
+    }
+
+    /// True when at least one member was quarantined this cycle.
+    pub fn ensemble_degraded(&self) -> bool {
+        !self.member_errors.is_empty()
     }
 }
 
@@ -203,6 +222,14 @@ pub struct Osse<T: Real> {
     layout: StateLayout,
     pub time: f64,
     rng: SplitMix64,
+    /// Physical-plausibility bounds for the per-cycle member health scan.
+    pub health_bounds: HealthBounds,
+    /// Minimum surviving members for an analysis; below it the cycle
+    /// degrades to forecast-only and the supervisor's ladder takes over.
+    pub min_quorum: usize,
+    /// Dedicated stream for respawn perturbations, so quarantine/respawn
+    /// stays reproducible (and checkpointable) independently of other draws.
+    respawn_rng: SplitMix64,
 }
 
 impl<T: Real> Osse<T> {
@@ -238,6 +265,8 @@ impl<T: Real> Osse<T> {
         };
         let sim = PawrSimulator::new(cfg.radar.clone());
         let rng = SplitMix64::new(cfg.seed ^ 0x0553);
+        let respawn_rng = SplitMix64::new(cfg.seed ^ 0xDEAD);
+        let min_quorum = (cfg.letkf.ensemble_size / 2).max(2);
         Self {
             base,
             nature,
@@ -247,12 +276,81 @@ impl<T: Real> Osse<T> {
             time: 0.0,
             cfg,
             rng,
+            health_bounds: HealthBounds::default(),
+            min_quorum,
+            respawn_rng,
         }
+    }
+
+    /// Respawn-stream state, for checkpointing.
+    pub fn respawn_rng_state(&self) -> u64 {
+        self.respawn_rng.state()
+    }
+
+    /// Restore the respawn stream from a checkpointed state.
+    pub fn set_respawn_rng_state(&mut self, state: u64) {
+        self.respawn_rng = SplitMix64::from_state(state);
     }
 
     /// Truth state (for verification only — the DA never touches it).
     pub fn truth(&self) -> &ModelState<T> {
         &self.nature.state
+    }
+
+    /// Capture the full cycling state for a campaign checkpoint.
+    ///
+    /// Layout convention: entry 0 is the nature (truth) state, entries
+    /// `1..=k` are the ensemble members; only prognostic interiors are
+    /// stored — halos are refilled from the interior at the start of every
+    /// model step, so they carry no information. RNG streams are entry 0 =
+    /// forecast-member selection, entry 1 = respawn perturbations. The
+    /// driver fills in `next_cycle` and the outcome log.
+    pub fn snapshot_state(&self) -> CampaignSnapshot<T> {
+        let mut members = Vec::with_capacity(1 + self.ensemble.size());
+        let mut member_times = Vec::with_capacity(1 + self.ensemble.size());
+        members.push(self.nature.state.to_flat(&PrognosticVar::ALL));
+        member_times.push(self.nature.state.time);
+        for m in &self.ensemble.members {
+            members.push(m.to_flat(&PrognosticVar::ALL));
+            member_times.push(m.time);
+        }
+        CampaignSnapshot {
+            next_cycle: 0,
+            time: self.time,
+            rng_states: vec![self.rng.state(), self.respawn_rng.state()],
+            members,
+            member_times,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Restore the state captured by [`Osse::snapshot_state`]. The OSSE
+    /// must have been constructed with the same configuration (grid and
+    /// ensemble size are asserted; physics parameters are on the caller).
+    pub fn restore_state(&mut self, snap: &CampaignSnapshot<T>) {
+        assert_eq!(
+            snap.members.len(),
+            1 + self.ensemble.size(),
+            "snapshot holds {} states, this OSSE needs {}",
+            snap.members.len(),
+            1 + self.ensemble.size()
+        );
+        assert_eq!(
+            snap.rng_states.len(),
+            2,
+            "snapshot must carry 2 RNG streams"
+        );
+        self.nature
+            .state
+            .from_flat(&PrognosticVar::ALL, &snap.members[0]);
+        self.nature.state.time = snap.member_times[0];
+        for (i, m) in self.ensemble.members.iter_mut().enumerate() {
+            m.from_flat(&PrognosticVar::ALL, &snap.members[i + 1]);
+            m.time = snap.member_times[i + 1];
+        }
+        self.time = snap.time;
+        self.rng = SplitMix64::from_state(snap.rng_states[0]);
+        self.respawn_rng = SplitMix64::from_state(snap.rng_states[1]);
     }
 
     /// Advance only the truth, letting its convection mature before the DA
@@ -391,19 +489,46 @@ impl<T: Real> Osse<T> {
         }
     }
 
-    /// One full 30-second cycle: advance truth and ensemble, scan, QC,
-    /// analyze.
+    /// One full 30-second cycle: advance truth and ensemble, scan the truth,
+    /// QC, health-scan the members, analyze the surviving quorum, respawn
+    /// quarantined members from the analysis mean.
     pub fn cycle(&mut self) -> CycleOutcome {
         let dt = self.cfg.cycle_interval;
         let grid = self.cfg.model.grid.clone();
 
-        // Advance truth (part of "the real world") and the ensemble
-        // (part <1-2>: 1000-member 30-s forecasts).
+        // Advance truth (part of "the real world" — if it blows up the whole
+        // OSSE is meaningless, so this stays fatal) and the ensemble
+        // (part <1-2>: 1000-member 30-s forecasts, per-member outcomes).
         self.nature.integrate(dt).expect("nature run blew up");
-        self.ensemble
-            .forecast(&self.cfg.model, &self.base, dt, |_| Boundary::BaseState)
-            .expect("ensemble member blew up");
+        let forecast_results =
+            self.ensemble
+                .forecast_members(&self.cfg.model, &self.base, dt, |_| Boundary::BaseState);
+        let health = self
+            .ensemble
+            .health_scan(&forecast_results, &self.health_bounds);
         self.time += dt;
+
+        // Total ensemble death is unrecoverable in-model: there is no state
+        // left to respawn from, so hand the cycle to the supervisor above.
+        if health.n_alive() == 0 {
+            return CycleOutcome {
+                time: self.time,
+                n_obs_scanned: 0,
+                n_obs_used: 0,
+                qc: QcStats::default(),
+                analysis: AnalysisStats::default(),
+                innovation_reflectivity: InnovationStats::default(),
+                innovation_doppler: InnovationStats::default(),
+                prior_rmse_dbz: f64::NAN,
+                posterior_rmse_dbz: f64::NAN,
+                n_alive: 0,
+                member_errors: health.errors,
+                respawned: Vec::new(),
+                below_quorum: true,
+            };
+        }
+        let alive_flags = health.alive_flags();
+        let alive_idx = health.alive();
 
         // Scan the truth (the MP-PAWR volume at T_obs) and evaluate the
         // forward operator on every member, honoring each radar's geometry.
@@ -444,43 +569,103 @@ impl<T: Real> Osse<T> {
             (scan, hx)
         };
         let n_obs_scanned = scan.obs.len();
+        // Quarantine: only surviving members contribute observation
+        // equivalents — a NaN row from a dead member would poison the QC
+        // innovation means for everyone.
+        let hx: Vec<Vec<T>> = hx
+            .into_iter()
+            .zip(&alive_flags)
+            .filter(|(_, &a)| a)
+            .map(|(h, _)| h)
+            .collect();
         let ens_obs = ObsEnsemble::new(scan.obs, hx);
         let (ens_obs, qc) = gross_error_check(&ens_obs, &self.cfg.letkf);
         let n_obs_used = ens_obs.len();
         let (innovation_reflectivity, innovation_doppler) = innovation_statistics(&ens_obs);
 
-        // Diagnostics before the update.
+        // Diagnostics before the update (over surviving members only).
         let mask = self.coverage_mask(2000.0);
         let truth_map = self.truth_reflectivity_map(2000.0);
-        let prior_map = self.mean_reflectivity_map(2000.0);
+        let floor2 = self.cfg.radar.min_detectable_dbz;
+        let prior_map = reflectivity_map(
+            &self.ensemble.mean_of(&alive_idx),
+            &self.base,
+            &grid,
+            2000.0,
+            floor2,
+        );
         let prior_rmse_dbz = self.masked_rmse(&prior_map, &truth_map, &mask);
 
-        // Part <1-1>: the LETKF analysis. A cycle with no usable
-        // observations — radar outage, dropped scan, or total QC rejection —
-        // degrades to an ensemble-forecast-only cycle: the members continue
-        // unanalyzed and the outcome reports zero points analyzed (see
-        // `CycleOutcome::analysis_skipped`). Observation loss must never
-        // abort the 30-second cadence.
-        let (analysis, posterior_rmse_dbz) = if n_obs_used == 0 {
-            (AnalysisStats::default(), prior_rmse_dbz)
+        // Part <1-1>: the LETKF analysis on the surviving quorum. A cycle
+        // with no usable observations — radar outage, dropped scan, or total
+        // QC rejection — degrades to an ensemble-forecast-only cycle, as
+        // does a quorum failure: the members continue unanalyzed and the
+        // outcome reports zero points analyzed (see
+        // `CycleOutcome::analysis_skipped`). Neither observation loss nor
+        // member death must ever abort the 30-second cadence.
+        let mut below_quorum = false;
+        let analysis = if n_obs_used == 0 {
+            AnalysisStats::default()
         } else {
-            let flats: Vec<Vec<T>> = self
+            let mut flats: Vec<Vec<T>> = self
                 .ensemble
                 .members
                 .iter()
                 .map(|m| m.to_flat(&ANALYZED_VARS))
                 .collect();
-            let mut mat = EnsembleMatrix::from_members(&flats, self.layout.clone());
-            let analysis = analyze(&mut mat, &ens_obs, &self.cfg.letkf);
-            let mut flats = flats;
-            mat.to_members(&mut flats);
-            for (member, flat) in self.ensemble.members.iter_mut().zip(&flats) {
-                member.from_flat(&ANALYZED_VARS, flat);
-                member.clamp_physical();
+            match analyze_quorum(
+                &mut flats,
+                &alive_flags,
+                self.layout.clone(),
+                &ens_obs,
+                &self.cfg.letkf,
+                self.min_quorum,
+            ) {
+                Ok(q) => {
+                    for &m in &alive_idx {
+                        self.ensemble.members[m].from_flat(&ANALYZED_VARS, &flats[m]);
+                        self.ensemble.members[m].clamp_physical();
+                    }
+                    q.stats
+                }
+                Err(AnalysisError::BelowQuorum { .. }) => {
+                    below_quorum = true;
+                    AnalysisStats::default()
+                }
+                Err(e) => {
+                    // Localization / size errors are analysis-step failures,
+                    // not member failures: degrade to forecast-only exactly
+                    // like an empty scan.
+                    debug_assert!(false, "analysis failed: {e}");
+                    below_quorum = true;
+                    AnalysisStats::default()
+                }
             }
+        };
 
+        // Respawn quarantined members from the (analysis) mean of the
+        // survivors plus re-inflated perturbations, so the ensemble
+        // self-heals over the next cycles.
+        let respawned = health.dead();
+        if !respawned.is_empty() {
+            let template = self.ensemble.mean_of(&alive_idx);
+            for &m in &respawned {
+                self.ensemble.respawn(
+                    m,
+                    &template,
+                    &grid,
+                    &mut self.respawn_rng,
+                    self.cfg.init_theta_sd,
+                    self.cfg.init_qv_sd,
+                );
+            }
+        }
+
+        let posterior_rmse_dbz = if analysis.points_analyzed > 0 {
             let post_map = self.mean_reflectivity_map(2000.0);
-            (analysis, self.masked_rmse(&post_map, &truth_map, &mask))
+            self.masked_rmse(&post_map, &truth_map, &mask)
+        } else {
+            prior_rmse_dbz
         };
 
         CycleOutcome {
@@ -493,6 +678,10 @@ impl<T: Real> Osse<T> {
             innovation_doppler,
             prior_rmse_dbz,
             posterior_rmse_dbz,
+            n_alive: alive_idx.len(),
+            member_errors: health.errors,
+            respawned,
+            below_quorum,
         }
     }
 
@@ -554,9 +743,16 @@ impl<T: Real> Osse<T> {
             assert!(lead >= t_prev, "leads must be ascending");
             let step = lead - t_prev;
             if step > 0.0 {
-                fc_ens
-                    .forecast(&self.cfg.model, &self.base, step, |_| Boundary::BaseState)
-                    .expect("forecast member blew up");
+                // A blown-up forecast member is dropped from the (mean +
+                // random members) ensemble rather than aborting part <2>.
+                let results = fc_ens
+                    .forecast_members(&self.cfg.model, &self.base, step, |_| Boundary::BaseState);
+                let health = fc_ens.health_scan(&results, &self.health_bounds);
+                let alive = health.alive();
+                assert!(!alive.is_empty(), "every forecast member blew up");
+                if alive.len() < fc_ens.size() {
+                    fc_ens = fc_ens.subset(&alive);
+                }
                 truth_engine.integrate(step).expect("truth clone blew up");
             }
             let fc_mean = fc_ens.mean();
@@ -627,6 +823,67 @@ mod tests {
         let healthy = osse.cycle();
         assert!(healthy.n_obs_used > 0);
         assert!(!healthy.analysis_skipped());
+    }
+
+    #[test]
+    fn nan_poisoned_member_is_quarantined_and_respawned() {
+        let mut osse = small();
+        osse.cycle();
+        osse.ensemble.inject_nan(2);
+        let out = osse.cycle();
+        assert_eq!(out.n_alive, 5);
+        assert_eq!(out.respawned, vec![2]);
+        assert!(out.ensemble_degraded());
+        assert!(out.member_errors.iter().any(|e| e.member() == 2));
+        // The surviving quorum still produced a real analysis...
+        assert!(out.analysis.points_analyzed > 0);
+        assert!(!out.below_quorum);
+        assert!(out.posterior_rmse_dbz.is_finite());
+        // ...and after the respawn every member is finite again.
+        for m in &osse.ensemble.members {
+            assert!(m.all_finite());
+        }
+        // The next cycle runs at full strength.
+        let next = osse.cycle();
+        assert_eq!(next.n_alive, 6);
+        assert!(next.respawned.is_empty());
+        assert!(!next.ensemble_degraded());
+        for m in &osse.ensemble.members {
+            assert!((m.time - 3.0 * 30.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quarantine_and_respawn_are_deterministic() {
+        let run = || {
+            let mut osse = small();
+            osse.cycle();
+            osse.ensemble.inject_nan(1);
+            osse.cycle();
+            osse.cycle();
+            osse.ensemble
+                .members
+                .iter()
+                .map(|m| m.to_flat(&ANALYZED_VARS))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn below_quorum_skips_analysis_but_still_respawns() {
+        let mut osse = small(); // 6 members
+        osse.min_quorum = 6; // any death now breaks quorum
+        osse.ensemble.inject_nan(0);
+        let out = osse.cycle();
+        assert!(out.below_quorum);
+        assert!(out.analysis_skipped());
+        assert_eq!(out.analysis, AnalysisStats::default());
+        assert_eq!(out.respawned, vec![0]);
+        assert_eq!(out.posterior_rmse_dbz, out.prior_rmse_dbz);
+        for m in &osse.ensemble.members {
+            assert!(m.all_finite());
+        }
     }
 
     #[test]

@@ -186,6 +186,25 @@ impl<T: Real> Field3<T> {
         m
     }
 
+    /// One-pass combined finiteness + magnitude scan of the interior:
+    /// `None` if any interior value is non-finite, otherwise the maximum
+    /// absolute value. The member health scan runs this per variable every
+    /// cycle, so it must stay a single sweep over the data.
+    pub fn interior_finite_max_abs(&self) -> Option<T> {
+        let mut m = T::zero();
+        for i in 0..self.nx {
+            for j in 0..self.ny {
+                for &v in self.column(i as isize, j as isize) {
+                    if !v.is_finite() {
+                        return None;
+                    }
+                    m = m.max(v.abs());
+                }
+            }
+        }
+        Some(m)
+    }
+
     /// Are all interior values finite? (Blow-up detector for the model.)
     pub fn interior_all_finite(&self) -> bool {
         for i in 0..self.nx {

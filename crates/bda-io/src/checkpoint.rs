@@ -1,0 +1,524 @@
+//! Atomic, CRC-checked campaign checkpoints.
+//!
+//! The paper's operational run cycled for weeks; a crashed process must not
+//! lose the campaign. A snapshot captures everything needed to resume a
+//! cycling run bit-for-bit: the flat ensemble states (interiors only —
+//! halos are refilled by the first model step), per-member clocks, every
+//! RNG stream state, the index of the next cycle, and the supervisor's
+//! per-cycle outcome log.
+//!
+//! Layout: magic `BDAC` (4) | version u16 | precision u8 (4 or 8) |
+//! next_cycle u64 | time f64 | n_rng u32 + states u64 each |
+//! k u64 | n u64 | per member: time f64 + n values (little-endian) |
+//! n_outcomes u32 + records | CRC-32 (IEEE) u32 over everything before it.
+//!
+//! Durability: [`write_checkpoint`] writes to a temporary file in the same
+//! directory, fsyncs it, then atomically renames it into place (and fsyncs
+//! the directory on Unix). A `kill -9` at any instant leaves either the old
+//! checkpoint, the new one, or a temp file that [`latest_checkpoint`]
+//! ignores — never a half-written snapshot that validates.
+
+use bda_num::Real;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"BDAC";
+const VERSION: u16 = 1;
+const TMP_PREFIX: &str = ".tmp-";
+const CKPT_PREFIX: &str = "ckpt-";
+const CKPT_SUFFIX: &str = ".bdac";
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// One line of the supervisor's outcome log, persisted so a resumed
+/// campaign's final report covers the pre-crash cycles too. Deliberately
+/// timing-free: two runs of the same campaign (interrupted or not) must
+/// produce identical records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutcomeRecord {
+    pub cycle: u64,
+    /// Disposition label (`completed`, `degraded`, ...).
+    pub label: String,
+    /// Free-form note (quorum summary, degradation cause, ...).
+    pub detail: String,
+    /// Transfer retries consumed by the cycle.
+    pub retries: u32,
+}
+
+/// Everything needed to resume a cycling campaign bit-for-bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSnapshot<T> {
+    /// Index of the next cycle to run on resume.
+    pub next_cycle: u64,
+    /// Campaign clock at the snapshot, model seconds.
+    pub time: f64,
+    /// RNG stream states in a caller-defined, stable order.
+    pub rng_states: Vec<u64>,
+    /// Flat states (caller-defined layout; by convention the truth/nature
+    /// state may ride along as a leading extra entry).
+    pub members: Vec<Vec<T>>,
+    /// Model clock of each entry in `members`.
+    pub member_times: Vec<f64>,
+    /// Per-cycle outcome log up to (excluding) `next_cycle`.
+    pub outcomes: Vec<OutcomeRecord>,
+}
+
+/// Checkpoint I/O and validation errors.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    TooShort,
+    BadMagic,
+    UnsupportedVersion(u16),
+    PrecisionMismatch {
+        file: u8,
+        expected: u8,
+    },
+    ChecksumMismatch,
+    Truncated,
+    /// Encode-side: member `member` has `len` values, expected `expected`.
+    RaggedEnsemble {
+        member: usize,
+        len: usize,
+        expected: usize,
+    },
+    /// Encode-side: `member_times` must align with `members`.
+    TimesMismatch {
+        times: usize,
+        members: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+            CheckpointError::TooShort => write!(f, "checkpoint too short"),
+            CheckpointError::BadMagic => write!(f, "bad checkpoint magic"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::PrecisionMismatch { file, expected } => {
+                write!(
+                    f,
+                    "precision mismatch: file {file} bytes, expected {expected}"
+                )
+            }
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint CRC mismatch"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::RaggedEnsemble {
+                member,
+                len,
+                expected,
+            } => write!(
+                f,
+                "ragged ensemble: member {member} has {len} values, expected {expected}"
+            ),
+            CheckpointError::TimesMismatch { times, members } => {
+                write!(f, "{times} member times for {members} members")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn precision_tag<T: Real>() -> u8 {
+    std::mem::size_of::<T>() as u8
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, CheckpointError> {
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(CheckpointError::Truncated);
+    }
+    let s = String::from_utf8_lossy(&buf[..len]).into_owned();
+    buf.advance(len);
+    Ok(s)
+}
+
+/// Encode a snapshot to its binary form (CRC trailer included).
+pub fn encode_snapshot<T: Real>(snap: &CampaignSnapshot<T>) -> Result<Bytes, CheckpointError> {
+    let k = snap.members.len();
+    let n = snap.members.first().map(|m| m.len()).unwrap_or(0);
+    for (i, m) in snap.members.iter().enumerate() {
+        if m.len() != n {
+            return Err(CheckpointError::RaggedEnsemble {
+                member: i,
+                len: m.len(),
+                expected: n,
+            });
+        }
+    }
+    if snap.member_times.len() != k {
+        return Err(CheckpointError::TimesMismatch {
+            times: snap.member_times.len(),
+            members: k,
+        });
+    }
+    let prec = precision_tag::<T>() as usize;
+    let mut buf = BytesMut::with_capacity(64 + snap.rng_states.len() * 8 + k * (8 + n * prec));
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u8(prec as u8);
+    buf.put_u64(snap.next_cycle);
+    buf.put_f64(snap.time);
+    buf.put_u32(snap.rng_states.len() as u32);
+    for &s in &snap.rng_states {
+        buf.put_u64(s);
+    }
+    buf.put_u64(k as u64);
+    buf.put_u64(n as u64);
+    for (m, &t) in snap.members.iter().zip(&snap.member_times) {
+        buf.put_f64(t);
+        for &v in m {
+            if prec == 4 {
+                buf.put_f32_le(v.f64() as f32);
+            } else {
+                buf.put_f64_le(v.f64());
+            }
+        }
+    }
+    buf.put_u32(snap.outcomes.len() as u32);
+    for o in &snap.outcomes {
+        buf.put_u64(o.cycle);
+        buf.put_u32(o.retries);
+        put_string(&mut buf, &o.label);
+        put_string(&mut buf, &o.detail);
+    }
+    let sum = crc32(&buf);
+    buf.put_u32(sum);
+    Ok(buf.freeze())
+}
+
+/// Decode and validate a snapshot.
+pub fn decode_snapshot<T: Real>(data: &[u8]) -> Result<CampaignSnapshot<T>, CheckpointError> {
+    // magic + version + precision + next_cycle + time + n_rng + k + n + n_outcomes + crc
+    if data.len() < 4 + 2 + 1 + 8 + 8 + 4 + 8 + 8 + 4 + 4 {
+        return Err(CheckpointError::TooShort);
+    }
+    let (payload, tail) = data.split_at(data.len() - 4);
+    let expect = u32::from_be_bytes(tail.try_into().unwrap());
+    if crc32(payload) != expect {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    let mut buf = payload;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let prec = buf.get_u8();
+    if prec != precision_tag::<T>() {
+        return Err(CheckpointError::PrecisionMismatch {
+            file: prec,
+            expected: precision_tag::<T>(),
+        });
+    }
+    let next_cycle = buf.get_u64();
+    let time = buf.get_f64();
+    let n_rng = buf.get_u32() as usize;
+    if buf.remaining() < n_rng * 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let rng_states: Vec<u64> = (0..n_rng).map(|_| buf.get_u64()).collect();
+    if buf.remaining() < 16 {
+        return Err(CheckpointError::Truncated);
+    }
+    let k = buf.get_u64() as usize;
+    let n = buf.get_u64() as usize;
+    if buf.remaining() < k * (8 + n * prec as usize) {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut members = Vec::with_capacity(k);
+    let mut member_times = Vec::with_capacity(k);
+    for _ in 0..k {
+        member_times.push(buf.get_f64());
+        let mut m = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = if prec == 4 {
+                buf.get_f32_le() as f64
+            } else {
+                buf.get_f64_le()
+            };
+            m.push(T::of(v));
+        }
+        members.push(m);
+    }
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let n_out = buf.get_u32() as usize;
+    let mut outcomes = Vec::with_capacity(n_out);
+    for _ in 0..n_out {
+        if buf.remaining() < 12 {
+            return Err(CheckpointError::Truncated);
+        }
+        let cycle = buf.get_u64();
+        let retries = buf.get_u32();
+        let label = get_string(&mut buf)?;
+        let detail = get_string(&mut buf)?;
+        outcomes.push(OutcomeRecord {
+            cycle,
+            label,
+            detail,
+            retries,
+        });
+    }
+    Ok(CampaignSnapshot {
+        next_cycle,
+        time,
+        rng_states,
+        members,
+        member_times,
+        outcomes,
+    })
+}
+
+/// Canonical file name for a snapshot taken before cycle `next_cycle`.
+pub fn checkpoint_file_name(next_cycle: u64) -> String {
+    format!("{CKPT_PREFIX}{next_cycle:06}{CKPT_SUFFIX}")
+}
+
+/// Atomically persist a snapshot under `dir` (created if missing).
+///
+/// Write-temp + fsync + rename (+ directory fsync on Unix): a crash at any
+/// point leaves either no new file or a complete, CRC-valid one.
+pub fn write_checkpoint<T: Real>(
+    dir: &Path,
+    snap: &CampaignSnapshot<T>,
+) -> Result<PathBuf, CheckpointError> {
+    std::fs::create_dir_all(dir)?;
+    let bytes = encode_snapshot(snap)?;
+    let final_name = checkpoint_file_name(snap.next_cycle);
+    let tmp_path = dir.join(format!("{TMP_PREFIX}{final_name}"));
+    let final_path = dir.join(final_name);
+    {
+        let mut f = std::fs::File::create(&tmp_path)?;
+        std::io::Write::write_all(&mut f, &bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    #[cfg(unix)]
+    {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(final_path)
+}
+
+/// Read and validate one checkpoint file.
+pub fn read_checkpoint<T: Real>(path: &Path) -> Result<CampaignSnapshot<T>, CheckpointError> {
+    let data = std::fs::read(path)?;
+    decode_snapshot(&data)
+}
+
+/// Find the newest *valid* checkpoint in `dir`: candidates are scanned
+/// newest-first (by cycle index in the file name) and the first one that
+/// decodes and passes its CRC wins. Temp files and corrupt or truncated
+/// snapshots are skipped, so a crash mid-write falls back to the previous
+/// checkpoint instead of failing the resume.
+pub fn latest_checkpoint<T: Real>(
+    dir: &Path,
+) -> Result<Option<(PathBuf, CampaignSnapshot<T>)>, CheckpointError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(stem) = name
+            .strip_prefix(CKPT_PREFIX)
+            .and_then(|s| s.strip_suffix(CKPT_SUFFIX))
+        {
+            if let Ok(cycle) = stem.parse::<u64>() {
+                candidates.push((cycle, entry.path()));
+            }
+        }
+    }
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+    for (_, path) in candidates {
+        if let Ok(snap) = read_checkpoint::<T>(&path) {
+            return Ok(Some((path, snap)));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignSnapshot<f32> {
+        CampaignSnapshot {
+            next_cycle: 3,
+            time: 90.0,
+            rng_states: vec![0xDEAD_BEEF, 42],
+            members: vec![vec![1.5_f32, -0.25, 3.75], vec![0.0, 1e-30, 1e30]],
+            member_times: vec![90.0, 90.0],
+            outcomes: vec![
+                OutcomeRecord {
+                    cycle: 0,
+                    label: "completed".into(),
+                    detail: "alive 4/4".into(),
+                    retries: 0,
+                },
+                OutcomeRecord {
+                    cycle: 1,
+                    label: "degraded".into(),
+                    detail: "alive 3/4, dead [2]".into(),
+                    retries: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_exactly() {
+        let snap = sample();
+        let bytes = encode_snapshot(&snap).unwrap();
+        let back: CampaignSnapshot<f32> = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_rejected() {
+        let bytes = encode_snapshot(&sample()).unwrap().to_vec();
+        for pos in [0, 7, bytes.len() / 2, bytes.len() - 5, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            assert!(
+                matches!(
+                    decode_snapshot::<f32>(&bad),
+                    Err(CheckpointError::ChecksumMismatch) | Err(CheckpointError::BadMagic)
+                ),
+                "flip at {pos} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = encode_snapshot(&sample()).unwrap();
+        for len in [0, 10, bytes.len() / 2, bytes.len() - 1] {
+            let r = decode_snapshot::<f32>(&bytes[..len]);
+            assert!(r.is_err(), "truncation to {len} accepted");
+        }
+    }
+
+    #[test]
+    fn precision_mismatch_is_rejected() {
+        let bytes = encode_snapshot(&sample()).unwrap();
+        assert!(matches!(
+            decode_snapshot::<f64>(&bytes),
+            Err(CheckpointError::PrecisionMismatch {
+                file: 4,
+                expected: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn write_then_latest_finds_newest_valid() {
+        let dir = std::env::temp_dir().join(format!("bda-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut snap = sample();
+        write_checkpoint(&dir, &snap).unwrap();
+        snap.next_cycle = 7;
+        snap.time = 210.0;
+        let p7 = write_checkpoint(&dir, &snap).unwrap();
+        // A corrupt newer file must be skipped.
+        let p9 = dir.join(checkpoint_file_name(9));
+        std::fs::write(&p9, b"garbage").unwrap();
+        // Leftover temp files are ignored.
+        std::fs::write(dir.join(".tmp-ckpt-000011.bdac"), b"partial").unwrap();
+        let (path, found) = latest_checkpoint::<f32>(&dir).unwrap().unwrap();
+        assert_eq!(path, p7);
+        assert_eq!(found, snap);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_on_missing_dir_is_none() {
+        let dir = std::env::temp_dir().join("bda-ckpt-definitely-missing");
+        assert!(latest_checkpoint::<f32>(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn ragged_and_misaligned_snapshots_rejected() {
+        let mut snap = sample();
+        snap.members[1].pop();
+        assert!(matches!(
+            encode_snapshot(&snap),
+            Err(CheckpointError::RaggedEnsemble { member: 1, .. })
+        ));
+        let mut snap = sample();
+        snap.member_times.pop();
+        assert!(matches!(
+            encode_snapshot(&snap),
+            Err(CheckpointError::TimesMismatch {
+                times: 1,
+                members: 2
+            })
+        ));
+    }
+}

@@ -18,10 +18,18 @@
 //! either mode.
 //!
 //! [`mod@format`] defines the self-describing binary member-state format used by
-//! the file path (and by any external tooling).
+//! the file path (and by any external tooling). [`mod@checkpoint`] persists
+//! whole-campaign snapshots (ensemble, RNG streams, cycle index, outcome
+//! log) atomically with CRC validation so a killed campaign resumes
+//! bit-for-bit.
 
+pub mod checkpoint;
 pub mod format;
 pub mod transport;
 
+pub use checkpoint::{
+    latest_checkpoint, read_checkpoint, write_checkpoint, CampaignSnapshot, CheckpointError,
+    OutcomeRecord,
+};
 pub use format::{decode_states, encode_states};
 pub use transport::{EnsembleTransport, FileTransport, MemoryTransport};

@@ -1,12 +1,50 @@
 //! The parallel LETKF driver: one transform per analysis grid point.
 
 use crate::config::LetkfConfig;
-use crate::ensmatrix::EnsembleMatrix;
-use crate::localization::{localization_weight, ObsIndex};
+use crate::ensmatrix::{EnsembleMatrix, StateLayout};
+use crate::localization::{localization_weight, LocalizationError, ObsIndex};
 use crate::obs::ObsEnsemble;
 use crate::weights::{apply_transform, compute_transform, LocalObs};
 use bda_num::{BatchedEigen, MatrixS, Real};
 use rayon::prelude::*;
+
+/// Why an analysis step could not run. All variants are recoverable by the
+/// supervisor's degradation ladder; none should panic the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AnalysisError {
+    /// The observation index could not be built.
+    Localization(LocalizationError),
+    /// Observation equivalents don't match the ensemble size.
+    EnsembleSizeMismatch { hx: usize, k: usize },
+    /// Too few surviving members to form a meaningful analysis
+    /// ([`analyze_quorum`] only).
+    BelowQuorum { alive: usize, required: usize },
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AnalysisError::Localization(e) => write!(f, "localization failed: {e}"),
+            AnalysisError::EnsembleSizeMismatch { hx, k } => {
+                write!(
+                    f,
+                    "observation equivalents for {hx} members, ensemble has {k}"
+                )
+            }
+            AnalysisError::BelowQuorum { alive, required } => {
+                write!(f, "only {alive} members alive, quorum requires {required}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<LocalizationError> for AnalysisError {
+    fn from(e: LocalizationError) -> Self {
+        AnalysisError::Localization(e)
+    }
+}
 
 /// Aggregate statistics of one analysis step.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -74,14 +112,15 @@ pub fn analyze<T: Real>(
     ens: &mut EnsembleMatrix<T>,
     obs: &ObsEnsemble<T>,
     cfg: &LetkfConfig,
-) -> AnalysisStats {
+) -> Result<AnalysisStats, AnalysisError> {
     cfg.validate();
     let k = ens.k;
-    assert_eq!(
-        obs.ensemble_size(),
-        k,
-        "observation equivalents must match ensemble size"
-    );
+    if obs.ensemble_size() != k {
+        return Err(AnalysisError::EnsembleSizeMismatch {
+            hx: obs.ensemble_size(),
+            k,
+        });
+    }
 
     // Precompute innovations and observation-space perturbation rows.
     let nobs = obs.len();
@@ -95,7 +134,7 @@ pub fn analyze<T: Real>(
         }
     }
 
-    let index = ObsIndex::build(&obs.obs, cfg.cutoff_horizontal());
+    let index = ObsIndex::build(&obs.obs, cfg.cutoff_horizontal())?;
 
     let rtpp = T::of(cfg.rtpp);
     let infl = T::of(cfg.infl_mult);
@@ -110,7 +149,8 @@ pub fn analyze<T: Real>(
     let (layout, _, data) = ens.grid_point_blocks_mut();
     let (ny, nz, nvar) = (layout.ny, layout.nz, layout.nvar);
 
-    data.par_chunks_mut(block_len)
+    let stats = data
+        .par_chunks_mut(block_len)
         .enumerate()
         .fold(
             || (AnalysisStats::default(), Workspace::<T>::new(k)),
@@ -144,8 +184,7 @@ pub fn analyze<T: Real>(
                 // Cap at max_obs_per_grid, keeping the strongest weights
                 // (the paper's Table 2 cap of 1000).
                 if ws.candidates.len() > max_obs {
-                    ws.candidates
-                        .sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+                    ws.candidates.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
                     ws.candidates.truncate(max_obs);
                 }
 
@@ -171,7 +210,82 @@ pub fn analyze<T: Real>(
             },
         )
         .map(|(stats, _)| stats)
-        .reduce(AnalysisStats::default, AnalysisStats::merge)
+        .reduce(AnalysisStats::default, AnalysisStats::merge);
+    Ok(stats)
+}
+
+/// Statistics of a quorum analysis: the LETKF ran on the `k_alive` surviving
+/// members of a `k_total`-member ensemble.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuorumStats {
+    pub stats: AnalysisStats,
+    /// Members that actually entered the transform.
+    pub k_alive: usize,
+    /// Nominal ensemble size.
+    pub k_total: usize,
+}
+
+impl QuorumStats {
+    /// Did any member get quarantined out of this analysis?
+    pub fn degraded(&self) -> bool {
+        self.k_alive < self.k_total
+    }
+}
+
+/// Minimum number of members for the transform to be meaningful at all:
+/// the ensemble covariance needs at least two members.
+pub const ABSOLUTE_MIN_QUORUM: usize = 2;
+
+/// Run the LETKF on the surviving subset of a partially-dead ensemble.
+///
+/// `members` are flat state vectors ([`StateLayout`] order), index-aligned
+/// with `alive`; dead members are left untouched. `obs` must carry
+/// observation equivalents for the *alive* members only, in ascending member
+/// order. The transform is computed with k = `alive.count()`, so the
+/// ensemble-covariance weighting `1/(k-1)` is automatically consistent with
+/// the reduced quorum. Below `min_quorum` (clamped to at least
+/// [`ABSOLUTE_MIN_QUORUM`]) nothing is touched and the caller's degradation
+/// ladder takes over.
+pub fn analyze_quorum<T: Real>(
+    members: &mut [Vec<T>],
+    alive: &[bool],
+    layout: StateLayout,
+    obs: &ObsEnsemble<T>,
+    cfg: &LetkfConfig,
+    min_quorum: usize,
+) -> Result<QuorumStats, AnalysisError> {
+    assert_eq!(
+        alive.len(),
+        members.len(),
+        "alive flags must align with members"
+    );
+    let k_total = members.len();
+    let alive_idx: Vec<usize> = (0..k_total).filter(|&m| alive[m]).collect();
+    let k_alive = alive_idx.len();
+    let required = min_quorum.max(ABSOLUTE_MIN_QUORUM);
+    if k_alive < required {
+        return Err(AnalysisError::BelowQuorum {
+            alive: k_alive,
+            required,
+        });
+    }
+    // Move (not copy) the surviving members into a dense sub-ensemble,
+    // run the standard transform on it, and scatter back.
+    let mut flats: Vec<Vec<T>> = alive_idx
+        .iter()
+        .map(|&m| std::mem::take(&mut members[m]))
+        .collect();
+    let mut mat = EnsembleMatrix::from_members(&flats, layout);
+    let result = analyze(&mut mat, obs, cfg);
+    mat.to_members(&mut flats);
+    for (&slot, flat) in alive_idx.iter().zip(flats) {
+        members[slot] = flat;
+    }
+    Ok(QuorumStats {
+        stats: result?,
+        k_alive,
+        k_total,
+    })
 }
 
 #[cfg(test)]
@@ -247,7 +361,7 @@ mod tests {
         let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
         let g_obs = (4 * tw.layout.ny + 4) * tw.layout.nz + 1;
         let (mean_before, sd_before) = point_stats(&mat, g_obs);
-        let stats = analyze(&mut mat, &obs, &cfg);
+        let stats = analyze(&mut mat, &obs, &cfg).unwrap();
         assert!(stats.points_analyzed > 0);
         let (mean_after, sd_after) = point_stats(&mat, g_obs);
         assert!(
@@ -267,7 +381,7 @@ mod tests {
         // Point at the opposite corner, far beyond the 4-km cutoff.
         let g_far = (9 * tw.layout.ny + 9) * tw.layout.nz + 1;
         let before: Vec<f64> = mat.element(g_far, 0).to_vec();
-        analyze(&mut mat, &obs, &cfg);
+        analyze(&mut mat, &obs, &cfg).unwrap();
         assert_eq!(mat.element(g_far, 0), before.as_slice());
     }
 
@@ -281,7 +395,7 @@ mod tests {
         let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
         let g_high = (3 * tw.layout.ny + 3) * tw.layout.nz + 4;
         let before: Vec<f64> = mat.element(g_high, 0).to_vec();
-        let stats = analyze(&mut mat, &obs, &cfg);
+        let stats = analyze(&mut mat, &obs, &cfg).unwrap();
         assert_eq!(mat.element(g_high, 0), before.as_slice());
         assert!(stats.points_outside_range > 0);
     }
@@ -293,7 +407,7 @@ mod tests {
         let obs = ObsEnsemble::<f64>::new(vec![], vec![vec![]; 8]);
         let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
         let before: Vec<f64> = mat.element(0, 0).to_vec();
-        let stats = analyze(&mut mat, &obs, &cfg);
+        let stats = analyze(&mut mat, &obs, &cfg).unwrap();
         assert_eq!(stats.points_analyzed, 0);
         assert_eq!(mat.element(0, 0), before.as_slice());
     }
@@ -317,7 +431,7 @@ mod tests {
         }
         let obs = ObsEnsemble::new(all_obs, hx);
         let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
-        let stats = analyze(&mut mat, &obs, &cfg);
+        let stats = analyze(&mut mat, &obs, &cfg).unwrap();
         assert!(
             stats.max_local_obs <= 3,
             "cap violated: {}",
@@ -367,7 +481,7 @@ mod tests {
         let mut mat = EnsembleMatrix::from_members(&members, layout.clone());
         let g = (3 * layout.ny + 3) * layout.nz + 1;
         let v1_before = mat.element_mean(g, 1);
-        analyze(&mut mat, &obs, &LetkfConfig::reduced(20));
+        analyze(&mut mat, &obs, &LetkfConfig::reduced(20)).unwrap();
         let v0_after = mat.element_mean(g, 0);
         let v1_after = mat.element_mean(g, 1);
         // Var 0 pulled toward 8; var 1 (≈ 2 * var 0) pulled toward 16.
@@ -407,9 +521,142 @@ mod tests {
             (s / pts.len() as f64).sqrt()
         };
         let before = rmse_at_obs_points(&mat);
-        let stats = analyze(&mut mat, &obs, &cfg);
+        let stats = analyze(&mut mat, &obs, &cfg).unwrap();
         let after = rmse_at_obs_points(&mat);
         assert!(after < before, "RMSE did not improve: {before} -> {after}");
         assert!(stats.mean_local_obs() >= 1.0);
+    }
+
+    #[test]
+    fn ensemble_size_mismatch_is_a_typed_error() {
+        let tw = twin(5, 3, 8, 11);
+        let cfg = LetkfConfig::reduced(8);
+        let obs = obs_at(&tw, 2, 2, 1, 9.0, 0.5);
+        // Build a matrix with one member fewer than the obs equivalents.
+        let mut mat = EnsembleMatrix::from_members(&tw.members[..7], tw.layout.clone());
+        assert_eq!(
+            analyze(&mut mat, &obs, &cfg).err(),
+            Some(AnalysisError::EnsembleSizeMismatch { hx: 8, k: 7 })
+        );
+    }
+
+    /// Restrict an ObsEnsemble's model equivalents to the alive members.
+    fn obs_for_alive(obs: &ObsEnsemble<f64>, alive: &[bool]) -> ObsEnsemble<f64> {
+        let hx: Vec<Vec<f64>> = obs
+            .hx
+            .iter()
+            .zip(alive)
+            .filter(|(_, &a)| a)
+            .map(|(h, _)| h.clone())
+            .collect();
+        ObsEnsemble::new(obs.obs.clone(), hx)
+    }
+
+    #[test]
+    fn quorum_analysis_skips_dead_members_and_still_pulls_toward_obs() {
+        let tw = twin(8, 4, 12, 21);
+        let cfg = LetkfConfig::reduced(12);
+        let obs_full = obs_at(&tw, 4, 4, 1, 9.0, 0.5);
+        let mut members = tw.members.clone();
+        // Poison member 3 with NaN and quarantine it.
+        for v in members[3].iter_mut() {
+            *v = f64::NAN;
+        }
+        let mut alive = vec![true; 12];
+        alive[3] = false;
+        let obs = obs_for_alive(&obs_full, &alive);
+        let dead_before = members[3].clone();
+        let q = analyze_quorum(&mut members, &alive, tw.layout.clone(), &obs, &cfg, 2).unwrap();
+        assert_eq!(q.k_alive, 11);
+        assert_eq!(q.k_total, 12);
+        assert!(q.degraded());
+        assert!(q.stats.points_analyzed > 0);
+        // Dead member untouched; every surviving member finite.
+        assert!(members[3]
+            .iter()
+            .zip(&dead_before)
+            .all(|(a, b)| { (a.is_nan() && b.is_nan()) || a == b }));
+        for (m, flat) in members.iter().enumerate() {
+            if m != 3 {
+                assert!(flat.iter().all(|v| v.is_finite()), "member {m} not finite");
+            }
+        }
+        // The analysis still moved the surviving mean toward the observation.
+        let g_obs = (4 * tw.layout.ny + 4) * tw.layout.nz + 1;
+        let mean_after: f64 = alive
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a)
+            .map(|(m, _)| members[m][g_obs])
+            .sum::<f64>()
+            / 11.0;
+        let mean_before: f64 = alive
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a)
+            .map(|(m, _)| tw.members[m][g_obs])
+            .sum::<f64>()
+            / 11.0;
+        assert!(
+            (mean_after - 9.0).abs() < (mean_before - 9.0).abs(),
+            "quorum mean did not move toward obs: {mean_before} -> {mean_after}"
+        );
+    }
+
+    #[test]
+    fn quorum_matches_plain_analysis_when_all_members_alive() {
+        let tw = twin(6, 3, 10, 31);
+        let cfg = LetkfConfig::reduced(10);
+        let obs = obs_at(&tw, 3, 3, 1, 8.0, 0.5);
+        let mut members = tw.members.clone();
+        let alive = vec![true; 10];
+        let q = analyze_quorum(&mut members, &alive, tw.layout.clone(), &obs, &cfg, 2).unwrap();
+        assert!(!q.degraded());
+        let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+        let stats = analyze(&mut mat, &obs, &cfg).unwrap();
+        assert_eq!(q.stats, stats);
+        let mut reference = tw.members.clone();
+        mat.to_members(&mut reference);
+        assert_eq!(members, reference);
+    }
+
+    #[test]
+    fn below_quorum_leaves_members_untouched() {
+        let tw = twin(5, 3, 6, 41);
+        let cfg = LetkfConfig::reduced(6);
+        let obs_full = obs_at(&tw, 2, 2, 1, 9.0, 0.5);
+        let mut members = tw.members.clone();
+        let alive = vec![true, false, false, false, false, true];
+        let obs = obs_for_alive(&obs_full, &alive);
+        let before = members.clone();
+        let err = analyze_quorum(&mut members, &alive, tw.layout.clone(), &obs, &cfg, 4)
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            AnalysisError::BelowQuorum {
+                alive: 2,
+                required: 4
+            }
+        );
+        assert_eq!(members, before);
+    }
+
+    #[test]
+    fn min_quorum_is_clamped_to_absolute_minimum() {
+        let tw = twin(4, 3, 4, 51);
+        let cfg = LetkfConfig::reduced(4);
+        let obs_full = obs_at(&tw, 1, 1, 1, 7.0, 0.5);
+        let mut members = tw.members.clone();
+        let alive = vec![true, false, false, false];
+        let obs = obs_for_alive(&obs_full, &alive);
+        // min_quorum 0 still refuses a single-member "ensemble".
+        assert_eq!(
+            analyze_quorum(&mut members, &alive, tw.layout.clone(), &obs, &cfg, 0).err(),
+            Some(AnalysisError::BelowQuorum {
+                alive: 1,
+                required: ABSOLUTE_MIN_QUORUM
+            })
+        );
     }
 }

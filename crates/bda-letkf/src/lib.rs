@@ -36,6 +36,9 @@ pub mod obs;
 pub mod weights;
 
 pub use config::LetkfConfig;
-pub use driver::{analyze, AnalysisStats};
+pub use driver::{
+    analyze, analyze_quorum, AnalysisError, AnalysisStats, QuorumStats, ABSOLUTE_MIN_QUORUM,
+};
 pub use ensmatrix::{EnsembleMatrix, StateLayout};
+pub use localization::LocalizationError;
 pub use obs::{gross_error_check, ObsEnsemble, ObsKind, Observation};

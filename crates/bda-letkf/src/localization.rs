@@ -28,6 +28,35 @@ pub fn localization_weight(rh: f64, ch: f64, rv: f64, cv: f64) -> f64 {
     gaspari_cohn(rh, ch) * gaspari_cohn(rv, cv)
 }
 
+/// Typed localization failure — a malformed cutoff or observation set must
+/// surface as an error through the driver, not panic the analysis thread.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LocalizationError {
+    /// The localization cutoff must be strictly positive and finite.
+    BadCutoff { cutoff: f64 },
+    /// An observation has a non-finite horizontal position and cannot be
+    /// bucketed (index of the first offender).
+    NonFiniteObsPosition { index: usize },
+}
+
+impl std::fmt::Display for LocalizationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            LocalizationError::BadCutoff { cutoff } => {
+                write!(
+                    f,
+                    "localization cutoff must be positive and finite, got {cutoff}"
+                )
+            }
+            LocalizationError::NonFiniteObsPosition { index } => {
+                write!(f, "observation {index} has a non-finite position")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LocalizationError {}
+
 /// A uniform-bucket 2-D spatial index over observations for fast
 /// within-cutoff queries. Bucket size equals the cutoff so any query only
 /// inspects a 3x3 neighborhood of buckets.
@@ -42,11 +71,16 @@ pub struct ObsIndex {
 
 impl ObsIndex {
     /// Build the index from observation positions.
-    pub fn build<T: Real>(obs: &[Observation<T>], cutoff: f64) -> Self {
-        assert!(cutoff > 0.0);
+    pub fn build<T: Real>(obs: &[Observation<T>], cutoff: f64) -> Result<Self, LocalizationError> {
+        if !(cutoff > 0.0 && cutoff.is_finite()) {
+            return Err(LocalizationError::BadCutoff { cutoff });
+        }
         let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
         let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
-        for o in obs {
+        for (i, o) in obs.iter().enumerate() {
+            if !(o.x.is_finite() && o.y.is_finite()) {
+                return Err(LocalizationError::NonFiniteObsPosition { index: i });
+            }
             xmin = xmin.min(o.x);
             xmax = xmax.max(o.x);
             ymin = ymin.min(o.y);
@@ -66,14 +100,14 @@ impl ObsIndex {
             let bj = (((o.y - ymin) / cutoff) as usize).min(ny - 1);
             buckets[bi * ny + bj].push(idx as u32);
         }
-        Self {
+        Ok(Self {
             cutoff,
             nx,
             ny,
             x0: xmin,
             y0: ymin,
             buckets,
-        }
+        })
     }
 
     /// Visit the indices of all observations within `cutoff` *horizontal*
@@ -166,7 +200,7 @@ mod tests {
             .flat_map(|i| (0..20).map(move |j| obs_at(i as f64 * 1000.0, j as f64 * 1000.0)))
             .collect();
         let cutoff = 2500.0;
-        let index = ObsIndex::build(&obs, cutoff);
+        let index = ObsIndex::build(&obs, cutoff).unwrap();
         let (qx, qy) = (9500.0, 9500.0);
         let mut found = Vec::new();
         index.for_each_near(&obs, qx, qy, |idx, dist| {
@@ -188,7 +222,7 @@ mod tests {
     #[test]
     fn query_far_outside_domain_is_empty() {
         let obs = vec![obs_at(0.0, 0.0), obs_at(1000.0, 1000.0)];
-        let index = ObsIndex::build(&obs, 2000.0);
+        let index = ObsIndex::build(&obs, 2000.0).unwrap();
         let mut n = 0;
         index.for_each_near(&obs, 1e7, 1e7, |_, _| n += 1);
         assert_eq!(n, 0);
@@ -197,7 +231,7 @@ mod tests {
     #[test]
     fn empty_observation_set() {
         let obs: Vec<Observation<f64>> = vec![];
-        let index = ObsIndex::build(&obs, 1000.0);
+        let index = ObsIndex::build(&obs, 1000.0).unwrap();
         let mut n = 0;
         index.for_each_near(&obs, 0.0, 0.0, |_, _| n += 1);
         assert_eq!(n, 0);
@@ -206,11 +240,37 @@ mod tests {
     #[test]
     fn reported_distance_is_correct() {
         let obs = vec![obs_at(3000.0, 4000.0)];
-        let index = ObsIndex::build(&obs, 10_000.0);
+        let index = ObsIndex::build(&obs, 10_000.0).unwrap();
         let mut seen = None;
         index.for_each_near(&obs, 0.0, 0.0, |idx, d| seen = Some((idx, d)));
         let (idx, d) = seen.expect("obs not found");
         assert_eq!(idx, 0);
         assert!((d - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_cutoff_is_a_typed_error_not_a_panic() {
+        let obs = vec![obs_at(0.0, 0.0)];
+        assert_eq!(
+            ObsIndex::build(&obs, 0.0).err(),
+            Some(LocalizationError::BadCutoff { cutoff: 0.0 })
+        );
+        assert_eq!(
+            ObsIndex::build(&obs, -5.0).err(),
+            Some(LocalizationError::BadCutoff { cutoff: -5.0 })
+        );
+        assert!(matches!(
+            ObsIndex::build(&obs, f64::NAN).err(),
+            Some(LocalizationError::BadCutoff { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_obs_position_is_a_typed_error() {
+        let obs = vec![obs_at(0.0, 0.0), obs_at(f64::NAN, 100.0)];
+        assert_eq!(
+            ObsIndex::build(&obs, 1000.0).err(),
+            Some(LocalizationError::NonFiniteObsPosition { index: 1 })
+        );
     }
 }

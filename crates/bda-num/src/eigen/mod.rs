@@ -94,7 +94,7 @@ pub trait SymEigSolver<T: Real> {
 pub(crate) fn sort_ascending<T: Real>(values: &mut [T], vectors: &mut MatrixS<T>) {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let old_vals = values.to_vec();
     let old_vecs = vectors.clone();
     for (new_j, &old_j) in order.iter().enumerate() {

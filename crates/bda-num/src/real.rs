@@ -66,6 +66,12 @@ pub trait Real:
     fn max(self, other: Self) -> Self;
     fn min(self, other: Self) -> Self;
 
+    /// Total order over all values including NaN (IEEE 754 totalOrder).
+    ///
+    /// Sorting with `partial_cmp().unwrap()` panics on the first NaN; every
+    /// sort on possibly-poisoned data must go through this instead.
+    fn total_cmp(&self, other: &Self) -> std::cmp::Ordering;
+
     /// `sqrt(self^2 + other^2)` without undue overflow.
     fn hypot(self, other: Self) -> Self;
 
@@ -187,6 +193,10 @@ macro_rules! impl_real {
             fn copysign(self, other: Self) -> Self {
                 <$t>::copysign(self, other)
             }
+            #[inline]
+            fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+                <$t>::total_cmp(self, other)
+            }
         }
     };
 }
@@ -215,6 +225,12 @@ mod tests {
         assert_eq!(T::of_usize(7), T::of(7.0));
         assert_eq!(T::of(2.5).floor(), T::of(2.0));
         assert!((T::of(2.0).mul_add(T::of(3.0), T::of(1.0)) - T::of(7.0)).abs() < T::eps());
+        let nan = T::zero() / T::zero();
+        let mut v = [T::one(), nan, T::zero()];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v[0], T::zero());
+        assert_eq!(v[1], T::one());
+        assert!(!v[2].is_finite());
     }
 
     trait RecipTest {

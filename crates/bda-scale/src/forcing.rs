@@ -133,7 +133,7 @@ pub struct TriggerSchedule {
 
 impl TriggerSchedule {
     pub fn new(mut events: Vec<TriggerEvent>) -> Self {
-        events.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+        events.sort_by(|a, b| a.time.total_cmp(&b.time));
         Self { events }
     }
 

@@ -45,6 +45,16 @@ pub enum Fault {
     CorruptVolume,
     /// The scan produces nothing at all (radar outage for one cycle).
     DropScan,
+    /// Member `member`'s forecast state is poisoned with NaN at the start
+    /// of the cycle — the health scan must quarantine and respawn it.
+    MemberNan { member: usize },
+    /// Member `member`'s forecast state is seeded with an Inf so its
+    /// integration blows up — surfaces as a typed `MemberError`.
+    MemberBlowUp { member: usize },
+    /// The whole process dies abruptly at the start of the cycle, before
+    /// any checkpoint for it is taken — the in-process stand-in for
+    /// `kill -9`, exercised by the checkpoint/resume path.
+    Crash,
 }
 
 /// Per-cycle fault schedule. Ordered map so iteration (and therefore any
@@ -117,6 +127,24 @@ impl FaultPlan {
         self
     }
 
+    /// Poison `member`'s state with NaN at the start of `cycle`.
+    pub fn nan_member(mut self, cycle: usize, member: usize) -> Self {
+        self.push(cycle, Fault::MemberNan { member });
+        self
+    }
+
+    /// Seed `member`'s state with Inf at the start of `cycle`.
+    pub fn blowup_member(mut self, cycle: usize, member: usize) -> Self {
+        self.push(cycle, Fault::MemberBlowUp { member });
+        self
+    }
+
+    /// Kill the process abruptly at the start of `cycle`.
+    pub fn crash_at(mut self, cycle: usize) -> Self {
+        self.push(cycle, Fault::Crash);
+        self
+    }
+
     /// Faults scheduled for `cycle` (empty slice when none).
     pub fn faults_for(&self, cycle: usize) -> &[Fault] {
         self.by_cycle.get(&cycle).map(Vec::as_slice).unwrap_or(&[])
@@ -136,6 +164,33 @@ impl FaultPlan {
     /// Whether `cycle` has `fault` scheduled.
     pub fn has(&self, cycle: usize, fault: Fault) -> bool {
         self.faults_for(cycle).contains(&fault)
+    }
+
+    /// Members scheduled for NaN poisoning on `cycle`.
+    pub fn member_nans(&self, cycle: usize) -> Vec<usize> {
+        self.faults_for(cycle)
+            .iter()
+            .filter_map(|f| match f {
+                Fault::MemberNan { member } => Some(*member),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Members scheduled for blow-up seeding on `cycle`.
+    pub fn member_blowups(&self, cycle: usize) -> Vec<usize> {
+        self.faults_for(cycle)
+            .iter()
+            .filter_map(|f| match f {
+                Fault::MemberBlowUp { member } => Some(*member),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether `cycle` has a process crash scheduled.
+    pub fn has_crash(&self, cycle: usize) -> bool {
+        self.has(cycle, Fault::Crash)
     }
 
     /// Total number of scheduled faults.
@@ -182,6 +237,9 @@ impl FaultPlan {
     ///   (`stall@C` means one window);
     /// * `corrupt@C` — corrupt cycle `C`'s volume payload;
     /// * `drop@C` — drop cycle `C`'s scan;
+    /// * `nan:M@C` — poison member `M` with NaN at the start of cycle `C`;
+    /// * `blowup:M@C` — seed member `M` with Inf at the start of cycle `C`;
+    /// * `crash@C` — kill the process abruptly at the start of cycle `C`;
     /// * `random:SEED` — a seed-driven plan at default rates (requires the
     ///   caller to know `n_cycles`, so it takes it via [`FaultPlan::random`]
     ///   — here it is expanded with `n_cycles` passed in).
@@ -232,7 +290,28 @@ impl FaultPlan {
                     let cycle: usize = at.parse().map_err(|_| format!("bad cycle in `{token}`"))?;
                     plan.push(cycle, Fault::DropScan);
                 }
-                other => return Err(format!("unknown fault kind `{other}` in `{token}`")),
+                "crash" => {
+                    let cycle: usize = at.parse().map_err(|_| format!("bad cycle in `{token}`"))?;
+                    plan.push(cycle, Fault::Crash);
+                }
+                other => {
+                    let member_fault = other.split_once(':').and_then(|(kind, m)| {
+                        let member: usize = m.parse().ok()?;
+                        match kind {
+                            "nan" => Some(Fault::MemberNan { member }),
+                            "blowup" => Some(Fault::MemberBlowUp { member }),
+                            _ => None,
+                        }
+                    });
+                    match member_fault {
+                        Some(fault) => {
+                            let cycle: usize =
+                                at.parse().map_err(|_| format!("bad cycle in `{token}`"))?;
+                            plan.push(cycle, fault);
+                        }
+                        None => return Err(format!("unknown fault kind `{other}` in `{token}`")),
+                    }
+                }
             }
         }
         Ok(plan)
@@ -281,6 +360,30 @@ mod tests {
         assert_eq!(plan.stall_timeouts(2), 3);
         assert!(plan.has(7, Fault::DropScan));
         assert!(plan.has(9, Fault::StagePanic(Stage::Forecast)));
+    }
+
+    #[test]
+    fn parse_member_faults_and_crash() {
+        let plan = FaultPlan::parse("nan:2@3, blowup:0@5, crash@7, nan:4@3", 16).unwrap();
+        assert_eq!(plan.member_nans(3), vec![2, 4]);
+        assert_eq!(plan.member_blowups(5), vec![0]);
+        assert!(plan.has_crash(7));
+        assert!(!plan.has_crash(3));
+        assert!(plan.member_nans(5).is_empty());
+        assert!(FaultPlan::parse("nan:x@3", 8).is_err());
+        assert!(FaultPlan::parse("blowup:1@y", 8).is_err());
+    }
+
+    #[test]
+    fn builder_member_faults() {
+        let plan = FaultPlan::none()
+            .nan_member(2, 1)
+            .blowup_member(2, 3)
+            .crash_at(4);
+        assert_eq!(plan.member_nans(2), vec![1]);
+        assert_eq!(plan.member_blowups(2), vec![3]);
+        assert!(plan.has_crash(4));
+        assert_eq!(plan.len(), 3);
     }
 
     #[test]

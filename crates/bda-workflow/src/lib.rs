@@ -34,7 +34,9 @@ pub mod pipeline;
 pub mod raintrace;
 pub mod supervisor;
 
-pub use campaign::{CampaignConfig, CampaignResult};
+pub use campaign::{
+    CampaignConfig, CampaignResult, CampaignTermination, CycleApp, ResumableCampaign, ResumableRun,
+};
 pub use fault::{Fault, FaultPlan, FaultRates, Stage};
 pub use nodes::NodeAllocation;
 pub use perfmodel::{PerfModel, TimeToSolution};

@@ -11,12 +11,22 @@
 //! per-cycle outcome table and availability (the Fig. 5 accounting) are
 //! printed at the end.
 //!
+//! With `--checkpoint-dir` (or `--resume`) the run switches to the
+//! sequential checkpointed campaign: atomic CRC-checked snapshots are
+//! written every `--every` cycles, member faults (`nan:M@C`, `blowup:M@C`)
+//! exercise quarantine/respawn, and an injected `crash@C` kills the process
+//! abruptly (exit 137, the `kill -9` stand-in) — re-running the same
+//! command resumes from the newest valid snapshot bit-for-bit. The
+//! deterministic outcome table can be diffed across runs via `--table-file`.
+//!
 //! ```text
 //! cargo run --release --example realtime_pipeline [-- --cycles N] \
-//!     [--inject "panic:assim@2,corrupt@3,stall@1x2,drop@4,random:SEED"]
+//!     [--inject "panic:assim@2,corrupt@3,stall@1x2,drop@4,nan:1@2,crash@3,random:SEED"] \
+//!     [--checkpoint-dir DIR] [--every N] [--resume CKPT] [--table-file PATH]
 //! ```
 
-use bda_core::osse::OsseConfig;
+use bda_core::osse::{Osse, OsseConfig};
+use bda_core::resume::OsseCampaign;
 use bda_letkf::{analyze, gross_error_check, EnsembleMatrix, ObsEnsemble, StateLayout};
 use bda_pawr::codec::{decode_volume, encode_volume};
 use bda_pawr::operator::ensemble_equivalents;
@@ -24,11 +34,74 @@ use bda_pawr::PawrSimulator;
 use bda_scale::model::Boundary;
 use bda_scale::{Ensemble, Model, ModelState, ANALYZED_VARS};
 use bda_verify::maps::area_fraction;
-use bda_workflow::{CycleSupervisor, FaultPlan, ForecastInput, RealtimePipeline};
+use bda_workflow::{
+    CampaignTermination, CycleSupervisor, FaultPlan, ForecastInput, RealtimePipeline,
+    ResumableCampaign,
+};
+use std::path::PathBuf;
+
+/// The sequential checkpointed campaign: survives `kill -9`, resumes
+/// bit-for-bit, and proves it through a timing-free outcome table.
+fn run_checkpointed_campaign(
+    n_cycles: usize,
+    inject: Option<&str>,
+    checkpoint_dir: Option<PathBuf>,
+    every: usize,
+    resume_from: Option<PathBuf>,
+    table_file: Option<PathBuf>,
+) {
+    let faults = match inject {
+        Some(spec) => FaultPlan::parse(spec, n_cycles).unwrap_or_else(|e| {
+            eprintln!("bad --inject spec: {e}");
+            std::process::exit(2);
+        }),
+        None => FaultPlan::none(),
+    };
+    let osse = Osse::<f32>::new(OsseConfig::reduced(10, 8, 6, 2, 11));
+    let mut app = OsseCampaign::new(osse, faults.clone());
+    let campaign = ResumableCampaign {
+        n_cycles,
+        checkpoint_dir,
+        checkpoint_every: every,
+        faults,
+    };
+    let run = match &resume_from {
+        Some(path) => campaign.resume(&mut app, path),
+        None => campaign.run(&mut app),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("campaign failed: {e}");
+        std::process::exit(1);
+    });
+    if let CampaignTermination::Crashed { at_cycle } = run.termination {
+        // A killed process writes no table and no farewell checkpoint.
+        eprintln!("injected crash at cycle {at_cycle}: dying abruptly (kill -9 stand-in)");
+        std::process::exit(137);
+    }
+    if let Some(from) = &run.resumed_from {
+        println!(
+            "resumed from {} at cycle {}",
+            from.display(),
+            run.start_cycle
+        );
+    }
+    let table = run.table();
+    if let Some(path) = &table_file {
+        std::fs::write(path, &table).expect("write --table-file");
+    }
+    println!(
+        "{} checkpoint(s) written\n\n{table}",
+        run.checkpoints_written
+    );
+}
 
 fn main() {
     let mut n_cycles = 5usize;
     let mut inject: Option<String> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut every = 1usize;
+    let mut resume_from: Option<PathBuf> = None;
+    let mut table_file: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().collect();
     if let Some(i) = argv.iter().position(|a| a == "--cycles") {
         n_cycles = argv[i + 1].parse().expect("--cycles N");
@@ -41,6 +114,33 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(i) = argv.iter().position(|a| a == "--checkpoint-dir") {
+        checkpoint_dir = Some(PathBuf::from(
+            argv.get(i + 1).expect("--checkpoint-dir DIR"),
+        ));
+    }
+    if let Some(i) = argv.iter().position(|a| a == "--every") {
+        every = argv[i + 1].parse().expect("--every N");
+    }
+    if let Some(i) = argv.iter().position(|a| a == "--resume") {
+        resume_from = Some(PathBuf::from(argv.get(i + 1).expect("--resume CKPT")));
+    }
+    if let Some(i) = argv.iter().position(|a| a == "--table-file") {
+        table_file = Some(PathBuf::from(argv.get(i + 1).expect("--table-file PATH")));
+    }
+
+    if checkpoint_dir.is_some() || resume_from.is_some() {
+        println!("=== checkpointed campaign ({n_cycles} cycles of 30 model-seconds) ===\n");
+        run_checkpointed_campaign(
+            n_cycles,
+            inject.as_deref(),
+            checkpoint_dir,
+            every,
+            resume_from,
+            table_file,
+        );
+        return;
     }
 
     println!("=== live real-time pipeline ({n_cycles} cycles of 30 model-seconds) ===\n");
@@ -153,7 +253,8 @@ fn main() {
                     .map(|m| m.to_flat(&ANALYZED_VARS))
                     .collect();
                 let mut mat = EnsembleMatrix::from_members(&flats, layout.clone());
-                let stats = analyze(&mut mat, &obs, &letkf_cfg);
+                let stats =
+                    analyze(&mut mat, &obs, &letkf_cfg).map_err(|e| format!("analysis: {e}"))?;
                 let mut flats = flats;
                 mat.to_members(&mut flats);
                 for (m, f) in ensemble.members.iter_mut().zip(&flats) {
@@ -234,7 +335,7 @@ fn main() {
                 .map(|m| m.to_flat(&ANALYZED_VARS))
                 .collect();
             let mut mat = EnsembleMatrix::from_members(&flats, layout.clone());
-            let stats = analyze(&mut mat, &obs, &letkf_cfg);
+            let stats = analyze(&mut mat, &obs, &letkf_cfg).expect("analysis failed");
             let mut flats = flats;
             mat.to_members(&mut flats);
             for (m, f) in ensemble.members.iter_mut().zip(&flats) {

@@ -114,7 +114,7 @@ fn analysis_is_transport_invariant() {
     // Route A: direct (memory).
     let mut flats_a = flats.clone();
     let mut mat = EnsembleMatrix::from_members(&flats_a, layout.clone());
-    analyze(&mut mat, &obs, &LetkfConfig::reduced(4));
+    analyze(&mut mat, &obs, &LetkfConfig::reduced(4)).unwrap();
     mat.to_members(&mut flats_a);
 
     // Route B: states pass through the file transport first.
@@ -124,7 +124,7 @@ fn analysis_is_transport_invariant() {
     t.send(&flats).unwrap();
     let mut flats_b: Vec<Vec<f32>> = t.recv().unwrap();
     let mut mat_b = EnsembleMatrix::from_members(&flats_b, layout);
-    analyze(&mut mat_b, &obs, &LetkfConfig::reduced(4));
+    analyze(&mut mat_b, &obs, &LetkfConfig::reduced(4)).unwrap();
     mat_b.to_members(&mut flats_b);
     let _ = std::fs::remove_dir_all(&dir);
 
