@@ -13,10 +13,9 @@
 use crate::products::reflectivity_map;
 use bda_io::checkpoint::CampaignSnapshot;
 use bda_letkf::diagnostics::{innovation_statistics, InnovationStats};
-use bda_letkf::obs::QcStats;
+use bda_letkf::obs::{QcPipeline, QcReport};
 use bda_letkf::{
-    analyze_quorum, gross_error_check, AnalysisError, AnalysisStats, LetkfConfig, ObsEnsemble,
-    StateLayout,
+    analyze_quorum, AnalysisError, AnalysisStats, LetkfConfig, ObsEnsemble, StateLayout,
 };
 use bda_num::{Real, SplitMix64};
 use bda_pawr::operator::ensemble_equivalents;
@@ -134,7 +133,8 @@ pub struct CycleOutcome {
     pub n_obs_scanned: usize,
     /// Observations surviving QC.
     pub n_obs_used: usize,
-    pub qc: QcStats,
+    /// Per-stage QC accounting (gross bounds / innovation / departure).
+    pub qc: QcReport,
     pub analysis: AnalysisStats,
     /// Innovation statistics after QC, per observation kind — the filter
     /// health check (consistency ratio ~1 when spread matches error).
@@ -515,7 +515,7 @@ impl<T: Real> Osse<T> {
                 time: self.time,
                 n_obs_scanned: 0,
                 n_obs_used: 0,
-                qc: QcStats::default(),
+                qc: QcReport::default(),
                 analysis: AnalysisStats::default(),
                 innovation_reflectivity: InnovationStats::default(),
                 innovation_doppler: InnovationStats::default(),
@@ -579,7 +579,7 @@ impl<T: Real> Osse<T> {
             .map(|(h, _)| h)
             .collect();
         let ens_obs = ObsEnsemble::new(scan.obs, hx);
-        let (ens_obs, qc) = gross_error_check(&ens_obs, &self.cfg.letkf);
+        let (ens_obs, qc) = QcPipeline::new(&self.cfg.letkf).run(&ens_obs);
         let n_obs_used = ens_obs.len();
         let (innovation_reflectivity, innovation_doppler) = innovation_statistics(&ens_obs);
 

@@ -49,10 +49,11 @@ impl<T: Real> OsseCampaign<T> {
             "completed"
         };
         let mut detail = format!(
-            "alive {}, obs {}/{}, rmse {:.9e}->{:.9e}",
+            "alive {}, obs {}/{}, {}, rmse {:.9e}->{:.9e}",
             out.n_alive,
             out.n_obs_used,
             out.n_obs_scanned,
+            out.qc.summary(),
             out.prior_rmse_dbz,
             out.posterior_rmse_dbz
         );

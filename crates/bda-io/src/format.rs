@@ -4,20 +4,11 @@
 //! k_members u64 | state_len u64 | payload (k * n values, little-endian) |
 //! FNV-1a checksum u64 over everything before it.
 
-use bda_num::Real;
+use bda_num::{fnv1a, Real};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"BDAF";
 const VERSION: u16 = 1;
-
-fn fnv1a(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
 
 /// Precision tag carried in the file so readers can check compatibility —
 /// the paper's single-precision conversion changes this from 8 to 4 and

@@ -18,9 +18,14 @@
 //! * [`pipe`] — a real in-process byte pipe (crossbeam channel) used
 //!   by the live end-to-end pipeline example to actually move encoded scan
 //!   volumes between threads with integrity checking.
+//! * [`sequence`] — sequence-number + scan-timestamp framing on top of the
+//!   pipe, so receivers detect duplicates, reordering, stale scans, and
+//!   mid-stream truncation as typed outcomes instead of trusting arrival
+//!   order.
 
 pub mod link;
 pub mod pipe;
+pub mod sequence;
 pub mod stats;
 pub mod transfer;
 pub mod watcher;
@@ -29,6 +34,10 @@ pub mod watcher;
 /// code can name it without depending on the `bytes` crate directly.
 pub use bytes::Bytes;
 pub use link::LinkModel;
+pub use sequence::{
+    sequenced_pipe, DeliveryDrop, DeliveryError, SequencedReceiver, SequencedSender,
+    SequencedVolume,
+};
 pub use stats::TransferStats;
 pub use transfer::{JitDt, TransferOutcome};
 pub use watcher::FileWatcher;

@@ -9,19 +9,13 @@ use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
-/// FNV-1a payload checksum (same polynomial as the PAWR codec trailer).
+/// FNV-1a payload checksum (the workspace-shared implementation in
+/// [`bda_num::hash`] — the same polynomial as the PAWR codec trailer).
 ///
-/// Public so pipeline supervisors can checksum a volume at scan time and
-/// verify it end to end — the pipe's own trailer only covers the transfer
-/// hop, not corruption introduced before the send.
-pub fn fnv1a(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
+/// Re-exported here so pipeline supervisors can checksum a volume at scan
+/// time and verify it end to end — the pipe's own trailer only covers the
+/// transfer hop, not corruption introduced before the send.
+pub use bda_num::fnv1a;
 
 /// Frames flowing through the pipe.
 enum Frame {

@@ -20,7 +20,11 @@
 //!
 //! 1. Build an [`obs::ObsEnsemble`] — observations plus per-member model
 //!    equivalents H(x_m) (produced by `bda-pawr`'s observation operator).
-//! 2. Quality control: [`obs::gross_error_check`] (Table 2 thresholds).
+//! 2. Quality control: [`obs::QcPipeline`] — gross physical-bounds checks,
+//!    the Table-2 innovation thresholds, and an adaptive ensemble-background
+//!    departure check, with per-stage rejection counters in
+//!    [`obs::QcReport`]. (The bare Table-2 check remains available as
+//!    [`obs::gross_error_check`].)
 //! 3. Pack the forecast ensemble into an [`ensmatrix::EnsembleMatrix`]
 //!    (member-contiguous per state element).
 //! 4. [`driver::analyze`] transforms every grid point in the configured
@@ -41,4 +45,7 @@ pub use driver::{
 };
 pub use ensmatrix::{EnsembleMatrix, StateLayout};
 pub use localization::LocalizationError;
-pub use obs::{gross_error_check, ObsEnsemble, ObsKind, Observation};
+pub use obs::{
+    gross_error_check, KindCounts, ObsEnsemble, ObsKind, Observation, QcConfig, QcPipeline,
+    QcReport,
+};

@@ -1,0 +1,47 @@
+//! Shared non-cryptographic hashing.
+//!
+//! One FNV-1a implementation for the whole workspace: the PAWR volume codec,
+//! the JIT-DT pipe framing and the field-file format all checksum with the
+//! same function, so an encoder in one crate and a verifier in another can
+//! never drift apart.
+
+/// 64-bit FNV-1a over a byte slice.
+///
+/// This is an integrity checksum against accidental corruption (torn
+/// transfers, bit rot), not an authentication code: an adversary can forge
+/// it trivially, which is exactly why every field behind the checksum is
+/// still validated at decode time.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_offset_basis() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn prefix_is_not_a_fixed_point() {
+        // Appending bytes always changes the hash (no trivial extension).
+        let h = fnv1a(b"volume");
+        assert_ne!(h, fnv1a(b"volume\0"));
+        assert_ne!(h, fnv1a(b"volum"));
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = fnv1a(&[0u8; 64]);
+        let mut buf = [0u8; 64];
+        buf[63] = 1;
+        assert_ne!(a, fnv1a(&buf));
+    }
+}

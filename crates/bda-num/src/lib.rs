@@ -22,6 +22,7 @@
 //!   reproducible without threading an external RNG through every crate.
 
 pub mod eigen;
+pub mod hash;
 pub mod matrix;
 pub mod real;
 pub mod rng;
@@ -29,6 +30,7 @@ pub mod stats;
 pub mod tridiag;
 
 pub use eigen::{BatchedEigen, JacobiEigen, QlEigen, SymEigDecomp, SymEigSolver};
+pub use hash::fnv1a;
 pub use matrix::MatrixS;
 pub use real::Real;
 pub use rng::SplitMix64;

@@ -24,13 +24,15 @@
 
 pub mod codec;
 pub mod config;
+pub mod fuzz;
 pub mod geometry;
 pub mod network;
 pub mod operator;
 pub mod reflectivity;
 pub mod scan;
 
-pub use codec::{decode_volume, encode_volume};
+pub use codec::{decode_volume, decode_volume_salvage, encode_volume, SalvageReport, ValueBounds};
 pub use config::RadarConfig;
+pub use fuzz::{Corruption, MutatedVolume, VolumeMutator};
 pub use network::RadarNetwork;
 pub use scan::{PawrSimulator, ScanResult};

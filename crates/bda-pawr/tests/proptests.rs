@@ -1,6 +1,8 @@
 //! Property-based invariants of the radar geometry and codec.
 
 use bda_letkf::{ObsKind, Observation};
+use bda_pawr::codec::{decode_volume_salvage, ValueBounds};
+use bda_pawr::fuzz::VolumeMutator;
 use bda_pawr::geometry::{beam_to, visibility, Invisibility};
 use bda_pawr::reflectivity::{fall_speed, to_dbz, z_rain, z_total};
 use bda_pawr::scan::ScanResult;
@@ -124,6 +126,86 @@ proptest! {
             prop_assert_eq!(a.kind, b.kind);
             prop_assert_eq!(a.value, b.value);
             prop_assert!((a.x - b.x).abs() < 0.02); // f32 position quantization
+        }
+    }
+
+    /// The same wire bytes decode into f64 observations without loss beyond
+    /// the f32 wire precision — the decoder is generic over the target Real.
+    #[test]
+    fn codec_roundtrips_into_f64(
+        n in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = bda_num::SplitMix64::new(seed);
+        let obs: Vec<Observation<f32>> = (0..n)
+            .map(|i| Observation {
+                kind: if i % 2 == 0 { ObsKind::Reflectivity } else { ObsKind::DopplerVelocity },
+                x: rng.uniform_in(0.0, 128_000.0),
+                y: rng.uniform_in(0.0, 128_000.0),
+                z: rng.uniform_in(100.0, 16_000.0),
+                value: rng.uniform_in(-20.0, 60.0) as f32,
+                error_sd: 5.0,
+            })
+            .collect();
+        let scan = ScanResult {
+            time: rng.uniform_in(0.0, 1e6),
+            obs,
+            n_reflectivity: 0,
+            n_doppler: 0,
+            n_clear_air: 0,
+            raw_bytes: 0,
+        };
+        let bytes = encode_volume(&scan);
+        let dec = decode_volume::<f64>(&bytes).unwrap();
+        prop_assert_eq!(dec.obs.len(), n);
+        for (a, b) in dec.obs.iter().zip(&scan.obs) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert!((a.value - b.value as f64).abs() < 1e-6);
+            prop_assert!((a.z - b.z).abs() < 0.02);
+        }
+    }
+
+    /// Decoding is total over the corruption corpus: any mutated buffer
+    /// yields either a volume or a typed error — never a panic — and
+    /// salvage never keeps an out-of-bounds record.
+    #[test]
+    fn decode_never_panics_on_mutated_volumes(
+        seed in any::<u64>(),
+        case in 0u64..4096,
+    ) {
+        let mut rng = bda_num::SplitMix64::new(seed);
+        let obs: Vec<Observation<f32>> = (0..16)
+            .map(|_| Observation {
+                kind: ObsKind::Reflectivity,
+                x: rng.uniform_in(0.0, 128_000.0),
+                y: rng.uniform_in(0.0, 128_000.0),
+                z: rng.uniform_in(100.0, 16_000.0),
+                value: rng.uniform_in(-10.0, 40.0) as f32,
+                error_sd: 5.0,
+            })
+            .collect();
+        let scan = ScanResult {
+            time: 30.0,
+            obs,
+            n_reflectivity: 0,
+            n_doppler: 0,
+            n_clear_air: 0,
+            raw_bytes: 0,
+        };
+        let clean = encode_volume(&scan);
+        let mutant = VolumeMutator::new(&clean, seed).mutate(case);
+        // No catch_unwind needed: a panic fails the test. The property is
+        // that both decoders return *something* typed for arbitrary bytes.
+        let _ = decode_volume::<f32>(&mutant.bytes);
+        let bounds = ValueBounds::default();
+        if let Ok((vol, report)) = decode_volume_salvage::<f32>(&mutant.bytes, &bounds) {
+            prop_assert!(report.kept <= report.parseable);
+            for o in &vol.obs {
+                let v = o.value as f64;
+                prop_assert!(v.is_finite());
+                prop_assert!((bounds.dbz_min..=bounds.dbz_max).contains(&v)
+                    || v.abs() <= bounds.doppler_abs_max);
+            }
         }
     }
 }

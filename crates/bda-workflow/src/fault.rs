@@ -45,6 +45,13 @@ pub enum Fault {
     CorruptVolume,
     /// The scan produces nothing at all (radar outage for one cycle).
     DropScan,
+    /// The volume is sent twice with the same sequence number — a transfer
+    /// daemon replay. The receiver must drop the second copy.
+    DuplicateVolume,
+    /// The volume carries a scan timestamp far older than the staleness
+    /// horizon — a backlogged delivery. The receiver must reject it with a
+    /// typed stale outcome rather than assimilate old weather.
+    StaleScan,
     /// Member `member`'s forecast state is poisoned with NaN at the start
     /// of the cycle — the health scan must quarantine and respawn it.
     MemberNan { member: usize },
@@ -124,6 +131,18 @@ impl FaultPlan {
     /// Drop `cycle`'s scan entirely.
     pub fn drop_scan(mut self, cycle: usize) -> Self {
         self.push(cycle, Fault::DropScan);
+        self
+    }
+
+    /// Send `cycle`'s volume twice (replayed delivery).
+    pub fn duplicate_volume(mut self, cycle: usize) -> Self {
+        self.push(cycle, Fault::DuplicateVolume);
+        self
+    }
+
+    /// Back-date `cycle`'s scan timestamp past the staleness horizon.
+    pub fn stale_scan(mut self, cycle: usize) -> Self {
+        self.push(cycle, Fault::StaleScan);
         self
     }
 
@@ -237,6 +256,8 @@ impl FaultPlan {
     ///   (`stall@C` means one window);
     /// * `corrupt@C` — corrupt cycle `C`'s volume payload;
     /// * `drop@C` — drop cycle `C`'s scan;
+    /// * `dup@C` — deliver cycle `C`'s volume twice (replay);
+    /// * `stale@C` — back-date cycle `C`'s scan past the staleness horizon;
     /// * `nan:M@C` — poison member `M` with NaN at the start of cycle `C`;
     /// * `blowup:M@C` — seed member `M` with Inf at the start of cycle `C`;
     /// * `crash@C` — kill the process abruptly at the start of cycle `C`;
@@ -289,6 +310,14 @@ impl FaultPlan {
                 "drop" => {
                     let cycle: usize = at.parse().map_err(|_| format!("bad cycle in `{token}`"))?;
                     plan.push(cycle, Fault::DropScan);
+                }
+                "dup" => {
+                    let cycle: usize = at.parse().map_err(|_| format!("bad cycle in `{token}`"))?;
+                    plan.push(cycle, Fault::DuplicateVolume);
+                }
+                "stale" => {
+                    let cycle: usize = at.parse().map_err(|_| format!("bad cycle in `{token}`"))?;
+                    plan.push(cycle, Fault::StaleScan);
                 }
                 "crash" => {
                     let cycle: usize = at.parse().map_err(|_| format!("bad cycle in `{token}`"))?;
@@ -384,6 +413,19 @@ mod tests {
         assert_eq!(plan.member_blowups(2), vec![3]);
         assert!(plan.has_crash(4));
         assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn parse_ingest_faults() {
+        let plan = FaultPlan::parse("dup@2, stale@4", 8).unwrap();
+        assert!(plan.has(2, Fault::DuplicateVolume));
+        assert!(plan.has(4, Fault::StaleScan));
+        assert!(!plan.has(2, Fault::StaleScan));
+        let built = FaultPlan::none().duplicate_volume(1).stale_scan(3);
+        assert!(built.has(1, Fault::DuplicateVolume));
+        assert!(built.has(3, Fault::StaleScan));
+        assert!(FaultPlan::parse("dup@x", 8).is_err());
+        assert!(FaultPlan::parse("stale@", 8).is_err());
     }
 
     #[test]

@@ -32,7 +32,8 @@
 
 use crate::fault::{Fault, FaultPlan, Stage};
 use crate::pipeline::{CycleTiming, RealtimePipeline};
-use bda_jitdt::pipe::{fnv1a, pipe, PipeError};
+use bda_jitdt::pipe::{fnv1a, PipeError};
+use bda_jitdt::sequence::{sequenced_pipe, DeliveryDrop, DeliveryError, SequencedReceiver};
 use bytes::Bytes;
 use crossbeam::channel::bounded;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -61,6 +62,13 @@ pub enum StageError {
     CorruptVolume { expected: u64, got: u64 },
     /// The scan produced no volume at all this cycle.
     ScanDropped,
+    /// The volume arrived, but its scan timestamp was older than the
+    /// staleness horizon — assimilating it would move the analysis
+    /// backwards in time.
+    StaleScan { age_s: f64, horizon_s: f64 },
+    /// The volume arrived shorter than its framing declared (mid-stream
+    /// truncation), distinct from checksum-detected corruption.
+    TruncatedVolume { expected: u64, got: u64 },
     /// The underlying pipe failed structurally (disconnect, framing).
     Pipe(String),
 }
@@ -88,6 +96,12 @@ impl std::fmt::Display for StageError {
                 "volume corrupt: checksum {got:#018x} != scan-time {expected:#018x}"
             ),
             StageError::ScanDropped => write!(f, "scan produced no volume"),
+            StageError::StaleScan { age_s, horizon_s } => {
+                write!(f, "stale scan: {age_s:.1}s old > {horizon_s:.1}s horizon")
+            }
+            StageError::TruncatedVolume { expected, got } => {
+                write!(f, "volume truncated in transit: {got}/{expected} bytes")
+            }
             StageError::Pipe(msg) => write!(f, "pipe error: {msg}"),
         }
     }
@@ -189,6 +203,11 @@ pub struct CycleReport {
     pub timing: Option<CycleTiming>,
     /// Transfer watchdog windows that elapsed before the volume arrived.
     pub transfer_retries: usize,
+    /// Volumes classified and dropped while waiting for this cycle's volume
+    /// (duplicates from replayed transfers, out-of-order leftovers from
+    /// abandoned cycles). Dropping them is correct behaviour; they are
+    /// reported so the outcome table shows the ingest layer working.
+    pub drops: Vec<DeliveryDrop>,
 }
 
 /// Aggregated outcome of a supervised run.
@@ -237,12 +256,18 @@ impl SupervisorReport {
                 .timing
                 .map(|t| format!("{:8.1}", t.time_to_solution_s * 1e3))
                 .unwrap_or_else(|| "       -".into());
-            let detail = match &c.disposition {
+            let mut detail = match &c.disposition {
                 CycleDisposition::Completed => String::new(),
                 CycleDisposition::Degraded { mode, cause } => format!("{mode}: {cause}"),
                 CycleDisposition::Skipped { cause } => cause.to_string(),
                 CycleDisposition::Failed { cause } => cause.to_string(),
             };
+            for d in &c.drops {
+                if !detail.is_empty() {
+                    detail.push_str("; ");
+                }
+                detail.push_str(&d.to_string());
+            }
             out.push_str(&format!(
                 "{:5}  {:<9} {tts}  {:7}  {detail}\n",
                 c.cycle,
@@ -287,6 +312,13 @@ pub struct CycleSupervisor {
     /// behind it, but with free-running (unpaced) scan closures it would
     /// supersede everything the radar gets ahead of.
     pub supersede_stale: bool,
+    /// Campaign-clock seconds between scans (the paper's 30-second
+    /// cadence). Volume scan timestamps and the receiver's staleness clock
+    /// both advance by this much per cycle.
+    pub scan_interval_s: f64,
+    /// Reject volumes whose scan timestamp is older than this at receive
+    /// time; `None` disables the staleness check.
+    pub stale_horizon_s: Option<f64>,
     /// Deterministic fault injection schedule.
     pub faults: FaultPlan,
 }
@@ -301,6 +333,8 @@ impl Default for CycleSupervisor {
             assimilation_deadline: None,
             forecast_deadline: None,
             supersede_stale: false,
+            scan_interval_s: 30.0,
+            stale_horizon_s: Some(90.0),
             faults: FaultPlan::none(),
         }
     }
@@ -330,23 +364,21 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Volumes travel through the pipe prefixed with an 8-byte little-endian
-/// cycle tag, so a receiver that abandoned or superseded a cycle can
-/// recognize and discard its late volume instead of mis-pairing it.
-fn tag_volume(cycle: usize, payload: &[u8]) -> Bytes {
-    let mut framed = Vec::with_capacity(8 + payload.len());
-    framed.extend_from_slice(&(cycle as u64).to_le_bytes());
-    framed.extend_from_slice(payload);
-    Bytes::from(framed)
+/// What [`CycleSupervisor::receive_volume`] recovered for one cycle.
+struct ReceivedVolume {
+    retries: usize,
+    drops: Vec<DeliveryDrop>,
+    payload: Bytes,
 }
 
-fn split_tag(tagged: Bytes) -> Result<(u64, Bytes), StageError> {
-    if tagged.len() < 8 {
-        return Err(StageError::Pipe("volume shorter than cycle tag".into()));
-    }
-    let mut tag_bytes = [0u8; 8];
-    tag_bytes.copy_from_slice(&tagged[..8]);
-    Ok((u64::from_le_bytes(tag_bytes), tagged.slice(8..)))
+/// What the assimilation thread hands the forecast thread per cycle.
+struct AssimOutcome<P> {
+    meta: ScanMeta,
+    retries: usize,
+    drops: Vec<DeliveryDrop>,
+    transfer_s: f64,
+    assim_s: f64,
+    result: Result<P, StageError>,
 }
 
 impl CycleSupervisor {
@@ -374,10 +406,10 @@ impl CycleSupervisor {
         F: FnMut(usize, ForecastInput<'_, P>) -> Result<(), String> + Send,
     {
         let capacity = self.pipeline.capacity;
-        let (vol_tx, vol_rx) = pipe(self.pipeline.chunk_bytes, capacity);
+        let (vol_tx, vol_rx) =
+            sequenced_pipe(self.pipeline.chunk_bytes, capacity, self.stale_horizon_s);
         let (meta_tx, meta_rx) = bounded::<ScanMeta>(capacity);
-        let (ana_tx, ana_rx) =
-            bounded::<(ScanMeta, usize, f64, f64, Result<P, StageError>)>(capacity);
+        let (ana_tx, ana_rx) = bounded::<AssimOutcome<P>>(capacity);
         let (out_tx, out_rx) = bounded::<CycleReport>(n_cycles.max(1));
         let out_tx_assim = out_tx.clone();
         let plan = &self.faults;
@@ -385,8 +417,11 @@ impl CycleSupervisor {
         std::thread::scope(|s| {
             // Radar thread: scan (panic-isolated), checksum at T_obs, then
             // apply scheduled payload corruption *after* the checksum — the
-            // supervised receiver must catch it.
+            // supervised receiver must catch it. Volumes are sequenced with
+            // the cycle index and the campaign-clock scan time; dup/stale
+            // faults replay or back-date the send.
             s.spawn(move || {
+                let mut vol_tx = vol_tx;
                 for cycle in 0..n_cycles {
                     let t0 = Instant::now();
                     if plan.has(cycle, Fault::DropScan) {
@@ -437,7 +472,25 @@ impl CycleSupervisor {
                             if meta_tx.send(meta).is_err() {
                                 return;
                             }
-                            if vol_tx.send(tag_volume(cycle, &wire)).is_err() {
+                            let scan_time = if plan.has(cycle, Fault::StaleScan) {
+                                // Back-date far past any plausible horizon.
+                                cycle as f64 * self.scan_interval_s
+                                    - self.stale_horizon_s.unwrap_or(0.0)
+                                    - 10.0 * self.scan_interval_s.max(1.0)
+                            } else {
+                                cycle as f64 * self.scan_interval_s
+                            };
+                            if vol_tx
+                                .send_with_seq(cycle as u64, scan_time, &wire)
+                                .is_err()
+                            {
+                                return;
+                            }
+                            if plan.has(cycle, Fault::DuplicateVolume)
+                                && vol_tx
+                                    .send_with_seq(cycle as u64, scan_time, &wire)
+                                    .is_err()
+                            {
                                 return;
                             }
                             continue;
@@ -459,6 +512,7 @@ impl CycleSupervisor {
             // the transfer, checksum verification, panic-isolated
             // assimilation under a deadline.
             s.spawn(move || {
+                let mut vol_rx = vol_rx;
                 while let Ok(first) = meta_rx.recv() {
                     let mut meta = first;
                     if self.supersede_stale {
@@ -475,19 +529,42 @@ impl CycleSupervisor {
                                 },
                                 timing: None,
                                 transfer_retries: 0,
+                                drops: Vec::new(),
                             });
                         }
                     }
                     let cycle = meta.cycle;
-                    let (retries, transfer_s, result) = match meta.payload {
-                        Err(ref e) => (0, 0.0, Err(e.clone())),
+                    match meta.payload {
+                        Err(ref e) => {
+                            let result = Err(e.clone());
+                            if ana_tx
+                                .send(AssimOutcome {
+                                    meta,
+                                    retries: 0,
+                                    drops: Vec::new(),
+                                    transfer_s: 0.0,
+                                    assim_s: 0.0,
+                                    result,
+                                })
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
                         Ok(pm) => {
-                            let received = self.receive_volume(&vol_rx, cycle);
+                            let received = self.receive_volume(&mut vol_rx, cycle);
                             let transfer_s = meta.t_obs.elapsed().as_secs_f64();
-                            let (retries, volume) = match received {
-                                Ok(pair) => pair,
-                                Err((retries, e)) => {
-                                    let _ = ana_tx.send((meta, retries, transfer_s, 0.0, Err(e)));
+                            let (retries, drops, volume) = match received {
+                                Ok(r) => (r.retries, r.drops, r.payload),
+                                Err((retries, drops, e)) => {
+                                    let _ = ana_tx.send(AssimOutcome {
+                                        meta,
+                                        retries,
+                                        drops,
+                                        transfer_s,
+                                        assim_s: 0.0,
+                                        result: Err(e),
+                                    });
                                     continue;
                                 }
                             };
@@ -497,7 +574,14 @@ impl CycleSupervisor {
                                     expected: pm.checksum,
                                     got,
                                 };
-                                let _ = ana_tx.send((meta, retries, transfer_s, 0.0, Err(err)));
+                                let _ = ana_tx.send(AssimOutcome {
+                                    meta,
+                                    retries,
+                                    drops,
+                                    transfer_s,
+                                    assim_s: 0.0,
+                                    result: Err(err),
+                                });
                                 continue;
                             }
                             let inject_panic =
@@ -540,25 +624,26 @@ impl CycleSupervisor {
                                             },
                                             timing: None,
                                             transfer_retries: retries,
+                                            drops,
                                         });
                                         continue;
                                     }
                                 }
                             }
                             if ana_tx
-                                .send((meta, retries, transfer_s, assim_s, result))
+                                .send(AssimOutcome {
+                                    meta,
+                                    retries,
+                                    drops,
+                                    transfer_s,
+                                    assim_s,
+                                    result,
+                                })
                                 .is_err()
                             {
                                 return;
                             }
-                            continue;
                         }
-                    };
-                    if ana_tx
-                        .send((meta, retries, transfer_s, 0.0, result))
-                        .is_err()
-                    {
-                        return;
                     }
                 }
             });
@@ -567,7 +652,15 @@ impl CycleSupervisor {
             // under a deadline, final disposition.
             s.spawn(move || {
                 let mut last_good: Option<P> = None;
-                while let Ok((meta, retries, transfer_s, assim_s, result)) = ana_rx.recv() {
+                while let Ok(AssimOutcome {
+                    meta,
+                    retries,
+                    drops,
+                    transfer_s,
+                    assim_s,
+                    result,
+                }) = ana_rx.recv()
+                {
                     let cycle = meta.cycle;
                     let (fresh, degradation) = match result {
                         Ok(product) => (Some(product), None),
@@ -666,6 +759,7 @@ impl CycleSupervisor {
                         disposition,
                         timing: Some(timing),
                         transfer_retries: retries,
+                        drops,
                     });
                 }
             });
@@ -677,52 +771,89 @@ impl CycleSupervisor {
     }
 
     /// Wait for `cycle`'s volume under the stall watchdog, retrying with
-    /// bounded exponential backoff. Late volumes from abandoned or
-    /// superseded cycles (older tag) are discarded transparently.
+    /// bounded exponential backoff. Duplicate and out-of-order volumes
+    /// (replays, leftovers from abandoned or superseded cycles) are dropped
+    /// and recorded; stale scans and mid-stream truncation surface as their
+    /// own typed [`StageError`]s.
     ///
     /// Injected `TransferStall` faults consume the first watchdog windows
     /// deterministically: the receiver behaves exactly as if the stream had
     /// been silent for that many windows, regardless of thread scheduling.
     fn receive_volume(
         &self,
-        vol_rx: &bda_jitdt::pipe::PipeReceiver,
+        vol_rx: &mut SequencedReceiver,
         cycle: usize,
-    ) -> Result<(usize, Bytes), (usize, StageError)> {
+    ) -> Result<ReceivedVolume, (usize, Vec<DeliveryDrop>, StageError)> {
+        // The receiver's campaign clock: cycle C runs at C * interval.
+        let now = cycle as f64 * self.scan_interval_s;
         let mut injected_left = self.faults.stall_timeouts(cycle);
         let mut timeouts = 0usize;
+        let mut drops = Vec::new();
         loop {
             let stalled = if injected_left > 0 {
                 injected_left -= 1;
                 std::thread::sleep(self.stall_timeout);
                 true
             } else {
-                match vol_rx.recv_timeout(self.stall_timeout) {
-                    Ok(tagged) => match split_tag(tagged) {
-                        Ok((tag, payload)) => {
-                            if tag < cycle as u64 {
-                                // Late volume from an abandoned cycle.
-                                continue;
-                            }
-                            if tag > cycle as u64 {
-                                return Err((
-                                    timeouts,
-                                    StageError::Pipe(format!(
-                                        "volume tag {tag} ahead of expected cycle {cycle}"
-                                    )),
-                                ));
-                            }
-                            return Ok((timeouts, payload));
+                match vol_rx.recv_timeout(now, self.stall_timeout) {
+                    Ok(v) => {
+                        if v.seq < cycle as u64 {
+                            // Late volume from an abandoned cycle: newest
+                            // (this cycle) wins.
+                            drops.push(DeliveryDrop::OutOfOrder {
+                                seq: v.seq,
+                                newest: cycle as u64,
+                            });
+                            continue;
                         }
-                        Err(e) => return Err((timeouts, e)),
-                    },
-                    Err(PipeError::Stalled) => true,
-                    Err(e) => return Err((timeouts, StageError::Pipe(e.to_string()))),
+                        if v.seq > cycle as u64 {
+                            return Err((
+                                timeouts,
+                                drops,
+                                StageError::Pipe(format!(
+                                    "volume seq {} ahead of expected cycle {cycle}",
+                                    v.seq
+                                )),
+                            ));
+                        }
+                        return Ok(ReceivedVolume {
+                            retries: timeouts,
+                            drops,
+                            payload: v.payload,
+                        });
+                    }
+                    Err(DeliveryError::Duplicate { seq }) => {
+                        drops.push(DeliveryDrop::Duplicate { seq });
+                        continue;
+                    }
+                    Err(DeliveryError::OutOfOrder { seq, newest }) => {
+                        drops.push(DeliveryDrop::OutOfOrder { seq, newest });
+                        continue;
+                    }
+                    Err(DeliveryError::Stale {
+                        age_s, horizon_s, ..
+                    }) => {
+                        return Err((timeouts, drops, StageError::StaleScan { age_s, horizon_s }));
+                    }
+                    Err(DeliveryError::Truncated { expected, got }) => {
+                        return Err((
+                            timeouts,
+                            drops,
+                            StageError::TruncatedVolume { expected, got },
+                        ));
+                    }
+                    Err(DeliveryError::Pipe(PipeError::Stalled)) => true,
+                    Err(e) => return Err((timeouts, drops, StageError::Pipe(e.to_string()))),
                 }
             };
             if stalled {
                 timeouts += 1;
                 if timeouts > self.max_restarts {
-                    return Err((timeouts, StageError::TransferTimeout { attempts: timeouts }));
+                    return Err((
+                        timeouts,
+                        drops,
+                        StageError::TransferTimeout { attempts: timeouts },
+                    ));
                 }
                 let backoff = self.backoff_base * (1u32 << (timeouts - 1).min(4));
                 std::thread::sleep(backoff);
@@ -865,6 +996,57 @@ mod tests {
             other => panic!("expected degraded, got {other:?}"),
         }
         assert_eq!(log[2], (2, "persistence"));
+    }
+
+    #[test]
+    fn duplicate_volume_dropped_and_reported() {
+        let sup = CycleSupervisor {
+            faults: FaultPlan::none().duplicate_volume(1),
+            ..CycleSupervisor::default()
+        };
+        let (report, log) = counting_stages(4, &sup);
+        // Every cycle still completes: the replayed copy is dropped, not
+        // assimilated twice.
+        assert_eq!(report.completed(), 4);
+        assert!(log.iter().all(|(_, k)| *k == "fresh"));
+        // The duplicate surfaces while waiting for the *next* cycle's
+        // volume, as a typed drop on that cycle's report.
+        let drops: Vec<_> = report.cycles.iter().flat_map(|c| &c.drops).collect();
+        assert_eq!(drops, vec![&DeliveryDrop::Duplicate { seq: 1 }]);
+        assert!(report.cycles[2]
+            .drops
+            .contains(&DeliveryDrop::Duplicate { seq: 1 }));
+        assert!(
+            report.table().contains("dropped duplicate seq 1"),
+            "table:\n{}",
+            report.table()
+        );
+    }
+
+    #[test]
+    fn stale_scan_rejected_with_typed_outcome() {
+        let sup = CycleSupervisor {
+            faults: FaultPlan::none().stale_scan(2),
+            ..CycleSupervisor::default()
+        };
+        let (report, log) = counting_stages(4, &sup);
+        match &report.cycles[2].disposition {
+            CycleDisposition::Degraded {
+                mode: DegradedMode::Persistence,
+                cause: StageError::StaleScan { age_s, horizon_s },
+            } => {
+                assert_eq!(*horizon_s, 90.0);
+                assert!(age_s > horizon_s);
+            }
+            other => panic!("stale scan should degrade to persistence, got {other:?}"),
+        }
+        assert_eq!(log[2], (2, "persistence"));
+        // Neighbours are untouched and availability holds.
+        assert!(matches!(
+            report.cycles[3].disposition,
+            CycleDisposition::Completed
+        ));
+        assert!(report.table().contains("stale scan"));
     }
 
     #[test]

@@ -21,14 +21,19 @@
 //!
 //! ```text
 //! cargo run --release --example realtime_pipeline [-- --cycles N] \
-//!     [--inject "panic:assim@2,corrupt@3,stall@1x2,drop@4,nan:1@2,crash@3,random:SEED"] \
+//!     [--inject "panic:assim@2,corrupt@3,stall@1x2,drop@4,dup@2,stale@3,nan:1@2,crash@3,random:SEED"] \
 //!     [--checkpoint-dir DIR] [--every N] [--resume CKPT] [--table-file PATH]
 //! ```
+//!
+//! The assimilation thread decodes each volume in salvage mode (keeping the
+//! intact records of a corrupted transfer) and runs the multi-stage QC
+//! pipeline; each cycle's QC accounting — accepted/total plus per-stage
+//! rejections — is printed alongside the analysis.
 
 use bda_core::osse::{Osse, OsseConfig};
 use bda_core::resume::OsseCampaign;
-use bda_letkf::{analyze, gross_error_check, EnsembleMatrix, ObsEnsemble, StateLayout};
-use bda_pawr::codec::{decode_volume, encode_volume};
+use bda_letkf::{analyze, EnsembleMatrix, ObsEnsemble, QcPipeline, StateLayout};
+use bda_pawr::codec::{decode_volume_salvage, encode_volume, ValueBounds};
 use bda_pawr::operator::ensemble_equivalents;
 use bda_pawr::PawrSimulator;
 use bda_scale::model::Boundary;
@@ -230,10 +235,10 @@ fn main() {
                 );
                 Ok(encode_volume(&scan))
             },
-            // --- assimilation thread: decode + LETKF, errors reported ---
+            // --- assimilation thread: salvage decode + QC + LETKF ---
             move |_cycle: usize, bytes| {
-                let vol =
-                    decode_volume::<f32>(&bytes).map_err(|e| format!("corrupt volume: {e:?}"))?;
+                let (vol, salvage) = decode_volume_salvage::<f32>(&bytes, &ValueBounds::default())
+                    .map_err(|e| format!("unusable volume: {e:?}"))?;
                 ensemble
                     .forecast(&model_cfg_a, &base_a, 30.0, |_| Boundary::BaseState)
                     .map_err(|e| format!("member blew up: {e:?}"))?;
@@ -246,7 +251,14 @@ fn main() {
                     radar_a.min_detectable_dbz,
                 );
                 let obs = ObsEnsemble::new(vol.obs, hx);
-                let (obs, _qc) = gross_error_check(&obs, &letkf_cfg);
+                let (obs, qc) = QcPipeline::new(&letkf_cfg).run(&obs);
+                let mut qc_note = qc.summary();
+                if !salvage.clean() {
+                    qc_note.push_str(&format!(
+                        ", salvaged {}/{} records",
+                        salvage.kept, salvage.declared
+                    ));
+                }
                 let flats: Vec<Vec<f32>> = ensemble
                     .members
                     .iter()
@@ -261,12 +273,15 @@ fn main() {
                     m.from_flat(&ANALYZED_VARS, f);
                     m.clamp_physical();
                 }
-                Ok((ensemble.mean(), stats.points_analyzed, obs.len()))
+                Ok((ensemble.mean(), stats.points_analyzed, qc_note))
             },
             // --- forecast thread: honors the degradation ladder ---
-            move |cycle: usize, input: ForecastInput<'_, (ModelState<f32>, usize, usize)>| {
+            move |cycle: usize, input: ForecastInput<'_, (ModelState<f32>, usize, String)>| {
                 let (mean, provenance) = match input {
-                    ForecastInput::Analysis((mean, _, _)) => (mean.clone(), "fresh analysis"),
+                    ForecastInput::Analysis((mean, _, qc)) => {
+                        println!("cycle {cycle}: {qc}");
+                        (mean.clone(), "fresh analysis")
+                    }
                     ForecastInput::PreviousAnalysis((mean, _, _)) => {
                         (mean.clone(), "previous analysis (degraded)")
                     }
@@ -315,7 +330,8 @@ fn main() {
         },
         // --- assimilation thread: decode, 30-s ensemble forecast, LETKF ---
         move |_cycle, bytes| {
-            let vol = decode_volume::<f32>(&bytes).expect("corrupt volume");
+            let (vol, _salvage) = decode_volume_salvage::<f32>(&bytes, &ValueBounds::default())
+                .expect("unusable volume");
             ensemble
                 .forecast(&model_cfg_a, &base_a, 30.0, |_| Boundary::BaseState)
                 .expect("member blew up");
@@ -328,7 +344,7 @@ fn main() {
                 radar_a.min_detectable_dbz,
             );
             let obs = ObsEnsemble::new(vol.obs, hx);
-            let (obs, _qc) = gross_error_check(&obs, &letkf_cfg);
+            let (obs, qc) = QcPipeline::new(&letkf_cfg).run(&obs);
             let flats: Vec<Vec<f32>> = ensemble
                 .members
                 .iter()
@@ -343,10 +359,10 @@ fn main() {
                 m.clamp_physical();
             }
             let mean = ensemble.mean();
-            (mean, stats.points_analyzed, obs.len())
+            (mean, stats.points_analyzed, qc.summary())
         },
         // --- forecast thread: 2-minute forecast from the analysis mean ---
-        move |cycle, (mean, points, nobs)| {
+        move |cycle, (mean, points, qc_summary)| {
             let _ = fc_engine.swap_state(mean);
             fc_engine.integrate(120.0).expect("forecast blew up");
             let map = bda_core::products::reflectivity_map(
@@ -358,7 +374,7 @@ fn main() {
             );
             let rain = area_fraction(&map, 30.0, None);
             println!(
-                "cycle {cycle}: {nobs} obs assimilated, {points} points analyzed, forecast rain area {:.1}%",
+                "cycle {cycle}: {qc_summary}, {points} points analyzed, forecast rain area {:.1}%",
                 rain * 100.0
             );
         },
