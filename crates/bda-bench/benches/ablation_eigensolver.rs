@@ -10,27 +10,10 @@
 //! batched, workspace-reusing QL (the KeDV engineering idea), on batches of
 //! SPD matrices shaped like LETKF ensemble-space problems.
 
-use bda_num::{BatchedEigen, JacobiEigen, MatrixS, QlEigen, SplitMix64, SymEigSolver};
+use bda_bench::spd_batch;
+use bda_num::{BatchedEigen, JacobiEigen, QlEigen, SymEigSolver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-
-fn spd_batch(n: usize, count: usize, seed: u64) -> Vec<MatrixS<f32>> {
-    let mut rng = SplitMix64::new(seed);
-    (0..count)
-        .map(|_| {
-            let mut a = MatrixS::zeros(n);
-            for i in 0..n {
-                for j in i..n {
-                    let v = rng.gaussian(0.0f32, 1.0);
-                    a[(i, j)] = v;
-                    a[(j, i)] = v;
-                }
-            }
-            a.add_scaled_identity(n as f32); // comfortably SPD, like (k-1)I + C
-            a
-        })
-        .collect()
-}
 
 fn bench(c: &mut Criterion) {
     eprintln!("\n================ A-EIG: eigensolver ablation ================");

@@ -7,17 +7,10 @@
 //! contrast. At full scale (O(10^9) variables) the file path is minutes —
 //! tolerable at 1-hour refresh (§4), fatal at 30 seconds.
 
+use bda_bench::gaussian_ensemble;
 use bda_io::{EnsembleTransport, FileTransport, MemoryTransport};
-use bda_num::SplitMix64;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-
-fn sample_ensemble(k: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
-    let mut rng = SplitMix64::new(seed);
-    (0..k)
-        .map(|_| (0..n).map(|_| rng.gaussian(0.0f32, 1.0)).collect())
-        .collect()
-}
 
 fn bench(c: &mut Criterion) {
     eprintln!("\n================ A-IO: exchange-path ablation ================");
@@ -27,7 +20,7 @@ fn bench(c: &mut Criterion) {
     // 16 members x 64k values x 4 bytes = 4 MiB per handoff.
     let k = 16;
     let n = 64 * 1024;
-    let members = sample_ensemble(k, n, 3);
+    let members = gaussian_ensemble(k, n, 3);
     let bytes = (k * n * std::mem::size_of::<f32>()) as u64;
 
     let dir = std::env::temp_dir().join(format!("bda_bench_io_{}", std::process::id()));

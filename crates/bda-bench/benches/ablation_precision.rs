@@ -6,8 +6,9 @@
 //! precisions; this bench measures the contrast on the two hot paths: the
 //! model time step and the LETKF ensemble-space transform.
 
+use bda_bench::rng;
 use bda_letkf::weights::{apply_transform, compute_transform, LocalObs};
-use bda_num::{BatchedEigen, MatrixS, Real, SplitMix64};
+use bda_num::{BatchedEigen, MatrixS, Real};
 use bda_scale::base::Sounding;
 use bda_scale::{Model, ModelConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -55,7 +56,7 @@ fn field_sweep_bench<T: Real>(c: &mut Criterion, label: &str) {
 fn letkf_transform_bench<T: Real>(c: &mut Criterion, label: &str) {
     let k = 100;
     let nobs = 40;
-    let mut rng = SplitMix64::new(5);
+    let mut rng = rng(5);
     let mut local = LocalObs::<T>::new(k);
     let mut row = vec![T::zero(); k];
     for _ in 0..nobs {

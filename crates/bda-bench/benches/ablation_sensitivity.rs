@@ -6,72 +6,24 @@
 //! members = bigger eigenproblems; wider localization = more observations
 //! per grid point).
 
-use bda_letkf::{
-    analyze, EnsembleMatrix, LetkfConfig, ObsEnsemble, ObsKind, Observation, StateLayout,
-};
-use bda_num::SplitMix64;
+use bda_bench::{grid_obs, layout_members, letkf_layout};
+use bda_letkf::{analyze, EnsembleMatrix, LetkfConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-
-fn layout(nx: usize, nz: usize) -> StateLayout {
-    StateLayout {
-        nx,
-        ny: nx,
-        nz,
-        nvar: 4,
-        dx: 500.0,
-        z_center: (0..nz).map(|k| 500.0 + 500.0 * k as f64).collect(),
-    }
-}
-
-fn members(l: &StateLayout, k: usize, seed: u64) -> Vec<Vec<f32>> {
-    let mut rng = SplitMix64::new(seed);
-    (0..k)
-        .map(|_| {
-            (0..l.n_elements())
-                .map(|_| rng.gaussian(5.0f32, 1.0))
-                .collect()
-        })
-        .collect()
-}
-
-fn obs_grid(l: &StateLayout, members: &[Vec<f32>], every: usize) -> ObsEnsemble<f32> {
-    let mut obs = Vec::new();
-    let mut hx: Vec<Vec<f32>> = vec![Vec::new(); members.len()];
-    for i in (0..l.nx).step_by(every) {
-        for j in (0..l.ny).step_by(every) {
-            let (x, y) = l.xy(i, j);
-            let kz = l.nz / 2;
-            obs.push(Observation {
-                kind: ObsKind::Reflectivity,
-                x,
-                y,
-                z: l.z_center[kz],
-                value: 20.0,
-                error_sd: 5.0,
-            });
-            let src = l.member_index(0, i, j, kz);
-            for (m, member) in members.iter().enumerate() {
-                hx[m].push(member[src]);
-            }
-        }
-    }
-    ObsEnsemble::new(obs, hx)
-}
 
 fn bench(c: &mut Criterion) {
     eprintln!("\n================ A-SENS: analysis cost scaling ================");
     eprintln!("cost side of the paper's configuration sweep: LETKF time vs ensemble");
     eprintln!("size and localization radius (skill side: examples/sensitivity_sweep)\n");
 
-    let l = layout(12, 8);
+    let l = letkf_layout(12, 8);
 
     // --- ensemble-size scaling ---
     let mut group = c.benchmark_group("sensitivity/ensemble_size");
     group.sample_size(10);
     for &k in &[8usize, 16, 32, 64] {
-        let ms = members(&l, k, k as u64);
-        let obs = obs_grid(&l, &ms, 3);
+        let ms = layout_members(&l, k, k as u64);
+        let obs = grid_obs(&l, &ms, 3);
         group.bench_function(BenchmarkId::from_parameter(k), |b| {
             let cfg = LetkfConfig::reduced(k);
             b.iter(|| {
@@ -86,8 +38,8 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("sensitivity/localization_radius_m");
     group.sample_size(10);
     let k = 16;
-    let ms = members(&l, k, 7);
-    let obs = obs_grid(&l, &ms, 1); // dense obs so the radius matters
+    let ms = layout_members(&l, k, 7);
+    let obs = grid_obs(&l, &ms, 1); // dense obs so the radius matters
     for &loc in &[1000.0f64, 2000.0, 4000.0] {
         group.bench_function(BenchmarkId::from_parameter(loc as u64), |b| {
             let mut cfg = LetkfConfig::reduced(k);

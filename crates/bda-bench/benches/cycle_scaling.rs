@@ -1,0 +1,160 @@
+//! E-S1 — strong-scaling of one full OSSE assimilation cycle.
+//!
+//! Times a complete cycle (ensemble forecast + PAWR scan + LETKF analysis)
+//! at 1/2/4/8 worker threads over identically seeded campaigns and writes
+//! the machine-readable scaling point `BENCH_4.json` at the repo root:
+//! per thread count the mean cycle wall-clock and the speedup over the
+//! single-thread baseline. This is the first point of the perf trajectory
+//! and the input to the CI `perf-smoke` regression gate.
+//!
+//! Not a criterion harness: thread-count sweeps need explicit pool
+//! installs per measurement, so this is a plain `harness = false` main.
+//!
+//! Flags (all optional; unknown flags such as cargo's `--bench` are
+//! ignored so `cargo bench --bench cycle_scaling` works unmodified):
+//!
+//! * `--cycles N`          timed cycles per thread count (default 6)
+//! * `--threads a,b,c`     thread counts to sweep (default 1,2,4,8)
+//! * `--out PATH`          output path (default `<repo>/BENCH_4.json`)
+//! * `--assert-speedup X`  exit non-zero unless speedup at the highest
+//!   thread count ≤ host cores reaches X. Skipped (with a notice) when
+//!   the host has fewer cores than every multi-thread point — a 1-core
+//!   box cannot measure scaling, only CI's 4-vCPU runner can.
+
+use bda_bench::reduced_osse;
+use rayon::ThreadPoolBuilder;
+use std::time::Instant;
+
+/// One measured point of the sweep.
+struct Point {
+    threads: usize,
+    mean_cycle_s: f64,
+    speedup: f64,
+}
+
+/// Mean wall-clock of one OSSE cycle with `threads` pool workers.
+///
+/// Every thread count gets a freshly seeded, identically configured
+/// campaign (same spinup, same trigger schedule) so the work per cycle is
+/// identical and only the pool width varies.
+fn measure(threads: usize, cycles: usize) -> f64 {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool build is infallible");
+    pool.install(|| {
+        let mut osse = reduced_osse(24, 12, 16, 3, 4);
+        osse.spinup_system(360.0);
+        // Warm-up cycle: page in buffers, settle the trigger state.
+        osse.cycle();
+        let start = Instant::now();
+        for _ in 0..cycles {
+            osse.cycle();
+        }
+        start.elapsed().as_secs_f64() / cycles as f64
+    })
+}
+
+fn main() {
+    let mut cycles = 6usize;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut out = format!("{}/../../BENCH_4.json", env!("CARGO_MANIFEST_DIR"));
+    let mut assert_speedup: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cycles" => {
+                cycles = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cycles takes a positive integer");
+            }
+            "--threads" => {
+                let spec = args.next().expect("--threads takes a,b,c");
+                threads = spec
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads entries are integers"))
+                    .collect();
+            }
+            "--out" => out = args.next().expect("--out takes a path"),
+            "--assert-speedup" => {
+                assert_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--assert-speedup takes a number"),
+                );
+            }
+            // cargo bench forwards `--bench` and filter strings; ignore.
+            _ => {}
+        }
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("cycle_scaling: host_cores={host_cores} cycles/point={cycles} sweep={threads:?}");
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut base = None;
+    for &t in &threads {
+        let mean = measure(t, cycles);
+        let base_s = *base.get_or_insert(mean);
+        let speedup = base_s / mean;
+        eprintln!("  threads={t:<2} mean_cycle={mean:.4}s speedup={speedup:.2}x");
+        points.push(Point {
+            threads: t,
+            mean_cycle_s: mean,
+            speedup,
+        });
+    }
+
+    // vendor/serde_json is an empty facade, so the JSON is assembled by
+    // hand; the shape is stable for downstream trajectory tooling.
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"threads\": {}, \"mean_cycle_s\": {:.6}, \"speedup\": {:.4} }}",
+                p.threads, p.mean_cycle_s, p.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"cycle_scaling\",\n  \"config\": \"OsseConfig::reduced(24, 12, 16, 3, 4)\",\n  \"host_cores\": {},\n  \"cycles_per_point\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        host_cores,
+        cycles,
+        rows.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("writing BENCH_4.json");
+    eprintln!("cycle_scaling: wrote {out}");
+
+    if let Some(min) = assert_speedup {
+        // Gate on the widest sweep point the host can actually run in
+        // parallel; a 1-core container has no such point and must not
+        // report a fake pass *or* a fake failure.
+        let gated = points
+            .iter()
+            .filter(|p| p.threads > 1 && p.threads <= host_cores)
+            .max_by_key(|p| p.threads);
+        match gated {
+            Some(p) if p.speedup >= min => {
+                eprintln!(
+                    "cycle_scaling: speedup gate OK ({:.2}x >= {min}x at {} threads)",
+                    p.speedup, p.threads
+                );
+            }
+            Some(p) => {
+                eprintln!(
+                    "cycle_scaling: FAIL — speedup {:.2}x < required {min}x at {} threads",
+                    p.speedup, p.threads
+                );
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!(
+                    "cycle_scaling: speedup gate skipped — host has {host_cores} core(s), \
+                     no multi-thread point can scale here"
+                );
+            }
+        }
+    }
+}

@@ -4,14 +4,13 @@
 //! benchmarks the verification kernels at the paper's full map size
 //! (256 x 256, the 2-km reflectivity field).
 
-use bda_core::osse::{Osse, OsseConfig};
-use bda_num::SplitMix64;
+use bda_bench::{reduced_osse, rng};
 use bda_verify::{ContingencyTable, LeadTimeSeries, PersistenceForecast};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn regenerate_fig7() {
-    let mut osse = Osse::<f32>::new(OsseConfig::reduced(14, 10, 8, 3, 2024));
+    let mut osse = reduced_osse(14, 10, 8, 3, 2024);
     osse.spinup_system(720.0);
     for _ in 0..3 {
         osse.cycle();
@@ -56,7 +55,7 @@ fn bench(c: &mut Criterion) {
 
     // Verification kernels at full map size.
     let n = 256 * 256;
-    let mut rng = SplitMix64::new(1);
+    let mut rng = rng(1);
     let truth: Vec<f32> = (0..n).map(|_| rng.uniform_in(0.0, 55.0) as f32).collect();
     let forecast: Vec<f32> = truth
         .iter()

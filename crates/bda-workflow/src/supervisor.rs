@@ -250,12 +250,25 @@ impl SupervisorReport {
     /// Per-cycle outcome table (the `--inject` report of the realtime
     /// example).
     pub fn table(&self) -> String {
-        let mut out = String::from("cycle  outcome    tts(ms)  retries  detail\n");
+        let mut out = String::from(
+            "cycle  outcome    obs(ms)  letkf(ms)  fcst(ms)  tts(ms)  retries  detail\n",
+        );
         for c in &self.cycles {
-            let tts = c
+            // Per-stage wall-clock: observation ingest (scan + transfer),
+            // LETKF analysis, ensemble forecast, then end-to-end
+            // time-to-solution.
+            let stages = c
                 .timing
-                .map(|t| format!("{:8.1}", t.time_to_solution_s * 1e3))
-                .unwrap_or_else(|| "       -".into());
+                .map(|t| {
+                    format!(
+                        "{:7.1}  {:9.1}  {:8.1}  {:7.1}",
+                        (t.scan_s + t.transfer_s) * 1e3,
+                        t.assimilation_s * 1e3,
+                        t.forecast_s * 1e3,
+                        t.time_to_solution_s * 1e3
+                    )
+                })
+                .unwrap_or_else(|| format!("{:>7}  {:>9}  {:>8}  {:>7}", "-", "-", "-", "-"));
             let mut detail = match &c.disposition {
                 CycleDisposition::Completed => String::new(),
                 CycleDisposition::Degraded { mode, cause } => format!("{mode}: {cause}"),
@@ -269,7 +282,7 @@ impl SupervisorReport {
                 detail.push_str(&d.to_string());
             }
             out.push_str(&format!(
-                "{:5}  {:<9} {tts}  {:7}  {detail}\n",
+                "{:5}  {:<9} {stages}  {:7}  {detail}\n",
                 c.cycle,
                 c.disposition.label(),
                 c.transfer_retries,
@@ -1194,6 +1207,11 @@ mod tests {
         let table = report.table();
         assert!(table.contains("availability"));
         assert!(table.contains("degraded"));
+        // Per-stage wall-clock columns: ingest, analysis, forecast,
+        // end-to-end.
+        for col in ["obs(ms)", "letkf(ms)", "fcst(ms)", "tts(ms)"] {
+            assert!(table.contains(col), "missing column {col}:\n{table}");
+        }
         for c in 0..3 {
             assert!(
                 table.contains(&format!("\n{c:5}  ")),

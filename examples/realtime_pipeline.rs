@@ -62,7 +62,14 @@ fn run_checkpointed_campaign(
         }),
         None => FaultPlan::none(),
     };
-    let osse = Osse::<f32>::new(OsseConfig::reduced(10, 8, 6, 2, 11));
+    let mut osse = Osse::<f32>::new(OsseConfig::reduced(10, 8, 6, 2, 11));
+    // Spin convection up before the campaign so every cycle assimilates a
+    // live reflectivity field: the RMSE columns in the outcome table then
+    // carry real float content, which is what makes the byte-level table
+    // diffs (kill-and-resume, 1-vs-N-thread determinism parity) meaningful.
+    // 1080 s is mid-storm for this config's 0-300 s trigger window; earlier
+    // the field is below the detectability floor, later the cells decay.
+    osse.spinup_system(1080.0);
     let mut app = OsseCampaign::new(osse, faults.clone());
     let campaign = ResumableCampaign {
         n_cycles,

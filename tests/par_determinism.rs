@@ -1,0 +1,196 @@
+//! Property-based proof of the thread pool's determinism contract
+//! (DESIGN.md "Threading model"): for arbitrary inputs and any worker
+//! count, parallel execution is indistinguishable from sequential
+//! execution.
+//!
+//! * integer `fold + reduce` chains equal the plain sequential fold
+//!   exactly (associative ops — thread and chunk structure invisible);
+//! * floating-point `fold + reduce` chains are **bit-identical** across
+//!   thread counts, because chunk boundaries are a pure function of input
+//!   length and per-chunk partials combine in chunk order;
+//! * `map`/`collect` preserves input order and matches the serial map;
+//! * in-place `par_chunks_mut` mutation is slot-addressed, so the final
+//!   buffer is bitwise the same at any thread count;
+//! * the real LETKF analysis hot path inherits all of the above: same
+//!   analysis ensemble, bit for bit, at 1 and at N threads.
+
+use bda::letkf::{
+    analyze, EnsembleMatrix, LetkfConfig, ObsEnsemble, ObsKind, Observation, StateLayout,
+};
+use bda::num::SplitMix64;
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool build is infallible")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Integer fold+reduce == plain sequential fold, any input, any
+    /// thread count (wrapping arithmetic is associative).
+    #[test]
+    fn int_fold_reduce_equals_sequential_fold(
+        seed in any::<u64>(),
+        len in 0usize..500,
+        threads in 1usize..10,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let data: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+        let expect = data
+            .iter()
+            .fold(0u64, |a, &x| a.wrapping_add(x.rotate_left(11) ^ 0x9e37)) ;
+        let got = pool(threads).install(|| {
+            data.par_iter()
+                .fold(|| 0u64, |a, &x| a.wrapping_add(x.rotate_left(11) ^ 0x9e37))
+                .reduce(|| 0u64, u64::wrapping_add)
+        });
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Floating-point fold+reduce: bit-identical across thread counts.
+    #[test]
+    fn float_fold_reduce_parity_across_threads(
+        seed in any::<u64>(),
+        len in 0usize..400,
+        threads in 2usize..10,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let data: Vec<f64> = (0..len).map(|_| rng.gaussian(0.0f64, 3.0)).collect();
+        let run = |t: usize| {
+            pool(t).install(|| {
+                data.par_iter()
+                    .fold(|| 0.0f64, |a, &x| a + x * x + x.sin())
+                    .reduce(|| 0.0f64, |a, b| a + b)
+                    .to_bits()
+            })
+        };
+        prop_assert_eq!(run(threads), run(1));
+    }
+
+    /// map/collect preserves order and equals the serial map.
+    #[test]
+    fn map_collect_matches_serial(
+        seed in any::<u64>(),
+        len in 0usize..600,
+        threads in 1usize..10,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let data: Vec<f32> = (0..len).map(|_| rng.gaussian(0.0f32, 5.0)).collect();
+        let expect: Vec<f32> = data.iter().map(|&x| x.mul_add(1.5, -0.25).tanh()).collect();
+        let got: Vec<f32> = pool(threads).install(|| {
+            data.par_iter().map(|&x| x.mul_add(1.5, -0.25).tanh()).collect()
+        });
+        prop_assert_eq!(got, expect);
+    }
+
+    /// In-place chunked mutation is slot-addressed: bitwise-identical
+    /// buffers at any thread count.
+    #[test]
+    fn par_chunks_mut_parity_across_threads(
+        seed in any::<u64>(),
+        len in 1usize..800,
+        chunk in 1usize..64,
+        threads in 2usize..10,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let init: Vec<f64> = (0..len).map(|_| rng.gaussian(1.0f64, 0.5)).collect();
+        let run = |t: usize| {
+            let mut v = init.clone();
+            pool(t).install(|| {
+                v.par_chunks_mut(chunk).enumerate().for_each(|(c, block)| {
+                    for (k, x) in block.iter_mut().enumerate() {
+                        *x = x.abs().sqrt() + (c as f64) * 1e-3 + (k as f64) * 1e-6;
+                    }
+                });
+            });
+            v
+        };
+        let a = run(1);
+        let b = run(threads);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+/// The production hot path: a full LETKF analysis over random ensembles is
+/// bit-identical at 1 thread and at 8 threads.
+#[test]
+fn letkf_analysis_bitwise_parity_across_threads() {
+    let layout = StateLayout {
+        nx: 8,
+        ny: 8,
+        nz: 4,
+        nvar: 2,
+        dx: 500.0,
+        z_center: vec![500.0, 1000.0, 1500.0, 2000.0],
+    };
+    for seed in [3u64, 71, 2024] {
+        let k = 10;
+        let mut rng = SplitMix64::new(seed);
+        let members: Vec<Vec<f32>> = (0..k)
+            .map(|_| {
+                (0..layout.n_elements())
+                    .map(|_| rng.gaussian(10.0f32, 4.0))
+                    .collect()
+            })
+            .collect();
+        // Reflectivity observations on a coarse sub-grid, forward-operator
+        // rows sampled straight from the members.
+        let mut obs = Vec::new();
+        let mut hx: Vec<Vec<f32>> = vec![Vec::new(); k];
+        for i in (0..layout.nx).step_by(2) {
+            for j in (0..layout.ny).step_by(2) {
+                let (x, y) = layout.xy(i, j);
+                obs.push(Observation {
+                    kind: ObsKind::Reflectivity,
+                    x,
+                    y,
+                    z: layout.z_center[1],
+                    value: rng.gaussian(15.0f32, 5.0),
+                    error_sd: 5.0,
+                });
+                let src = layout.member_index(0, i, j, 1);
+                for (m, member) in members.iter().enumerate() {
+                    hx[m].push(member[src]);
+                }
+            }
+        }
+        let obs = ObsEnsemble::new(obs, hx);
+        let cfg = LetkfConfig::reduced(k);
+
+        let run = |threads: usize| {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let mut mat = EnsembleMatrix::from_members(&members, layout.clone());
+                    let stats = analyze(&mut mat, &obs, &cfg).expect("analysis runs");
+                    let mut out = members.clone();
+                    mat.to_members(&mut out);
+                    (stats, out)
+                })
+        };
+        let (stats_1, state_1) = run(1);
+        let (stats_8, state_8) = run(8);
+        assert_eq!(stats_1, stats_8, "seed {seed}: analysis stats diverged");
+        assert_eq!(state_1.len(), state_8.len());
+        for (m, (a, b)) in state_1.iter().zip(&state_8).enumerate() {
+            for (idx, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "seed {seed}: member {m} element {idx} diverged between 1 and 8 threads"
+                );
+            }
+        }
+    }
+}

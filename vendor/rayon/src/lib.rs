@@ -1,148 +1,520 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — a real multi-threaded runtime.
 //!
 //! The container this repository builds in has no access to crates.io, so
 //! the workspace vendors minimal API-compatible implementations of its
 //! external dependencies (see `vendor/README.md`). This crate reproduces the
 //! `par_iter`/`par_iter_mut`/`into_par_iter`/`par_chunks_mut` surface the
-//! workspace uses, executing **sequentially**: every `ParIter` wraps a
-//! standard iterator, and `fold(..).map(..).reduce(..)` chains collapse to a
-//! single-accumulator fold. Swapping the real rayon back in later changes
-//! only Cargo metadata, not call sites.
+//! workspace uses and, unlike the original sequential stand-in, actually
+//! executes parallel operations on multiple OS threads.
+//!
+//! # Execution model
+//!
+//! Every parallel operation splits its input into contiguous **chunks whose
+//! boundaries are a pure function of the input length** (never of the thread
+//! count), then lets workers claim chunks through a shared atomic index —
+//! work stealing in its simplest form: a fast worker that exhausts its claim
+//! immediately claims the next unprocessed chunk, so load imbalance between
+//! chunks is absorbed without any per-thread queues. Workers are scoped
+//! threads (`std::thread::scope`) spawned per parallel region, which keeps
+//! the implementation free of `unsafe` lifetime erasure while the chunk
+//! granularity (at most [`MAX_CHUNKS`] regions) keeps spawn overhead far
+//! below per-chunk compute on the workspace's hot paths.
+//!
+//! # Determinism contract
+//!
+//! N-thread output is bit-identical to 1-thread output:
+//!
+//! * each item's result is written to its own index-addressed slot and
+//!   per-item results are reassembled in input order (`map`/`collect`);
+//! * `fold` seeds one accumulator per *chunk* (not per thread) and `reduce`
+//!   combines per-chunk results **in ascending chunk order** — because chunk
+//!   boundaries depend only on the input length, the floating-point
+//!   combination order is the same no matter how many workers ran.
+//!
+//! The one-thread path executes the *same* chunk structure sequentially, so
+//! it is the reference implementation, not a special case.
+//!
+//! # Nesting
+//!
+//! A parallel operation launched from inside a worker runs sequentially on
+//! that worker (same chunk structure, hence same results). This bounds the
+//! total thread count, makes nested `par_iter` deadlock-free by
+//! construction, and matches where the workspace wants its parallelism: at
+//! the outermost loop (ensemble members, LETKF grid-point blocks).
+//!
+//! # Sizing
+//!
+//! The global thread count comes from `BDA_THREADS` (if set and ≥ 1), else
+//! `std::thread::available_parallelism()`. `ThreadPoolBuilder` /
+//! `ThreadPool::install` provide the rayon-compatible scoped override used
+//! by the scaling bench to measure 1/2/4/8-thread runs in one process.
 
-/// Sequential stand-in for rayon's `ParallelIterator`.
-pub struct ParIter<I: Iterator> {
-    it: I,
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Upper bound on work chunks per parallel region. More chunks than the
+/// widest realistic worker count gives the stealing loop room to balance
+/// uneven per-chunk cost; a bound keeps per-chunk bookkeeping negligible.
+pub const MAX_CHUNKS: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Thread-count resolution
+// ---------------------------------------------------------------------------
+
+static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// `ThreadPool::install` override for the current thread.
+    static INSTALLED: Cell<Option<usize>> = const { Cell::new(None) };
+    /// How many parallel regions enclose the current thread (> 0 on pool
+    /// workers); nested regions run sequentially.
+    static POOL_DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
-impl<I: Iterator> ParIter<I> {
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter {
-            it: self.it.enumerate(),
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("BDA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn global_threads() -> usize {
+    *GLOBAL_THREADS.get_or_init(default_threads)
+}
+
+/// Threads a parallel operation started on this thread would use right now.
+pub fn current_num_threads() -> usize {
+    if POOL_DEPTH.with(|d| d.get()) > 0 {
+        return 1;
+    }
+    INSTALLED.with(|c| c.get()).unwrap_or_else(global_threads)
+}
+
+/// RAII marker that the current thread is executing inside a parallel
+/// region, so nested parallel operations serialize instead of spawning.
+struct DepthGuard;
+
+impl DepthGuard {
+    fn enter() -> Self {
+        POOL_DEPTH.with(|d| d.set(d.get() + 1));
+        DepthGuard
+    }
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        POOL_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Errors from [`ThreadPoolBuilder::build`] / `build_global`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Rayon-compatible builder. `num_threads(0)` (or not calling it) means
+/// "use the environment default" (`BDA_THREADS` / available parallelism).
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    fn resolve(&self) -> usize {
+        if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
         }
     }
 
-    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter { it: self.it.map(f) }
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { n: self.resolve() })
     }
 
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.it.for_each(f)
+    /// Fix the process-global thread count. Errors if the global pool was
+    /// already sized (explicitly or by first use).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = self.resolve();
+        GLOBAL_THREADS.set(n).map_err(|_| ThreadPoolBuildError {
+            msg: "global thread pool already initialized",
+        })
+    }
+}
+
+/// A sized handle: parallel operations inside [`ThreadPool::install`] use
+/// this pool's thread count instead of the global one. Workers themselves
+/// are scoped per region (see crate docs), so the pool is a *dispatch
+/// policy*, deliberately cheap to build.
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.n
     }
 
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.it.collect()
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED.with(|c| c.set(self.0));
+            }
+        }
+        let prev = INSTALLED.with(|c| c.replace(Some(self.n)));
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core executor
+// ---------------------------------------------------------------------------
+
+/// Split `items` into the deterministic chunk set for its length: balanced
+/// contiguous runs, at most [`MAX_CHUNKS`] of them. Returns
+/// `(global_start_index, chunk_items)` pairs in input order.
+fn split_chunks<B>(items: Vec<B>) -> Vec<(usize, Vec<B>)> {
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let n_chunks = len.min(MAX_CHUNKS);
+    let mut tasks = Vec::with_capacity(n_chunks);
+    let mut rest = items;
+    let mut start = 0;
+    for c in 0..n_chunks {
+        let end = (c + 1) * len / n_chunks;
+        let tail = rest.split_off(end - start);
+        tasks.push((start, std::mem::replace(&mut rest, tail)));
+        start = end;
+    }
+    tasks
+}
+
+/// Run `work` over every chunk of `items`, returning per-chunk results in
+/// chunk order. Chunk boundaries depend only on `items.len()`; execution
+/// (1 thread inline vs N scoped workers stealing chunks) never changes the
+/// output. A panic inside `work` on any worker propagates to the caller
+/// once the region is joined.
+fn run_chunks<B, R, W>(items: Vec<B>, work: W) -> Vec<R>
+where
+    B: Send,
+    R: Send,
+    W: Fn(usize, Vec<B>) -> R + Sync,
+{
+    let tasks = split_chunks(items);
+    let n_chunks = tasks.len();
+    if n_chunks == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n_chunks);
+    if threads <= 1 {
+        // Reference path: identical chunk structure, one worker.
+        return tasks.into_iter().map(|(s, chunk)| work(s, chunk)).collect();
     }
 
-    /// Rayon's per-split fold; sequentially there is exactly one split, so
-    /// this yields a one-element iterator holding the full fold.
-    pub fn fold<T, ID, F>(self, mut identity: ID, f: F) -> ParIter<std::iter::Once<T>>
+    // One take-once cell per chunk: a worker claims index `c` through the
+    // atomic counter, then takes `(start, chunk)` out of its cell.
+    type ChunkQueue<B> = Vec<Mutex<Option<(usize, Vec<B>)>>>;
+    let queue: ChunkQueue<B> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let (queue, slots, next, work) = (&queue, &slots, &next, &work);
+    std::thread::scope(|scope| {
+        let worker = move || {
+            let _depth = DepthGuard::enter();
+            loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let (start, chunk) = queue[c]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("chunk claimed twice");
+                let r = work(start, chunk);
+                *slots[c].lock().unwrap() = Some(r);
+            }
+        };
+        for _ in 1..threads {
+            scope.spawn(worker);
+        }
+        // The calling thread is worker zero.
+        worker();
+    });
+    slots
+        .iter()
+        .map(|m| {
+            m.lock()
+                .unwrap()
+                .take()
+                .expect("worker finished without storing its chunk result")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator surface
+// ---------------------------------------------------------------------------
+
+/// A parallel computation over a materialized base: `base[i]` flows through
+/// the composed per-item function `f(base_item, global_index)`. Adapters
+/// (`map`, `enumerate`) compose `f` lazily; terminal operations
+/// (`collect`, `for_each`, `fold`, `reduce`, `sum`, `count`) execute on the
+/// pool via [`run_chunks`].
+pub struct ParIter<B, F> {
+    base: Vec<B>,
+    f: F,
+}
+
+/// A freshly-created parallel iterator (identity per-item function).
+pub type BaseIter<B> = ParIter<B, fn(B, usize) -> B>;
+
+fn ident<B>(b: B, _i: usize) -> B {
+    b
+}
+
+fn from_vec<B: Send>(items: Vec<B>) -> BaseIter<B> {
+    ParIter {
+        base: items,
+        f: ident::<B>,
+    }
+}
+
+impl<B: Send, F> ParIter<B, F> {
+    /// Pair every item with its index in the source.
+    pub fn enumerate<T: Send>(self) -> ParIter<B, impl Fn(B, usize) -> (usize, T) + Sync>
     where
-        ID: FnMut() -> T,
-        F: FnMut(T, I::Item) -> T,
+        F: Fn(B, usize) -> T + Sync,
     {
-        let acc = self.it.fold(identity(), f);
+        let f = self.f;
         ParIter {
-            it: std::iter::once(acc),
+            base: self.base,
+            f: move |b, i| (i, f(b, i)),
         }
     }
 
-    /// Rayon's reduce with identity element.
-    pub fn reduce<ID, OP>(self, mut identity: ID, op: OP) -> I::Item
+    pub fn map<T: Send, R: Send, G>(self, g: G) -> ParIter<B, impl Fn(B, usize) -> R + Sync>
     where
-        ID: FnMut() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
+        F: Fn(B, usize) -> T + Sync,
+        G: Fn(T) -> R + Sync,
     {
-        self.it.fold(identity(), op)
+        let f = self.f;
+        ParIter {
+            base: self.base,
+            f: move |b, i| g(f(b, i)),
+        }
     }
 
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.it.sum()
+    pub fn for_each<T: Send, G>(self, g: G)
+    where
+        F: Fn(B, usize) -> T + Sync,
+        G: Fn(T) + Sync,
+    {
+        let f = self.f;
+        run_chunks(self.base, |start, chunk| {
+            for (k, b) in chunk.into_iter().enumerate() {
+                g(f(b, start + k));
+            }
+        });
     }
 
-    pub fn count(self) -> usize {
-        self.it.count()
+    /// Execute, preserving input order.
+    fn run<T: Send>(self) -> Vec<T>
+    where
+        F: Fn(B, usize) -> T + Sync,
+    {
+        let f = self.f;
+        let parts = run_chunks(self.base, |start, chunk| {
+            chunk
+                .into_iter()
+                .enumerate()
+                .map(|(k, b)| f(b, start + k))
+                .collect::<Vec<T>>()
+        });
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+
+    pub fn collect<T: Send, C: FromIterator<T>>(self) -> C
+    where
+        F: Fn(B, usize) -> T + Sync,
+    {
+        self.run().into_iter().collect()
+    }
+
+    /// Rayon's per-split fold: one accumulator per deterministic chunk; the
+    /// result is a parallel iterator over per-chunk accumulators, in chunk
+    /// order.
+    pub fn fold<T: Send, A: Send, ID, G>(self, identity: ID, g: G) -> BaseIter<A>
+    where
+        F: Fn(B, usize) -> T + Sync,
+        ID: Fn() -> A + Sync,
+        G: Fn(A, T) -> A + Sync,
+    {
+        let f = self.f;
+        let accs = run_chunks(self.base, |start, chunk| {
+            let mut acc = identity();
+            for (k, b) in chunk.into_iter().enumerate() {
+                acc = g(acc, f(b, start + k));
+            }
+            acc
+        });
+        from_vec(accs)
+    }
+
+    /// Rayon's reduce with identity element. Per-chunk partials are
+    /// combined in ascending chunk order (the determinism contract); `op`
+    /// must be associative with `identity()` as neutral element for the
+    /// result to equal a plain left fold.
+    pub fn reduce<T: Send, ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        F: Fn(B, usize) -> T + Sync,
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let f = self.f;
+        let parts = run_chunks(self.base, |start, chunk| {
+            let mut acc = identity();
+            for (k, b) in chunk.into_iter().enumerate() {
+                acc = op(acc, f(b, start + k));
+            }
+            acc
+        });
+        parts.into_iter().fold(identity(), op)
+    }
+
+    pub fn sum<T: Send, S>(self) -> S
+    where
+        F: Fn(B, usize) -> T + Sync,
+        S: Send + std::iter::Sum<T> + std::iter::Sum<S>,
+    {
+        let f = self.f;
+        let parts = run_chunks(self.base, |start, chunk| {
+            chunk
+                .into_iter()
+                .enumerate()
+                .map(|(k, b)| f(b, start + k))
+                .sum::<S>()
+        });
+        parts.into_iter().sum()
+    }
+
+    pub fn count<T: Send>(self) -> usize
+    where
+        F: Fn(B, usize) -> T + Sync,
+    {
+        self.run().len()
     }
 }
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
 
 /// `into_par_iter()` on owned collections and ranges.
 pub trait IntoParallelIterator {
-    type Iter: Iterator;
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+    type Item: Send;
+    fn into_par_iter(self) -> BaseIter<Self::Item>;
 }
 
-impl<T> IntoParallelIterator for std::ops::Range<T>
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
 where
-    std::ops::Range<T>: Iterator,
+    std::ops::Range<T>: Iterator<Item = T>,
 {
-    type Iter = std::ops::Range<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { it: self }
+    type Item = T;
+    fn into_par_iter(self) -> BaseIter<T> {
+        from_vec(self.collect())
     }
 }
 
-impl<T> IntoParallelIterator for Vec<T> {
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter {
-            it: self.into_iter(),
-        }
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> BaseIter<T> {
+        from_vec(self)
     }
 }
 
 /// `par_iter()` on shared slices.
 pub trait IntoParallelRefIterator<'data> {
-    type Iter: Iterator;
-    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    type Item: Send;
+    fn par_iter(&'data self) -> BaseIter<Self::Item>;
 }
 
-impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-    type Iter = std::slice::Iter<'data, T>;
-    fn par_iter(&'data self) -> ParIter<Self::Iter> {
-        ParIter { it: self.iter() }
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> BaseIter<&'data T> {
+        from_vec(self.iter().collect())
     }
 }
 
-impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-    type Iter = std::slice::Iter<'data, T>;
-    fn par_iter(&'data self) -> ParIter<Self::Iter> {
-        ParIter { it: self.iter() }
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> BaseIter<&'data T> {
+        from_vec(self.iter().collect())
     }
 }
 
 /// `par_iter_mut()` on exclusive slices.
 pub trait IntoParallelRefMutIterator<'data> {
-    type Iter: Iterator;
-    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+    type Item: Send;
+    fn par_iter_mut(&'data mut self) -> BaseIter<Self::Item>;
 }
 
-impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
-    type Iter = std::slice::IterMut<'data, T>;
-    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
-        ParIter {
-            it: self.iter_mut(),
-        }
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> BaseIter<&'data mut T> {
+        from_vec(self.iter_mut().collect())
     }
 }
 
-impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
-    type Iter = std::slice::IterMut<'data, T>;
-    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
-        ParIter {
-            it: self.iter_mut(),
-        }
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> BaseIter<&'data mut T> {
+        from_vec(self.iter_mut().collect())
     }
 }
 
 /// `par_chunks_mut()` on exclusive slices.
-pub trait ParallelSliceMut<T> {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> BaseIter<&mut [T]>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter {
-            it: self.chunks_mut(chunk_size),
-        }
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> BaseIter<&mut [T]> {
+        from_vec(self.chunks_mut(chunk_size).collect())
     }
 }
 
@@ -156,6 +528,16 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, ThreadPool, ThreadPoolBuilder};
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    // --- behaviour carried over from the sequential stand-in ---
 
     #[test]
     fn map_collect_matches_serial() {
@@ -187,5 +569,144 @@ mod tests {
     fn range_into_par_iter() {
         let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    // --- pool behaviour ---
+
+    #[test]
+    fn empty_input_is_fine_everywhere() {
+        pool(4).install(|| {
+            let v: Vec<i32> = Vec::new();
+            let out: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+            assert!(out.is_empty());
+            let total: i32 = Vec::<i32>::new()
+                .into_par_iter()
+                .fold(|| 0, |a, b| a + b)
+                .reduce(|| 0, |a, b| a + b);
+            assert_eq!(total, 0);
+            let mut empty: [u8; 0] = [];
+            empty.par_chunks_mut(3).for_each(|_| unreachable!());
+        });
+    }
+
+    #[test]
+    fn single_item_runs_once() {
+        pool(8).install(|| {
+            let hits = AtomicUsize::new(0);
+            let out: Vec<i32> = vec![41]
+                .into_par_iter()
+                .map(|x| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    x + 1
+                })
+                .collect();
+            assert_eq!(out, vec![42]);
+            assert_eq!(hits.load(Ordering::Relaxed), 1);
+        });
+    }
+
+    #[test]
+    fn far_fewer_items_than_threads() {
+        pool(16).install(|| {
+            let v = vec![1u64, 2, 3];
+            let out: Vec<u64> = v.par_iter().map(|x| x * x).collect();
+            assert_eq!(out, vec![1, 4, 9]);
+        });
+    }
+
+    #[test]
+    fn panic_in_worker_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            pool(4).install(|| {
+                (0..64usize).into_par_iter().for_each(|i| {
+                    if i == 17 {
+                        panic!("worker bug");
+                    }
+                });
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn nested_par_iter_does_not_deadlock() {
+        let out: Vec<u64> = pool(4).install(|| {
+            (0..8u64)
+                .into_par_iter()
+                .map(|i| {
+                    // Nested region: must serialize on the worker, not spawn
+                    // (and certainly not deadlock).
+                    let s: u64 = (0..100u64).into_par_iter().map(|j| i * j).sum();
+                    s
+                })
+                .collect()
+        });
+        let expect: Vec<u64> = (0..8u64).map(|i| i * 4950).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn multiple_threads_actually_participate() {
+        // 32 chunks of sleepy work on a 4-thread pool: even on a single
+        // core the sleeps yield the CPU, so several OS threads get chunks.
+        let ids = Mutex::new(HashSet::new());
+        pool(4).install(|| {
+            (0..32usize).into_par_iter().for_each(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "expected work stealing to involve more than one thread"
+        );
+    }
+
+    #[test]
+    fn install_overrides_and_restores() {
+        let outer = current_num_threads();
+        pool(3).install(|| {
+            assert_eq!(current_num_threads(), 3);
+            pool(2).install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    /// The determinism contract on a floating-point reduction: bit-identical
+    /// across thread counts, because chunk boundaries depend only on len.
+    #[test]
+    fn float_fold_reduce_bitwise_stable_across_thread_counts() {
+        let data: Vec<f64> = (0..1013)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 * 1.0e-3 + 0.1)
+            .collect();
+        let run = |threads: usize| -> u64 {
+            pool(threads).install(|| {
+                data.par_iter()
+                    .fold(|| 0.0f64, |a, x| a + x.sin())
+                    .reduce(|| 0.0, |a, b| a + b)
+                    .to_bits()
+            })
+        };
+        let reference = run(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(run(threads), reference, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_slot_addressed_writes() {
+        let run = |threads: usize| -> Vec<f32> {
+            let mut v: Vec<f32> = (0..997).map(|i| i as f32 * 0.5).collect();
+            pool(threads).install(|| {
+                v.par_chunks_mut(13).enumerate().for_each(|(c, chunk)| {
+                    for (k, x) in chunk.iter_mut().enumerate() {
+                        *x = x.sqrt() + (c * 13 + k) as f32;
+                    }
+                });
+            });
+            v
+        };
+        assert_eq!(run(1), run(7));
     }
 }
