@@ -1,0 +1,279 @@
+//! A masking lexer for Rust source.
+//!
+//! The lint rules are token-pattern scans, so their one real enemy is text
+//! that *looks* like code but is not: comments, string literals, raw
+//! strings, char literals. [`project`] returns two same-shape copies of
+//! the source (byte-for-byte equal length, newlines preserved):
+//!
+//! * `code` — comment and literal contents replaced by spaces; rules scan
+//!   this so `".unwrap()"` inside a string never matches;
+//! * `comments` — the *opposite* projection, only comment text kept; the
+//!   allow-marker parser scans this so a string literal mentioning the
+//!   marker syntax (the linter's own source does) is not itself a marker.
+//!
+//! Error messages quote the raw text at the same coordinates.
+
+/// The two projections of one source file. Equal length, equal line
+/// structure, both to each other and to the raw source.
+pub struct Projection {
+    pub code: String,
+    pub comments: String,
+}
+
+/// Is `b` part of an identifier (so a preceding `r`/`b` is not a raw-string
+/// prefix but the tail of a name like `attr`)?
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn blank(c: u8) -> u8 {
+    if c == b'\n' {
+        b'\n'
+    } else {
+        b' '
+    }
+}
+
+/// Split `src` into its code and comment projections.
+pub fn project(src: &str) -> Projection {
+    let b = src.as_bytes();
+    let mut code: Vec<u8> = Vec::with_capacity(b.len());
+    let mut comments: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    // Push one byte as code (comments get a blank).
+    macro_rules! as_code {
+        ($byte:expr) => {{
+            code.push($byte);
+            comments.push(blank($byte));
+        }};
+    }
+    // Push one raw byte as comment text (code gets a blank).
+    macro_rules! as_comment {
+        ($byte:expr) => {{
+            code.push(blank($byte));
+            comments.push($byte);
+        }};
+    }
+    // Push one literal-content byte: blank in both projections.
+    macro_rules! as_literal {
+        ($byte:expr) => {{
+            code.push(blank($byte));
+            comments.push(blank($byte));
+        }};
+    }
+    while i < b.len() {
+        let c = b[i];
+        let prev_ident = !code.is_empty() && is_ident(code[code.len() - 1]);
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            // Line comment (including doc comments).
+            while i < b.len() && b[i] != b'\n' {
+                as_comment!(b[i]);
+                i += 1;
+            }
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            // Block comment; Rust block comments nest.
+            let mut depth = 1usize;
+            as_comment!(b[i]);
+            as_comment!(b[i + 1]);
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    as_comment!(b[i]);
+                    as_comment!(b[i + 1]);
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    as_comment!(b[i]);
+                    as_comment!(b[i + 1]);
+                    i += 2;
+                } else {
+                    as_comment!(b[i]);
+                    i += 1;
+                }
+            }
+        } else if !prev_ident && (c == b'r' || c == b'b') && is_raw_start(b, i) {
+            // Raw (and raw-byte) string: r"..", r#".."#, br##".."##.
+            while b[i] != b'"' {
+                as_literal!(b[i]);
+                i += 1;
+            }
+            let hashes = count_hashes_before(b, i);
+            as_code!(b'"');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'"' && closes_raw(b, i, hashes) {
+                    as_code!(b'"');
+                    i += 1;
+                    for _ in 0..hashes {
+                        as_literal!(b[i]);
+                        i += 1;
+                    }
+                    break;
+                }
+                as_literal!(b[i]);
+                i += 1;
+            }
+        } else if c == b'"' || (!prev_ident && c == b'b' && i + 1 < b.len() && b[i + 1] == b'"') {
+            // Ordinary (or byte) string literal with escapes.
+            if c == b'b' {
+                as_literal!(c);
+                i += 1;
+            }
+            as_code!(b'"');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    // Keep a newline visible if this is a line continuation.
+                    as_literal!(b[i]);
+                    as_literal!(b[i + 1]);
+                    i += 2;
+                } else if b[i] == b'"' {
+                    as_code!(b'"');
+                    i += 1;
+                    break;
+                } else {
+                    as_literal!(b[i]);
+                    i += 1;
+                }
+            }
+        } else if c == b'\'' || (!prev_ident && c == b'b' && i + 1 < b.len() && b[i + 1] == b'\'') {
+            // Char / byte-char literal — or a lifetime, which is left as-is.
+            let q = if c == b'b' { i + 1 } else { i };
+            if let Some(end) = char_literal_end(b, q) {
+                while i <= end {
+                    as_literal!(b[i]);
+                    i += 1;
+                }
+            } else {
+                as_code!(c);
+                i += 1;
+            }
+        } else {
+            as_code!(c);
+            i += 1;
+        }
+    }
+    // Multi-byte identifier bytes pass through `as_code!` unchanged, so the
+    // buffers stay valid UTF-8; lossy conversion is a belt-and-braces net.
+    Projection {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        comments: String::from_utf8_lossy(&comments).into_owned(),
+    }
+}
+
+/// Code projection only (comment and literal contents blanked).
+pub fn mask(src: &str) -> String {
+    project(src).code
+}
+
+/// Does `r`/`br` at `i` begin a raw string (`r"`, `r#`, `br"`, `br#`)?
+fn is_raw_start(b: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    if b[i] == b'b' {
+        if j >= b.len() || b[j] != b'r' {
+            return false;
+        }
+        j += 1;
+    }
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Number of `#`s immediately before the opening quote at `i`.
+fn count_hashes_before(b: &[u8], i: usize) -> usize {
+    let mut n = 0;
+    while n < i && b[i - 1 - n] == b'#' {
+        n += 1;
+    }
+    n
+}
+
+/// Does the `"` at `i` terminate a raw string with `hashes` trailing `#`s?
+fn closes_raw(b: &[u8], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| i + k < b.len() && b[i + k] == b'#')
+}
+
+/// If the `'` at `q` opens a char literal, return the index of its closing
+/// quote; `None` means it is a lifetime marker.
+fn char_literal_end(b: &[u8], q: usize) -> Option<usize> {
+    let n = b.len();
+    if q + 1 >= n {
+        return None;
+    }
+    if b[q + 1] == b'\\' {
+        // Escaped char: scan (bounded) for the closing quote.
+        let mut j = q + 2;
+        while j < n && j < q + 12 {
+            if b[j] == b'\'' {
+                return Some(j);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // 'x' — one ASCII or multi-byte char then a quote. A lifetime like
+    // 'scope never has a quote within the next few bytes.
+    let width = if b[q + 1] < 0x80 {
+        1
+    } else {
+        utf8_width(b[q + 1])
+    };
+    let j = q + 1 + width;
+    if j < n && b[j] == b'\'' {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+fn utf8_width(lead: u8) -> usize {
+    match lead {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Per-line "inside a `#[cfg(test)]` module" flags, computed from the
+/// masked source (for reliable brace counting) and the raw source (for
+/// attribute text, which masking blanks out).
+pub fn test_regions(masked: &str, raw: &str) -> Vec<bool> {
+    let m_lines: Vec<&str> = masked.lines().collect();
+    let r_lines: Vec<&str> = raw.lines().collect();
+    let mut flags = vec![false; m_lines.len()];
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut region_open_depths: Vec<i64> = Vec::new();
+    for (idx, mline) in m_lines.iter().enumerate() {
+        if r_lines.get(idx).is_some_and(|r| r.contains("#[cfg(test)]")) {
+            armed = true;
+        }
+        flags[idx] = !region_open_depths.is_empty() || armed;
+        for ch in mline.chars() {
+            match ch {
+                '{' => {
+                    if armed {
+                        region_open_depths.push(depth);
+                        armed = false;
+                        flags[idx] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_open_depths.last() == Some(&depth) {
+                        region_open_depths.pop();
+                    }
+                }
+                // `#[cfg(test)] mod x;` declares an out-of-line module;
+                // the file itself is exempted by path, not here.
+                ';' => armed = false,
+                _ => {}
+            }
+        }
+    }
+    flags
+}

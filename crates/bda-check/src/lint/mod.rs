@@ -1,0 +1,115 @@
+//! `bda-check lint`: the workspace invariant linter.
+//!
+//! A hand-rolled token scanner (no rustc, no syn — the container is
+//! offline) that enforces the workspace's determinism and robustness
+//! invariants as deny-by-default rules. See [`rules`] for the rule set
+//! and the inline per-site suppression syntax, and `DESIGN.md` §10 for
+//! the rationale behind each rule.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_file, Finding};
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a workspace lint run.
+#[derive(Debug)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable report. Deterministic: findings are sorted by
+    /// (path, line, rule) regardless of scan order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            let _ = writeln!(out, "    {}", f.snippet);
+        }
+        let _ = writeln!(
+            out,
+            "bda-check lint: {} finding(s) in {} file(s) scanned",
+            self.findings.len(),
+            self.files_scanned
+        );
+        out
+    }
+}
+
+/// Directories never descended into. `fixtures` holds intentional
+/// violations for the linter's own tests.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the workspace rooted at `root` (the directory holding the
+/// workspace `Cargo.toml`). Scans the workspace source trees and
+/// `vendor/rayon/`; other vendor stand-ins are outside the rule set by
+/// design (see DESIGN.md §10).
+pub fn run(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for tree in ["src", "crates", "examples", "tests", "benches", "vendor/rayon"] {
+        let dir = root.join(tree);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path)?;
+        findings.extend(rules::check_file(&rel, &src));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(Report {
+        files_scanned: files.len(),
+        findings,
+    })
+}
+
+/// Locate the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,282 @@
+//! The deny-by-default rule set.
+//!
+//! Every rule is a token-pattern scan over [masked](super::lexer::mask)
+//! source, scoped by file path and by `#[cfg(test)]` regions. Suppression
+//! is per-site and auditable: a `bda-check: allow(unwrap)`-style comment
+//! on the offending line, or alone on the line above it. There is no
+//! file-level or crate-level off switch — broad exemptions are encoded
+//! here, in code review's sight, as path scopes.
+
+use super::lexer;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (stable; used in `allow(...)`).
+    pub rule: &'static str,
+    pub message: String,
+    /// The raw source line, trimmed, for the report.
+    pub snippet: String,
+}
+
+pub const RULE_UNWRAP: &str = "unwrap";
+pub const RULE_PARTIAL_CMP: &str = "partial_cmp_unwrap";
+pub const RULE_LOSSY_CAST: &str = "lossy_cast";
+pub const RULE_WALLCLOCK: &str = "wallclock";
+pub const RULE_POOL_FACADE: &str = "pool_facade";
+
+/// All rule ids, for `allow(...)` validation and docs.
+pub const ALL_RULES: [&str; 5] = [
+    RULE_UNWRAP,
+    RULE_PARTIAL_CMP,
+    RULE_LOSSY_CAST,
+    RULE_WALLCLOCK,
+    RULE_POOL_FACADE,
+];
+
+/// Where a file sits in the workspace, as far as rule scoping cares.
+struct FileScope {
+    /// Library code in `crates/*/src` or the root `src/` — the strict zone.
+    workspace_lib: bool,
+    /// Any workspace Rust file (library, tests, benches, examples).
+    workspace_any: bool,
+    /// Test/bench/example/build-script *path* (not `#[cfg(test)]` regions).
+    test_path: bool,
+    /// Numeric kernel crates where lossy `as` casts are denied.
+    kernel: bool,
+    /// `vendor/rayon/src`, where the pool-facade rule applies.
+    rayon_src: bool,
+    /// The facade module itself — the one allowed home of `std::sync`.
+    facade: bool,
+}
+
+fn classify(rel: &str) -> FileScope {
+    let test_path = rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/")
+        || rel.ends_with("build.rs");
+    let workspace_any = rel.starts_with("crates/")
+        || rel.starts_with("src/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/");
+    FileScope {
+        workspace_lib: workspace_any && !test_path,
+        workspace_any,
+        test_path,
+        kernel: rel.starts_with("crates/bda-num/src/") || rel.starts_with("crates/bda-letkf/src/"),
+        rayon_src: rel.starts_with("vendor/rayon/src/"),
+        facade: rel == "vendor/rayon/src/facade.rs",
+    }
+}
+
+/// Parse allow markers out of one line of *comment* text (the comment
+/// projection — a string literal spelling out the marker syntax is not a
+/// marker). Unknown rule names surface as findings themselves: a typo
+/// must not silently disable a rule.
+fn parse_allows(raw: &str) -> (Vec<&str>, Vec<String>) {
+    let mut allowed = Vec::new();
+    let mut unknown = Vec::new();
+    let mut rest = raw;
+    while let Some(pos) = rest.find("bda-check: allow(") {
+        rest = &rest[pos + "bda-check: allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        for name in rest[..close].split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            match ALL_RULES.iter().find(|r| **r == name) {
+                Some(r) => allowed.push(*r),
+                None => unknown.push(name.to_string()),
+            }
+        }
+        rest = &rest[close..];
+    }
+    (allowed, unknown)
+}
+
+/// Scan one masked line for `as <numeric-type>` casts, returning the types.
+fn lossy_casts(masked: &str) -> Vec<&'static str> {
+    const NUMERIC: [&str; 13] = [
+        "f32", "f64", "usize", "isize", "u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64",
+        "u128",
+    ];
+    let b = masked.as_bytes();
+    let mut hits = Vec::new();
+    let mut i = 0;
+    while i + 2 <= b.len() {
+        let Some(pos) = masked[i..].find("as ") else {
+            break;
+        };
+        let at = i + pos;
+        i = at + 3;
+        // Word boundary on the left: `as` must not be the tail of an
+        // identifier (`alias`, `has `).
+        if at > 0 && (b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_') {
+            continue;
+        }
+        let tail = masked[at + 3..].trim_start();
+        let word_len = tail
+            .bytes()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == b'_')
+            .count();
+        let word = &tail[..word_len];
+        if let Some(t) = NUMERIC.iter().find(|t| **t == word) {
+            hits.push(*t);
+        }
+    }
+    hits
+}
+
+/// Lint one file's source. `rel` is the workspace-relative path with `/`
+/// separators; it drives every scoping decision, so callers (and fixture
+/// tests) can lint arbitrary text under any nominal location.
+pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
+    let scope = classify(rel);
+    let proj = lexer::project(src);
+    let masked = proj.code.as_str();
+    let in_test = lexer::test_regions(masked, src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    let comment_lines: Vec<&str> = proj.comments.lines().collect();
+
+    // Allows attach to their own line and the line below, so a bare
+    // comment line can annotate the code under it.
+    let mut allows: Vec<Vec<&str>> = vec![Vec::new(); raw_lines.len()];
+    let mut findings = Vec::new();
+    for (idx, comment) in comment_lines.iter().enumerate() {
+        let (allowed, unknown) = parse_allows(comment);
+        for name in unknown {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: RULE_UNWRAP, // reported under a real rule id so it denies
+                message: format!(
+                    "unknown rule `{name}` in bda-check allow marker (known: {})",
+                    ALL_RULES.join(", ")
+                ),
+                snippet: raw_lines.get(idx).map_or("", |r| r.trim()).to_string(),
+            });
+        }
+        if !allowed.is_empty() {
+            allows[idx].extend_from_slice(&allowed);
+            if idx + 1 < raw_lines.len() {
+                let tail = allowed.clone();
+                allows[idx + 1].extend(tail);
+            }
+        }
+    }
+
+    let push = |findings: &mut Vec<Finding>, idx: usize, rule: &'static str, msg: String| {
+        if allows[idx].contains(&rule) {
+            return;
+        }
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: idx + 1,
+            rule,
+            message: msg,
+            snippet: raw_lines[idx].trim().to_string(),
+        });
+    };
+
+    for (idx, m) in masked_lines.iter().enumerate() {
+        let tested = in_test.get(idx).copied().unwrap_or(false);
+
+        // unwrap: no `.unwrap()` / `.expect(` in non-test library code.
+        if scope.workspace_lib && !tested && (m.contains(".unwrap()") || m.contains(".expect(")) {
+            push(
+                &mut findings,
+                idx,
+                RULE_UNWRAP,
+                "`.unwrap()`/`.expect()` in library code: return a typed error or restructure so \
+                 the failure is impossible"
+                    .to_string(),
+            );
+        }
+
+        // partial_cmp_unwrap: applies to every workspace file, tests
+        // included — `total_cmp` is strictly better wherever floats sort.
+        if scope.workspace_any && m.contains("partial_cmp") {
+            let next = masked_lines.get(idx + 1).copied().unwrap_or("");
+            let unwrapped = |s: &str| s.contains(".unwrap()") || s.contains(".expect(");
+            if unwrapped(m) || unwrapped(next) {
+                push(
+                    &mut findings,
+                    idx,
+                    RULE_PARTIAL_CMP,
+                    "`partial_cmp(..).unwrap()` panics on NaN: use `f64::total_cmp`/`f32::total_cmp`"
+                        .to_string(),
+                );
+            }
+        }
+
+        // lossy_cast: numeric kernels must use checked cast helpers.
+        if scope.kernel && !scope.test_path && !tested {
+            for t in lossy_casts(m) {
+                push(
+                    &mut findings,
+                    idx,
+                    RULE_LOSSY_CAST,
+                    format!(
+                        "`as {t}` in kernel code can silently truncate/round: use \
+                         `bda_num::cast` helpers or `From`/`TryFrom`"
+                    ),
+                );
+            }
+        }
+
+        // wallclock: deterministic cycle paths must not read real time or
+        // OS randomness. Supervisor wall-time telemetry opts in per site.
+        if scope.workspace_lib && !tested {
+            for pat in ["Instant::now", "SystemTime::now", "thread_rng"] {
+                if m.contains(pat) {
+                    push(
+                        &mut findings,
+                        idx,
+                        RULE_WALLCLOCK,
+                        format!(
+                            "`{pat}` in library code breaks replay determinism: thread a clock/seed \
+                             through, or annotate telemetry sites with an allow marker"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // pool_facade: inside vendor/rayon, sync primitives live only in
+        // facade.rs — that is what guarantees the loom suite exercises the
+        // exact production protocol.
+        if scope.rayon_src && !scope.facade && !tested {
+            for pat in [
+                "std::sync::atomic",
+                "core::sync::atomic",
+                "std::sync::Mutex",
+                "std::thread::scope",
+                "loom::sync",
+                "loom::thread",
+            ] {
+                if m.contains(pat) {
+                    push(
+                        &mut findings,
+                        idx,
+                        RULE_POOL_FACADE,
+                        format!(
+                            "`{pat}` bypasses the checked sync facade: import it from \
+                             `crate::facade` so the loom model sees this operation"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,42 @@
+// Fixture for lexer masking: every pattern below lives inside a string,
+// comment, raw string, or char literal and must produce ZERO findings
+// when linted under a nominal library path.
+
+pub fn strings() -> (&'static str, String) {
+    let s = "calling .unwrap() here would be bad";
+    let t = format!("Instant::now {} partial_cmp", "x as f64");
+    (s, t)
+}
+
+pub fn raw_strings() -> &'static str {
+    r#"std::sync::Mutex and .expect("...") inside a raw string"#
+}
+
+pub fn raw_hash_strings() -> &'static str {
+    r##"nested "r#" raw string with .unwrap() and SystemTime::now"##
+}
+
+// A line comment mentioning .unwrap() and Instant::now is not code.
+/* A block comment with .expect( and x as usize is not code either.
+   /* nested block comments stay comments: thread_rng */
+   still a comment: partial_cmp(b).unwrap() */
+
+pub fn chars_and_lifetimes<'a>(x: &'a u8) -> (char, &'a u8) {
+    let c = '"'; // a quote char literal must not open a string
+    let d = '\''; // escaped quote char
+    let _ = d;
+    (c, x)
+}
+
+pub fn byte_strings() -> &'static [u8] {
+    b".unwrap() in a byte string"
+}
+
+pub fn escaped() -> String {
+    "a string with an escaped quote \" then .expect( text".to_string()
+}
+
+pub fn multiline() -> &'static str {
+    "a string that continues \
+     across a line break with .unwrap() inside"
+}

@@ -1,0 +1,30 @@
+// Fixture for the `lossy_cast` rule (kernel scope: linted under a
+// nominal crates/bda-num/src/ path).
+
+pub fn hit(x: f64) -> usize {
+    x as usize // line 5: positive hit
+}
+
+pub fn hit_float(n: u64) -> f64 {
+    n as f64 // line 9: positive hit
+}
+
+pub fn allowed(x: f64) -> usize {
+    x as usize // bda-check: allow(lossy_cast) — fixture: suppressed
+}
+
+pub fn not_a_cast(alias: u32, has_bias: u32) -> u32 {
+    // `alias`/`has_bias` must not trip the left word boundary check,
+    // and `as` followed by a non-numeric word is not a lossy cast.
+    let trait_cast = &alias as &dyn core::fmt::Debug;
+    let _ = (trait_cast, has_bias);
+    alias
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_region() {
+        let _ = 3.7_f64 as usize; // exempt: inside #[cfg(test)]
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture for the `partial_cmp_unwrap` rule.
+
+pub fn hit_same_line(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 4: positive hit
+}
+
+pub fn hit_next_line(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b) // line 8: positive hit (unwrap on next line)
+        .unwrap());
+}
+
+pub fn allowed(v: &mut [f64]) {
+    // bda-check: allow(partial_cmp_unwrap) — fixture: suppressed
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn clean(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,21 @@
+// Fixture for the `pool_facade` rule (linted under a nominal
+// vendor/rayon/src/ path that is not facade.rs).
+
+use std::sync::atomic::AtomicUsize; // line 4: positive hit
+
+pub fn hit_mutex() {
+    let _ = std::sync::Mutex::new(0u32); // line 7: positive hit
+}
+
+pub fn hit_scope() {
+    std::thread::scope(|_| {}); // line 11: positive hit
+}
+
+pub fn allowed() {
+    // bda-check: allow(pool_facade) — fixture: suppressed
+    let _ = std::sync::Mutex::new(0u32);
+}
+
+pub fn clean(n: &AtomicUsize) -> usize {
+    n.load(core::sync::atomic::Ordering::Relaxed) // line 20: positive hit (core::sync::atomic)
+}

@@ -1,0 +1,7 @@
+// Fixture: a typo'd rule name inside an allow marker must itself be a
+// finding, and must NOT suppress the real finding under it.
+
+pub fn typo(v: Option<u32>) -> u32 {
+    // bda-check: allow(unwraps) — line 5: unknown rule name
+    v.unwrap()
+}

@@ -1,0 +1,28 @@
+// Fixture for the `unwrap` rule. Never compiled; linted by tests/lint_rules.rs
+// under a nominal library path.
+
+pub fn hit(v: Option<u32>) -> u32 {
+    v.unwrap() // line 5: positive hit
+}
+
+pub fn hit_expect(v: Option<u32>) -> u32 {
+    v.expect("missing") // line 9: positive hit
+}
+
+pub fn allowed_same_line(v: Option<u32>) -> u32 {
+    v.unwrap() // bda-check: allow(unwrap) — fixture: suppressed on own line
+}
+
+pub fn allowed_line_above(v: Option<u32>) -> u32 {
+    // bda-check: allow(unwrap) — fixture: suppressed from the line above
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_region() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1); // exempt: inside #[cfg(test)]
+    }
+}

@@ -1,0 +1,215 @@
+//! Loom interleaving suite for the vendored rayon pool protocol.
+//!
+//! Requires `--features loom-model`, which rebuilds `vendor/rayon` with its
+//! sync facade backed by the vendored loom model checker — so the code
+//! under test here is the **exact** claim/steal/combine protocol that runs
+//! in production, not a transliteration.
+//!
+//! Four protocol properties, each at 2 and 3 model threads:
+//!
+//! 1. every chunk is claimed and executed exactly once;
+//! 2. results combine in ascending chunk order whatever the interleaving;
+//! 3. nested regions serialize on the calling worker and never deadlock;
+//! 4. a panic in any worker propagates to the region's caller.
+//!
+//! Two-thread configurations are small enough to *exhaust* within the
+//! seeded budget, and the tests assert that; three-thread configurations
+//! are budget-bounded samples. A final self-test breaks the claim
+//! protocol on purpose (load;yield;store instead of `fetch_add`) and
+//! asserts the checker catches the double-claim — evidence the suite has
+//! teeth.
+//!
+//! Instrumentation inside `work` uses `std::sync` deliberately: model
+//! threads are real serialized OS threads, so std atomics behave normally
+//! without adding decision points to the explored schedule.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rayon::protocol::run_chunks_with;
+
+/// Builder with an explicit per-test iteration budget (still overridable
+/// through `BDA_LOOM_MAX_ITER`/`BDA_LOOM_SEED` for CI tuning).
+fn builder(max_iterations: usize) -> loom::Builder {
+    let mut b = loom::Builder::default();
+    b.max_iterations = b.max_iterations.min(max_iterations);
+    b
+}
+
+/// Properties 1 + 2 in one model: every chunk runs exactly once and the
+/// combined output is in ascending chunk order.
+fn check_exactly_once_and_order(threads: usize, items: usize, max_iter: usize) -> loom::Stats {
+    builder(max_iter).check(move || {
+        let runs: Vec<AtomicUsize> = (0..items).map(|_| AtomicUsize::new(0)).collect();
+        let input: Vec<usize> = (0..items).collect();
+        let out = run_chunks_with(threads, input, |start, chunk| {
+            // items <= MAX_CHUNKS, so chunks are single items and
+            // `start` is the chunk index.
+            assert_eq!(chunk.len(), 1, "one item per chunk in this config");
+            assert_eq!(chunk[0], start, "chunk carries its own input");
+            runs[start].fetch_add(1, Ordering::Relaxed);
+            start * 10
+        });
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.load(Ordering::Relaxed), 1, "chunk {i} must run exactly once");
+        }
+        let expect: Vec<usize> = (0..items).map(|i| i * 10).collect();
+        assert_eq!(out, expect, "combine order must be ascending chunk order");
+    })
+}
+
+#[test]
+fn chunks_claimed_exactly_once_two_threads_exhaustive() {
+    let stats = check_exactly_once_and_order(2, 2, 100_000);
+    assert!(
+        stats.exhausted,
+        "2 threads / 2 chunks must be fully enumerable ({} schedules explored)",
+        stats.iterations
+    );
+}
+
+#[test]
+fn chunks_claimed_exactly_once_two_threads_three_chunks() {
+    let stats = check_exactly_once_and_order(2, 3, 20_000);
+    assert!(stats.iterations > 10, "expected a non-trivial schedule space");
+}
+
+#[test]
+fn chunks_claimed_exactly_once_three_threads() {
+    let stats = check_exactly_once_and_order(3, 3, 8_192);
+    assert!(stats.iterations > 10, "expected a non-trivial schedule space");
+}
+
+/// Property 2 under uneven per-chunk cost: the *slow* chunk's result must
+/// still land first. Work cost is simulated with extra model yields so the
+/// scheduler can interleave a slow chunk 0 against fast chunks.
+#[test]
+fn combine_order_survives_slow_first_chunk() {
+    let stats = builder(20_000).check(|| {
+        let out = run_chunks_with(2, vec![0usize, 1, 2], |start, chunk| {
+            if start == 0 {
+                // Extra decision points: everything else finishes first in
+                // many explored schedules.
+                loom::thread::yield_now();
+                loom::thread::yield_now();
+            }
+            chunk[0] * 7
+        });
+        assert_eq!(out, vec![0, 7, 14]);
+    });
+    assert!(stats.iterations > 10);
+}
+
+/// Property 3: a nested region inside a worker serializes (the depth guard
+/// clamps it to one thread), so it cannot deadlock and its output matches
+/// the sequential reference.
+#[test]
+fn nested_region_serializes_two_threads_exhaustive() {
+    let stats = builder(100_000).check(|| {
+        let out = run_chunks_with(2, vec![10usize, 20], |_, chunk| {
+            let inner = run_chunks_with(2, vec![1usize, 2], |_, c| c[0] * chunk[0]);
+            inner.into_iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![30, 60]);
+    });
+    assert!(
+        stats.exhausted,
+        "nested 2-thread config must be fully enumerable ({} schedules)",
+        stats.iterations
+    );
+}
+
+#[test]
+fn nested_region_serializes_three_threads() {
+    let stats = builder(8_192).check(|| {
+        let out = run_chunks_with(3, vec![1usize, 2, 3], |_, chunk| {
+            run_chunks_with(3, vec![chunk[0]; 2], |_, c| c[0]).len()
+        });
+        assert_eq!(out, vec![2, 2, 2]);
+    });
+    assert!(stats.iterations > 10);
+}
+
+/// Property 4: whichever worker hits the panicking chunk — the caller
+/// acting as worker zero or a spawned thread — the panic reaches the
+/// region's caller in every interleaving.
+fn check_panic_propagates(threads: usize, max_iter: usize) -> loom::Stats {
+    builder(max_iter).check(move || {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_chunks_with(threads, vec![0usize, 1], |start, _| {
+                if start == 1 {
+                    panic!("injected chunk failure");
+                }
+                start
+            })
+        }));
+        let err = result.expect_err("worker panic must reach the caller");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_else(|| err.downcast_ref::<String>().map_or("", String::as_str));
+        assert!(
+            msg.contains("injected chunk failure"),
+            "panic payload must be the worker's own, got: {msg:?}"
+        );
+    })
+}
+
+#[test]
+fn worker_panic_propagates_two_threads_exhaustive() {
+    let stats = check_panic_propagates(2, 100_000);
+    assert!(
+        stats.exhausted,
+        "2-thread panic config must be fully enumerable ({} schedules)",
+        stats.iterations
+    );
+}
+
+#[test]
+fn worker_panic_propagates_three_threads() {
+    let stats = check_panic_propagates(3, 8_192);
+    assert!(stats.iterations > 0);
+}
+
+/// Self-test: replace the protocol's atomic `fetch_add` claim with the
+/// classic broken load-then-store sequence and assert the model checker
+/// finds the interleaving where two workers claim the same chunk. If this
+/// test ever passes silently, the suite has lost its teeth.
+#[test]
+fn checker_catches_broken_claim_protocol() {
+    use loom::sync::atomic::AtomicUsize as ModelAtomicUsize;
+    use loom::sync::Mutex as ModelMutex;
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        builder(100_000).check(|| {
+            let next = ModelAtomicUsize::new(0);
+            let cells: Vec<ModelMutex<Option<usize>>> =
+                (0..2).map(|c| ModelMutex::new(Some(c))).collect();
+            loom::thread::scope(|s| {
+                let next = &next;
+                let cells = &cells;
+                let claim = move || {
+                    loop {
+                        // BROKEN: non-atomic read-modify-write.
+                        let c = next.load(loom::sync::atomic::Ordering::SeqCst);
+                        if c >= cells.len() {
+                            break;
+                        }
+                        next.store(c + 1, loom::sync::atomic::Ordering::SeqCst);
+                        cells[c]
+                            .lock()
+                            .unwrap()
+                            .take()
+                            .expect("chunk claimed twice");
+                    }
+                };
+                s.spawn(claim);
+                claim();
+            });
+        });
+    }));
+    assert!(
+        result.is_err(),
+        "the model checker failed to find the double-claim in a racy claim loop"
+    );
+}

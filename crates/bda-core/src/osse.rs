@@ -360,7 +360,8 @@ impl<T: Real> Osse<T> {
     pub fn spinup_truth(&mut self, seconds: f64) {
         self.nature
             .integrate(seconds)
-            .expect("nature run blew up during spin-up");
+            // Truth divergence invalidates the whole OSSE; fatal by design.
+            .expect("nature run blew up during spin-up"); // bda-check: allow(unwrap)
     }
 
     /// Spin up the whole system: truth and ensemble advance together, each
@@ -372,7 +373,8 @@ impl<T: Real> Osse<T> {
     pub fn spinup_system(&mut self, seconds: f64) {
         self.nature
             .integrate(seconds)
-            .expect("nature run blew up during spin-up");
+            // Truth divergence invalidates the whole OSSE; fatal by design.
+            .expect("nature run blew up during spin-up"); // bda-check: allow(unwrap)
         let triggers = self.cfg.nature_triggers.clone();
         let seed = self.cfg.seed ^ 0x51F0;
         let grid = self.cfg.model.grid.clone();
@@ -381,7 +383,9 @@ impl<T: Real> Osse<T> {
                 engine.boundary = Boundary::BaseState;
                 engine.triggers = jitter_triggers(&triggers, &grid, seed, idx as u64);
             })
-            .expect("ensemble member blew up during spin-up");
+            // Spin-up happens before the fault-tolerant cycle loop exists;
+            // a member dying here means the configuration itself is broken.
+            .expect("ensemble member blew up during spin-up"); // bda-check: allow(unwrap)
         self.time += seconds;
     }
 
@@ -499,7 +503,8 @@ impl<T: Real> Osse<T> {
         // Advance truth (part of "the real world" — if it blows up the whole
         // OSSE is meaningless, so this stays fatal) and the ensemble
         // (part <1-2>: 1000-member 30-s forecasts, per-member outcomes).
-        self.nature.integrate(dt).expect("nature run blew up");
+        // See the comment above: truth failure is fatal by design.
+        self.nature.integrate(dt).expect("nature run blew up"); // bda-check: allow(unwrap)
         let forecast_results =
             self.ensemble
                 .forecast_members(&self.cfg.model, &self.base, dt, |_| Boundary::BaseState);
@@ -753,6 +758,7 @@ impl<T: Real> Osse<T> {
                 if alive.len() < fc_ens.size() {
                     fc_ens = fc_ens.subset(&alive);
                 }
+                // bda-check: allow(unwrap) — truth failure is fatal by design.
                 truth_engine.integrate(step).expect("truth clone blew up");
             }
             let fc_mean = fc_ens.mean();

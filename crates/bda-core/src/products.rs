@@ -73,7 +73,7 @@ pub fn volume_view<T: Real>(
                         any = true;
                         let z_km = grid.vertical.z_center[k] / 1000.0;
                         // Digit = echo-top height in km (capped at 9).
-                        std::char::from_digit((z_km as u32).min(9), 10).unwrap()
+                        std::char::from_digit((z_km as u32).min(9), 10).unwrap_or('9')
                     }
                     None => {
                         let vis = bda_pawr::geometry::visibility(

@@ -73,7 +73,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
             if spec.spinup_s > 0.0 {
                 osse.spinup_system(spec.spinup_s);
             }
-            let t0 = Instant::now();
+            let t0 = Instant::now(); // bda-check: allow(wallclock) — wall-time telemetry column
             let outcomes = osse.run_cycles(spec.cycles);
             let wall = t0.elapsed().as_secs_f64();
             let mean = |f: &dyn Fn(&crate::osse::CycleOutcome) -> f64| -> f64 {

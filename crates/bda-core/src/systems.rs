@@ -234,11 +234,7 @@ mod tests {
     fn icon_d2_is_the_biggest_operational_da() {
         let max = TABLE1
             .iter()
-            .max_by(|a, b| {
-                a.problem_size_rate()
-                    .partial_cmp(&b.problem_size_rate())
-                    .unwrap()
-            })
+            .max_by(|a, b| a.problem_size_rate().total_cmp(&b.problem_size_rate()))
             .unwrap();
         // HRRR and ICON-D2 are the two ensemble-DA systems; one of them must
         // be the largest.

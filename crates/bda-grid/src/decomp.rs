@@ -114,12 +114,10 @@ impl TileDecomp {
         self.tiles.len()
     }
 
-    /// Which tile owns cell (i, j)?
-    pub fn owner(&self, i: usize, j: usize) -> usize {
-        self.tiles
-            .iter()
-            .position(|t| t.contains(i, j))
-            .expect("cell outside domain")
+    /// Which tile owns cell (i, j)? `None` if the cell lies outside the
+    /// decomposed domain.
+    pub fn owner(&self, i: usize, j: usize) -> Option<usize> {
+        self.tiles.iter().position(|t| t.contains(i, j))
     }
 
     /// Run a closure over every tile in parallel, collecting the results in
@@ -167,8 +165,8 @@ mod tests {
     #[test]
     fn owner_is_consistent_with_contains() {
         let d = TileDecomp::new(8, 8, 2, 2);
-        assert!(d.tiles()[d.owner(0, 0)].contains(0, 0));
-        assert!(d.tiles()[d.owner(7, 7)].contains(7, 7));
+        assert!(d.tiles()[d.owner(0, 0).unwrap()].contains(0, 0));
+        assert!(d.tiles()[d.owner(7, 7).unwrap()].contains(7, 7));
     }
 
     #[test]

@@ -36,13 +36,16 @@ impl VerticalCoord {
         let mut z_face = Vec::with_capacity(nz + 1);
         z_face.push(0.0);
         let mut dz = dz0;
+        let mut prev = 0.0;
         for _ in 0..nz {
-            let prev = *z_face.last().unwrap();
-            z_face.push(prev + dz);
+            prev += dz;
+            z_face.push(prev);
             dz *= ratio;
         }
         // Snap the top face to exactly z_top against rounding drift.
-        *z_face.last_mut().unwrap() = z_top;
+        if let Some(top) = z_face.last_mut() {
+            *top = z_top;
+        }
         let z_center = (0..nz).map(|k| 0.5 * (z_face[k] + z_face[k + 1])).collect();
         Self { z_center, z_face }
     }
@@ -57,7 +60,7 @@ impl VerticalCoord {
     }
 
     pub fn z_top(&self) -> f64 {
-        *self.z_face.last().unwrap()
+        self.z_face.last().copied().unwrap_or(0.0)
     }
 
     /// Index of the level whose center is closest to height `z` (m).

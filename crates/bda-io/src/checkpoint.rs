@@ -241,7 +241,7 @@ pub fn decode_snapshot<T: Real>(data: &[u8]) -> Result<CampaignSnapshot<T>, Chec
         return Err(CheckpointError::TooShort);
     }
     let (payload, tail) = data.split_at(data.len() - 4);
-    let expect = u32::from_be_bytes(tail.try_into().unwrap());
+    let expect = u32::from_be_bytes(tail.try_into().map_err(|_| CheckpointError::TooShort)?);
     if crc32(payload) != expect {
         return Err(CheckpointError::ChecksumMismatch);
     }

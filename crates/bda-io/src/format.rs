@@ -111,7 +111,7 @@ pub fn decode_states<T: Real>(data: &[u8]) -> Result<Vec<Vec<T>>, FormatError> {
         return Err(FormatError::TooShort);
     }
     let (payload, tail) = data.split_at(data.len() - 8);
-    let expect = u64::from_be_bytes(tail.try_into().unwrap());
+    let expect = u64::from_be_bytes(tail.try_into().map_err(|_| FormatError::TooShort)?);
     if fnv1a(payload) != expect {
         return Err(FormatError::ChecksumMismatch);
     }

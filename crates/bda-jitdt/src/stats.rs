@@ -60,7 +60,7 @@ impl TransferStats {
             return 0.0;
         }
         let mut sorted = self.durations.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let pos = q / 100.0 * (sorted.len() - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;

@@ -13,6 +13,7 @@
 
 use crate::obs::{ObsEnsemble, ObsKind};
 use bda_num::Real;
+use bda_num::cast;
 use serde::{Deserialize, Serialize};
 
 /// Innovation statistics for one observation kind.
@@ -69,7 +70,7 @@ pub fn innovation_statistics<T: Real>(ens: &ObsEnsemble<T>) -> (InnovationStats,
             .iter()
             .map(|m| (m[i].f64() - mean).powi(2))
             .sum::<f64>()
-            / (k - 1) as f64;
+            / cast::f64_of(k - 1);
         let r = ens.obs[i].error_sd.f64().powi(2);
         stats[idx].count += 1;
         sums[idx].0 += d;
@@ -80,7 +81,7 @@ pub fn innovation_statistics<T: Real>(ens: &ObsEnsemble<T>) -> (InnovationStats,
     for idx in 0..2 {
         let n = stats[idx].count;
         if n > 0 {
-            let nf = n as f64;
+            let nf = cast::f64_of(n);
             stats[idx].mean = sums[idx].0 / nf;
             stats[idx].variance = (sums[idx].1 / nf - stats[idx].mean.powi(2)).max(0.0);
             stats[idx].hpht = sums[idx].2 / nf;
@@ -120,9 +121,9 @@ impl AdaptiveInflation {
         if total == 0 {
             return self.factor;
         }
-        let est = (refl.inflation_estimate(self.max_factor) * refl.count as f64
-            + dopp.inflation_estimate(self.max_factor) * dopp.count as f64)
-            / total as f64;
+        let est = (refl.inflation_estimate(self.max_factor) * cast::f64_of(refl.count)
+            + dopp.inflation_estimate(self.max_factor) * cast::f64_of(dopp.count))
+            / cast::f64_of(total);
         self.factor = ((1.0 - self.smoothing) * self.factor + self.smoothing * est)
             .clamp(1.0, self.max_factor);
         self.factor

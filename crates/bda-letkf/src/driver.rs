@@ -6,6 +6,7 @@ use crate::localization::{localization_weight, LocalizationError, ObsIndex};
 use crate::obs::ObsEnsemble;
 use crate::weights::{apply_transform, compute_transform, LocalObs};
 use bda_num::{BatchedEigen, MatrixS, Real};
+use bda_num::cast;
 use rayon::prelude::*;
 
 /// Why an analysis step could not run. All variants are recoverable by the
@@ -76,7 +77,7 @@ impl AnalysisStats {
         if self.points_analyzed == 0 {
             0.0
         } else {
-            self.total_local_obs as f64 / self.points_analyzed as f64
+            cast::f64_of_u64(self.total_local_obs) / cast::f64_of(self.points_analyzed)
         }
     }
 }
@@ -174,7 +175,7 @@ pub fn analyze<T: Real>(
                     }
                     let w = localization_weight(rh, ch, rv, cv);
                     if w > 1e-8 {
-                        ws.candidates.push((w, idx as u32));
+                        ws.candidates.push((w, cast::u32_of_index(idx)));
                     }
                 });
                 if ws.candidates.is_empty() {
@@ -190,7 +191,7 @@ pub fn analyze<T: Real>(
 
                 ws.local.clear();
                 for &(w, idx) in &ws.candidates {
-                    let i_obs = idx as usize;
+                    let i_obs = cast::index_of_u32(idx);
                     let err = obs.obs[i_obs].error_sd;
                     let rinv = T::of(w) / (err * err);
                     ws.local
@@ -203,7 +204,7 @@ pub fn analyze<T: Real>(
                         apply_transform(vals, &ws.trans, &mut ws.pert);
                     }
                     stats.points_analyzed += 1;
-                    stats.total_local_obs += ws.candidates.len() as u64;
+                    stats.total_local_obs += cast::u64_of(ws.candidates.len());
                     stats.max_local_obs = stats.max_local_obs.max(ws.candidates.len());
                 }
                 (stats, ws)

@@ -9,6 +9,7 @@
 //! one mutable chunk.
 
 use bda_num::Real;
+use bda_num::cast;
 use serde::{Deserialize, Serialize};
 
 /// Geometry of the flattened analysis state.
@@ -46,7 +47,7 @@ impl StateLayout {
     /// Physical cell-center position of (i, j).
     #[inline]
     pub fn xy(&self, i: usize, j: usize) -> (f64, f64) {
-        ((i as f64 + 0.5) * self.dx, (j as f64 + 0.5) * self.dx)
+        ((cast::f64_of(i) + 0.5) * self.dx, (cast::f64_of(j) + 0.5) * self.dx)
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::obs::Observation;
 use bda_num::Real;
+use bda_num::cast;
 
 /// Gaspari–Cohn 5th-order piecewise-rational correlation function with
 /// support scale `c`: 1 at r = 0, exactly 0 for r >= 2c. This is the taper
@@ -92,13 +93,13 @@ impl ObsIndex {
             ymin = 0.0;
             ymax = 0.0;
         }
-        let nx = (((xmax - xmin) / cutoff).floor() as usize + 1).max(1);
-        let ny = (((ymax - ymin) / cutoff).floor() as usize + 1).max(1);
+        let nx = (cast::floor_index((xmax - xmin) / cutoff) + 1).max(1);
+        let ny = (cast::floor_index((ymax - ymin) / cutoff) + 1).max(1);
         let mut buckets = vec![Vec::new(); nx * ny];
         for (idx, o) in obs.iter().enumerate() {
-            let bi = (((o.x - xmin) / cutoff) as usize).min(nx - 1);
-            let bj = (((o.y - ymin) / cutoff) as usize).min(ny - 1);
-            buckets[bi * ny + bj].push(idx as u32);
+            let bi = cast::trunc_index((o.x - xmin) / cutoff).min(nx - 1);
+            let bj = cast::trunc_index((o.y - ymin) / cutoff).min(ny - 1);
+            buckets[bi * ny + bj].push(cast::u32_of_index(idx));
         }
         Ok(Self {
             cutoff,
@@ -128,18 +129,18 @@ impl ObsIndex {
         let cutoff2 = self.cutoff * self.cutoff;
         for di in -1..=1i64 {
             for dj in -1..=1i64 {
-                let ii = bi as i64 + di;
-                let jj = bj as i64 + dj;
-                if ii < 0 || jj < 0 || ii >= self.nx as i64 || jj >= self.ny as i64 {
+                let ii = cast::trunc_i64(bi) + di;
+                let jj = cast::trunc_i64(bj) + dj;
+                if ii < 0 || jj < 0 || ii >= cast::i64_of(self.nx) || jj >= cast::i64_of(self.ny) {
                     continue;
                 }
-                for &idx in &self.buckets[(ii as usize) * self.ny + jj as usize] {
-                    let o = &obs[idx as usize];
+                for &idx in &self.buckets[cast::index_of_i64(ii) * self.ny + cast::index_of_i64(jj)] {
+                    let o = &obs[cast::index_of_u32(idx)];
                     let dx = o.x - x;
                     let dy = o.y - y;
                     let d2 = dx * dx + dy * dy;
                     if d2 <= cutoff2 {
-                        f(idx as usize, d2.sqrt());
+                        f(cast::index_of_u32(idx), d2.sqrt());
                     }
                 }
             }

@@ -2,6 +2,7 @@
 
 use crate::config::LetkfConfig;
 use bda_num::Real;
+use bda_num::cast;
 use serde::{Deserialize, Serialize};
 
 /// Observed quantity. The BDA system assimilates both radar observables
@@ -346,7 +347,7 @@ impl<'a> QcPipeline<'a> {
                         d * d
                     })
                     .sum::<f64>()
-                    / (k as f64 - 1.0)
+                    / (cast::f64_of(k) - 1.0)
             } else {
                 0.0
             };

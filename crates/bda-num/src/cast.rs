@@ -1,0 +1,131 @@
+//! Intent-named numeric conversions for kernel code.
+//!
+//! The `lossy_cast` lint denies bare `as` casts in `bda-num` / `bda-letkf`
+//! because a silent truncation in an index or weight computation corrupts
+//! an analysis without failing a test. This module is the single audited
+//! home of those conversions: every helper names the *intended* semantics
+//! (exact count widening, floor-to-index, saturating truncation), carries
+//! a `debug_assert!` where the intent has a precondition, and keeps the
+//! unavoidable `as` on one reviewed line.
+//!
+//! Saturating float→int behavior (negative → 0, NaN → 0, overflow → MAX)
+//! is Rust's defined `as` semantics and is relied upon by the `*_index`
+//! helpers: callers clamp against an upper bound and want the lower bound
+//! handled for them.
+
+/// Exact `usize` → `f64` for counts and grid extents. Exact up to 2⁵³,
+/// far beyond any in-memory count this workspace can hold.
+#[inline]
+pub fn f64_of(n: usize) -> f64 {
+    debug_assert!(n <= (1 << 53), "count {n} not exactly representable");
+    n as f64 // bda-check: allow(lossy_cast)
+}
+
+/// Exact `u64` → `f64`; same 2⁵³ precondition as [`f64_of`].
+#[inline]
+pub fn f64_of_u64(n: u64) -> f64 {
+    debug_assert!(n <= (1 << 53), "count {n} not exactly representable");
+    n as f64 // bda-check: allow(lossy_cast)
+}
+
+/// Truncate toward zero to an index; negatives and NaN saturate to 0.
+#[inline]
+pub fn trunc_index(x: f64) -> usize {
+    x as usize // bda-check: allow(lossy_cast)
+}
+
+/// Floor to an index; negatives and NaN saturate to 0.
+#[inline]
+pub fn floor_index(x: f64) -> usize {
+    x.floor() as usize // bda-check: allow(lossy_cast)
+}
+
+/// Ceiling to an index; negatives and NaN saturate to 0.
+#[inline]
+pub fn ceil_index(x: f64) -> usize {
+    x.ceil() as usize // bda-check: allow(lossy_cast)
+}
+
+/// Round-half-away to an index; negatives and NaN saturate to 0.
+#[inline]
+pub fn round_index(x: f64) -> usize {
+    x.round() as usize // bda-check: allow(lossy_cast)
+}
+
+/// Truncate toward zero to `i64` (saturating at the type bounds, NaN → 0)
+/// for signed bucket arithmetic around a floored coordinate.
+#[inline]
+pub fn trunc_i64(x: f64) -> i64 {
+    x as i64 // bda-check: allow(lossy_cast)
+}
+
+/// `usize` → `u64`: widening on every platform this workspace targets.
+#[inline]
+pub fn u64_of(n: usize) -> u64 {
+    n as u64 // bda-check: allow(lossy_cast)
+}
+
+/// `usize` → `i64` for signed neighborhood arithmetic around an index.
+#[inline]
+pub fn i64_of(n: usize) -> i64 {
+    debug_assert!(i64::try_from(n).is_ok(), "index {n} overflows i64");
+    n as i64 // bda-check: allow(lossy_cast)
+}
+
+/// `i64` → `usize` once sign has been checked by the caller.
+#[inline]
+pub fn index_of_i64(n: i64) -> usize {
+    debug_assert!(n >= 0, "negative index {n}");
+    n as usize // bda-check: allow(lossy_cast)
+}
+
+/// Compact observation-index storage: `u32` → `usize` is always widening
+/// on every platform this workspace targets.
+#[inline]
+pub fn index_of_u32(n: u32) -> usize {
+    n as usize // bda-check: allow(lossy_cast)
+}
+
+/// `usize` → compact `u32` observation index; the precondition is that
+/// observation counts stay below 2³² (they are bounded by grid size).
+#[inline]
+pub fn u32_of_index(n: usize) -> u32 {
+    debug_assert!(u32::try_from(n).is_ok(), "index {n} overflows u32");
+    n as u32 // bda-check: allow(lossy_cast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_count_widening() {
+        assert_eq!(f64_of(0), 0.0);
+        assert_eq!(f64_of(1 << 53), 9007199254740992.0);
+        assert_eq!(f64_of_u64(12345), 12345.0);
+    }
+
+    #[test]
+    fn index_helpers_saturate_low() {
+        assert_eq!(trunc_index(-3.7), 0);
+        assert_eq!(floor_index(-0.1), 0);
+        assert_eq!(ceil_index(-5.0), 0);
+        assert_eq!(round_index(f64::NAN), 0);
+    }
+
+    #[test]
+    fn index_helpers_match_float_ops() {
+        assert_eq!(trunc_index(3.9), 3);
+        assert_eq!(floor_index(3.9), 3);
+        assert_eq!(ceil_index(3.1), 4);
+        assert_eq!(round_index(3.5), 4);
+    }
+
+    #[test]
+    fn signed_round_trips() {
+        assert_eq!(i64_of(42), 42);
+        assert_eq!(index_of_i64(42), 42);
+        assert_eq!(index_of_u32(7), 7);
+        assert_eq!(u32_of_index(7), 7);
+    }
+}

@@ -14,7 +14,7 @@
 pub fn fnv1a(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in data {
-        h ^= b as u64;
+        h ^= u64::from(b);
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
     h

@@ -21,6 +21,7 @@
 //!   Gaussian sampling, generic over [`Real`], so ensemble perturbations are
 //!   reproducible without threading an external RNG through every crate.
 
+pub mod cast;
 pub mod eigen;
 pub mod hash;
 pub mod matrix;

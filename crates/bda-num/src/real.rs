@@ -41,7 +41,7 @@ pub trait Real:
     fn of(v: f64) -> Self;
     /// Conversion from a count.
     fn of_usize(n: usize) -> Self {
-        Self::of(n as f64)
+        Self::of(crate::cast::f64_of(n))
     }
     /// Widening conversion to `f64`.
     fn f64(self) -> f64;
@@ -115,11 +115,13 @@ macro_rules! impl_real {
             }
             #[inline]
             fn of(v: f64) -> Self {
-                v as $t
+                // The Real trait's rounding conversion primitive itself.
+                v as $t // bda-check: allow(lossy_cast)
             }
             #[inline]
             fn f64(self) -> f64 {
-                self as f64
+                // Widening for f32, identity for f64: never lossy.
+                self as f64 // bda-check: allow(lossy_cast)
             }
             #[inline]
             fn eps() -> Self {

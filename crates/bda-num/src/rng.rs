@@ -58,7 +58,7 @@ impl SplitMix64 {
     #[inline]
     pub fn next_uniform(&mut self) -> f64 {
         // 53 high bits -> uniform double in [0,1).
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        crate::cast::f64_of_u64(self.next_u64() >> 11) * (1.0 / crate::cast::f64_of_u64(1 << 53))
     }
 
     /// Uniform in [lo, hi).
@@ -71,7 +71,7 @@ impl SplitMix64 {
     #[inline]
     pub fn next_index(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
-        (self.next_uniform() * n as f64) as usize % n
+        crate::cast::trunc_index(self.next_uniform() * crate::cast::f64_of(n)) % n
     }
 
     /// Standard normal via Box–Muller (the slower but branch-free variant is

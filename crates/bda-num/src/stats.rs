@@ -2,6 +2,7 @@
 //! (time-to-solution percentiles for Fig. 5, skill aggregation for Fig. 7,
 //! ensemble spread diagnostics).
 
+use crate::cast;
 use crate::real::Real;
 
 /// Arithmetic mean; returns zero for an empty slice.
@@ -76,13 +77,13 @@ pub fn percentile<T: Real>(xs: &[T], q: f64) -> T {
     assert!((0.0..=100.0).contains(&q));
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
-    let pos = q / 100.0 * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
+    let pos = q / 100.0 * cast::f64_of(sorted.len() - 1);
+    let lo = cast::floor_index(pos);
+    let hi = cast::ceil_index(pos);
     if lo == hi {
         sorted[lo]
     } else {
-        let w = T::of(pos - lo as f64);
+        let w = T::of(pos - cast::f64_of(lo));
         sorted[lo] * (T::one() - w) + sorted[hi] * w
     }
 }
@@ -93,7 +94,7 @@ pub fn fraction_below<T: Real>(xs: &[T], threshold: T) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    xs.iter().filter(|&&x| x < threshold).count() as f64 / xs.len() as f64
+    cast::f64_of(xs.iter().filter(|&&x| x < threshold).count()) / cast::f64_of(xs.len())
 }
 
 /// A fixed-bin histogram over [lo, hi); values outside are clamped into the
@@ -120,7 +121,7 @@ impl Histogram {
     pub fn add(&mut self, x: f64) {
         let bins = self.counts.len();
         let t = (x - self.lo) / (self.hi - self.lo);
-        let idx = ((t * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
+        let idx = cast::trunc_index(t * cast::f64_of(bins)).min(bins - 1);
         self.counts[idx] += 1;
         self.total += 1;
     }
@@ -135,8 +136,8 @@ impl Histogram {
 
     /// Bin center for index `i`.
     pub fn center(&self, i: usize) -> f64 {
-        let w = (self.hi - self.lo) / self.counts.len() as f64;
-        self.lo + (i as f64 + 0.5) * w
+        let w = (self.hi - self.lo) / cast::f64_of(self.counts.len());
+        self.lo + (cast::f64_of(i) + 0.5) * w
     }
 
     /// Render a compact ASCII bar chart (for example binaries and bench
@@ -145,7 +146,7 @@ impl Histogram {
         let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
-            let bar = (c as f64 / max as f64 * width as f64).round() as usize;
+            let bar = cast::round_index(cast::f64_of_u64(c) / cast::f64_of_u64(max) * cast::f64_of(width));
             out.push_str(&format!(
                 "{:>8.2} | {:<width$} {}\n",
                 self.center(i),
@@ -195,7 +196,7 @@ impl Running {
         if self.n == 0 {
             0.0
         } else {
-            self.sum / self.n as f64
+            self.sum / cast::f64_of_u64(self.n)
         }
     }
 
@@ -204,7 +205,7 @@ impl Running {
             return 0.0;
         }
         let m = self.mean();
-        ((self.sumsq - self.n as f64 * m * m) / (self.n as f64 - 1.0))
+        ((self.sumsq - cast::f64_of_u64(self.n) * m * m) / (cast::f64_of_u64(self.n) - 1.0))
             .max(0.0)
             .sqrt()
     }

@@ -323,7 +323,7 @@ fn parse_header(data: &[u8]) -> Result<Header<'_>, DecodeError> {
         return Err(DecodeError::TooShort);
     }
     let (payload, tail) = data.split_at(data.len() - 8);
-    let expect = u64::from_be_bytes(tail.try_into().unwrap());
+    let expect = u64::from_be_bytes(tail.try_into().map_err(|_| DecodeError::TooShort)?);
     let checksum_ok = fnv1a(payload) == expect;
     let mut buf = payload;
     let mut magic = [0u8; 4];

@@ -81,7 +81,17 @@ impl RadarNetwork {
                 }
             });
         }
-        (merged.expect("at least one radar"), counts)
+        // A network with zero radars merges to an empty scan rather than
+        // aborting the cycle.
+        let merged = merged.unwrap_or_else(|| ScanResult {
+            time,
+            obs: Vec::new(),
+            n_reflectivity: 0,
+            n_doppler: 0,
+            n_clear_air: 0,
+            raw_bytes: 0,
+        });
+        (merged, counts)
     }
 
     /// Merged scan without the count bookkeeping.

@@ -94,13 +94,21 @@ pub fn member_equivalents<T: Real>(
 ) -> Vec<T> {
     obs.iter()
         .map(|o| {
-            let (i, j) = grid
-                .cell_of(o.x, o.y)
-                .expect("observation outside the model domain");
-            let k = grid.vertical.level_of(o.z);
-            let v = match o.kind {
-                ObsKind::Reflectivity => h_reflectivity(state, base, i, j, k, floor_dbz),
-                ObsKind::DopplerVelocity => h_doppler(state, base, grid, radar, i, j, k),
+            // Ingest QC rejects out-of-domain observations; if one slips
+            // through anyway, a neutral equivalent (clear-air floor / zero
+            // radial velocity) is returned instead of aborting the member.
+            let v = match grid.cell_of(o.x, o.y) {
+                Some((i, j)) => {
+                    let k = grid.vertical.level_of(o.z);
+                    match o.kind {
+                        ObsKind::Reflectivity => h_reflectivity(state, base, i, j, k, floor_dbz),
+                        ObsKind::DopplerVelocity => h_doppler(state, base, grid, radar, i, j, k),
+                    }
+                }
+                None => match o.kind {
+                    ObsKind::Reflectivity => floor_dbz,
+                    ObsKind::DopplerVelocity => 0.0,
+                },
             };
             T::of(v)
         })

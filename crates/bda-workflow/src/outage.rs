@@ -46,7 +46,7 @@ impl OutageSchedule {
         // windows; they carry no downtime and would confuse `is_down`'s
         // binary search, so drop them.
         windows.retain(|w| w.end > w.start);
-        windows.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        windows.sort_by(|a, b| a.start.total_cmp(&b.start));
         // Merge overlaps.
         let mut merged: Vec<Window> = Vec::new();
         for w in windows {
@@ -98,7 +98,7 @@ impl OutageSchedule {
         // Windows are sorted; binary search by start.
         match self
             .windows
-            .binary_search_by(|w| w.start.partial_cmp(&t).unwrap())
+            .binary_search_by(|w| w.start.total_cmp(&t))
         {
             Ok(_) => true,
             Err(0) => false,

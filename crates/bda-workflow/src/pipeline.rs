@@ -91,9 +91,9 @@ impl RealtimePipeline {
             // Radar thread.
             s.spawn(move || {
                 for cycle in 0..n_cycles {
-                    let t0 = Instant::now();
+                    let t0 = Instant::now(); // bda-check: allow(wallclock) — wall-time telemetry column
                     let volume = scan(cycle);
-                    let t_obs = Instant::now();
+                    let t_obs = Instant::now(); // bda-check: allow(wallclock) — wall-time telemetry column
                     let scan_s = (t_obs - t0).as_secs_f64();
                     if meta_tx
                         .send(Meta {
@@ -119,7 +119,7 @@ impl RealtimePipeline {
                         Err(_) => break,
                     };
                     let transfer_s = meta.t_obs.elapsed().as_secs_f64();
-                    let t1 = Instant::now();
+                    let t1 = Instant::now(); // bda-check: allow(wallclock) — wall-time telemetry column
                     let product = assimilate(meta.cycle, volume);
                     let assimilation_s = t1.elapsed().as_secs_f64();
                     if ana_tx
@@ -134,7 +134,7 @@ impl RealtimePipeline {
             // Forecast thread.
             s.spawn(move || {
                 while let Ok((meta, transfer_s, assimilation_s, product)) = ana_rx.recv() {
-                    let t2 = Instant::now();
+                    let t2 = Instant::now(); // bda-check: allow(wallclock) — wall-time telemetry column
                     forecast(meta.cycle, product);
                     let forecast_s = t2.elapsed().as_secs_f64();
                     let time_to_solution_s = meta.t_obs.elapsed().as_secs_f64();
@@ -212,7 +212,7 @@ mod tests {
         // 6 cycles, each stage 20 ms. Serial would be >= 6 * 60 = 360 ms;
         // the pipeline should be well below that.
         let p = RealtimePipeline::default();
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // bda-check: allow(wallclock) — wall-time telemetry column
         let timings = p.run(
             6,
             |_| {

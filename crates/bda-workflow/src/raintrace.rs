@@ -175,7 +175,7 @@ mod tests {
             let mut vals: Vec<f64> = (0..7)
                 .map(|d| tr.area_1mmh(d as f64 * 86_400.0 + hour * 3600.0))
                 .collect();
-            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.sort_by(|a, b| a.total_cmp(b));
             vals[3] // median of 7 days
         };
         assert!(sample(15.0) > sample(3.0));

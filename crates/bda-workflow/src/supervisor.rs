@@ -436,11 +436,11 @@ impl CycleSupervisor {
             s.spawn(move || {
                 let mut vol_tx = vol_tx;
                 for cycle in 0..n_cycles {
-                    let t0 = Instant::now();
+                    let t0 = Instant::now(); // bda-check: allow(wallclock) — wall-time telemetry column
                     if plan.has(cycle, Fault::DropScan) {
                         let meta = ScanMeta {
                             cycle,
-                            t_obs: Instant::now(),
+                            t_obs: Instant::now(), // bda-check: allow(wallclock) — wall-time telemetry column
                             scan_s: 0.0,
                             payload: Err(StageError::ScanDropped),
                         };
@@ -456,7 +456,7 @@ impl CycleSupervisor {
                         }
                         scan(cycle)
                     }));
-                    let t_obs = Instant::now();
+                    let t_obs = Instant::now(); // bda-check: allow(wallclock) — wall-time telemetry column
                     let scan_s = (t_obs - t0).as_secs_f64();
                     let payload = match result {
                         Err(p) => Err(StageError::Panicked {
@@ -599,7 +599,7 @@ impl CycleSupervisor {
                             }
                             let inject_panic =
                                 plan.has(cycle, Fault::StagePanic(Stage::Assimilation));
-                            let t1 = Instant::now();
+                            let t1 = Instant::now(); // bda-check: allow(wallclock) — wall-time telemetry column
                             let outcome = catch_unwind(AssertUnwindSafe(|| {
                                 if inject_panic {
                                     panic!("injected assimilation panic (cycle {cycle})");
@@ -705,14 +705,15 @@ impl CycleSupervisor {
                     let input = match (&fresh, &degradation) {
                         (Some(p), _) => ForecastInput::Analysis(p),
                         (None, Some((DegradedMode::PreviousAnalysis, _))) => {
-                            ForecastInput::PreviousAnalysis(
-                                last_good.as_ref().expect("checked above"),
-                            )
+                            match last_good.as_ref() {
+                                Some(prev) => ForecastInput::PreviousAnalysis(prev),
+                                None => ForecastInput::Persistence,
+                            }
                         }
                         _ => ForecastInput::Persistence,
                     };
                     let inject_panic = plan.has(cycle, Fault::StagePanic(Stage::Forecast));
-                    let t2 = Instant::now();
+                    let t2 = Instant::now(); // bda-check: allow(wallclock) — wall-time telemetry column
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if inject_panic {
                             panic!("injected forecast panic (cycle {cycle})");

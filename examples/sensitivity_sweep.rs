@@ -31,7 +31,7 @@ fn main() {
     // Which configuration wins on skill; what it costs.
     let best = points
         .iter()
-        .max_by(|a, b| a.improvement().partial_cmp(&b.improvement()).unwrap())
+        .max_by(|a, b| a.improvement().total_cmp(&b.improvement()))
         .unwrap();
     println!(
         "\nbest skill: {} (improvement {:.3} dBZ at {:.2} s/cycle)",

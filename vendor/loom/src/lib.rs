@@ -1,0 +1,305 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The build container has no route to a crates registry (see
+//! `vendor/README.md`), so this crate reimplements the slice of loom's API
+//! the workspace needs: `loom::model`, `loom::thread::{spawn, scope,
+//! yield_now}`, `loom::sync::Mutex`, and `loom::sync::atomic::*`.
+//!
+//! # What it checks
+//!
+//! [`model`] runs a closure once per *schedule* — an interleaving of the
+//! closure's threads at visible-operation granularity, plus a choice of
+//! which coherent store each atomic load observes. Schedules are explored
+//! depth-first over a decision trace, in a branch order randomized by a
+//! seed, and bounded by an iteration budget (`Builder::max_iterations`,
+//! env `BDA_LOOM_MAX_ITER`): small spaces are enumerated exhaustively
+//! (`Stats::exhausted`), larger ones are sampled deterministically.
+//!
+//! The memory model tracks per-atomic modification order, vector clocks,
+//! release/acquire synchronization (including RMW release-sequence
+//! continuation), read coherence, and an approximated `SeqCst` order —
+//! enough to catch lost updates, double-claims, and missed-release
+//! publication bugs. See `vendor/README.md` for fidelity notes.
+//!
+//! # Example
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let h = loom::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     h.join().unwrap();
+//!     assert_eq!(n.load(Ordering::Relaxed), 2); // holds on every schedule
+//! });
+//! ```
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{model, Builder, Stats};
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Mutex;
+    use super::{Builder, model};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    /// The checker must fully enumerate a two-thread interleaving space.
+    #[test]
+    fn exhausts_small_space() {
+        let stats = model(|| {
+            let x = Arc::new(AtomicUsize::new(0));
+            let x2 = Arc::clone(&x);
+            let h = crate::thread::spawn(move || x2.store(1, Ordering::Release));
+            let _ = x.load(Ordering::Acquire);
+            h.join().unwrap();
+        });
+        assert!(stats.exhausted, "tiny space must be enumerated");
+        assert!(stats.iterations >= 2, "both orderings must be visited");
+    }
+
+    /// fetch_add is atomic: two concurrent increments always sum.
+    #[test]
+    fn rmw_increments_never_lose_updates() {
+        let stats = model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let h = crate::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::Relaxed);
+            });
+            n.fetch_add(1, Ordering::Relaxed);
+            h.join().unwrap();
+            assert_eq!(n.load(Ordering::Relaxed), 2);
+        });
+        assert!(stats.exhausted);
+    }
+
+    /// A load/yield/store "increment" is racy: the checker must find the
+    /// schedule in which one update is lost.
+    #[test]
+    fn detects_lost_update_from_racy_increment() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let n2 = Arc::clone(&n);
+                let bump = |a: &AtomicUsize| {
+                    let v = a.load(Ordering::Relaxed);
+                    crate::thread::yield_now();
+                    a.store(v + 1, Ordering::Relaxed);
+                };
+                let h = crate::thread::spawn(move || bump(&n2));
+                bump(&n);
+                h.join().unwrap();
+                assert_eq!(n.load(Ordering::Relaxed), 2, "lost update");
+            });
+        }));
+        assert!(result.is_err(), "the racy increment must be caught");
+    }
+
+    /// Message passing with release/acquire: the data write must be
+    /// visible whenever the flag is observed set, on every schedule.
+    #[test]
+    fn release_acquire_publication_passes() {
+        let stats = model(|| {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let h = crate::thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            h.join().unwrap();
+        });
+        assert!(stats.exhausted);
+    }
+
+    /// The same pattern with a relaxed flag store (a missed release) must
+    /// be caught: some schedule lets the reader see the flag without the
+    /// data.
+    #[test]
+    fn detects_missed_release_publication() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let data = Arc::new(AtomicUsize::new(0));
+                let flag = Arc::new(AtomicUsize::new(0));
+                let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+                let h = crate::thread::spawn(move || {
+                    d2.store(42, Ordering::Relaxed);
+                    f2.store(1, Ordering::Relaxed); // BUG: no release edge
+                });
+                if flag.load(Ordering::Acquire) == 1 {
+                    assert_eq!(data.load(Ordering::Relaxed), 42, "stale read");
+                }
+                h.join().unwrap();
+            });
+        }));
+        assert!(result.is_err(), "missed-release publication must be caught");
+    }
+
+    /// Release-sequence continuation: a relaxed RMW between the release
+    /// store and the acquire load must not break synchronization.
+    #[test]
+    fn rmw_continues_release_sequence() {
+        let stats = model(|| {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let h = crate::thread::spawn(move || {
+                d2.store(7, Ordering::Relaxed);
+                f2.store(1, Ordering::Release);
+                f2.fetch_add(1, Ordering::Relaxed); // continues the sequence
+            });
+            if flag.load(Ordering::Acquire) == 2 {
+                assert_eq!(data.load(Ordering::Relaxed), 7);
+            }
+            h.join().unwrap();
+        });
+        assert!(stats.exhausted);
+    }
+
+    /// Classic AB/BA lock ordering: the checker must find the deadlock.
+    #[test]
+    fn detects_abba_deadlock() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let a = Arc::new(Mutex::new(0u32));
+                let b = Arc::new(Mutex::new(0u32));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h = crate::thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop((_gb, _ga));
+                h.join().unwrap();
+            });
+        }));
+        let err = result.expect_err("AB/BA ordering must deadlock on some schedule");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("deadlock"), "failure message was: {msg}");
+    }
+
+    /// Mutexes serialize: concurrent guarded increments never race.
+    #[test]
+    fn mutex_guards_serialize() {
+        let stats = model(|| {
+            let n = Arc::new(Mutex::new(0u32));
+            let n2 = Arc::clone(&n);
+            let h = crate::thread::spawn(move || {
+                *n2.lock().unwrap() += 1;
+            });
+            *n.lock().unwrap() += 1;
+            h.join().unwrap();
+            assert_eq!(*n.lock().unwrap(), 2);
+        });
+        assert!(stats.exhausted);
+    }
+
+    /// A panic in a spawned thread surfaces through its join handle, and
+    /// the mutex it held is poisoned.
+    #[test]
+    fn panic_flows_through_join_and_poisons() {
+        model(|| {
+            let m = Arc::new(Mutex::new(0u32));
+            let m2 = Arc::clone(&m);
+            let h = crate::thread::spawn(move || {
+                let _g = m2.lock().unwrap();
+                panic!("worker bug");
+            });
+            assert!(h.join().is_err(), "panic must reach the join handle");
+            assert!(m.lock().is_err(), "mutex must be poisoned");
+        });
+    }
+
+    /// Scoped threads borrow from the enclosing stack, exactly like
+    /// `std::thread::scope`.
+    #[test]
+    fn scope_borrows_like_std() {
+        let stats = model(|| {
+            let n = AtomicUsize::new(0);
+            crate::thread::scope(|s| {
+                s.spawn(|| n.fetch_add(1, Ordering::Relaxed));
+                s.spawn(|| n.fetch_add(1, Ordering::Relaxed));
+            });
+            assert_eq!(n.load(Ordering::Relaxed), 2);
+        });
+        assert!(stats.iterations >= 2);
+    }
+
+    /// An unjoined scoped thread's panic propagates at scope exit (std
+    /// contract), so user code can catch it around the scope.
+    #[test]
+    fn scope_propagates_worker_panic() {
+        model(|| {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                crate::thread::scope(|s| {
+                    s.spawn(|| panic!("scoped worker bug"));
+                });
+            }));
+            assert!(r.is_err(), "scope exit must propagate the panic");
+        });
+    }
+
+    /// The budget bounds exploration and reports non-exhaustion honestly.
+    #[test]
+    fn budget_bounds_exploration() {
+        let stats = Builder {
+            max_iterations: 3,
+            ..Builder::default()
+        }
+        .check(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                let n2 = Arc::clone(&n);
+                handles.push(crate::thread::spawn(move || {
+                    n2.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(stats.iterations, 3);
+        assert!(!stats.exhausted);
+    }
+
+    /// Different seeds explore in different orders but agree on the size
+    /// of an exhaustively enumerated space.
+    #[test]
+    fn seeds_agree_on_exhaustive_size() {
+        let run = |seed: u64| {
+            Builder {
+                seed,
+                ..Builder::default()
+            }
+            .check(|| {
+                let x = Arc::new(AtomicUsize::new(0));
+                let x2 = Arc::clone(&x);
+                let h = crate::thread::spawn(move || x2.store(1, Ordering::Release));
+                let _ = x.load(Ordering::Acquire);
+                h.join().unwrap();
+            })
+        };
+        let a = run(1);
+        let b = run(0xdead_beef);
+        assert!(a.exhausted && b.exhausted);
+        assert_eq!(a.iterations, b.iterations);
+    }
+}

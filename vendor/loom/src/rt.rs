@@ -1,0 +1,961 @@
+//! The model-checking runtime: one serialized execution of the user closure
+//! per *schedule*, where every visible operation (atomic access, mutex
+//! acquire, spawn, join, yield) is a decision point recorded in a trace.
+//!
+//! # Execution model
+//!
+//! Model threads are real OS threads, but at most one holds the *grant* at
+//! any instant: a granted thread runs user code until its next visible
+//! operation, where it calls [`Execution::reschedule`] — the scheduler then
+//! picks which runnable thread performs the next visible operation. The
+//! pick is a [`Trace`] decision, so replaying a trace prefix reproduces an
+//! interleaving exactly, and depth-first backtracking over decisions
+//! enumerates interleavings systematically (in an order randomized by the
+//! seed, so a truncated search still samples broadly).
+//!
+//! # Memory model
+//!
+//! Atomics track their full modification order. Every store carries the
+//! storing thread's vector clock; release-ordered stores publish it, and
+//! RMWs extend the release sequence of the store they displace. A non-RMW
+//! load may read *any* coherent store — i.e. any store not already ordered
+//! before the reader's view by happens-before, read coherence, or (for
+//! `SeqCst` loads) the last `SeqCst` store — and which store it reads is
+//! itself an explored decision. That is enough weak-memory fidelity to
+//! catch lost updates (racy load/store increments), double-claims, and
+//! missed-release publication bugs; it is **not** a complete C++11 model
+//! (no fences, and the `SeqCst` total order is approximated — see
+//! vendor/README.md).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to tear model threads down after a model-level
+/// failure (deadlock, op-budget blowout). Swallowed by thread wrappers;
+/// never surfaced as a user panic.
+pub(crate) struct ModelAbort;
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Hard cap on visible ops per schedule — a spin loop that never yields to
+/// the scheduler would otherwise explore forever.
+const DEFAULT_MAX_OPS: usize = 100_000;
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A vector clock over model-thread indices. Component `t` counts the
+/// visible events thread `t` has performed; `a ⊑ b` iff every component of
+/// `a` is ≤ the matching component of `b`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, t: usize) -> u64 {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+        self.0[t]
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Does this clock contain the event `(thread, stamp)`?
+    fn contains(&self, thread: usize, stamp: u64) -> bool {
+        self.get(thread) >= stamp
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decision trace (DFS with seed-randomized branch order)
+// ---------------------------------------------------------------------------
+
+/// One recorded decision: `rank` (0-based, in the seed-permuted order) out
+/// of `n` alternatives. Decisions with a single alternative are never
+/// recorded — they carry no information and would bloat the search depth.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Decision {
+    pub rank: usize,
+    pub n: usize,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Trace {
+    decisions: Vec<Decision>,
+    cursor: usize,
+    seed: u64,
+}
+
+/// splitmix64 — deterministic per-(seed, position) stream for branch-order
+/// permutation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Trace {
+    fn new(seed: u64, prefix: Vec<Decision>) -> Self {
+        Trace {
+            decisions: prefix,
+            cursor: 0,
+            seed,
+        }
+    }
+
+    /// Map a decision rank to a concrete alternative index through a
+    /// Fisher-Yates permutation keyed by (seed, decision position). The
+    /// DFS backtracks over *ranks*, so with a fixed seed exploration is
+    /// deterministic, while different seeds walk the tree in different
+    /// branch orders.
+    fn alternative(&self, position: usize, n: usize, rank: usize) -> usize {
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = self.seed ^ (position as u64).wrapping_mul(0x6a09_e667_f3bc_c909);
+        for i in (1..n).rev() {
+            state = splitmix64(state);
+            let j = (state % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        perm[rank]
+    }
+
+    /// Choose among `n` alternatives, replaying the prefix when present and
+    /// extending the trace (rank 0 first) past it. Returns the concrete
+    /// alternative index.
+    fn decide(&mut self, n: usize) -> Result<usize, String> {
+        debug_assert!(n > 0);
+        if n == 1 {
+            return Ok(0);
+        }
+        let position = self.cursor;
+        let rank = if position < self.decisions.len() {
+            let d = self.decisions[position];
+            if d.n != n {
+                return Err(format!(
+                    "non-deterministic model body: decision {position} had {} alternatives on a \
+                     previous run but {n} now (the closure must be a pure function of the schedule)",
+                    d.n
+                ));
+            }
+            d.rank
+        } else {
+            self.decisions.push(Decision { rank: 0, n });
+            0
+        };
+        self.cursor += 1;
+        Ok(self.alternative(position, n, rank))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread / per-object state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting on a mutex (index) or a thread exit (index).
+    BlockedOnMutex(usize),
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    status: Status,
+    panicked: bool,
+    joined: bool,
+}
+
+/// One store in an atomic's modification order.
+#[derive(Debug)]
+struct StoreEvent {
+    value: u64,
+    /// Event stamp `(thread, clock-component)` of the store itself.
+    by: (usize, u64),
+    /// Published synchronization clock: `Some` for release-ordered stores,
+    /// and for RMWs the continuation of the displaced store's release
+    /// sequence (joined with the RMW's own clock when release-ordered).
+    release: Option<VClock>,
+}
+
+#[derive(Debug, Default)]
+struct AtomicState {
+    stores: Vec<StoreEvent>,
+    /// Per-thread index of the newest store each thread has observed
+    /// (read-coherence floor).
+    seen: Vec<usize>,
+    /// Index of the most recent `SeqCst` store, if any.
+    last_sc: Option<usize>,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    owner: Option<usize>,
+    poisoned: bool,
+    /// Acquire/release clock carried by the lock itself.
+    clock: VClock,
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadState>,
+    clocks: Vec<VClock>,
+    /// Final clocks of finished threads, joined into joiners.
+    final_clocks: Vec<Option<VClock>>,
+    atomics: Vec<AtomicState>,
+    mutexes: Vec<MutexState>,
+    running: Option<usize>,
+    trace: Trace,
+    ops: usize,
+    max_ops: usize,
+    /// Model-level failure (deadlock, livelock, nondeterminism).
+    failure: Option<String>,
+    /// First user panic that escaped a model thread's closure.
+    panic_payloads: HashMap<usize, PanicPayload>,
+    /// Spawned-but-unjoined thread ids per open `thread::scope` frame.
+    scope_pending: HashMap<usize, Vec<usize>>,
+    next_scope_id: usize,
+    all_finished: bool,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(exec: Arc<Execution>, id: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, id)));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Run `f` with the current model-thread context, or panic with a clear
+/// message when a loom primitive is used outside `loom::model`.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> R {
+    CTX.with(|c| {
+        let borrow = c.borrow();
+        match borrow.as_ref() {
+            Some((exec, id)) => f(exec, *id),
+            None => panic!(
+                "loom primitive used outside loom::model — this shim's types only work inside \
+                 a model run (build without the loom facade for production execution)"
+            ),
+        }
+    })
+}
+
+impl Execution {
+    fn new(seed: u64, prefix: Vec<Decision>, max_ops: usize) -> Self {
+        let mut clocks = vec![VClock::default()];
+        clocks[0].bump(0);
+        Execution {
+            state: Mutex::new(ExecState {
+                threads: vec![ThreadState {
+                    status: Status::Runnable,
+                    panicked: false,
+                    joined: true, // the root thread is implicitly joined by the driver
+                }],
+                clocks,
+                final_clocks: vec![None],
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+                running: Some(0),
+                trace: Trace::new(seed, prefix),
+                ops: 0,
+                max_ops,
+                failure: None,
+                panic_payloads: HashMap::new(),
+                scope_pending: HashMap::new(),
+                next_scope_id: 0,
+                all_finished: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Record a model-level failure and wake everyone so they can abort.
+    fn fail(&self, st: &mut ExecState, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.running = None;
+        self.cv.notify_all();
+    }
+
+    fn abort_if_failed(&self, st: &ExecState) {
+        if st.failure.is_some() {
+            panic::panic_any(ModelAbort);
+        }
+    }
+
+    /// Pick the next thread to perform a visible operation. Assumes the
+    /// caller has already updated its own status. A decision point.
+    fn pick_next(&self, st: &mut ExecState) {
+        st.running = None;
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.all_finished = true;
+                self.cv.notify_all();
+                return;
+            }
+            let blocked: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(i, t)| format!("thread {i}: {:?}", t.status))
+                .collect();
+            self.fail(
+                st,
+                format!("deadlock: every live thread is blocked ({})", blocked.join("; ")),
+            );
+            return;
+        }
+        match st.trace.decide(runnable.len()) {
+            Ok(pick) => {
+                st.running = Some(runnable[pick]);
+                self.cv.notify_all();
+            }
+            Err(msg) => self.fail(st, msg),
+        }
+    }
+
+    /// Block until this thread holds the grant (or the model failed).
+    fn wait_for_grant<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        loop {
+            self.abort_if_failed(&st);
+            if st.running == Some(me) {
+                return st;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// The visible-operation boundary: yield the grant, let the scheduler
+    /// pick who goes next, and wait to be granted again. On return the
+    /// caller holds both the grant and the state lock, and may perform its
+    /// operation atomically with respect to the model.
+    fn reschedule(&self, me: usize) -> MutexGuard<'_, ExecState> {
+        let mut st = self.lock();
+        self.abort_if_failed(&st);
+        debug_assert_eq!(st.running, Some(me), "reschedule without the grant");
+        st.ops += 1;
+        if st.ops > st.max_ops {
+            let max = st.max_ops;
+            self.fail(
+                &mut st,
+                format!("op budget ({max}) exceeded — livelock or unbounded spin loop?"),
+            );
+            self.abort_if_failed(&st);
+        }
+        self.pick_next(&mut st);
+        self.wait_for_grant(st, me)
+    }
+
+    /// Like [`reschedule`], but must be called while already holding the
+    /// state lock and *not* holding the grant (blocking paths).
+    fn wait_until_granted<'a>(
+        &'a self,
+        st: MutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        self.wait_for_grant(st, me)
+    }
+
+    // -- thread lifecycle ---------------------------------------------------
+
+    /// Register a child thread, spawned by `parent` (which holds the
+    /// grant). Returns the child's index. Spawn is a release edge: the
+    /// child starts with a copy of the parent's clock.
+    pub(crate) fn register_thread(self: &Arc<Self>, parent: usize) -> usize {
+        let mut st = self.reschedule(parent);
+        let id = st.threads.len();
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            panicked: false,
+            joined: false,
+        });
+        let mut child_clock = st.clocks[parent].clone();
+        child_clock.bump(id);
+        st.clocks.push(child_clock);
+        st.final_clocks.push(None);
+        st.clocks[parent].bump(parent);
+        for a in &mut st.atomics {
+            a.seen.resize(id + 1, 0);
+        }
+        id
+    }
+
+    /// First wait of a freshly spawned model thread.
+    pub(crate) fn wait_first_grant(&self, me: usize) {
+        let st = self.lock();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            drop(self.wait_for_grant(st, me));
+        }));
+        if result.is_err() {
+            // Model failed before this thread ever ran; finish quietly.
+            self.finish(me, false);
+            panic::panic_any(ModelAbort);
+        }
+    }
+
+    /// Mark a thread finished (normally or by panic), wake joiners, and
+    /// hand the grant onward.
+    pub(crate) fn finish(&self, me: usize, panicked: bool) {
+        let mut st = self.lock();
+        st.threads[me].status = Status::Finished;
+        st.threads[me].panicked = panicked;
+        let final_clock = st.clocks[me].clone();
+        st.final_clocks[me] = Some(final_clock);
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::BlockedOnJoin(me))
+            .map(|(i, _)| i)
+            .collect();
+        for w in waiters {
+            st.threads[w].status = Status::Runnable;
+        }
+        if st.failure.is_none() {
+            self.pick_next(&mut st);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    pub(crate) fn set_panic_payload(&self, me: usize, payload: PanicPayload) {
+        let mut st = self.lock();
+        st.panic_payloads.insert(me, payload);
+    }
+
+    pub(crate) fn take_panic_payload(&self, id: usize) -> Option<PanicPayload> {
+        let mut st = self.lock();
+        st.panic_payloads.remove(&id)
+    }
+
+    /// Model-level join: block until `target` finishes, then absorb its
+    /// final clock (join is an acquire edge). Marks the target joined.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        let mut st = self.reschedule(me);
+        loop {
+            if st.threads[target].status == Status::Finished {
+                st.threads[target].joined = true;
+                let fc = st.final_clocks[target].clone();
+                if let Some(fc) = fc {
+                    st.clocks[me].join(&fc);
+                }
+                st.clocks[me].bump(me);
+                return;
+            }
+            st.threads[me].status = Status::BlockedOnJoin(target);
+            self.pick_next(&mut st);
+            st = self.wait_until_granted(st, me);
+            st.threads[me].status = Status::Runnable;
+        }
+    }
+
+    /// A bare scheduling point with no attached operation.
+    pub(crate) fn yield_now(&self, me: usize) {
+        drop(self.reschedule(me));
+    }
+
+    // -- scope bookkeeping ---------------------------------------------------
+
+    pub(crate) fn scope_open(&self) -> usize {
+        let mut st = self.lock();
+        let sid = st.next_scope_id;
+        st.next_scope_id += 1;
+        st.scope_pending.insert(sid, Vec::new());
+        sid
+    }
+
+    pub(crate) fn scope_track(&self, sid: usize, tid: usize) {
+        let mut st = self.lock();
+        if let Some(p) = st.scope_pending.get_mut(&sid) {
+            p.push(tid);
+        }
+    }
+
+    /// An explicit `join` consumed this handle; the scope exit must not
+    /// re-join (or re-propagate) it.
+    pub(crate) fn scope_consume(&self, sid: usize, tid: usize) {
+        let mut st = self.lock();
+        if let Some(p) = st.scope_pending.get_mut(&sid) {
+            p.retain(|&t| t != tid);
+        }
+    }
+
+    pub(crate) fn scope_drain(&self, sid: usize) -> Vec<usize> {
+        let mut st = self.lock();
+        st.scope_pending.remove(&sid).unwrap_or_default()
+    }
+
+    // -- mutexes ------------------------------------------------------------
+
+    pub(crate) fn mutex_new(self: &Arc<Self>) -> usize {
+        let mut st = self.lock();
+        st.mutexes.push(MutexState::default());
+        st.mutexes.len() - 1
+    }
+
+    /// Returns `true` if the mutex was poisoned by a panicking holder.
+    pub(crate) fn mutex_lock(&self, me: usize, mid: usize) -> bool {
+        let mut st = self.reschedule(me);
+        loop {
+            if st.mutexes[mid].owner.is_none() {
+                st.mutexes[mid].owner = Some(me);
+                let mclock = st.mutexes[mid].clock.clone();
+                st.clocks[me].join(&mclock);
+                st.clocks[me].bump(me);
+                return st.mutexes[mid].poisoned;
+            }
+            st.threads[me].status = Status::BlockedOnMutex(mid);
+            self.pick_next(&mut st);
+            st = self.wait_until_granted(st, me);
+            st.threads[me].status = Status::Runnable;
+        }
+    }
+
+    /// Release without a scheduling point (the releasing thread keeps the
+    /// grant); waiters become runnable for the next decision.
+    pub(crate) fn mutex_unlock(&self, me: usize, mid: usize, poison: bool) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.mutexes[mid].owner, Some(me), "unlock by non-owner");
+        st.mutexes[mid].owner = None;
+        if poison {
+            st.mutexes[mid].poisoned = true;
+        }
+        st.clocks[me].bump(me);
+        let released = st.clocks[me].clone();
+        st.mutexes[mid].clock.join(&released);
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::BlockedOnMutex(mid))
+            .map(|(i, _)| i)
+            .collect();
+        for w in waiters {
+            st.threads[w].status = Status::Runnable;
+        }
+    }
+
+    // -- atomics ------------------------------------------------------------
+
+    pub(crate) fn atomic_new(self: &Arc<Self>, value: u64) -> usize {
+        let mut st = self.lock();
+        let n_threads = st.threads.len();
+        let creator = st.running.unwrap_or(0);
+        let by = (creator, st.clocks[creator].get(creator));
+        st.atomics.push(AtomicState {
+            stores: vec![StoreEvent {
+                value,
+                by,
+                release: None,
+            }],
+            seen: vec![0; n_threads],
+            last_sc: None,
+        });
+        st.atomics.len() - 1
+    }
+
+    /// Coherence floor: the oldest store index thread `me` may still read.
+    fn read_floor(st: &ExecState, me: usize, aid: usize, seq_cst_load: bool) -> usize {
+        let a = &st.atomics[aid];
+        let mut floor = a.seen[me];
+        // A store whose event is already in my clock hides everything older.
+        for (i, s) in a.stores.iter().enumerate().rev() {
+            if st.clocks[me].contains(s.by.0, s.by.1) {
+                floor = floor.max(i);
+                break;
+            }
+        }
+        if seq_cst_load {
+            if let Some(sc) = a.last_sc {
+                floor = floor.max(sc);
+            }
+        }
+        floor
+    }
+
+    /// Non-RMW load. `acquire` controls the synchronizing side; which
+    /// coherent store is read is an explored decision.
+    pub(crate) fn atomic_load(&self, me: usize, aid: usize, acquire: bool, seq_cst: bool) -> u64 {
+        let mut st = self.reschedule(me);
+        let floor = Self::read_floor(&st, me, aid, seq_cst);
+        let latest = st.atomics[aid].stores.len() - 1;
+        let n = latest - floor + 1;
+        let idx = match st.trace.decide(n) {
+            Ok(pick) => floor + pick,
+            Err(msg) => {
+                self.fail(&mut st, msg);
+                self.abort_if_failed(&st);
+                unreachable!()
+            }
+        };
+        let (value, release) = {
+            let s = &st.atomics[aid].stores[idx];
+            (s.value, s.release.clone())
+        };
+        if acquire {
+            if let Some(rel) = release {
+                st.clocks[me].join(&rel);
+            }
+        }
+        st.atomics[aid].seen[me] = st.atomics[aid].seen[me].max(idx);
+        st.clocks[me].bump(me);
+        value
+    }
+
+    /// Non-RMW store: appended to the modification order.
+    pub(crate) fn atomic_store(&self, me: usize, aid: usize, value: u64, release: bool, seq_cst: bool) {
+        let mut st = self.reschedule(me);
+        let stamp = st.clocks[me].bump(me);
+        let rel = release.then(|| st.clocks[me].clone());
+        let a = &mut st.atomics[aid];
+        a.stores.push(StoreEvent {
+            value,
+            by: (me, stamp),
+            release: rel,
+        });
+        let idx = a.stores.len() - 1;
+        a.seen[me] = idx;
+        if seq_cst {
+            a.last_sc = Some(idx);
+        }
+    }
+
+    /// Read-modify-write: atomically reads the newest store and appends the
+    /// transformed value, continuing the displaced store's release
+    /// sequence. Returns the previous value.
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        aid: usize,
+        f: impl FnOnce(u64) -> Option<u64>,
+        acquire: bool,
+        release: bool,
+        seq_cst: bool,
+    ) -> u64 {
+        let mut st = self.reschedule(me);
+        let latest = st.atomics[aid].stores.len() - 1;
+        let (prev, prev_release) = {
+            let s = &st.atomics[aid].stores[latest];
+            (s.value, s.release.clone())
+        };
+        if acquire {
+            if let Some(rel) = &prev_release {
+                st.clocks[me].join(rel);
+            }
+        }
+        st.atomics[aid].seen[me] = latest;
+        if let Some(new) = f(prev) {
+            let stamp = st.clocks[me].bump(me);
+            // Release-sequence continuation: an RMW's published clock is
+            // the displaced store's chain, extended by our own clock when
+            // this RMW is itself release-ordered.
+            let rel = match (prev_release, release) {
+                (Some(mut chain), true) => {
+                    chain.join(&st.clocks[me]);
+                    Some(chain)
+                }
+                (Some(chain), false) => Some(chain),
+                (None, true) => Some(st.clocks[me].clone()),
+                (None, false) => None,
+            };
+            let a = &mut st.atomics[aid];
+            a.stores.push(StoreEvent {
+                value: new,
+                by: (me, stamp),
+                release: rel,
+            });
+            let idx = a.stores.len() - 1;
+            a.seen[me] = idx;
+            if seq_cst {
+                a.last_sc = Some(idx);
+            }
+        } else {
+            st.clocks[me].bump(me);
+        }
+        prev
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+/// Outcome of a [`Builder::check`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Schedules explored.
+    pub iterations: usize,
+    /// `true` when the whole interleaving space was enumerated before the
+    /// budget ran out.
+    pub exhausted: bool,
+}
+
+/// Exploration parameters. `max_iterations` bounds the number of schedules
+/// (env `BDA_LOOM_MAX_ITER` overrides the default); `seed` randomizes the
+/// DFS branch order so a budget-truncated search still samples the space
+/// broadly (env `BDA_LOOM_SEED`).
+#[derive(Clone, Debug)]
+pub struct Builder {
+    pub max_iterations: usize,
+    pub seed: u64,
+    pub max_ops: usize,
+    /// Fail (panic) if the budget runs out before the space is exhausted.
+    pub require_exhaustive: bool,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_iterations: env_usize("BDA_LOOM_MAX_ITER", 8192),
+            seed: env_usize("BDA_LOOM_SEED", 0x5eed) as u64,
+            max_ops: DEFAULT_MAX_OPS,
+            require_exhaustive: false,
+        }
+    }
+}
+
+static PANIC_HOOK: std::sync::Once = std::sync::Once::new();
+static HOOK_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Model threads panic on every counterexample candidate (and on aborts);
+/// the default hook would spam a backtrace per explored schedule. Install a
+/// chained hook, once per process, that silences panics originating on
+/// loom-named threads while model runs are active.
+fn install_panic_hook() {
+    PANIC_HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let on_loom_thread = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("loom-"));
+            if on_loom_thread && HOOK_ACTIVE.load(StdOrdering::Relaxed) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl Builder {
+    /// Explore interleavings of `f`, replaying it once per schedule. Panics
+    /// (re-raising the user payload) on the first schedule in which `f`
+    /// panics, and on model-level failures (deadlock, livelock).
+    pub fn check<F>(&self, f: F) -> Stats
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_panic_hook();
+        HOOK_ACTIVE.store(true, StdOrdering::Relaxed);
+        let result = self.check_inner(Arc::new(f));
+        HOOK_ACTIVE.store(false, StdOrdering::Relaxed);
+        match result {
+            Ok(stats) => stats,
+            Err((iteration, trace, outcome)) => {
+                let shape: Vec<String> = trace
+                    .iter()
+                    .map(|d| format!("{}/{}", d.rank, d.n))
+                    .collect();
+                eprintln!(
+                    "loom: counterexample at schedule {iteration} (seed {:#x}): decisions [{}]",
+                    self.seed,
+                    shape.join(", ")
+                );
+                match outcome {
+                    FailOutcome::UserPanic(payload) => panic::resume_unwind(payload),
+                    FailOutcome::Model(msg) => panic!("loom model failure: {msg}"),
+                }
+            }
+        }
+    }
+
+    fn check_inner(
+        &self,
+        f: Arc<dyn Fn() + Send + Sync>,
+    ) -> Result<Stats, (usize, Vec<Decision>, FailOutcome)> {
+        let mut prefix: Vec<Decision> = Vec::new();
+        for iteration in 0..self.max_iterations {
+            let exec = Arc::new(Execution::new(self.seed, prefix.clone(), self.max_ops));
+            let root = {
+                let exec = Arc::clone(&exec);
+                let f = Arc::clone(&f);
+                std::thread::Builder::new()
+                    .name("loom-root".into())
+                    .spawn(move || {
+                        set_ctx(Arc::clone(&exec), 0);
+                        let r = panic::catch_unwind(AssertUnwindSafe(|| f()));
+                        clear_ctx();
+                        match r {
+                            Ok(()) => exec.finish(0, false),
+                            Err(p) if p.is::<ModelAbort>() => exec.finish(0, false),
+                            Err(p) => {
+                                exec.set_panic_payload(0, p);
+                                exec.finish(0, true);
+                            }
+                        }
+                    })
+                    .expect("spawn loom root thread")
+            };
+            let _ = root.join();
+            // Wait until every model thread (including detached spawns)
+            // has reached `finish` so the state below is final.
+            {
+                let mut st = exec.lock();
+                while !st.all_finished && st.failure.is_none() {
+                    if st
+                        .threads
+                        .iter()
+                        .all(|t| t.status == Status::Finished)
+                    {
+                        break;
+                    }
+                    st = match exec.cv.wait(st) {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                }
+            }
+            let (failure, root_panic, unjoined_panic, trace) = {
+                let mut st = exec.lock();
+                let root_panic = st.panic_payloads.remove(&0);
+                let unjoined_panic = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .find(|(_, t)| t.panicked && !t.joined)
+                    .map(|(i, _)| i);
+                (
+                    st.failure.take(),
+                    root_panic,
+                    unjoined_panic,
+                    std::mem::take(&mut st.trace.decisions),
+                )
+            };
+            if let Some(payload) = root_panic {
+                return Err((iteration, trace, FailOutcome::UserPanic(payload)));
+            }
+            if let Some(msg) = failure {
+                return Err((iteration, trace, FailOutcome::Model(msg)));
+            }
+            if let Some(tid) = unjoined_panic {
+                return Err((
+                    iteration,
+                    trace,
+                    FailOutcome::Model(format!(
+                        "thread {tid} panicked and its handle was never joined"
+                    )),
+                ));
+            }
+            // Depth-first backtrack to the next unexplored schedule.
+            prefix = trace;
+            loop {
+                match prefix.last_mut() {
+                    None => {
+                        return Ok(Stats {
+                            iterations: iteration + 1,
+                            exhausted: true,
+                        })
+                    }
+                    Some(d) if d.rank + 1 < d.n => {
+                        d.rank += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        prefix.pop();
+                    }
+                }
+            }
+        }
+        if self.require_exhaustive {
+            return Err((
+                self.max_iterations,
+                prefix,
+                FailOutcome::Model(format!(
+                    "schedule budget ({}) exhausted before the interleaving space",
+                    self.max_iterations
+                )),
+            ));
+        }
+        Ok(Stats {
+            iterations: self.max_iterations,
+            exhausted: false,
+        })
+    }
+}
+
+enum FailOutcome {
+    UserPanic(PanicPayload),
+    Model(String),
+}
+
+/// Explore interleavings of `f` with default bounds (see [`Builder`]).
+pub fn model<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}

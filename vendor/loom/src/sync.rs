@@ -1,0 +1,249 @@
+//! `loom::sync` — shim atomics and `Mutex` whose every access routes
+//! through the model runtime.
+
+use crate::rt;
+use std::cell::UnsafeCell;
+
+pub mod atomic {
+    use super::*;
+    pub use std::sync::atomic::Ordering;
+
+    fn acq(order: Ordering) -> bool {
+        matches!(order, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn rel(order: Ordering) -> bool {
+        matches!(order, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn sc(order: Ordering) -> bool {
+        matches!(order, Ordering::SeqCst)
+    }
+
+    macro_rules! shim_atomic {
+        ($name:ident, $ty:ty) => {
+            /// Model-checked atomic: values live in the runtime's
+            /// modification-order history, not in a machine word, so loads
+            /// can (and do, as explored decisions) observe any value a real
+            /// weak-memory execution could.
+            #[derive(Debug)]
+            pub struct $name {
+                id: usize,
+            }
+
+            impl $name {
+                /// Must be created inside `loom::model` (the atomic
+                /// registers with the active execution).
+                #[allow(clippy::new_without_default)]
+                pub fn new(value: $ty) -> Self {
+                    let id = rt::with_ctx(|exec, _| exec.atomic_new(value as u64));
+                    $name { id }
+                }
+
+                pub fn load(&self, order: Ordering) -> $ty {
+                    rt::with_ctx(|exec, me| exec.atomic_load(me, self.id, acq(order), sc(order)))
+                        as $ty
+                }
+
+                pub fn store(&self, value: $ty, order: Ordering) {
+                    rt::with_ctx(|exec, me| {
+                        exec.atomic_store(me, self.id, value as u64, rel(order), sc(order))
+                    })
+                }
+
+                pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                    rt::with_ctx(|exec, me| {
+                        exec.atomic_rmw(
+                            me,
+                            self.id,
+                            |_| Some(value as u64),
+                            acq(order),
+                            rel(order),
+                            sc(order),
+                        )
+                    }) as $ty
+                }
+
+                pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                    rt::with_ctx(|exec, me| {
+                        exec.atomic_rmw(
+                            me,
+                            self.id,
+                            |prev| Some((prev as $ty).wrapping_add(value) as u64),
+                            acq(order),
+                            rel(order),
+                            sc(order),
+                        )
+                    }) as $ty
+                }
+
+                pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                    rt::with_ctx(|exec, me| {
+                        exec.atomic_rmw(
+                            me,
+                            self.id,
+                            |prev| Some((prev as $ty).wrapping_sub(value) as u64),
+                            acq(order),
+                            rel(order),
+                            sc(order),
+                        )
+                    }) as $ty
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    let prev = rt::with_ctx(|exec, me| {
+                        exec.atomic_rmw(
+                            me,
+                            self.id,
+                            |prev| (prev == current as u64).then_some(new as u64),
+                            // The acquire side applies on both outcomes with
+                            // the stronger of the two orderings; the release
+                            // side only matters when the store happens.
+                            acq(success) || acq(failure),
+                            rel(success),
+                            sc(success),
+                        )
+                    }) as $ty;
+                    if prev == current {
+                        Ok(prev)
+                    } else {
+                        Err(prev)
+                    }
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    // No spurious failures in the model: weak == strong.
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    shim_atomic!(AtomicUsize, usize);
+    shim_atomic!(AtomicU64, u64);
+    shim_atomic!(AtomicU32, u32);
+
+    /// Bool variant, stored as 0/1 in the shared history machinery.
+    #[derive(Debug)]
+    pub struct AtomicBool {
+        inner: AtomicUsize,
+    }
+
+    impl AtomicBool {
+        #[allow(clippy::new_without_default)]
+        pub fn new(value: bool) -> Self {
+            AtomicBool {
+                inner: AtomicUsize::new(usize::from(value)),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            self.inner.load(order) != 0
+        }
+
+        pub fn store(&self, value: bool, order: Ordering) {
+            self.inner.store(usize::from(value), order)
+        }
+
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            self.inner.swap(usize::from(value), order) != 0
+        }
+    }
+}
+
+/// Model-checked mutex with the `std::sync::Mutex` API subset the pool
+/// protocol uses (`lock().unwrap()`), including poisoning on panic.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the runtime serializes model threads and enforces mutual
+// exclusion (a thread blocks in `mutex_lock` until it is the owner), so the
+// cell is only touched by the lock holder.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+pub struct PoisonError<G> {
+    guard: G,
+}
+
+impl<G> PoisonError<G> {
+    pub fn into_inner(self) -> G {
+        self.guard
+    }
+}
+
+impl<G> std::fmt::Debug for PoisonError<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoisonError { .. }")
+    }
+}
+
+impl<G> std::fmt::Display for PoisonError<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("poisoned lock: another task failed inside")
+    }
+}
+
+pub type LockResult<G> = Result<G, PoisonError<G>>;
+
+impl<T> Mutex<T> {
+    /// Must be created inside `loom::model`.
+    pub fn new(data: T) -> Self {
+        let id = rt::with_ctx(|exec, _| exec.mutex_new());
+        Mutex {
+            id,
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let poisoned = rt::with_ctx(|exec, me| exec.mutex_lock(me, self.id));
+        let guard = MutexGuard { lock: self };
+        if poisoned {
+            Err(PoisonError { guard })
+        } else {
+            Ok(guard)
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: we are the model-level owner of the mutex.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: we are the model-level owner of the mutex.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let poison = std::thread::panicking();
+        rt::with_ctx(|exec, me| exec.mutex_unlock(me, self.lock.id, poison));
+    }
+}

@@ -1,0 +1,184 @@
+//! `loom::thread` — model-aware `spawn`, `scope`, and `yield_now` with the
+//! `std::thread` surface the workspace uses.
+//!
+//! Model threads are real OS threads; the runtime serializes them so that
+//! exactly one runs between visible operations. Scoped threads wrap
+//! `std::thread::scope`, so borrowing from the enclosing stack works
+//! exactly as with std — but joining happens at the *model* level first
+//! (so the scheduler can explore orderings), and only then at the OS level
+//! (which by construction no longer blocks).
+
+use crate::rt::{self, ModelAbort};
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+type ValueSlot<T> = Arc<Mutex<Option<T>>>;
+
+/// Yield the grant back to the scheduler: a pure decision point. Required
+/// inside spin loops so the model can interleave (and bound) them.
+pub fn yield_now() {
+    rt::with_ctx(|exec, me| exec.yield_now(me));
+}
+
+/// Body wrapper shared by plain and scoped spawns: wait for the first
+/// grant, run, stash the value or panic payload, and hand the grant on.
+fn run_wrapped<T, F>(exec: &Arc<rt::Execution>, me: usize, slot: &ValueSlot<T>, f: F)
+where
+    F: FnOnce() -> T,
+{
+    rt::set_ctx(Arc::clone(exec), me);
+    exec.wait_first_grant(me);
+    let r = panic::catch_unwind(AssertUnwindSafe(f));
+    rt::clear_ctx();
+    match r {
+        Ok(v) => {
+            if let Ok(mut s) = slot.lock() {
+                *s = Some(v);
+            }
+            exec.finish(me, false);
+        }
+        Err(p) if p.is::<ModelAbort>() => exec.finish(me, false),
+        Err(p) => {
+            exec.set_panic_payload(me, p);
+            exec.finish(me, true);
+        }
+    }
+}
+
+/// Join-side completion shared by plain and scoped handles.
+fn collect_join<T>(exec: &Arc<rt::Execution>, me: usize, id: usize, slot: &ValueSlot<T>) -> Result<T, PanicPayload> {
+    exec.join_thread(me, id);
+    if let Some(payload) = exec.take_panic_payload(id) {
+        return Err(payload);
+    }
+    let v = slot
+        .lock()
+        .ok()
+        .and_then(|mut s| s.take())
+        .expect("joined model thread left no value and no panic payload");
+    Ok(v)
+}
+
+/// Handle to a detached (non-scoped) model thread.
+pub struct JoinHandle<T> {
+    id: usize,
+    slot: ValueSlot<T>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> Result<T, PanicPayload> {
+        rt::with_ctx(|exec, me| collect_join(exec, me, self.id, &self.slot))
+    }
+}
+
+/// Spawn a `'static` model thread (the `std::thread::spawn` analogue).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot: ValueSlot<T> = Arc::new(Mutex::new(None));
+    let id = rt::with_ctx(|exec, me| {
+        let id = exec.register_thread(me);
+        let exec = Arc::clone(exec);
+        let slot = Arc::clone(&slot);
+        std::thread::Builder::new()
+            .name(format!("loom-{id}"))
+            .spawn(move || run_wrapped(&exec, id, &slot, f))
+            .expect("spawn loom model thread");
+        id
+    });
+    JoinHandle { id, slot }
+}
+
+/// Scoped spawn surface mirroring `std::thread::scope`. `Copy` so it can
+/// be handed to the body closure by value — pending-thread bookkeeping
+/// lives in the runtime, keyed by scope id, which sidesteps the lifetime
+/// invariance of `std::thread::Scope`.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    sid: usize,
+}
+
+pub struct ScopedJoinHandle<T> {
+    id: usize,
+    sid: usize,
+    slot: ValueSlot<T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let slot: ValueSlot<T> = Arc::new(Mutex::new(None));
+        let id = rt::with_ctx(|exec, me| {
+            let id = exec.register_thread(me);
+            exec.scope_track(self.sid, id);
+            let exec = Arc::clone(exec);
+            let slot = Arc::clone(&slot);
+            std::thread::Builder::new()
+                .name(format!("loom-{id}"))
+                .spawn_scoped(self.std, move || run_wrapped(&exec, id, &slot, f))
+                .expect("spawn scoped loom model thread");
+            id
+        });
+        ScopedJoinHandle {
+            id,
+            sid: self.sid,
+            slot,
+        }
+    }
+}
+
+impl<T> ScopedJoinHandle<T> {
+    pub fn join(self) -> Result<T, PanicPayload> {
+        rt::with_ctx(|exec, me| {
+            exec.scope_consume(self.sid, self.id);
+            collect_join(exec, me, self.id, &self.slot)
+        })
+    }
+}
+
+/// `std::thread::scope` analogue: joins all scoped model threads before
+/// returning and, matching std's contract, propagates a panic from any
+/// scoped thread that was not explicitly joined (after the scope body's
+/// own panic, which takes precedence).
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> T,
+{
+    let sid = rt::with_ctx(|exec, _| exec.scope_open());
+    std::thread::scope(|std_scope| {
+        let body = panic::catch_unwind(AssertUnwindSafe(|| {
+            f(Scope {
+                std: std_scope,
+                sid,
+            })
+        }));
+        // Model-join every thread the body did not consume, so the OS-level
+        // joins inside `std::thread::scope` cannot block outside the model.
+        let mut escaped: Option<PanicPayload> = None;
+        rt::with_ctx(|exec, me| {
+            for id in exec.scope_drain(sid) {
+                exec.join_thread(me, id);
+                if let Some(payload) = exec.take_panic_payload(id) {
+                    escaped.get_or_insert(payload);
+                }
+            }
+        });
+        match body {
+            Err(body_panic) => panic::resume_unwind(body_panic),
+            Ok(v) => {
+                if let Some(payload) = escaped {
+                    panic::resume_unwind(payload);
+                }
+                v
+            }
+        }
+    })
+}

@@ -1,0 +1,26 @@
+//! The checked sync facade: the **only** place the pool touches
+//! synchronization primitives.
+//!
+//! `bda-check`'s `pool_facade` lint rule denies `std::sync::atomic` /
+//! `std::sync::Mutex` / `std::thread::scope` tokens anywhere else in this
+//! crate, so every atomic the claim/steal/combine protocol performs is
+//! guaranteed to route through here — and therefore to run, unmodified,
+//! under the loom model checker when the `loom-model` feature swaps the
+//! backing implementation. The protocol code in [`crate::protocol`] is
+//! byte-for-byte identical in both builds; only these re-exports change.
+
+#[cfg(not(feature = "loom-model"))]
+mod imp {
+    pub use std::sync::atomic::{AtomicUsize, Ordering};
+    pub use std::sync::Mutex;
+    pub use std::thread::scope;
+}
+
+#[cfg(feature = "loom-model")]
+mod imp {
+    pub use loom::sync::atomic::{AtomicUsize, Ordering};
+    pub use loom::sync::Mutex;
+    pub use loom::thread::scope;
+}
+
+pub use imp::*;

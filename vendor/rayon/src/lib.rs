@@ -49,14 +49,13 @@
 //! `ThreadPool::install` provide the rayon-compatible scoped override used
 //! by the scaling bench to measure 1/2/4/8-thread runs in one process.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+mod facade;
+pub mod protocol;
 
-/// Upper bound on work chunks per parallel region. More chunks than the
-/// widest realistic worker count gives the stealing loop room to balance
-/// uneven per-chunk cost; a bound keeps per-chunk bookkeeping negligible.
-pub const MAX_CHUNKS: usize = 32;
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+pub use protocol::MAX_CHUNKS;
 
 // ---------------------------------------------------------------------------
 // Thread-count resolution
@@ -67,9 +66,6 @@ static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
 thread_local! {
     /// `ThreadPool::install` override for the current thread.
     static INSTALLED: Cell<Option<usize>> = const { Cell::new(None) };
-    /// How many parallel regions enclose the current thread (> 0 on pool
-    /// workers); nested regions run sequentially.
-    static POOL_DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
 fn default_threads() -> usize {
@@ -91,27 +87,10 @@ fn global_threads() -> usize {
 
 /// Threads a parallel operation started on this thread would use right now.
 pub fn current_num_threads() -> usize {
-    if POOL_DEPTH.with(|d| d.get()) > 0 {
+    if protocol::in_parallel_region() {
         return 1;
     }
     INSTALLED.with(|c| c.get()).unwrap_or_else(global_threads)
-}
-
-/// RAII marker that the current thread is executing inside a parallel
-/// region, so nested parallel operations serialize instead of spawning.
-struct DepthGuard;
-
-impl DepthGuard {
-    fn enter() -> Self {
-        POOL_DEPTH.with(|d| d.set(d.get() + 1));
-        DepthGuard
-    }
-}
-
-impl Drop for DepthGuard {
-    fn drop(&mut self) {
-        POOL_DEPTH.with(|d| d.set(d.get() - 1));
-    }
 }
 
 /// Errors from [`ThreadPoolBuilder::build`] / `build_global`.
@@ -198,88 +177,19 @@ impl ThreadPool {
 // Core executor
 // ---------------------------------------------------------------------------
 
-/// Split `items` into the deterministic chunk set for its length: balanced
-/// contiguous runs, at most [`MAX_CHUNKS`] of them. Returns
-/// `(global_start_index, chunk_items)` pairs in input order.
-fn split_chunks<B>(items: Vec<B>) -> Vec<(usize, Vec<B>)> {
-    let len = items.len();
-    if len == 0 {
-        return Vec::new();
-    }
-    let n_chunks = len.min(MAX_CHUNKS);
-    let mut tasks = Vec::with_capacity(n_chunks);
-    let mut rest = items;
-    let mut start = 0;
-    for c in 0..n_chunks {
-        let end = (c + 1) * len / n_chunks;
-        let tail = rest.split_off(end - start);
-        tasks.push((start, std::mem::replace(&mut rest, tail)));
-        start = end;
-    }
-    tasks
-}
-
 /// Run `work` over every chunk of `items`, returning per-chunk results in
 /// chunk order. Chunk boundaries depend only on `items.len()`; execution
 /// (1 thread inline vs N scoped workers stealing chunks) never changes the
-/// output. A panic inside `work` on any worker propagates to the caller
-/// once the region is joined.
+/// output. The claim/steal/combine protocol itself lives in
+/// [`protocol::run_chunks_with`], behind the checked sync facade, so the
+/// loom interleaving suite exercises exactly the code that runs here.
 fn run_chunks<B, R, W>(items: Vec<B>, work: W) -> Vec<R>
 where
     B: Send,
     R: Send,
     W: Fn(usize, Vec<B>) -> R + Sync,
 {
-    let tasks = split_chunks(items);
-    let n_chunks = tasks.len();
-    if n_chunks == 0 {
-        return Vec::new();
-    }
-    let threads = current_num_threads().min(n_chunks);
-    if threads <= 1 {
-        // Reference path: identical chunk structure, one worker.
-        return tasks.into_iter().map(|(s, chunk)| work(s, chunk)).collect();
-    }
-
-    // One take-once cell per chunk: a worker claims index `c` through the
-    // atomic counter, then takes `(start, chunk)` out of its cell.
-    type ChunkQueue<B> = Vec<Mutex<Option<(usize, Vec<B>)>>>;
-    let queue: ChunkQueue<B> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let (queue, slots, next, work) = (&queue, &slots, &next, &work);
-    std::thread::scope(|scope| {
-        let worker = move || {
-            let _depth = DepthGuard::enter();
-            loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
-                }
-                let (start, chunk) = queue[c]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("chunk claimed twice");
-                let r = work(start, chunk);
-                *slots[c].lock().unwrap() = Some(r);
-            }
-        };
-        for _ in 1..threads {
-            scope.spawn(worker);
-        }
-        // The calling thread is worker zero.
-        worker();
-    });
-    slots
-        .iter()
-        .map(|m| {
-            m.lock()
-                .unwrap()
-                .take()
-                .expect("worker finished without storing its chunk result")
-        })
-        .collect()
+    protocol::run_chunks_with(current_num_threads(), items, work)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,159 @@
+//! The model-checked pool protocol: deterministic chunk splitting, atomic
+//! chunk claiming (work stealing in its simplest form), take-once chunk
+//! cells, index-addressed result slots, and ascending-order combination.
+//!
+//! Everything in this module goes through [`crate::facade`] for its
+//! synchronization, so the **same code** executes under `std::sync` in
+//! production and under the vendored loom model checker in `bda-check`'s
+//! interleaving suite (`cargo test -p bda-check --features loom-model`).
+//! The suite verifies, over every bounded interleaving at 2 and 3 model
+//! threads:
+//!
+//! * every chunk is claimed and executed exactly once;
+//! * per-chunk results are combined in ascending chunk order regardless of
+//!   which worker computed them (the determinism contract);
+//! * nested regions serialize on the calling worker and cannot deadlock;
+//! * a panic in any worker propagates to the region's caller.
+
+use crate::facade::{scope, AtomicUsize, Mutex, Ordering};
+use std::cell::Cell;
+
+/// Upper bound on work chunks per parallel region. More chunks than the
+/// widest realistic worker count gives the stealing loop room to balance
+/// uneven per-chunk cost; a bound keeps per-chunk bookkeeping negligible.
+pub const MAX_CHUNKS: usize = 32;
+
+thread_local! {
+    /// How many parallel regions enclose the current thread (> 0 on pool
+    /// workers); nested regions run sequentially.
+    static POOL_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Is the current thread already inside a parallel region?
+pub fn in_parallel_region() -> bool {
+    POOL_DEPTH.with(|d| d.get()) > 0
+}
+
+/// RAII marker that the current thread is executing inside a parallel
+/// region, so nested parallel operations serialize instead of spawning.
+struct DepthGuard;
+
+impl DepthGuard {
+    fn enter() -> Self {
+        POOL_DEPTH.with(|d| d.set(d.get() + 1));
+        DepthGuard
+    }
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        POOL_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Split `items` into the deterministic chunk set for its length: balanced
+/// contiguous runs, at most [`MAX_CHUNKS`] of them. Returns
+/// `(global_start_index, chunk_items)` pairs in input order. Chunk
+/// boundaries are a pure function of `items.len()` — never of the thread
+/// count — which is what makes N-thread output bit-identical to 1-thread
+/// output.
+pub fn split_chunks<B>(items: Vec<B>) -> Vec<(usize, Vec<B>)> {
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let n_chunks = len.min(MAX_CHUNKS);
+    let mut tasks = Vec::with_capacity(n_chunks);
+    let mut rest = items;
+    let mut start = 0;
+    for c in 0..n_chunks {
+        let end = (c + 1) * len / n_chunks;
+        let tail = rest.split_off(end - start);
+        tasks.push((start, std::mem::replace(&mut rest, tail)));
+        start = end;
+    }
+    tasks
+}
+
+/// Run `work` over every chunk of `items` on up to `threads` workers,
+/// returning per-chunk results in ascending chunk order.
+///
+/// The protocol: one take-once cell per chunk plus a shared atomic claim
+/// index. A worker claims chunk `c` by `fetch_add` on the index, takes
+/// `(start, chunk)` out of cell `c`, runs `work`, and writes the result
+/// into slot `c`. A fast worker that exhausts its claim immediately claims
+/// the next unprocessed chunk, so load imbalance is absorbed without
+/// per-thread queues. The claim index is the *only* line of mutual
+/// exclusion between workers and a chunk cell — which is exactly the kind
+/// of invariant the loom suite checks mechanically.
+///
+/// Nested calls (from inside a worker) are forced to the sequential path
+/// regardless of `threads`, which bounds the total thread count and makes
+/// nesting deadlock-free by construction. A panic inside `work` on any
+/// worker propagates to the caller once the region is joined.
+pub fn run_chunks_with<B, R, W>(threads: usize, items: Vec<B>, work: W) -> Vec<R>
+where
+    B: Send,
+    R: Send,
+    W: Fn(usize, Vec<B>) -> R + Sync,
+{
+    let tasks = split_chunks(items);
+    let n_chunks = tasks.len();
+    if n_chunks == 0 {
+        return Vec::new();
+    }
+    let threads = if in_parallel_region() {
+        1
+    } else {
+        threads.clamp(1, n_chunks)
+    };
+    if threads == 1 {
+        // Reference path: identical chunk structure, one worker.
+        return tasks.into_iter().map(|(s, chunk)| work(s, chunk)).collect();
+    }
+
+    // One take-once cell per chunk: a worker claims index `c` through the
+    // atomic counter, then takes `(start, chunk)` out of its cell.
+    type ChunkQueue<B> = Vec<Mutex<Option<(usize, Vec<B>)>>>;
+    let queue: ChunkQueue<B> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let (queue, slots, next, work) = (&queue, &slots, &next, &work);
+    scope(|s| {
+        let worker = move || {
+            let _depth = DepthGuard::enter();
+            loop {
+                // Acquire pairs with the Release below: claiming chunk `c`
+                // must also acquire whatever the previous claimant
+                // published, and publishing our slot write before the next
+                // claim keeps the claim index a synchronization spine for
+                // the whole region.
+                let c = next.fetch_add(1, Ordering::AcqRel);
+                if c >= n_chunks {
+                    break;
+                }
+                let (start, chunk) = queue[c]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("chunk claimed twice");
+                let r = work(start, chunk);
+                *slots[c].lock().unwrap() = Some(r);
+            }
+        };
+        for _ in 1..threads {
+            s.spawn(worker);
+        }
+        // The calling thread is worker zero.
+        worker();
+    });
+    slots
+        .iter()
+        .map(|m| {
+            m.lock()
+                .unwrap()
+                .take()
+                .expect("worker finished without storing its chunk result")
+        })
+        .collect()
+}
