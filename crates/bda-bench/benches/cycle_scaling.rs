@@ -20,6 +20,11 @@
 //!   thread count ≤ host cores reaches X. Skipped (with a notice) when
 //!   the host has fewer cores than every multi-thread point — a 1-core
 //!   box cannot measure scaling, only CI's 4-vCPU runner can.
+//!
+//! If the output file already exists and the host has fewer cores than the
+//! widest sweep point, the whole run is skipped (with a notice) instead of
+//! replacing a wide runner's results with numbers a narrow host cannot
+//! measure.
 
 use bda_bench::reduced_osse;
 use rayon::ThreadPoolBuilder;
@@ -92,6 +97,21 @@ fn main() {
 
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!("cycle_scaling: host_cores={host_cores} cycles/point={cycles} sweep={threads:?}");
+
+    // Honesty guard: a host narrower than the sweep (e.g. a 1-core
+    // container) measures only contention, not scaling. Overwriting a
+    // BENCH file produced by a wide runner with those degenerate numbers
+    // would silently corrupt the perf trajectory, so refuse.
+    let max_swept = threads.iter().copied().max().unwrap_or(1);
+    if host_cores < max_swept && std::path::Path::new(&out).exists() {
+        eprintln!(
+            "cycle_scaling: SKIP — {out} exists and this host has {host_cores} core(s), \
+             fewer than the widest sweep point ({max_swept} threads); refusing to \
+             overwrite a wider runner's results. Narrow the sweep with \
+             --threads or delete the file to force a rewrite."
+        );
+        return;
+    }
 
     let mut points: Vec<Point> = Vec::new();
     let mut base = None;

@@ -74,7 +74,14 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// design (see DESIGN.md §10).
 pub fn run(root: &Path) -> io::Result<Report> {
     let mut files = Vec::new();
-    for tree in ["src", "crates", "examples", "tests", "benches", "vendor/rayon"] {
+    for tree in [
+        "src",
+        "crates",
+        "examples",
+        "tests",
+        "benches",
+        "vendor/rayon",
+    ] {
         let dir = root.join(tree);
         if dir.is_dir() {
             walk(&dir, &mut files)?;

@@ -46,7 +46,10 @@ struct FileScope {
     workspace_any: bool,
     /// Test/bench/example/build-script *path* (not `#[cfg(test)]` regions).
     test_path: bool,
-    /// Numeric kernel crates where lossy `as` casts are denied.
+    /// Crates where lossy `as` casts are denied: the numeric kernels, plus
+    /// the egress codec (a truncated tile coordinate or length corrupts
+    /// the wire format as silently as a truncated index corrupts a
+    /// weight).
     kernel: bool,
     /// `vendor/rayon/src`, where the pool-facade rule applies.
     rayon_src: bool,
@@ -71,7 +74,9 @@ fn classify(rel: &str) -> FileScope {
         workspace_lib: workspace_any && !test_path,
         workspace_any,
         test_path,
-        kernel: rel.starts_with("crates/bda-num/src/") || rel.starts_with("crates/bda-letkf/src/"),
+        kernel: rel.starts_with("crates/bda-num/src/")
+            || rel.starts_with("crates/bda-letkf/src/")
+            || rel.starts_with("crates/bda-serve/src/"),
         rayon_src: rel.starts_with("vendor/rayon/src/"),
         facade: rel == "vendor/rayon/src/facade.rs",
     }

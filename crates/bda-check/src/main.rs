@@ -24,7 +24,8 @@ OPTIONS:
 RULES (suppress per-site with `// bda-check: allow(rule_id)`):
     unwrap              no .unwrap()/.expect() in non-test library code
     partial_cmp_unwrap  no partial_cmp(..).unwrap(); use total_cmp
-    lossy_cast          no lossy `as` casts in bda-num/bda-letkf kernels
+    lossy_cast          no lossy `as` casts in the bda-num/bda-letkf
+                        kernels or the bda-serve wire codec
     wallclock           no Instant::now/SystemTime::now/thread_rng in
                         deterministic cycle paths
     pool_facade         vendor/rayon sync primitives only via its facade

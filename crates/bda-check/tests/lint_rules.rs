@@ -44,12 +44,15 @@ fn lossy_cast_rule_is_kernel_scoped() {
     let src = include_str!("fixtures/lossy_cast.rs");
     let kernel = "crates/bda-num/src/fixture.rs";
     assert_eq!(lines_for(kernel, src, "lossy_cast"), vec![5, 9]);
+    // The egress codec is kernel-scoped too: a truncated tile coordinate
+    // corrupts the wire format as silently as a truncated weight index.
+    assert_eq!(
+        lines_for("crates/bda-serve/src/fixture.rs", src, "lossy_cast"),
+        vec![5, 9]
+    );
     // `&x as &dyn Trait` is not a numeric cast, and identifiers ending in
     // `as` never match. Outside the kernel crates the rule is off.
-    assert_eq!(
-        lines_for(LIB_PATH, src, "lossy_cast"),
-        Vec::<usize>::new()
-    );
+    assert_eq!(lines_for(LIB_PATH, src, "lossy_cast"), Vec::<usize>::new());
 }
 
 #[test]
@@ -69,10 +72,7 @@ fn pool_facade_rule_exempts_only_the_facade() {
         Vec::<usize>::new()
     );
     // Outside vendor/rayon the rule does not apply (other rules might).
-    assert_eq!(
-        lines_for(LIB_PATH, src, "pool_facade"),
-        Vec::<usize>::new()
-    );
+    assert_eq!(lines_for(LIB_PATH, src, "pool_facade"), Vec::<usize>::new());
 }
 
 #[test]
@@ -121,5 +121,8 @@ fn workspace_lints_clean() {
         report.files_scanned
     );
     let rendered = report.render();
-    assert!(rendered.contains("bda-check lint: 0 finding(s)"), "{rendered}");
+    assert!(
+        rendered.contains("bda-check lint: 0 finding(s)"),
+        "{rendered}"
+    );
 }

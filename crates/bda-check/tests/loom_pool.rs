@@ -51,7 +51,11 @@ fn check_exactly_once_and_order(threads: usize, items: usize, max_iter: usize) -
             start * 10
         });
         for (i, r) in runs.iter().enumerate() {
-            assert_eq!(r.load(Ordering::Relaxed), 1, "chunk {i} must run exactly once");
+            assert_eq!(
+                r.load(Ordering::Relaxed),
+                1,
+                "chunk {i} must run exactly once"
+            );
         }
         let expect: Vec<usize> = (0..items).map(|i| i * 10).collect();
         assert_eq!(out, expect, "combine order must be ascending chunk order");
@@ -71,13 +75,19 @@ fn chunks_claimed_exactly_once_two_threads_exhaustive() {
 #[test]
 fn chunks_claimed_exactly_once_two_threads_three_chunks() {
     let stats = check_exactly_once_and_order(2, 3, 20_000);
-    assert!(stats.iterations > 10, "expected a non-trivial schedule space");
+    assert!(
+        stats.iterations > 10,
+        "expected a non-trivial schedule space"
+    );
 }
 
 #[test]
 fn chunks_claimed_exactly_once_three_threads() {
     let stats = check_exactly_once_and_order(3, 3, 8_192);
-    assert!(stats.iterations > 10, "expected a non-trivial schedule space");
+    assert!(
+        stats.iterations > 10,
+        "expected a non-trivial schedule space"
+    );
 }
 
 /// Property 2 under uneven per-chunk cost: the *slow* chunk's result must

@@ -4,7 +4,8 @@
 //! k_members u64 | state_len u64 | payload (k * n values, little-endian) |
 //! FNV-1a checksum u64 over everything before it.
 
-use bda_num::{fnv1a, Real};
+use crate::frame::{self, FrameError};
+use bda_num::Real;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"BDAF";
@@ -51,9 +52,7 @@ pub fn encode_states<T: Real>(members: &[Vec<T>]) -> Result<Bytes, FormatError> 
             }
         }
     }
-    let sum = fnv1a(&buf);
-    buf.put_u64(sum);
-    Ok(buf.freeze())
+    Ok(frame::seal(buf))
 }
 
 /// Encoding/decoding errors.
@@ -110,12 +109,10 @@ pub fn decode_states<T: Real>(data: &[u8]) -> Result<Vec<Vec<T>>, FormatError> {
     if data.len() < 4 + 2 + 1 + 16 + 8 {
         return Err(FormatError::TooShort);
     }
-    let (payload, tail) = data.split_at(data.len() - 8);
-    let expect = u64::from_be_bytes(tail.try_into().map_err(|_| FormatError::TooShort)?);
-    if fnv1a(payload) != expect {
-        return Err(FormatError::ChecksumMismatch);
-    }
-    let mut buf = payload;
+    let mut buf = frame::open(data).map_err(|e| match e {
+        FrameError::TooShort => FormatError::TooShort,
+        FrameError::ChecksumMismatch => FormatError::ChecksumMismatch,
+    })?;
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
     if &magic != MAGIC {

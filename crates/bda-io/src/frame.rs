@@ -1,0 +1,111 @@
+//! Sealed-frame helpers: one checksum-trailer convention for every codec.
+//!
+//! The member-state format ([`crate::format`]), the JIT-DT pipe framing and
+//! the egress tile codec (`bda-serve`) all end their frames the same way: an
+//! FNV-1a digest of everything before it, appended big-endian. This module
+//! is the single home of that convention, so a sealer in one crate and an
+//! opener in another can never drift apart — the same reasoning that put
+//! [`bda_num::fnv1a`] itself in one place.
+
+use bda_num::fnv1a;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Bytes appended by [`seal`]: the big-endian FNV-1a trailer.
+pub const TRAILER_BYTES: usize = 8;
+
+/// What [`open`] rejects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the trailer itself: cannot possibly be a sealed frame.
+    TooShort,
+    /// The trailer does not match the body: damaged or truncated in
+    /// transit.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooShort => write!(f, "frame shorter than its checksum trailer"),
+            FrameError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Append the FNV-1a trailer and freeze the frame.
+pub fn seal(mut body: BytesMut) -> Bytes {
+    let sum = fnv1a(&body);
+    body.put_u64(sum);
+    body.freeze()
+}
+
+/// Verify the trailer and return the body it covered.
+pub fn open(data: &[u8]) -> Result<&[u8], FrameError> {
+    if data.len() < TRAILER_BYTES {
+        return Err(FrameError::TooShort);
+    }
+    let (body, tail) = data.split_at(data.len() - TRAILER_BYTES);
+    let expect = u64::from_be_bytes(tail.try_into().map_err(|_| FrameError::TooShort)?);
+    if fnv1a(body) != expect {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"nowcast tile");
+        let sealed = seal(b);
+        assert_eq!(sealed.len(), 12 + TRAILER_BYTES);
+        assert_eq!(open(&sealed).unwrap(), b"nowcast tile");
+    }
+
+    #[test]
+    fn empty_body_seals() {
+        let sealed = seal(BytesMut::new());
+        assert_eq!(open(&sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert_eq!(open(b"1234567").unwrap_err(), FrameError::TooShort);
+        assert_eq!(open(b"").unwrap_err(), FrameError::TooShort);
+    }
+
+    #[test]
+    fn every_single_bit_flip_detected() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[0xA5; 24]);
+        let sealed = seal(b).to_vec();
+        for byte in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut damaged = sealed.clone();
+                damaged[byte] ^= 1 << bit;
+                assert!(
+                    open(&damaged).is_err(),
+                    "flip at byte {byte} bit {bit} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"some payload bytes");
+        let sealed = seal(b).to_vec();
+        for cut in TRAILER_BYTES..sealed.len() {
+            assert!(
+                open(&sealed[..cut]).is_err(),
+                "cut at {cut} slipped through"
+            );
+        }
+    }
+}

@@ -18,13 +18,16 @@
 //! either mode.
 //!
 //! [`mod@format`] defines the self-describing binary member-state format used by
-//! the file path (and by any external tooling). [`mod@checkpoint`] persists
+//! the file path (and by any external tooling); its checksum-trailer
+//! convention lives in [`mod@frame`], shared with the `bda-serve` tile
+//! codec. [`mod@checkpoint`] persists
 //! whole-campaign snapshots (ensemble, RNG streams, cycle index, outcome
 //! log) atomically with CRC validation so a killed campaign resumes
 //! bit-for-bit.
 
 pub mod checkpoint;
 pub mod format;
+pub mod frame;
 pub mod transport;
 
 pub use checkpoint::{

@@ -35,8 +35,8 @@ pub mod watcher;
 pub use bytes::Bytes;
 pub use link::LinkModel;
 pub use sequence::{
-    sequenced_pipe, DeliveryDrop, DeliveryError, SequencedReceiver, SequencedSender,
-    SequencedVolume,
+    sequenced_pipe, DeliveryDrop, DeliveryError, SeqClass, SeqTracker, SequencedReceiver,
+    SequencedSender, SequencedVolume,
 };
 pub use stats::TransferStats;
 pub use transfer::{JitDt, TransferOutcome};

@@ -116,6 +116,64 @@ impl From<PipeError> for DeliveryError {
     }
 }
 
+/// How a sequence number relates to the newest one a [`SeqTracker`] has
+/// seen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeqClass {
+    /// Strictly newer than anything seen. `gap` counts the sequence
+    /// numbers skipped over to get here (0 for a contiguous advance).
+    Fresh { gap: u64 },
+    /// Equal to the newest seen: a replay.
+    Duplicate { seq: u64 },
+    /// Older than the newest seen: late delivery.
+    OutOfOrder { seq: u64, newest: u64 },
+}
+
+/// Connection-scoped sequence-number classifier.
+///
+/// This is the policy kernel shared by both directions of the pipeline:
+/// the ingest [`SequencedReceiver`] classifies radar volumes with it, and
+/// the egress side (`bda-serve`) runs one per subscriber connection so
+/// duplicated or gapped tile messages become typed outcomes instead of
+/// silent corruption.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeqTracker {
+    newest: Option<u64>,
+}
+
+impl SeqTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Newest sequence number seen so far.
+    pub fn newest(&self) -> Option<u64> {
+        self.newest
+    }
+
+    /// Classify `seq` against history. `Fresh` advances the tracker; the
+    /// other classes leave it untouched, so a replay of a gapped message
+    /// is still a duplicate.
+    pub fn classify(&mut self, seq: u64) -> SeqClass {
+        match self.newest {
+            Some(newest) if seq == newest => SeqClass::Duplicate { seq },
+            Some(newest) if seq < newest => SeqClass::OutOfOrder { seq, newest },
+            Some(newest) => {
+                self.newest = Some(seq);
+                SeqClass::Fresh {
+                    gap: seq - newest - 1,
+                }
+            }
+            None => {
+                self.newest = Some(seq);
+                // Joining mid-stream is not a gap: the first number seen
+                // defines the local origin.
+                SeqClass::Fresh { gap: 0 }
+            }
+        }
+    }
+}
+
 /// Sending half: stamps each volume with a sequence number and scan time.
 pub struct SequencedSender {
     inner: PipeSender,
@@ -126,7 +184,7 @@ pub struct SequencedSender {
 /// the duplicate / out-of-order / staleness policy.
 pub struct SequencedReceiver {
     inner: PipeReceiver,
-    newest: Option<u64>,
+    tracker: SeqTracker,
     /// Reject scans older than this at receive time; `None` disables the
     /// staleness check.
     pub stale_horizon_s: Option<f64>,
@@ -147,7 +205,7 @@ pub fn sequenced_pipe(
         },
         SequencedReceiver {
             inner: rx,
-            newest: None,
+            tracker: SeqTracker::new(),
             stale_horizon_s,
         },
     )
@@ -197,17 +255,15 @@ impl SequencedReceiver {
         if !scan_time.is_finite() {
             return Err(DeliveryError::Malformed);
         }
-        if let Some(newest) = self.newest {
-            if seq == newest {
-                return Err(DeliveryError::Duplicate { seq });
+        // The tracker advances on a fresh number even if the volume turns
+        // out stale below, so a replay of it is still a duplicate.
+        match self.tracker.classify(seq) {
+            SeqClass::Duplicate { seq } => return Err(DeliveryError::Duplicate { seq }),
+            SeqClass::OutOfOrder { seq, newest } => {
+                return Err(DeliveryError::OutOfOrder { seq, newest })
             }
-            if seq < newest {
-                return Err(DeliveryError::OutOfOrder { seq, newest });
-            }
+            SeqClass::Fresh { .. } => {}
         }
-        // From here the volume is the newest ever seen: remember it even if
-        // it turns out stale, so a replay of it is still a duplicate.
-        self.newest = Some(seq);
         if let Some(horizon_s) = self.stale_horizon_s {
             let age_s = now - scan_time;
             if age_s > horizon_s {
@@ -244,7 +300,7 @@ impl SequencedReceiver {
 
     /// Sequence number of the newest volume seen so far.
     pub fn newest_seq(&self) -> Option<u64> {
-        self.newest
+        self.tracker.newest()
     }
 }
 
@@ -372,6 +428,26 @@ mod tests {
             rx.recv_timeout(0.0, Duration::from_millis(20)).unwrap_err(),
             DeliveryError::Pipe(PipeError::Stalled)
         );
+    }
+
+    #[test]
+    fn tracker_counts_gaps_and_advances_only_on_fresh() {
+        let mut t = SeqTracker::new();
+        assert_eq!(t.newest(), None);
+        // Mid-stream join defines the local origin: no gap reported.
+        assert_eq!(t.classify(10), SeqClass::Fresh { gap: 0 });
+        assert_eq!(t.classify(11), SeqClass::Fresh { gap: 0 });
+        assert_eq!(t.classify(15), SeqClass::Fresh { gap: 3 });
+        assert_eq!(t.classify(15), SeqClass::Duplicate { seq: 15 });
+        assert_eq!(
+            t.classify(12),
+            SeqClass::OutOfOrder {
+                seq: 12,
+                newest: 15
+            }
+        );
+        // Neither the duplicate nor the straggler moved the tracker.
+        assert_eq!(t.newest(), Some(15));
     }
 
     #[test]

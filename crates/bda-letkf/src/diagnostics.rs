@@ -12,8 +12,8 @@
 //! only RTPP in Table 2), useful for the sensitivity studies.
 
 use crate::obs::{ObsEnsemble, ObsKind};
-use bda_num::Real;
 use bda_num::cast;
+use bda_num::Real;
 use serde::{Deserialize, Serialize};
 
 /// Innovation statistics for one observation kind.

@@ -5,8 +5,8 @@ use crate::ensmatrix::{EnsembleMatrix, StateLayout};
 use crate::localization::{localization_weight, LocalizationError, ObsIndex};
 use crate::obs::ObsEnsemble;
 use crate::weights::{apply_transform, compute_transform, LocalObs};
-use bda_num::{BatchedEigen, MatrixS, Real};
 use bda_num::cast;
+use bda_num::{BatchedEigen, MatrixS, Real};
 use rayon::prelude::*;
 
 /// Why an analysis step could not run. All variants are recoverable by the

@@ -8,8 +8,8 @@
 //! the layout that lets Rayon hand each grid point's block to a worker as
 //! one mutable chunk.
 
-use bda_num::Real;
 use bda_num::cast;
+use bda_num::Real;
 use serde::{Deserialize, Serialize};
 
 /// Geometry of the flattened analysis state.
@@ -47,7 +47,10 @@ impl StateLayout {
     /// Physical cell-center position of (i, j).
     #[inline]
     pub fn xy(&self, i: usize, j: usize) -> (f64, f64) {
-        ((cast::f64_of(i) + 0.5) * self.dx, (cast::f64_of(j) + 0.5) * self.dx)
+        (
+            (cast::f64_of(i) + 0.5) * self.dx,
+            (cast::f64_of(j) + 0.5) * self.dx,
+        )
     }
 }
 

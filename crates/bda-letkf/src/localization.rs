@@ -1,8 +1,8 @@
 //! Observation localization: Gaspari–Cohn taper and a spatial bucket index.
 
 use crate::obs::Observation;
-use bda_num::Real;
 use bda_num::cast;
+use bda_num::Real;
 
 /// Gaspari–Cohn 5th-order piecewise-rational correlation function with
 /// support scale `c`: 1 at r = 0, exactly 0 for r >= 2c. This is the taper
@@ -134,7 +134,8 @@ impl ObsIndex {
                 if ii < 0 || jj < 0 || ii >= cast::i64_of(self.nx) || jj >= cast::i64_of(self.ny) {
                     continue;
                 }
-                for &idx in &self.buckets[cast::index_of_i64(ii) * self.ny + cast::index_of_i64(jj)] {
+                for &idx in &self.buckets[cast::index_of_i64(ii) * self.ny + cast::index_of_i64(jj)]
+                {
                     let o = &obs[cast::index_of_u32(idx)];
                     let dx = o.x - x;
                     let dy = o.y - y;

@@ -1,8 +1,8 @@
 //! Observations, model equivalents and quality control.
 
 use crate::config::LetkfConfig;
-use bda_num::Real;
 use bda_num::cast;
+use bda_num::Real;
 use serde::{Deserialize, Serialize};
 
 /// Observed quantity. The BDA system assimilates both radar observables

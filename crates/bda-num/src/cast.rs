@@ -79,6 +79,29 @@ pub fn index_of_i64(n: i64) -> usize {
     n as usize // bda-check: allow(lossy_cast)
 }
 
+/// Round-half-away to the nearest `u8`, saturating at 0/255; NaN → 0.
+/// This is the dBZ quantizer of the egress tile codec: a non-finite or
+/// out-of-palette value must clamp into the colormap, never wrap.
+#[inline]
+pub fn round_u8_sat(x: f64) -> u8 {
+    x.round() as u8 // bda-check: allow(lossy_cast)
+}
+
+/// `usize` → `u8` for palette/zoom indices with a checked precondition.
+#[inline]
+pub fn u8_of_index(n: usize) -> u8 {
+    debug_assert!(u8::try_from(n).is_ok(), "index {n} overflows u8");
+    n as u8 // bda-check: allow(lossy_cast)
+}
+
+/// `usize` → compact `u16` tile coordinate; the precondition is that tile
+/// grids stay below 2¹⁶ per axis (they are bounded by the model grid).
+#[inline]
+pub fn u16_of_index(n: usize) -> u16 {
+    debug_assert!(u16::try_from(n).is_ok(), "index {n} overflows u16");
+    n as u16 // bda-check: allow(lossy_cast)
+}
+
 /// Compact observation-index storage: `u32` → `usize` is always widening
 /// on every platform this workspace targets.
 #[inline]
@@ -127,5 +150,18 @@ mod tests {
         assert_eq!(index_of_i64(42), 42);
         assert_eq!(index_of_u32(7), 7);
         assert_eq!(u32_of_index(7), 7);
+        assert_eq!(u16_of_index(512), 512);
+        assert_eq!(u8_of_index(200), 200);
+    }
+
+    #[test]
+    fn u8_saturation_and_rounding() {
+        assert_eq!(round_u8_sat(0.0), 0);
+        assert_eq!(round_u8_sat(127.5), 128);
+        assert_eq!(round_u8_sat(255.0), 255);
+        assert_eq!(round_u8_sat(300.0), 255);
+        assert_eq!(round_u8_sat(-5.0), 0);
+        assert_eq!(round_u8_sat(f64::NAN), 0);
+        assert_eq!(round_u8_sat(f64::INFINITY), 255);
     }
 }

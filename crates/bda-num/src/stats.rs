@@ -146,7 +146,9 @@ impl Histogram {
         let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
-            let bar = cast::round_index(cast::f64_of_u64(c) / cast::f64_of_u64(max) * cast::f64_of(width));
+            let bar = cast::round_index(
+                cast::f64_of_u64(c) / cast::f64_of_u64(max) * cast::f64_of(width),
+            );
             out.push_str(&format!(
                 "{:>8.2} | {:<width$} {}\n",
                 self.center(i),

@@ -62,6 +62,14 @@ pub enum Fault {
     /// any checkpoint for it is taken — the in-process stand-in for
     /// `kill -9`, exercised by the checkpoint/resume path.
     Crash,
+    /// `n` egress subscribers stop draining their sockets starting this
+    /// cycle — the serve layer must evict them instead of letting the
+    /// broadcast stall.
+    SlowClients { n: usize },
+    /// `n` extra subscribers connect (or reconnect) in a burst during this
+    /// cycle — an egress connection storm the acceptor must absorb without
+    /// missing the publish deadline.
+    ConnStorm { n: usize },
 }
 
 /// Per-cycle fault schedule. Ordered map so iteration (and therefore any
@@ -164,6 +172,18 @@ impl FaultPlan {
         self
     }
 
+    /// Make `n` egress subscribers stop draining from `cycle` on.
+    pub fn slow_clients(mut self, cycle: usize, n: usize) -> Self {
+        self.push(cycle, Fault::SlowClients { n });
+        self
+    }
+
+    /// Burst-connect `n` extra egress subscribers during `cycle`.
+    pub fn conn_storm(mut self, cycle: usize, n: usize) -> Self {
+        self.push(cycle, Fault::ConnStorm { n });
+        self
+    }
+
     /// Faults scheduled for `cycle` (empty slice when none).
     pub fn faults_for(&self, cycle: usize) -> &[Fault] {
         self.by_cycle.get(&cycle).map(Vec::as_slice).unwrap_or(&[])
@@ -210,6 +230,29 @@ impl FaultPlan {
     /// Whether `cycle` has a process crash scheduled.
     pub fn has_crash(&self, cycle: usize) -> bool {
         self.has(cycle, Fault::Crash)
+    }
+
+    /// Total egress subscribers scheduled to go slow on `cycle` (summed
+    /// across `slowclient` tokens, mirroring `member_nans`' accumulation).
+    pub fn slow_clients_at(&self, cycle: usize) -> usize {
+        self.faults_for(cycle)
+            .iter()
+            .map(|f| match f {
+                Fault::SlowClients { n } => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total burst connections scheduled for `cycle`.
+    pub fn conn_storm_at(&self, cycle: usize) -> usize {
+        self.faults_for(cycle)
+            .iter()
+            .map(|f| match f {
+                Fault::ConnStorm { n } => *n,
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Total number of scheduled faults.
@@ -261,6 +304,10 @@ impl FaultPlan {
     /// * `nan:M@C` — poison member `M` with NaN at the start of cycle `C`;
     /// * `blowup:M@C` — seed member `M` with Inf at the start of cycle `C`;
     /// * `crash@C` — kill the process abruptly at the start of cycle `C`;
+    /// * `slowclient:N@C` — `N` egress subscribers stop draining from
+    ///   cycle `C` on;
+    /// * `connstorm:N@C` — `N` extra egress subscribers burst-connect
+    ///   during cycle `C`;
     /// * `random:SEED` — a seed-driven plan at default rates (requires the
     ///   caller to know `n_cycles`, so it takes it via [`FaultPlan::random`]
     ///   — here it is expanded with `n_cycles` passed in).
@@ -325,10 +372,12 @@ impl FaultPlan {
                 }
                 other => {
                     let member_fault = other.split_once(':').and_then(|(kind, m)| {
-                        let member: usize = m.parse().ok()?;
+                        let arg: usize = m.parse().ok()?;
                         match kind {
-                            "nan" => Some(Fault::MemberNan { member }),
-                            "blowup" => Some(Fault::MemberBlowUp { member }),
+                            "nan" => Some(Fault::MemberNan { member: arg }),
+                            "blowup" => Some(Fault::MemberBlowUp { member: arg }),
+                            "slowclient" => Some(Fault::SlowClients { n: arg }),
+                            "connstorm" => Some(Fault::ConnStorm { n: arg }),
                             _ => None,
                         }
                     });
@@ -426,6 +475,24 @@ mod tests {
         assert!(built.has(3, Fault::StaleScan));
         assert!(FaultPlan::parse("dup@x", 8).is_err());
         assert!(FaultPlan::parse("stale@", 8).is_err());
+    }
+
+    #[test]
+    fn parse_egress_faults_compose_with_ingest() {
+        let plan = FaultPlan::parse(
+            "slowclient:50@2, connstorm:200@4, drop@2, slowclient:10@2",
+            8,
+        )
+        .unwrap();
+        assert_eq!(plan.slow_clients_at(2), 60);
+        assert_eq!(plan.conn_storm_at(4), 200);
+        assert_eq!(plan.conn_storm_at(2), 0);
+        assert!(plan.has(2, Fault::DropScan));
+        let built = FaultPlan::none().slow_clients(1, 5).conn_storm(1, 7);
+        assert_eq!(built.slow_clients_at(1), 5);
+        assert_eq!(built.conn_storm_at(1), 7);
+        assert!(FaultPlan::parse("slowclient:x@2", 8).is_err());
+        assert!(FaultPlan::parse("connstorm:3@y", 8).is_err());
     }
 
     #[test]

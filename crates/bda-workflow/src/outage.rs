@@ -96,10 +96,7 @@ impl OutageSchedule {
     /// Is the system down at time `t`?
     pub fn is_down(&self, t: f64) -> bool {
         // Windows are sorted; binary search by start.
-        match self
-            .windows
-            .binary_search_by(|w| w.start.total_cmp(&t))
-        {
+        match self.windows.binary_search_by(|w| w.start.total_cmp(&t)) {
             Ok(_) => true,
             Err(0) => false,
             Err(i) => self.windows[i - 1].contains(t),

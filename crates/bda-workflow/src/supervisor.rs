@@ -208,6 +208,11 @@ pub struct CycleReport {
     /// abandoned cycles). Dropping them is correct behaviour; they are
     /// reported so the outcome table shows the ingest layer working.
     pub drops: Vec<DeliveryDrop>,
+    /// What the egress stage reported after this cycle's product was (or
+    /// was not) published — `None` when no egress stage is wired in, or
+    /// when the cycle never reached the forecast thread (superseded /
+    /// assimilation-deadline skips publish nothing).
+    pub egress: Option<String>,
 }
 
 /// Aggregated outcome of a supervised run.
@@ -248,10 +253,21 @@ impl SupervisorReport {
     }
 
     /// Per-cycle outcome table (the `--inject` report of the realtime
-    /// example).
+    /// example). When any cycle carries an egress note, the table grows an
+    /// `egress` column between `retries` and `detail`.
     pub fn table(&self) -> String {
-        let mut out = String::from(
-            "cycle  outcome    obs(ms)  letkf(ms)  fcst(ms)  tts(ms)  retries  detail\n",
+        let egress_w = self
+            .cycles
+            .iter()
+            .filter_map(|c| c.egress.as_deref().map(str::len))
+            .max()
+            .map(|w| w.max("egress".len()));
+        let mut out = format!(
+            "cycle  outcome    obs(ms)  letkf(ms)  fcst(ms)  tts(ms)  retries  {}detail\n",
+            match egress_w {
+                Some(w) => format!("{:<w$}  ", "egress"),
+                None => String::new(),
+            }
         );
         for c in &self.cycles {
             // Per-stage wall-clock: observation ingest (scan + transfer),
@@ -281,8 +297,12 @@ impl SupervisorReport {
                 }
                 detail.push_str(&d.to_string());
             }
+            let egress = match egress_w {
+                Some(w) => format!("{:<w$}  ", c.egress.as_deref().unwrap_or("-")),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "{:5}  {:<9} {stages}  {:7}  {detail}\n",
+                "{:5}  {:<9} {stages}  {:7}  {egress}{detail}\n",
                 c.cycle,
                 c.disposition.label(),
                 c.transfer_retries,
@@ -408,15 +428,43 @@ impl CycleSupervisor {
     pub fn run<P, S, A, F>(
         &self,
         n_cycles: usize,
-        mut scan: S,
-        mut assimilate: A,
-        mut forecast: F,
+        scan: S,
+        assimilate: A,
+        forecast: F,
     ) -> SupervisorReport
     where
         P: Send,
         S: FnMut(usize) -> Result<Bytes, String> + Send,
         A: FnMut(usize, Bytes) -> Result<P, String> + Send,
         F: FnMut(usize, ForecastInput<'_, P>) -> Result<(), String> + Send,
+    {
+        self.run_with_egress(n_cycles, scan, assimilate, forecast, |_, _| None)
+    }
+
+    /// [`run`](Self::run) with an egress stage attached to the forecast
+    /// thread.
+    ///
+    /// After each cycle's disposition is decided, `egress(cycle,
+    /// &disposition)` runs panic-isolated; whatever note it returns lands
+    /// in [`CycleReport::egress`] and the outcome table. The egress stage
+    /// can never change a disposition — a publishing failure (or panic) is
+    /// recorded, not escalated, because the product itself was already
+    /// produced. Cycles that never reach the forecast thread (superseded,
+    /// assimilation-deadline skips) publish nothing and carry no note.
+    pub fn run_with_egress<P, S, A, F, E>(
+        &self,
+        n_cycles: usize,
+        mut scan: S,
+        mut assimilate: A,
+        mut forecast: F,
+        mut egress: E,
+    ) -> SupervisorReport
+    where
+        P: Send,
+        S: FnMut(usize) -> Result<Bytes, String> + Send,
+        A: FnMut(usize, Bytes) -> Result<P, String> + Send,
+        F: FnMut(usize, ForecastInput<'_, P>) -> Result<(), String> + Send,
+        E: FnMut(usize, &CycleDisposition) -> Option<String> + Send,
     {
         let capacity = self.pipeline.capacity;
         let (vol_tx, vol_rx) =
@@ -543,6 +591,7 @@ impl CycleSupervisor {
                                 timing: None,
                                 transfer_retries: 0,
                                 drops: Vec::new(),
+                                egress: None,
                             });
                         }
                     }
@@ -638,6 +687,7 @@ impl CycleSupervisor {
                                             timing: None,
                                             transfer_retries: retries,
                                             drops,
+                                            egress: None,
                                         });
                                         continue;
                                     }
@@ -768,12 +818,21 @@ impl CycleSupervisor {
                     if let Some(p) = fresh {
                         last_good = Some(p);
                     }
+                    // Egress runs after the disposition is final: a stalled
+                    // or panicking publisher is a recorded note, never a
+                    // changed outcome.
+                    let egress_note =
+                        match catch_unwind(AssertUnwindSafe(|| egress(cycle, &disposition))) {
+                            Ok(note) => note,
+                            Err(p) => Some(format!("egress panicked: {}", panic_message(p))),
+                        };
                     let _ = out_tx.send(CycleReport {
                         cycle,
                         disposition,
                         timing: Some(timing),
                         transfer_retries: retries,
                         drops,
+                        egress: egress_note,
                     });
                 }
             });
@@ -1219,6 +1278,68 @@ mod tests {
                 "missing cycle {c}:\n{table}"
             );
         }
+    }
+
+    #[test]
+    fn egress_notes_reach_report_and_table() {
+        let sup = CycleSupervisor {
+            faults: FaultPlan::none().drop_scan(1),
+            ..CycleSupervisor::default()
+        };
+        let report = sup.run_with_egress(
+            3,
+            |c| Ok(Bytes::from(vec![c as u8; 16])),
+            |c, _| Ok(c),
+            |_, _: ForecastInput<'_, usize>| Ok(()),
+            |c, d| Some(format!("published cycle {c} ({})", d.label())),
+        );
+        assert_eq!(report.cycles.len(), 3);
+        assert_eq!(
+            report.cycles[0].egress.as_deref(),
+            Some("published cycle 0 (completed)")
+        );
+        // The degraded cycle still publishes (last-good product).
+        assert_eq!(
+            report.cycles[1].egress.as_deref(),
+            Some("published cycle 1 (degraded)")
+        );
+        let table = report.table();
+        assert!(table.contains("egress"), "missing column:\n{table}");
+        assert!(
+            table.contains("published cycle 2"),
+            "missing note:\n{table}"
+        );
+    }
+
+    #[test]
+    fn egress_panic_is_recorded_not_escalated() {
+        let sup = CycleSupervisor::default();
+        let report = sup.run_with_egress(
+            3,
+            |c| Ok(Bytes::from(vec![c as u8; 16])),
+            |c, _| Ok(c),
+            |_, _: ForecastInput<'_, usize>| Ok(()),
+            |c, _| {
+                if c == 1 {
+                    panic!("injected egress panic");
+                }
+                None
+            },
+        );
+        // The publisher dying cannot change the forecast's outcome.
+        assert_eq!(report.completed(), 3);
+        assert!(report.cycles[1]
+            .egress
+            .as_deref()
+            .is_some_and(|e| e.contains("egress panicked")));
+        assert_eq!(report.cycles[2].egress, None);
+    }
+
+    #[test]
+    fn table_has_no_egress_column_without_notes() {
+        let sup = CycleSupervisor::default();
+        let (report, _) = counting_stages(2, &sup);
+        assert!(!report.table().contains("egress"));
     }
 
     #[test]

@@ -12,12 +12,16 @@
 //! * in-place `par_chunks_mut` mutation is slot-addressed, so the final
 //!   buffer is bitwise the same at any thread count;
 //! * the real LETKF analysis hot path inherits all of the above: same
-//!   analysis ensemble, bit for bit, at 1 and at N threads.
+//!   analysis ensemble, bit for bit, at 1 and at N threads;
+//! * the egress tile pipeline (`bda-serve`) encodes its per-cycle delta
+//!   frames on the same pool, so the broadcast byte stream — and its
+//!   digest — is identical under `BDA_THREADS=1` and `BDA_THREADS=4`.
 
 use bda::letkf::{
     analyze, EnsembleMatrix, LetkfConfig, ObsEnsemble, ObsKind, Observation, StateLayout,
 };
 use bda::num::SplitMix64;
+use bda::serve::tile::{stream_digest, synthetic_reflectivity, TileConfig, Tiler};
 use proptest::prelude::*;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
@@ -89,6 +93,43 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// The egress tile stream is a pure function of the field sequence:
+    /// for arbitrary grid shapes and fields, the concatenated delta
+    /// frames (and their digest) are byte-identical whether the tiler
+    /// encodes on 1 worker or 4.
+    #[test]
+    fn tile_stream_parity_across_threads(
+        seed in any::<u64>(),
+        w in 1usize..80,
+        h in 1usize..80,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let fields: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..w * h).map(|_| rng.uniform_in(-30.0, 75.0)).collect())
+            .collect();
+        let run = |t: usize| {
+            pool(t).install(|| {
+                let mut tiler = Tiler::new(TileConfig { tile: 16, max_zoom: 2 });
+                let mut bytes = Vec::new();
+                let mut digests = Vec::new();
+                for (cycle, field) in fields.iter().enumerate() {
+                    let tiles = tiler
+                        .encode_cycle(cycle as u64, field, w, h, false)
+                        .expect("encode");
+                    digests.push(stream_digest(&tiles));
+                    for frame in &tiles.deltas {
+                        bytes.extend_from_slice(frame);
+                    }
+                }
+                (bytes, digests)
+            })
+        };
+        let (bytes_1, digests_1) = run(1);
+        let (bytes_4, digests_4) = run(4);
+        prop_assert_eq!(digests_1, digests_4);
+        prop_assert_eq!(bytes_1, bytes_4);
+    }
+
     /// In-place chunked mutation is slot-addressed: bitwise-identical
     /// buffers at any thread count.
     #[test]
@@ -118,6 +159,42 @@ proptest! {
             prop_assert_eq!(x.to_bits(), y.to_bits());
         }
     }
+}
+
+/// The production egress path: the exact broadcast byte stream served to
+/// subscribers (synthetic reflectivity → quantize → pyramid → delta → RLE
+/// → sealed frames) is byte-identical when encoded under a 1-worker pool
+/// and a 4-worker pool — the `BDA_THREADS=1` vs `BDA_THREADS=4` contract,
+/// pinned with explicit pools so the test is hermetic.
+#[test]
+fn serve_tile_stream_parity_one_vs_four_workers() {
+    const W: usize = 96;
+    const H: usize = 96;
+    let run = |threads: usize| {
+        pool(threads).install(|| {
+            let mut tiler = Tiler::new(TileConfig::default());
+            let mut digests = Vec::new();
+            let mut stream = Vec::new();
+            for cycle in 0..6u64 {
+                let field = synthetic_reflectivity(cycle, W, H);
+                let tiles = tiler
+                    .encode_cycle(cycle, &field, W, H, cycle == 4)
+                    .expect("encode");
+                digests.push(stream_digest(&tiles));
+                for frame in &tiles.deltas {
+                    stream.extend_from_slice(frame);
+                }
+            }
+            (digests, stream)
+        })
+    };
+    let (digests_1, stream_1) = run(1);
+    let (digests_4, stream_4) = run(4);
+    assert_eq!(digests_1, digests_4, "per-cycle digests diverged");
+    assert_eq!(
+        stream_1, stream_4,
+        "egress byte stream diverged between 1 and 4 workers"
+    );
 }
 
 /// The production hot path: a full LETKF analysis over random ensembles is

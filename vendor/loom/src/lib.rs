@@ -49,7 +49,7 @@ pub use rt::{model, Builder, Stats};
 mod tests {
     use super::sync::atomic::{AtomicUsize, Ordering};
     use super::sync::Mutex;
-    use super::{Builder, model};
+    use super::{model, Builder};
     use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::Arc;
 
@@ -188,10 +188,7 @@ mod tests {
             });
         }));
         let err = result.expect_err("AB/BA ordering must deadlock on some schedule");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("deadlock"), "failure message was: {msg}");
     }
 

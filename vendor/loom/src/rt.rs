@@ -352,7 +352,10 @@ impl Execution {
                 .collect();
             self.fail(
                 st,
-                format!("deadlock: every live thread is blocked ({})", blocked.join("; ")),
+                format!(
+                    "deadlock: every live thread is blocked ({})",
+                    blocked.join("; ")
+                ),
             );
             return;
         }
@@ -661,7 +664,14 @@ impl Execution {
     }
 
     /// Non-RMW store: appended to the modification order.
-    pub(crate) fn atomic_store(&self, me: usize, aid: usize, value: u64, release: bool, seq_cst: bool) {
+    pub(crate) fn atomic_store(
+        &self,
+        me: usize,
+        aid: usize,
+        value: u64,
+        release: bool,
+        seq_cst: bool,
+    ) {
         let mut st = self.reschedule(me);
         let stamp = st.clocks[me].bump(me);
         let rel = release.then(|| st.clocks[me].clone());
@@ -866,11 +876,7 @@ impl Builder {
             {
                 let mut st = exec.lock();
                 while !st.all_finished && st.failure.is_none() {
-                    if st
-                        .threads
-                        .iter()
-                        .all(|t| t.status == Status::Finished)
-                    {
+                    if st.threads.iter().all(|t| t.status == Status::Finished) {
                         break;
                     }
                     st = match exec.cv.wait(st) {

@@ -9,11 +9,17 @@ pub mod atomic {
     pub use std::sync::atomic::Ordering;
 
     fn acq(order: Ordering) -> bool {
-        matches!(order, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+        matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        )
     }
 
     fn rel(order: Ordering) -> bool {
-        matches!(order, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+        matches!(
+            order,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        )
     }
 
     fn sc(order: Ordering) -> bool {

@@ -48,7 +48,12 @@ where
 }
 
 /// Join-side completion shared by plain and scoped handles.
-fn collect_join<T>(exec: &Arc<rt::Execution>, me: usize, id: usize, slot: &ValueSlot<T>) -> Result<T, PanicPayload> {
+fn collect_join<T>(
+    exec: &Arc<rt::Execution>,
+    me: usize,
+    id: usize,
+    slot: &ValueSlot<T>,
+) -> Result<T, PanicPayload> {
     exec.join_thread(me, id);
     if let Some(payload) = exec.take_panic_payload(id) {
         return Err(payload);
