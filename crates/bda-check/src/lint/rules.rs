@@ -47,9 +47,9 @@ struct FileScope {
     /// Test/bench/example/build-script *path* (not `#[cfg(test)]` regions).
     test_path: bool,
     /// Crates where lossy `as` casts are denied: the numeric kernels, plus
-    /// the egress codec (a truncated tile coordinate or length corrupts
-    /// the wire format as silently as a truncated index corrupts a
-    /// weight).
+    /// the egress codec and the shard halo exchange (a truncated tile
+    /// coordinate, strip index or length corrupts a wire format as
+    /// silently as a truncated index corrupts a weight).
     kernel: bool,
     /// `vendor/rayon/src`, where the pool-facade rule applies.
     rayon_src: bool,
@@ -76,7 +76,8 @@ fn classify(rel: &str) -> FileScope {
         test_path,
         kernel: rel.starts_with("crates/bda-num/src/")
             || rel.starts_with("crates/bda-letkf/src/")
-            || rel.starts_with("crates/bda-serve/src/"),
+            || rel.starts_with("crates/bda-serve/src/")
+            || rel.starts_with("crates/bda-shard/src/"),
         rayon_src: rel.starts_with("vendor/rayon/src/"),
         facade: rel == "vendor/rayon/src/facade.rs",
     }

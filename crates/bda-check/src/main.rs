@@ -25,7 +25,7 @@ RULES (suppress per-site with `// bda-check: allow(rule_id)`):
     unwrap              no .unwrap()/.expect() in non-test library code
     partial_cmp_unwrap  no partial_cmp(..).unwrap(); use total_cmp
     lossy_cast          no lossy `as` casts in the bda-num/bda-letkf
-                        kernels or the bda-serve wire codec
+                        kernels or the bda-serve/bda-shard wire codecs
     wallclock           no Instant::now/SystemTime::now/thread_rng in
                         deterministic cycle paths
     pool_facade         vendor/rayon sync primitives only via its facade

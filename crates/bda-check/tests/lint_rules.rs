@@ -50,6 +50,12 @@ fn lossy_cast_rule_is_kernel_scoped() {
         lines_for("crates/bda-serve/src/fixture.rs", src, "lossy_cast"),
         vec![5, 9]
     );
+    // So is the shard halo exchange: a truncated strip index or count on
+    // the federation bus breaks bit-parity without tripping any test.
+    assert_eq!(
+        lines_for("crates/bda-shard/src/fixture.rs", src, "lossy_cast"),
+        vec![5, 9]
+    );
     // `&x as &dyn Trait` is not a numeric cast, and identifiers ending in
     // `as` never match. Outside the kernel crates the rule is off.
     assert_eq!(lines_for(LIB_PATH, src, "lossy_cast"), Vec::<usize>::new());

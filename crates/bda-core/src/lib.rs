@@ -34,6 +34,6 @@ pub mod resume;
 pub mod sensitivity;
 pub mod systems;
 
-pub use osse::{CycleOutcome, Osse, OsseConfig};
+pub use osse::{CycleOutcome, Osse, OsseConfig, PendingCycle};
 pub use resume::OsseCampaign;
 pub use systems::{OperationalSystem, TABLE1};

@@ -15,7 +15,7 @@ use bda_io::checkpoint::CampaignSnapshot;
 use bda_letkf::diagnostics::{innovation_statistics, InnovationStats};
 use bda_letkf::obs::{QcPipeline, QcReport};
 use bda_letkf::{
-    analyze_quorum, AnalysisError, AnalysisStats, LetkfConfig, ObsEnsemble, StateLayout,
+    analyze_quorum_region, AnalysisError, AnalysisStats, LetkfConfig, ObsEnsemble, StateLayout,
 };
 use bda_num::{Real, SplitMix64};
 use bda_pawr::operator::ensemble_equivalents;
@@ -168,6 +168,76 @@ impl CycleOutcome {
     /// True when at least one member was quarantined this cycle.
     pub fn ensemble_degraded(&self) -> bool {
         !self.member_errors.is_empty()
+    }
+}
+
+/// A cycle paused between its own analysis and its posterior diagnostics —
+/// the seam the shard federation splits the cycle at.
+///
+/// [`Osse::cycle_begin`] advances truth and ensemble, scans, QCs, analyzes
+/// a (possibly region-restricted) strip and respawns quarantined members,
+/// returning this handle. A federated shard then publishes its analyzed
+/// strip, applies its peers' strips via [`Osse::apply_analyzed_flats`],
+/// calls [`PendingCycle::note_exchanged_points`], and finally
+/// [`Osse::cycle_finish`] computes the posterior diagnostics over the
+/// assembled state. `cycle_begin(None)` + `cycle_finish` is bit-identical
+/// to [`Osse::cycle`].
+#[derive(Clone, Debug)]
+pub struct PendingCycle {
+    time: f64,
+    n_obs_scanned: usize,
+    n_obs_used: usize,
+    qc: QcReport,
+    analysis: AnalysisStats,
+    innovation_reflectivity: InnovationStats,
+    innovation_doppler: InnovationStats,
+    prior_rmse_dbz: f64,
+    n_alive: usize,
+    member_errors: Vec<MemberError>,
+    respawned: Vec<usize>,
+    below_quorum: bool,
+    mask: Vec<bool>,
+    truth_map: Vec<f64>,
+    /// Analyzed points applied from peers' halos (0 in single-process mode).
+    extra_points_analyzed: usize,
+}
+
+impl PendingCycle {
+    /// Analysis (valid) time of the paused cycle, s.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Observations surviving QC this cycle.
+    pub fn n_obs_used(&self) -> usize {
+        self.n_obs_used
+    }
+
+    /// Grid points analyzed by this process (own region only).
+    pub fn points_analyzed(&self) -> usize {
+        self.analysis.points_analyzed
+    }
+
+    /// Members that survived the health scan.
+    pub fn n_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    /// Members respawned from the analysis mean this cycle.
+    pub fn respawned(&self) -> &[usize] {
+        &self.respawned
+    }
+
+    /// Whether the analysis was skipped for lack of quorum.
+    pub fn below_quorum(&self) -> bool {
+        self.below_quorum
+    }
+
+    /// Record `n` analyzed points applied from peer shards' halos, so the
+    /// posterior diagnostics know the assembled state carries an analysis
+    /// even when this shard's own strip analyzed nothing.
+    pub fn note_exchanged_points(&mut self, n: usize) {
+        self.extra_points_analyzed += n;
     }
 }
 
@@ -497,6 +567,52 @@ impl<T: Real> Osse<T> {
     /// QC, health-scan the members, analyze the surviving quorum, respawn
     /// quarantined members from the analysis mean.
     pub fn cycle(&mut self) -> CycleOutcome {
+        let pending = self.cycle_begin(None);
+        self.cycle_finish(pending)
+    }
+
+    /// The analysis state layout (`ANALYZED_VARS` over the model grid) —
+    /// what [`Osse::analyzed_flats`] vectors are indexed by.
+    pub fn layout(&self) -> &StateLayout {
+        &self.layout
+    }
+
+    /// Flatten every member's current `ANALYZED_VARS` state — called by a
+    /// federated shard after [`Osse::cycle_begin`] to extract its analyzed
+    /// strip (including respawned members) for halo publication.
+    pub fn analyzed_flats(&self) -> Vec<Vec<T>> {
+        self.ensemble
+            .members
+            .iter()
+            .map(|m| m.to_flat(&ANALYZED_VARS))
+            .collect()
+    }
+
+    /// Overwrite every member's `ANALYZED_VARS` state from `flats` — the
+    /// halo-application inverse of [`Osse::analyzed_flats`]. Deliberately
+    /// does **not** re-clamp: incoming values are post-analysis,
+    /// post-clamp (alive members) or respawn output (respawned members,
+    /// never clamped in single-process mode either), so clamping here
+    /// would break bit-parity with the unsharded cycle.
+    pub fn apply_analyzed_flats(&mut self, flats: &[Vec<T>]) {
+        assert_eq!(
+            flats.len(),
+            self.ensemble.size(),
+            "flats for {} members, ensemble has {}",
+            flats.len(),
+            self.ensemble.size()
+        );
+        for (m, flat) in self.ensemble.members.iter_mut().zip(flats) {
+            m.from_flat(&ANALYZED_VARS, flat);
+        }
+    }
+
+    /// First half of [`Osse::cycle`], with the analysis optionally
+    /// restricted to the x-strip `region = Some((i0, i1))` — the shard
+    /// federation's entry point. Runs forecast, scan, QC, the (restricted)
+    /// analysis and member respawn, then pauses before the posterior
+    /// diagnostics so a shard can exchange halos first.
+    pub fn cycle_begin(&mut self, region: Option<(usize, usize)>) -> PendingCycle {
         let dt = self.cfg.cycle_interval;
         let grid = self.cfg.model.grid.clone();
 
@@ -516,7 +632,7 @@ impl<T: Real> Osse<T> {
         // Total ensemble death is unrecoverable in-model: there is no state
         // left to respawn from, so hand the cycle to the supervisor above.
         if health.n_alive() == 0 {
-            return CycleOutcome {
+            return PendingCycle {
                 time: self.time,
                 n_obs_scanned: 0,
                 n_obs_used: 0,
@@ -525,11 +641,13 @@ impl<T: Real> Osse<T> {
                 innovation_reflectivity: InnovationStats::default(),
                 innovation_doppler: InnovationStats::default(),
                 prior_rmse_dbz: f64::NAN,
-                posterior_rmse_dbz: f64::NAN,
                 n_alive: 0,
                 member_errors: health.errors,
                 respawned: Vec::new(),
                 below_quorum: true,
+                mask: Vec::new(),
+                truth_map: Vec::new(),
+                extra_points_analyzed: 0,
             };
         }
         let alive_flags = health.alive_flags();
@@ -618,13 +736,14 @@ impl<T: Real> Osse<T> {
                 .iter()
                 .map(|m| m.to_flat(&ANALYZED_VARS))
                 .collect();
-            match analyze_quorum(
+            match analyze_quorum_region(
                 &mut flats,
                 &alive_flags,
                 self.layout.clone(),
                 &ens_obs,
                 &self.cfg.letkf,
                 self.min_quorum,
+                region,
             ) {
                 Ok(q) => {
                     for &m in &alive_idx {
@@ -666,14 +785,7 @@ impl<T: Real> Osse<T> {
             }
         }
 
-        let posterior_rmse_dbz = if analysis.points_analyzed > 0 {
-            let post_map = self.mean_reflectivity_map(2000.0);
-            self.masked_rmse(&post_map, &truth_map, &mask)
-        } else {
-            prior_rmse_dbz
-        };
-
-        CycleOutcome {
+        PendingCycle {
             time: self.time,
             n_obs_scanned,
             n_obs_used,
@@ -682,9 +794,60 @@ impl<T: Real> Osse<T> {
             innovation_reflectivity,
             innovation_doppler,
             prior_rmse_dbz,
-            posterior_rmse_dbz,
             n_alive: alive_idx.len(),
             member_errors: health.errors,
+            respawned,
+            below_quorum,
+            mask,
+            truth_map,
+            extra_points_analyzed: 0,
+        }
+    }
+
+    /// Second half of [`Osse::cycle`]: posterior diagnostics over the
+    /// (possibly halo-assembled) ensemble. The posterior is recomputed when
+    /// any analyzed point reached the state — this shard's own
+    /// ([`PendingCycle::points_analyzed`]) or applied from peers
+    /// ([`PendingCycle::note_exchanged_points`]) — and otherwise equals the
+    /// prior, exactly as the unsplit cycle reported forecast-only cycles.
+    pub fn cycle_finish(&mut self, pending: PendingCycle) -> CycleOutcome {
+        let PendingCycle {
+            time,
+            n_obs_scanned,
+            n_obs_used,
+            qc,
+            analysis,
+            innovation_reflectivity,
+            innovation_doppler,
+            prior_rmse_dbz,
+            n_alive,
+            member_errors,
+            respawned,
+            below_quorum,
+            mask,
+            truth_map,
+            extra_points_analyzed,
+        } = pending;
+        let total_analyzed = analysis.points_analyzed + extra_points_analyzed;
+        let posterior_rmse_dbz = if n_alive > 0 && total_analyzed > 0 {
+            let post_map = self.mean_reflectivity_map(2000.0);
+            self.masked_rmse(&post_map, &truth_map, &mask)
+        } else {
+            prior_rmse_dbz
+        };
+
+        CycleOutcome {
+            time,
+            n_obs_scanned,
+            n_obs_used,
+            qc,
+            analysis,
+            innovation_reflectivity,
+            innovation_doppler,
+            prior_rmse_dbz,
+            posterior_rmse_dbz,
+            n_alive,
+            member_errors,
             respawned,
             below_quorum,
         }
@@ -889,6 +1052,88 @@ mod tests {
         assert_eq!(out.posterior_rmse_dbz, out.prior_rmse_dbz);
         for m in &osse.ensemble.members {
             assert!(m.all_finite());
+        }
+    }
+
+    fn flats_bits(osse: &Osse<f32>) -> Vec<Vec<u32>> {
+        osse.analyzed_flats()
+            .iter()
+            .map(|f| f.iter().map(|v| v.to_bits()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn split_cycle_is_bit_identical_to_cycle() {
+        let mut a = small();
+        let mut b = small();
+        for _ in 0..2 {
+            let out_a = a.cycle();
+            let pending = b.cycle_begin(None);
+            let out_b = b.cycle_finish(pending);
+            assert_eq!(flats_bits(&a), flats_bits(&b));
+            assert_eq!(
+                out_a.posterior_rmse_dbz.to_bits(),
+                out_b.posterior_rmse_dbz.to_bits()
+            );
+            assert_eq!(
+                out_a.prior_rmse_dbz.to_bits(),
+                out_b.prior_rmse_dbz.to_bits()
+            );
+            assert_eq!(out_a.n_obs_used, out_b.n_obs_used);
+            assert_eq!(
+                out_a.analysis.points_analyzed,
+                out_b.analysis.points_analyzed
+            );
+        }
+        assert_eq!(a.rng.state(), b.rng.state());
+        assert_eq!(a.respawn_rng.state(), b.respawn_rng.state());
+    }
+
+    #[test]
+    fn region_sharded_cycle_assembles_to_the_full_analysis() {
+        // Two replicas each analyze one x-strip, exchange analyzed flats,
+        // and must reconstruct the single-process analysis bit-for-bit —
+        // the core parity claim of the shard federation, in miniature.
+        let mut reference = small();
+        let ref_out = reference.cycle();
+
+        let nx = 10;
+        let mut shards: Vec<Osse<f32>> = (0..2).map(|_| small()).collect();
+        let regions = [(0usize, nx / 2), (nx / 2, nx)];
+        let mut pendings = Vec::new();
+        let mut strips = Vec::new();
+        for (s, osse) in shards.iter_mut().enumerate() {
+            let pending = osse.cycle_begin(Some(regions[s]));
+            strips.push(osse.analyzed_flats());
+            pendings.push(pending);
+        }
+        // Exchange: each shard overwrites the peer's strip columns. The
+        // flat layout is ((v * nx + i) * ny + j) * nz + k, so an x-strip is
+        // per-variable contiguous.
+        let layout = reference.layout().clone();
+        let (ny, nz, nvar) = (layout.ny, layout.nz, layout.nvar);
+        for (s, osse) in shards.iter_mut().enumerate() {
+            let peer = 1 - s;
+            let (i0, i1) = regions[peer];
+            let mut flats = strips[s].clone();
+            for (m, flat) in flats.iter_mut().enumerate() {
+                for v in 0..nvar {
+                    let a = (v * nx + i0) * ny * nz;
+                    let b = (v * nx + i1) * ny * nz;
+                    flat[a..b].copy_from_slice(&strips[peer][m][a..b]);
+                }
+            }
+            osse.apply_analyzed_flats(&flats);
+            pendings[s].note_exchanged_points(ref_out.analysis.points_analyzed);
+        }
+        for (s, osse) in shards.iter_mut().enumerate() {
+            let out = osse.cycle_finish(pendings[s].clone());
+            assert_eq!(flats_bits(osse), flats_bits(&reference), "shard {s} state");
+            assert_eq!(
+                out.posterior_rmse_dbz.to_bits(),
+                ref_out.posterior_rmse_dbz.to_bits(),
+                "shard {s} posterior"
+            );
         }
     }
 

@@ -327,6 +327,28 @@ pub fn checkpoint_file_name(next_cycle: u64) -> String {
     format!("{CKPT_PREFIX}{next_cycle:06}{CKPT_SUFFIX}")
 }
 
+/// A scope tag usable in checkpoint file names: non-empty ASCII
+/// alphanumerics (shard ids like `s003`). Anything else — separators,
+/// dots, empty strings — could collide with the name grammar itself.
+pub fn valid_scope(scope: &str) -> bool {
+    !scope.is_empty() && scope.bytes().all(|b| b.is_ascii_alphanumeric())
+}
+
+/// File name for a snapshot owned by `scope` (e.g. shard `s003`):
+/// `ckpt-s003-000042.bdac`. `None` yields the unscoped
+/// [`checkpoint_file_name`]. Scoped and unscoped names never collide:
+/// the unscoped scan requires an all-digit stem, the scoped scan requires
+/// its exact `scope-` prefix.
+pub fn checkpoint_file_name_scoped(scope: Option<&str>, next_cycle: u64) -> String {
+    match scope {
+        Some(tag) => {
+            assert!(valid_scope(tag), "invalid checkpoint scope `{tag}`");
+            format!("{CKPT_PREFIX}{tag}-{next_cycle:06}{CKPT_SUFFIX}")
+        }
+        None => checkpoint_file_name(next_cycle),
+    }
+}
+
 /// Atomically persist a snapshot under `dir` (created if missing).
 ///
 /// Write-temp + fsync + rename (+ directory fsync on Unix): a crash at any
@@ -335,9 +357,19 @@ pub fn write_checkpoint<T: Real>(
     dir: &Path,
     snap: &CampaignSnapshot<T>,
 ) -> Result<PathBuf, CheckpointError> {
+    write_checkpoint_scoped(dir, None, snap)
+}
+
+/// [`write_checkpoint`] under a scope tag, for co-located per-shard
+/// checkpoint files that must never cross-resume.
+pub fn write_checkpoint_scoped<T: Real>(
+    dir: &Path,
+    scope: Option<&str>,
+    snap: &CampaignSnapshot<T>,
+) -> Result<PathBuf, CheckpointError> {
     std::fs::create_dir_all(dir)?;
     let bytes = encode_snapshot(snap)?;
-    let final_name = checkpoint_file_name(snap.next_cycle);
+    let final_name = checkpoint_file_name_scoped(scope, snap.next_cycle);
     let tmp_path = dir.join(format!("{TMP_PREFIX}{final_name}"));
     let final_path = dir.join(final_name);
     {
@@ -369,6 +401,20 @@ pub fn read_checkpoint<T: Real>(path: &Path) -> Result<CampaignSnapshot<T>, Chec
 pub fn latest_checkpoint<T: Real>(
     dir: &Path,
 ) -> Result<Option<(PathBuf, CampaignSnapshot<T>)>, CheckpointError> {
+    latest_checkpoint_scoped(dir, None)
+}
+
+/// [`latest_checkpoint`] restricted to one scope tag. With `Some("s003")`
+/// only `ckpt-s003-NNNNNN.bdac` files are candidates; with `None` only the
+/// unscoped `ckpt-NNNNNN.bdac` names match — so shards sharing a directory
+/// can never resume from each other's (or the campaign driver's) snapshots.
+pub fn latest_checkpoint_scoped<T: Real>(
+    dir: &Path,
+    scope: Option<&str>,
+) -> Result<Option<(PathBuf, CampaignSnapshot<T>)>, CheckpointError> {
+    if let Some(tag) = scope {
+        assert!(valid_scope(tag), "invalid checkpoint scope `{tag}`");
+    }
     let entries = match std::fs::read_dir(dir) {
         Ok(e) => e,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -379,11 +425,23 @@ pub fn latest_checkpoint<T: Real>(
         let entry = entry?;
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if let Some(stem) = name
+        let Some(stem) = name
             .strip_prefix(CKPT_PREFIX)
             .and_then(|s| s.strip_suffix(CKPT_SUFFIX))
-        {
-            if let Ok(cycle) = stem.parse::<u64>() {
+        else {
+            continue;
+        };
+        let cycle_part = match scope {
+            Some(tag) => match stem.strip_prefix(tag).and_then(|s| s.strip_prefix('-')) {
+                Some(rest) => rest,
+                None => continue,
+            },
+            None => stem,
+        };
+        // All-digit cycle stems only: an unscoped scan must never swallow
+        // `s003-000042`, and a scoped scan must not accept trailing junk.
+        if !cycle_part.is_empty() && cycle_part.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(cycle) = cycle_part.parse::<u64>() {
                 candidates.push((cycle, entry.path()));
             }
         }
@@ -495,6 +553,63 @@ mod tests {
         assert_eq!(path, p7);
         assert_eq!(found, snap);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scoped_checkpoints_never_cross_resume() {
+        // Regression for co-located shard checkpoint dirs: shard s000 and
+        // shard s001 write into the same directory; each scan must only
+        // ever see its own snapshots, and the unscoped scan none of them.
+        let dir = std::env::temp_dir().join(format!("bda-ckpt-scope-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut snap = sample();
+        snap.next_cycle = 5;
+        write_checkpoint_scoped(&dir, Some("s000"), &snap).unwrap();
+        snap.next_cycle = 9;
+        snap.time = 270.0;
+        write_checkpoint_scoped(&dir, Some("s001"), &snap).unwrap();
+
+        let (p0, s0) = latest_checkpoint_scoped::<f32>(&dir, Some("s000"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(s0.next_cycle, 5);
+        assert!(p0.to_string_lossy().contains("ckpt-s000-000005"));
+        let (_, s1) = latest_checkpoint_scoped::<f32>(&dir, Some("s001"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(s1.next_cycle, 9);
+        // The unscoped scan sees neither shard's files...
+        assert!(latest_checkpoint::<f32>(&dir).unwrap().is_none());
+        // ...an unknown scope sees nothing...
+        assert!(latest_checkpoint_scoped::<f32>(&dir, Some("s002"))
+            .unwrap()
+            .is_none());
+        // ...and a scope that is a prefix of another never matches it.
+        assert!(latest_checkpoint_scoped::<f32>(&dir, Some("s00"))
+            .unwrap()
+            .is_none());
+
+        // An unscoped snapshot with a *newer* cycle index must not shadow
+        // the scoped scan either.
+        snap.next_cycle = 42;
+        write_checkpoint(&dir, &snap).unwrap();
+        let (_, s0b) = latest_checkpoint_scoped::<f32>(&dir, Some("s000"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(s0b.next_cycle, 5);
+        let (_, su) = latest_checkpoint::<f32>(&dir).unwrap().unwrap();
+        assert_eq!(su.next_cycle, 42);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scope_validation_rejects_separator_smuggling() {
+        assert!(valid_scope("s000"));
+        assert!(valid_scope("shard7"));
+        assert!(!valid_scope(""));
+        assert!(!valid_scope("s-0"));
+        assert!(!valid_scope("s0.bdac"));
+        assert!(!valid_scope("a/b"));
     }
 
     #[test]

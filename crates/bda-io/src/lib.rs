@@ -31,7 +31,8 @@ pub mod frame;
 pub mod transport;
 
 pub use checkpoint::{
-    latest_checkpoint, read_checkpoint, write_checkpoint, CampaignSnapshot, CheckpointError,
+    checkpoint_file_name_scoped, latest_checkpoint, latest_checkpoint_scoped, read_checkpoint,
+    valid_scope, write_checkpoint, write_checkpoint_scoped, CampaignSnapshot, CheckpointError,
     OutcomeRecord,
 };
 pub use format::{decode_states, encode_states};

@@ -56,6 +56,9 @@ pub struct AnalysisStats {
     pub points_no_obs: usize,
     /// Grid points outside the analysis height range.
     pub points_outside_range: usize,
+    /// Grid points outside the caller's x-strip region (shard-owned
+    /// analyses only; zero for whole-domain runs).
+    pub points_outside_region: usize,
     /// Total localized observations used (summed over grid points).
     pub total_local_obs: u64,
     /// Largest local observation count (after the per-point cap).
@@ -67,6 +70,7 @@ impl AnalysisStats {
         self.points_analyzed += other.points_analyzed;
         self.points_no_obs += other.points_no_obs;
         self.points_outside_range += other.points_outside_range;
+        self.points_outside_region += other.points_outside_region;
         self.total_local_obs += other.total_local_obs;
         self.max_local_obs = self.max_local_obs.max(other.max_local_obs);
         self
@@ -114,6 +118,25 @@ pub fn analyze<T: Real>(
     obs: &ObsEnsemble<T>,
     cfg: &LetkfConfig,
 ) -> Result<AnalysisStats, AnalysisError> {
+    analyze_region(ens, obs, cfg, None)
+}
+
+/// [`analyze`] restricted to the x-strip `i0 <= i < i1` of the domain —
+/// the per-shard analysis of a federated run. `None` analyzes everything
+/// and is bit-identical to [`analyze`].
+///
+/// Because the LETKF transform is independent per grid point (innovations
+/// and observation-space perturbations are precomputed from the full
+/// observation set, and each point's transform reads only its own local
+/// gather), the values produced at the points *inside* the region are
+/// bit-identical to what a whole-domain analysis would produce there —
+/// the property the shard-parity tests pin down.
+pub fn analyze_region<T: Real>(
+    ens: &mut EnsembleMatrix<T>,
+    obs: &ObsEnsemble<T>,
+    cfg: &LetkfConfig,
+    region: Option<(usize, usize)>,
+) -> Result<AnalysisStats, AnalysisError> {
     cfg.validate();
     let k = ens.k;
     if obs.ensemble_size() != k {
@@ -159,6 +182,12 @@ pub fn analyze<T: Real>(
                 let kz = g % nz;
                 let j = (g / nz) % ny;
                 let i = g / (nz * ny);
+                if let Some((i0, i1)) = region {
+                    if i < i0 || i >= i1 {
+                        stats.points_outside_region += 1;
+                        return (stats, ws);
+                    }
+                }
                 let z = layout.z_center[kz];
                 if z < zmin || z > zmax {
                     stats.points_outside_range += 1;
@@ -255,6 +284,21 @@ pub fn analyze_quorum<T: Real>(
     cfg: &LetkfConfig,
     min_quorum: usize,
 ) -> Result<QuorumStats, AnalysisError> {
+    analyze_quorum_region(members, alive, layout, obs, cfg, min_quorum, None)
+}
+
+/// [`analyze_quorum`] restricted to the x-strip `i0 <= i < i1` (see
+/// [`analyze_region`]); `None` is bit-identical to [`analyze_quorum`].
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_quorum_region<T: Real>(
+    members: &mut [Vec<T>],
+    alive: &[bool],
+    layout: StateLayout,
+    obs: &ObsEnsemble<T>,
+    cfg: &LetkfConfig,
+    min_quorum: usize,
+    region: Option<(usize, usize)>,
+) -> Result<QuorumStats, AnalysisError> {
     assert_eq!(
         alive.len(),
         members.len(),
@@ -277,7 +321,7 @@ pub fn analyze_quorum<T: Real>(
         .map(|&m| std::mem::take(&mut members[m]))
         .collect();
     let mut mat = EnsembleMatrix::from_members(&flats, layout);
-    let result = analyze(&mut mat, obs, cfg);
+    let result = analyze_region(&mut mat, obs, cfg, region);
     mat.to_members(&mut flats);
     for (&slot, flat) in alive_idx.iter().zip(flats) {
         members[slot] = flat;
@@ -641,6 +685,123 @@ mod tests {
             }
         );
         assert_eq!(members, before);
+    }
+
+    #[test]
+    fn region_none_is_bit_identical_to_full_analysis() {
+        let tw = twin(10, 4, 12, 61);
+        let cfg = LetkfConfig::reduced(12);
+        let obs = obs_at(&tw, 4, 4, 1, 9.0, 0.5);
+        let mut full = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+        let mut region = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+        let s_full = analyze(&mut full, &obs, &cfg).unwrap();
+        let s_region = analyze_region(&mut region, &obs, &cfg, None).unwrap();
+        assert_eq!(s_full, s_region);
+        let mut a = tw.members.clone();
+        let mut b = tw.members.clone();
+        full.to_members(&mut a);
+        region.to_members(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn region_restricted_analysis_matches_full_inside_and_skips_outside() {
+        // The property that makes bit-identical sharding possible: a
+        // region-restricted analysis produces exactly the full analysis'
+        // values at the points it owns, and leaves the rest untouched.
+        let tw = twin(10, 4, 12, 71);
+        let cfg = LetkfConfig::reduced(12);
+        // Observations in both halves so both strips have real updates.
+        let mut all_obs = Vec::new();
+        let mut hx: Vec<Vec<f64>> = vec![Vec::new(); 12];
+        for (i, j) in [(2, 3), (7, 6), (4, 4), (8, 2)] {
+            let o = obs_at(&tw, i, j, 1, 9.0, 0.5);
+            all_obs.push(o.obs[0]);
+            for (m, hxm) in hx.iter_mut().enumerate() {
+                hxm.push(o.hx[m][0]);
+            }
+        }
+        let obs = ObsEnsemble::new(all_obs, hx);
+
+        let mut full = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+        analyze(&mut full, &obs, &cfg).unwrap();
+        let mut full_members = tw.members.clone();
+        full.to_members(&mut full_members);
+
+        let (i0, i1) = (0usize, 5usize);
+        let mut strip = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+        let stats = analyze_region(&mut strip, &obs, &cfg, Some((i0, i1))).unwrap();
+        assert!(stats.points_analyzed > 0);
+        assert!(stats.points_outside_region > 0);
+        let mut strip_members = tw.members.clone();
+        strip.to_members(&mut strip_members);
+
+        let l = &tw.layout;
+        for (m, (fm, sm)) in full_members.iter().zip(&strip_members).enumerate() {
+            for i in 0..l.nx {
+                for j in 0..l.ny {
+                    for kz in 0..l.nz {
+                        let idx = l.member_index(0, i, j, kz);
+                        if i >= i0 && i < i1 {
+                            assert_eq!(
+                                fm[idx].to_bits(),
+                                sm[idx].to_bits(),
+                                "member {m} diverges inside region at ({i},{j},{kz})"
+                            );
+                        } else {
+                            assert_eq!(
+                                sm[idx].to_bits(),
+                                tw.members[m][idx].to_bits(),
+                                "member {m} touched outside region at ({i},{j},{kz})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_regions_tile_the_full_analysis_exactly() {
+        // Stitching every shard's strip back together must reproduce the
+        // single-domain analysis bit-for-bit — for any shard count.
+        let tw = twin(10, 4, 8, 81);
+        let cfg = LetkfConfig::reduced(8);
+        let obs = obs_at(&tw, 5, 5, 1, 10.0, 0.5);
+
+        let mut full = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+        analyze(&mut full, &obs, &cfg).unwrap();
+        let mut full_members = tw.members.clone();
+        full.to_members(&mut full_members);
+
+        for n_shards in [2usize, 4] {
+            let mut stitched = tw.members.clone();
+            let mut cursor = 0usize;
+            for s in 0..n_shards {
+                let w = tw.layout.nx / n_shards + usize::from(s < tw.layout.nx % n_shards);
+                let (i0, i1) = (cursor, cursor + w);
+                cursor = i1;
+                let mut mat = EnsembleMatrix::from_members(&tw.members, tw.layout.clone());
+                analyze_region(&mut mat, &obs, &cfg, Some((i0, i1))).unwrap();
+                let mut strip_members = tw.members.clone();
+                mat.to_members(&mut strip_members);
+                let l = &tw.layout;
+                for (dst, src) in stitched.iter_mut().zip(&strip_members) {
+                    for i in i0..i1 {
+                        for j in 0..l.ny {
+                            for kz in 0..l.nz {
+                                let idx = l.member_index(0, i, j, kz);
+                                dst[idx] = src[idx];
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                stitched, full_members,
+                "{n_shards}-way stitched analysis diverged from the full one"
+            );
+        }
     }
 
     #[test]

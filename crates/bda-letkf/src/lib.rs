@@ -41,7 +41,8 @@ pub mod weights;
 
 pub use config::LetkfConfig;
 pub use driver::{
-    analyze, analyze_quorum, AnalysisError, AnalysisStats, QuorumStats, ABSOLUTE_MIN_QUORUM,
+    analyze, analyze_quorum, analyze_quorum_region, analyze_region, AnalysisError, AnalysisStats,
+    QuorumStats, ABSOLUTE_MIN_QUORUM,
 };
 pub use ensmatrix::{EnsembleMatrix, StateLayout};
 pub use localization::LocalizationError;

@@ -79,6 +79,14 @@ pub fn index_of_i64(n: i64) -> usize {
     n as usize // bda-check: allow(lossy_cast)
 }
 
+/// `u64` → `usize` for cycle counters and wire-decoded counts: widening on
+/// every platform this workspace targets (debug-checked for 32-bit).
+#[inline]
+pub fn index_of_u64(n: u64) -> usize {
+    debug_assert!(usize::try_from(n).is_ok(), "count {n} overflows usize");
+    n as usize // bda-check: allow(lossy_cast)
+}
+
 /// Round-half-away to the nearest `u8`, saturating at 0/255; NaN → 0.
 /// This is the dBZ quantizer of the egress tile codec: a non-finite or
 /// out-of-palette value must clamp into the colormap, never wrap.

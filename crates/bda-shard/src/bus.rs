@@ -1,0 +1,276 @@
+//! The federation bus: a shared spool directory of sealed halo frames.
+//!
+//! This is deliberately the *file* flavour of JIT-DT — the paper's
+//! transfer daemon watches for new-file creation and ships whole volumes;
+//! here every shard publishes `halo-c{cycle}-s{shard}.bin` atomically
+//! (tmp + rename, the [`bda_io::checkpoint`] convention) and peers poll
+//! for it. Sequencing discipline comes from the same
+//! [`bda_jitdt::SeqTracker`] the ingest and egress paths use: each
+//! receiver classifies halo cycle numbers per peer, so a replayed halo is
+//! a typed duplicate and a stale one is typed out-of-order instead of
+//! silently overwriting newer state.
+//!
+//! The bus also carries the supervisor's control plane: per-shard dead
+//! markers, a federation-wide forecast-only directive, and per-cycle
+//! outcome record files the supervisor (a different OS process) reads to
+//! decide deadlines and quorum.
+
+use crate::msg::{decode_halo, encode_halo, HaloError, HaloFrame};
+use bda_num::Real;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// What a receiver found in a (cycle, shard) bus slot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CollectStatus<T: Real> {
+    /// The peer's analyzed strip is here.
+    Ready(crate::msg::HaloMsg<T>),
+    /// The peer published a skip marker (halo dropped in transit).
+    Skipped,
+    /// The peer published a stall marker (missed its deadline).
+    Stalled,
+    /// Nothing published (yet); with a dead marker on the bus this is
+    /// final, otherwise it may still arrive.
+    Missing { peer_dead: bool },
+    /// A frame exists but failed to decode — typed, never a panic.
+    Corrupt(HaloError),
+}
+
+/// Shared spool directory handle.
+#[derive(Clone, Debug)]
+pub struct HaloBus {
+    dir: PathBuf,
+}
+
+fn halo_name(cycle: u64, shard: usize) -> String {
+    format!("halo-c{cycle:06}-s{shard:03}.bin")
+}
+
+fn record_name(cycle: u64, shard: usize) -> String {
+    format!("rec-c{cycle:06}-s{shard:03}.txt")
+}
+
+fn dead_name(shard: usize) -> String {
+    format!("dead-s{shard:03}")
+}
+
+const FORECAST_ONLY: &str = "forecast-only-from";
+
+impl HaloBus {
+    /// Open (creating if needed) the spool directory.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Atomically write `bytes` to `name` (tmp + rename, so a reader never
+    /// observes a half-written frame and a republish after resume is
+    /// idempotent).
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+        let tmp = self.dir.join(format!(".tmp-{name}"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.dir.join(name))
+    }
+
+    /// Publish a halo frame for its (cycle, shard) slot.
+    pub fn publish<T: Real>(&self, frame: &HaloFrame<T>) -> Result<(), String> {
+        let bytes = encode_halo(frame).map_err(|e| format!("encode halo: {e}"))?;
+        self.write_atomic(&halo_name(frame.cycle(), frame.shard()), &bytes)
+            .map_err(|e| format!("publish halo: {e}"))
+    }
+
+    /// Single non-blocking poll of shard `shard`'s slot for `cycle`.
+    pub fn try_collect<T: Real>(&self, cycle: u64, shard: usize) -> CollectStatus<T> {
+        let path = self.dir.join(halo_name(cycle, shard));
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                return CollectStatus::Missing {
+                    peer_dead: self.is_dead(shard),
+                }
+            }
+        };
+        match decode_halo::<T>(&bytes) {
+            Ok(HaloFrame::Strip(m)) => CollectStatus::Ready(m),
+            Ok(HaloFrame::Skip { .. }) => CollectStatus::Skipped,
+            Ok(HaloFrame::Stall { .. }) => CollectStatus::Stalled,
+            Err(e) => CollectStatus::Corrupt(e),
+        }
+    }
+
+    /// Poll shard `shard`'s slot until something is there, the peer is
+    /// marked dead, or `deadline` elapses (the per-shard halo deadline —
+    /// on expiry the caller steps the degradation ladder).
+    pub fn collect_blocking<T: Real>(
+        &self,
+        cycle: u64,
+        shard: usize,
+        deadline: Duration,
+        poll: Duration,
+    ) -> CollectStatus<T> {
+        let start = Instant::now(); // bda-check: allow(wallclock)
+        loop {
+            let status = self.try_collect::<T>(cycle, shard);
+            match status {
+                CollectStatus::Missing { peer_dead: false } if start.elapsed() < deadline => {
+                    std::thread::sleep(poll);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Mark shard `shard` dead (supervisor gave up respawning it).
+    pub fn mark_dead(&self, shard: usize) -> std::io::Result<()> {
+        self.write_atomic(&dead_name(shard), b"dead")
+    }
+
+    /// Lift a dead marker (the shard respawned after all).
+    pub fn mark_alive(&self, shard: usize) -> std::io::Result<()> {
+        match fs::remove_file(self.dir.join(dead_name(shard))) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether shard `shard` carries a dead marker.
+    pub fn is_dead(&self, shard: usize) -> bool {
+        self.dir.join(dead_name(shard)).exists()
+    }
+
+    /// Supervisor directive: from `cycle` on, every shard runs
+    /// forecast-only (the last ladder rung — quorum of shards lost).
+    pub fn set_forecast_only_from(&self, cycle: u64) -> std::io::Result<()> {
+        self.write_atomic(FORECAST_ONLY, format!("{cycle}").as_bytes())
+    }
+
+    /// The active forecast-only directive, if any.
+    pub fn forecast_only_from(&self) -> Option<u64> {
+        let bytes = fs::read_to_string(self.dir.join(FORECAST_ONLY)).ok()?;
+        bytes.trim().parse().ok()
+    }
+
+    /// Record shard `shard`'s outcome line for `cycle` — the supervisor's
+    /// readiness signal (a shard that wrote its record met its deadline).
+    pub fn write_record(&self, cycle: u64, shard: usize, line: &str) -> std::io::Result<()> {
+        self.write_atomic(&record_name(cycle, shard), line.as_bytes())
+    }
+
+    /// Read shard `shard`'s outcome line for `cycle`.
+    pub fn read_record(&self, cycle: u64, shard: usize) -> Option<String> {
+        fs::read_to_string(self.dir.join(record_name(cycle, shard))).ok()
+    }
+
+    /// Whether shard `shard` finished `cycle` (its record exists).
+    pub fn has_record(&self, cycle: u64, shard: usize) -> bool {
+        self.dir.join(record_name(cycle, shard)).exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::HaloMsg;
+
+    fn tmp_bus(tag: &str) -> HaloBus {
+        let dir = std::env::temp_dir().join(format!("bda-halo-bus-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        HaloBus::new(dir).unwrap()
+    }
+
+    fn strip(cycle: u64, shard: usize) -> HaloFrame<f32> {
+        HaloFrame::Strip(HaloMsg {
+            shard,
+            cycle,
+            i0: 0,
+            i1: 2,
+            points_analyzed: 4,
+            strips: vec![vec![1.0; 4]; 2],
+        })
+    }
+
+    #[test]
+    fn publish_then_collect_round_trips() {
+        let bus = tmp_bus("roundtrip");
+        assert_eq!(
+            bus.try_collect::<f32>(0, 0),
+            CollectStatus::Missing { peer_dead: false }
+        );
+        bus.publish(&strip(0, 0)).unwrap();
+        match bus.try_collect::<f32>(0, 0) {
+            CollectStatus::Ready(m) => assert_eq!((m.cycle, m.shard), (0, 0)),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        // Republish (post-resume replay) is idempotent.
+        bus.publish(&strip(0, 0)).unwrap();
+        assert!(matches!(
+            bus.try_collect::<f32>(0, 0),
+            CollectStatus::Ready(_)
+        ));
+    }
+
+    #[test]
+    fn markers_and_dead_flags_are_typed() {
+        let bus = tmp_bus("markers");
+        bus.publish(&HaloFrame::<f32>::Skip { shard: 1, cycle: 2 })
+            .unwrap();
+        bus.publish(&HaloFrame::<f32>::Stall { shard: 2, cycle: 2 })
+            .unwrap();
+        assert_eq!(bus.try_collect::<f32>(2, 1), CollectStatus::Skipped);
+        assert_eq!(bus.try_collect::<f32>(2, 2), CollectStatus::Stalled);
+        bus.mark_dead(1).unwrap();
+        assert!(bus.is_dead(1));
+        assert_eq!(
+            bus.try_collect::<f32>(3, 1),
+            CollectStatus::Missing { peer_dead: true }
+        );
+        bus.mark_alive(1).unwrap();
+        assert!(!bus.is_dead(1));
+        bus.mark_alive(1).unwrap(); // idempotent
+    }
+
+    #[test]
+    fn corrupt_frame_is_a_typed_status() {
+        let bus = tmp_bus("corrupt");
+        let mut bytes = encode_halo(&strip(5, 0)).unwrap().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5A;
+        bus.write_atomic(&halo_name(5, 0), &bytes).unwrap();
+        assert_eq!(
+            bus.try_collect::<f32>(5, 0),
+            CollectStatus::Corrupt(HaloError::Corrupt)
+        );
+    }
+
+    #[test]
+    fn forecast_only_directive_and_records() {
+        let bus = tmp_bus("directive");
+        assert_eq!(bus.forecast_only_from(), None);
+        bus.set_forecast_only_from(7).unwrap();
+        assert_eq!(bus.forecast_only_from(), Some(7));
+        assert!(!bus.has_record(3, 0));
+        bus.write_record(3, 0, "completed alive 6").unwrap();
+        assert!(bus.has_record(3, 0));
+        assert_eq!(bus.read_record(3, 0).unwrap(), "completed alive 6");
+    }
+
+    #[test]
+    fn blocking_collect_returns_on_deadline() {
+        let bus = tmp_bus("deadline");
+        let status =
+            bus.collect_blocking::<f32>(9, 0, Duration::from_millis(30), Duration::from_millis(5));
+        assert_eq!(status, CollectStatus::Missing { peer_dead: false });
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic in-process federation driver.
+//!
+//! [`LocalFederation`] runs every shard worker inside one process with a
+//! strict phase discipline per cycle — kills/respawns, then every shard's
+//! publish, then every shard's collect (single-poll, no timeouts) — so
+//! federated campaigns are bit-reproducible and the shard-fault scenarios
+//! (`shardkill`, `shardstall`, `halodrop`) land on exact expected outcome
+//! tables. The multi-*process* flavour of the same protocol lives in
+//! `examples/federation.rs` under the `bda_workflow::shard_supervisor`;
+//! both drive the identical [`ShardWorker`] cycle code, which is what
+//! makes the local mode a faithful model.
+//!
+//! A `shardkill:S@C` here is a *virtual SIGKILL*: worker `S` is dropped on
+//! the floor at the start of cycle `C` (whatever in-memory state it had is
+//! gone) and rebuilt from its own scoped checkpoint, replaying forward to
+//! rejoin the federation in the same cycle — exactly the recovery path a
+//! real killed process takes, minus the wall clock.
+
+use crate::worker::{ShardConfig, ShardWorker};
+use bda_core::osse::OsseConfig;
+use bda_num::Real;
+use bda_workflow::FaultPlan;
+use std::path::PathBuf;
+
+/// Federation-wide configuration, expanded per shard by
+/// [`FederationConfig::shard_config`].
+#[derive(Clone, Debug)]
+pub struct FederationConfig {
+    pub osse: OsseConfig,
+    pub n_shards: usize,
+    pub n_cycles: usize,
+    pub spinup_seconds: f64,
+    /// Root directory: the halo bus spools under `<dir>/bus`, and every
+    /// shard checkpoints under the *shared* `<dir>/ckpt` (scoped filenames
+    /// keep them apart — deliberately exercising the collision guard).
+    pub dir: PathBuf,
+    pub checkpoint_every: usize,
+    pub plan: FaultPlan,
+}
+
+impl FederationConfig {
+    pub fn new(
+        osse: OsseConfig,
+        n_shards: usize,
+        n_cycles: usize,
+        dir: impl Into<PathBuf>,
+    ) -> Self {
+        Self {
+            osse,
+            n_shards,
+            n_cycles,
+            spinup_seconds: 0.0,
+            dir: dir.into(),
+            checkpoint_every: 1,
+            plan: FaultPlan::none(),
+        }
+    }
+
+    /// The per-shard worker configuration for shard `s`.
+    pub fn shard_config(&self, s: usize) -> ShardConfig {
+        let mut cfg = ShardConfig::new(self.osse.clone(), self.n_shards, s, self.n_cycles);
+        cfg.spinup_seconds = self.spinup_seconds;
+        cfg.bus_dir = self.dir.join("bus");
+        cfg.ckpt_dir = self.dir.join("ckpt");
+        cfg.checkpoint_every = self.checkpoint_every;
+        cfg.plan = self.plan.clone();
+        cfg
+    }
+}
+
+/// All shards in one process, phase-locked per cycle.
+pub struct LocalFederation<T: Real> {
+    pub cfg: FederationConfig,
+    pub workers: Vec<ShardWorker<T>>,
+}
+
+impl<T: Real> LocalFederation<T> {
+    /// Build and start (or resume) every shard worker.
+    pub fn start(cfg: FederationConfig) -> Result<Self, String> {
+        let workers = (0..cfg.n_shards)
+            .map(|s| ShardWorker::start_or_resume(cfg.shard_config(s)).map(|(w, _)| w))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { cfg, workers })
+    }
+
+    /// Run the full campaign: every cycle applies scheduled virtual kills
+    /// (drop + rebuild-from-checkpoint + replay), then all shards publish,
+    /// then all shards collect. Single-poll collects — by the time any
+    /// shard collects, every live shard has published, so the no-fault
+    /// path is timeout-free and fully deterministic.
+    pub fn run(&mut self) -> Result<(), String> {
+        for cycle in 0..bda_num::cast::u64_of(self.cfg.n_cycles) {
+            for s in self
+                .cfg
+                .plan
+                .shard_kills(bda_num::cast::index_of_u64(cycle))
+            {
+                self.respawn(s, cycle)?;
+            }
+            let mut pendings = Vec::with_capacity(self.workers.len());
+            for w in &mut self.workers {
+                pendings.push(w.run_cycle_publish(cycle)?);
+            }
+            for (w, p) in self.workers.iter_mut().zip(pendings) {
+                w.run_cycle_collect(p, false);
+            }
+        }
+        Ok(())
+    }
+
+    /// Virtual SIGKILL of shard `s` at the start of `cycle`: the worker
+    /// (and all its in-memory state) is discarded, a fresh one resumes
+    /// from its own scoped checkpoint, and the missed cycles are replayed
+    /// against the halos still spooled on the bus — republishes are
+    /// idempotent and the peers' frames for those cycles are still there,
+    /// so the replay reconverges bit-for-bit before `cycle` begins.
+    fn respawn(&mut self, s: usize, cycle: u64) -> Result<(), String> {
+        let (mut w, resumed) = ShardWorker::start_or_resume(self.cfg.shard_config(s))?;
+        if !resumed && cycle > 0 {
+            return Err(format!(
+                "shard {s} killed at cycle {cycle} but no checkpoint found"
+            ));
+        }
+        while w.next_cycle() < cycle {
+            let c = w.next_cycle();
+            let p = w.run_cycle_publish(c)?;
+            w.run_cycle_collect(p, false);
+        }
+        self.workers[s] = w;
+        Ok(())
+    }
+
+    /// Shard `s`'s outcome table.
+    pub fn table(&self, s: usize) -> String {
+        self.workers[s].table()
+    }
+}

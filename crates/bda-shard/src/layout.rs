@@ -1,0 +1,208 @@
+//! Domain decomposition for the shard federation.
+//!
+//! The LETKF analysis is independent per grid point (the whole reason the
+//! paper could spread it over 11,580 nodes), so the federation splits the
+//! domain into `S` x-strips via [`bda_grid::decomp::TileDecomp`] — the
+//! same remainder-first cuts the in-process thread pool uses. Each shard
+//! analyzes only its own strip and publishes it as a "halo" to every peer;
+//! a shard's strip in the member-flat layout
+//! `((v * nx + i) * ny + j) * nz + k` is per-variable contiguous, so
+//! extraction and application are plain `copy_from_slice` runs.
+
+use bda_grid::decomp::TileDecomp;
+use bda_letkf::StateLayout;
+use bda_num::Real;
+
+/// The x-strip decomposition of the analysis domain across `n_shards`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardLayout {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub nvar: usize,
+    regions: Vec<(usize, usize)>,
+}
+
+impl ShardLayout {
+    /// Cut `layout`'s x axis into `n_shards` strips (remainder-first, the
+    /// [`TileDecomp`] convention, so widths differ by at most one).
+    pub fn new(layout: &StateLayout, n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        assert!(
+            n_shards <= layout.nx,
+            "{n_shards} shards over {} columns",
+            layout.nx
+        );
+        let decomp = TileDecomp::new(layout.nx, layout.ny, n_shards, 1);
+        let regions = decomp.tiles().iter().map(|t| (t.i0, t.i1)).collect();
+        Self {
+            nx: layout.nx,
+            ny: layout.ny,
+            nz: layout.nz,
+            nvar: layout.nvar,
+            regions,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The half-open x-range `[i0, i1)` owned by shard `s`.
+    pub fn region(&self, s: usize) -> (usize, usize) {
+        self.regions[s]
+    }
+
+    /// Total flat length of one member state.
+    pub fn flat_len(&self) -> usize {
+        self.nvar * self.nx * self.ny * self.nz
+    }
+
+    /// Flat length of shard `s`'s strip (per member).
+    pub fn strip_len(&self, s: usize) -> usize {
+        let (i0, i1) = self.region(s);
+        self.nvar * (i1 - i0) * self.ny * self.nz
+    }
+
+    /// Per-variable contiguous runs `[a, b)` of shard `s`'s strip within a
+    /// full member flat.
+    fn runs(&self, s: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let (i0, i1) = self.region(s);
+        let plane = self.ny * self.nz;
+        (0..self.nvar).map(move |v| ((v * self.nx + i0) * plane, (v * self.nx + i1) * plane))
+    }
+
+    /// Copy shard `s`'s strip out of a full member flat.
+    pub fn extract_region<T: Real>(&self, flat: &[T], s: usize) -> Vec<T> {
+        assert_eq!(flat.len(), self.flat_len(), "flat length mismatch");
+        let mut strip = Vec::with_capacity(self.strip_len(s));
+        for (a, b) in self.runs(s) {
+            strip.extend_from_slice(&flat[a..b]);
+        }
+        strip
+    }
+
+    /// Overwrite shard `s`'s strip inside a full member flat — the inverse
+    /// of [`ShardLayout::extract_region`].
+    pub fn apply_region<T: Real>(&self, flat: &mut [T], s: usize, strip: &[T]) {
+        assert_eq!(flat.len(), self.flat_len(), "flat length mismatch");
+        assert_eq!(strip.len(), self.strip_len(s), "strip length mismatch");
+        let mut off = 0;
+        for (a, b) in self.runs(s) {
+            flat[a..b].copy_from_slice(&strip[off..off + (b - a)]);
+            off += b - a;
+        }
+    }
+
+    /// The bottom rung short of forecast-only: shard `s` is dead and no
+    /// halo for its strip exists at all, so a surviving peer widens its
+    /// boundary assumption into the orphaned strip — every orphaned column
+    /// is filled from the nearest column outside the strip, the
+    /// clamp-extension boundary condition of [`bda_grid::halo`]'s
+    /// [`HaloPolicy::Clamp`](bda_grid::halo::HaloPolicy) applied at shard
+    /// granularity. Columns left of the strip midpoint clamp to the left
+    /// neighbour, the rest to the right (whichever exists).
+    pub fn widen_into_region<T: Real>(&self, flat: &mut [T], s: usize) {
+        let (i0, i1) = self.region(s);
+        let left = i0.checked_sub(1);
+        let right = if i1 < self.nx { Some(i1) } else { None };
+        let plane = self.ny * self.nz;
+        let mid = i0 + (i1 - i0).div_ceil(2);
+        for v in 0..self.nvar {
+            let base = v * self.nx;
+            for i in i0..i1 {
+                let src = match (left, right) {
+                    (Some(l), Some(r)) => {
+                        if i < mid {
+                            l
+                        } else {
+                            r
+                        }
+                    }
+                    (Some(l), None) => l,
+                    (None, Some(r)) => r,
+                    // A single-shard layout has no peers to widen for.
+                    (None, None) => continue,
+                };
+                let (dst_a, src_a) = ((base + i) * plane, (base + src) * plane);
+                // Split-borrow via ptr-free copy_within on the var slab.
+                let slab = &mut flat[base * plane..(base + self.nx) * plane];
+                let (d, s2) = (dst_a - base * plane, src_a - base * plane);
+                slab.copy_within(s2..s2 + plane, d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(nx: usize) -> StateLayout {
+        StateLayout {
+            nx,
+            ny: 3,
+            nz: 2,
+            nvar: 2,
+            dx: 500.0,
+            z_center: vec![250.0, 750.0],
+        }
+    }
+
+    #[test]
+    fn regions_tile_the_x_axis_remainder_first() {
+        let sl = ShardLayout::new(&layout(10), 3);
+        assert_eq!(sl.region(0), (0, 4));
+        assert_eq!(sl.region(1), (4, 7));
+        assert_eq!(sl.region(2), (7, 10));
+        assert_eq!(
+            (0..3).map(|s| sl.strip_len(s)).sum::<usize>(),
+            sl.flat_len()
+        );
+    }
+
+    #[test]
+    fn extract_apply_round_trips_and_tiles_exactly() {
+        let sl = ShardLayout::new(&layout(7), 2);
+        let flat: Vec<f64> = (0..sl.flat_len()).map(|i| i as f64).collect();
+        let mut rebuilt = vec![0.0f64; sl.flat_len()];
+        for s in 0..2 {
+            let strip = sl.extract_region(&flat, s);
+            assert_eq!(strip.len(), sl.strip_len(s));
+            sl.apply_region(&mut rebuilt, s, &strip);
+        }
+        assert_eq!(rebuilt, flat);
+    }
+
+    #[test]
+    fn widen_clamps_orphaned_columns_to_nearest_neighbour() {
+        let sl = ShardLayout::new(&layout(6), 3); // strips of 2 columns
+        let plane = sl.ny * sl.nz;
+        // Column i carries the constant value i in every var.
+        let mut flat = vec![0.0f64; sl.flat_len()];
+        for v in 0..sl.nvar {
+            for i in 0..sl.nx {
+                let a = (v * sl.nx + i) * plane;
+                flat[a..a + plane].iter_mut().for_each(|x| *x = i as f64);
+            }
+        }
+        // Middle shard (columns 2,3) dies: 2 clamps left (column 1),
+        // 3 clamps right (column 4).
+        sl.widen_into_region(&mut flat, 1);
+        for v in 0..sl.nvar {
+            let col = |i: usize| flat[(v * sl.nx + i) * plane];
+            assert_eq!(col(2), 1.0);
+            assert_eq!(col(3), 4.0);
+            assert_eq!(col(1), 1.0);
+            assert_eq!(col(4), 4.0);
+        }
+        // Edge shard 0 dies: both its columns clamp right.
+        sl.widen_into_region(&mut flat, 0);
+        for v in 0..sl.nvar {
+            let col = |i: usize| flat[(v * sl.nx + i) * plane];
+            assert_eq!(col(0), 1.0);
+            assert_eq!(col(1), 1.0);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The halo wire format.
+//!
+//! One frame per (cycle, shard): either the shard's analyzed strip for
+//! every ensemble member, or a typed marker (skip / stall) standing in for
+//! it so receivers learn *why* a strip is missing instead of inferring it
+//! from silence. Frames are checksum-sealed with the same FNV-1a trailer
+//! convention as every other wire format in the system
+//! ([`bda_io::frame`]), and the member payload reuses the
+//! [`bda_io::format`] state codec — precision mismatches between an `f32`
+//! shard and an `f64` shard surface as typed errors, not garbage floats.
+//!
+//! Layout: magic `BDAH` (4) | version u16 | kind u8 | shard u32 |
+//! cycle u64 | i0 u32 | i1 u32 | points_analyzed u64 | payload
+//! (`encode_states` frame, strip kind only) | FNV-1a checksum u64.
+
+use bda_io::format::{decode_states, encode_states, FormatError};
+use bda_io::frame::{self, FrameError};
+use bda_num::{cast, Real};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"BDAH";
+const VERSION: u16 = 1;
+const HEADER_BYTES: usize = 4 + 2 + 1 + 4 + 8 + 4 + 4 + 8;
+
+const KIND_STRIP: u8 = 0;
+const KIND_SKIP: u8 = 1;
+const KIND_STALL: u8 = 2;
+
+/// A shard's analyzed strip for one cycle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HaloMsg<T: Real> {
+    pub shard: usize,
+    pub cycle: u64,
+    /// Owned x-range `[i0, i1)` the strips cover.
+    pub i0: usize,
+    pub i1: usize,
+    /// Grid points this shard's own analysis updated — receivers fold this
+    /// into their posterior-diagnostics decision.
+    pub points_analyzed: usize,
+    /// Per-member strip flats (every member, alive and respawned).
+    pub strips: Vec<Vec<T>>,
+}
+
+/// Everything a (cycle, shard) slot on the bus can hold.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HaloFrame<T: Real> {
+    /// The analyzed strip arrived.
+    Strip(HaloMsg<T>),
+    /// The shard deliberately published nothing this cycle (its halo was
+    /// dropped in transit, modeled at the sender) — receivers step to the
+    /// halo-reuse rung.
+    Skip { shard: usize, cycle: u64 },
+    /// The shard declared itself over deadline — receivers treat it as
+    /// lagging and step to the halo-reuse rung without waiting.
+    Stall { shard: usize, cycle: u64 },
+}
+
+impl<T: Real> HaloFrame<T> {
+    pub fn shard(&self) -> usize {
+        match self {
+            HaloFrame::Strip(m) => m.shard,
+            HaloFrame::Skip { shard, .. } | HaloFrame::Stall { shard, .. } => *shard,
+        }
+    }
+
+    pub fn cycle(&self) -> u64 {
+        match self {
+            HaloFrame::Strip(m) => m.cycle,
+            HaloFrame::Skip { cycle, .. } | HaloFrame::Stall { cycle, .. } => *cycle,
+        }
+    }
+}
+
+/// Typed decode failures — a corrupt or alien halo must degrade the
+/// receiving shard's cycle, never panic it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HaloError {
+    TooShort,
+    BadMagic,
+    BadVersion(u16),
+    BadKind(u8),
+    /// The outer checksum failed: bytes damaged in transit.
+    Corrupt,
+    /// The member payload failed to decode (inner codec error).
+    Payload(FormatError),
+    /// Strip shape disagrees with the declared `[i0, i1)` range.
+    GeometryMismatch {
+        declared: usize,
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for HaloError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HaloError::TooShort => write!(f, "halo frame too short"),
+            HaloError::BadMagic => write!(f, "bad halo magic"),
+            HaloError::BadVersion(v) => write!(f, "unsupported halo version {v}"),
+            HaloError::BadKind(k) => write!(f, "unknown halo kind {k}"),
+            HaloError::Corrupt => write!(f, "halo frame corrupted in transit"),
+            HaloError::Payload(e) => write!(f, "halo payload: {e}"),
+            HaloError::GeometryMismatch { declared, got } => {
+                write!(f, "halo geometry mismatch: declared {declared}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HaloError {}
+
+/// Encode a frame, checksum-sealed.
+pub fn encode_halo<T: Real>(frame_msg: &HaloFrame<T>) -> Result<Bytes, HaloError> {
+    let (kind, shard, cycle, i0, i1, points, payload) = match frame_msg {
+        HaloFrame::Strip(m) => {
+            let payload = encode_states(&m.strips).map_err(HaloError::Payload)?;
+            (
+                KIND_STRIP,
+                m.shard,
+                m.cycle,
+                m.i0,
+                m.i1,
+                m.points_analyzed,
+                Some(payload),
+            )
+        }
+        HaloFrame::Skip { shard, cycle } => (KIND_SKIP, *shard, *cycle, 0, 0, 0, None),
+        HaloFrame::Stall { shard, cycle } => (KIND_STALL, *shard, *cycle, 0, 0, 0, None),
+    };
+    let body = payload.as_ref().map(|p| p.len()).unwrap_or(0);
+    let mut buf = BytesMut::with_capacity(HEADER_BYTES + body + 8);
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u8(kind);
+    buf.put_u32(cast::u32_of_index(shard));
+    buf.put_u64(cycle);
+    buf.put_u32(cast::u32_of_index(i0));
+    buf.put_u32(cast::u32_of_index(i1));
+    buf.put_u64(cast::u64_of(points));
+    if let Some(p) = payload {
+        buf.put_slice(&p);
+    }
+    Ok(frame::seal(buf))
+}
+
+/// Decode a sealed frame.
+pub fn decode_halo<T: Real>(data: &[u8]) -> Result<HaloFrame<T>, HaloError> {
+    if data.len() < HEADER_BYTES + 8 {
+        return Err(HaloError::TooShort);
+    }
+    let mut buf = frame::open(data).map_err(|e| match e {
+        FrameError::TooShort => HaloError::TooShort,
+        FrameError::ChecksumMismatch => HaloError::Corrupt,
+    })?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(HaloError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(HaloError::BadVersion(version));
+    }
+    let kind = buf.get_u8();
+    let shard = cast::index_of_u32(buf.get_u32());
+    let cycle = buf.get_u64();
+    let i0 = cast::index_of_u32(buf.get_u32());
+    let i1 = cast::index_of_u32(buf.get_u32());
+    let points_analyzed = cast::index_of_u64(buf.get_u64());
+    match kind {
+        KIND_SKIP => Ok(HaloFrame::Skip { shard, cycle }),
+        KIND_STALL => Ok(HaloFrame::Stall { shard, cycle }),
+        KIND_STRIP => {
+            let strips = decode_states::<T>(buf).map_err(HaloError::Payload)?;
+            if i1 < i0 {
+                return Err(HaloError::GeometryMismatch {
+                    declared: 0,
+                    got: i1,
+                });
+            }
+            // Every member strip must be a whole number of (i1-i0) columns;
+            // the receiver's ShardLayout does the exact-length check against
+            // its own geometry on application.
+            if let Some(first) = strips.first() {
+                let width = i1 - i0;
+                if width == 0 || first.len() % width != 0 {
+                    return Err(HaloError::GeometryMismatch {
+                        declared: width,
+                        got: first.len(),
+                    });
+                }
+            }
+            Ok(HaloFrame::Strip(HaloMsg {
+                shard,
+                cycle,
+                i0,
+                i1,
+                points_analyzed,
+                strips,
+            }))
+        }
+        other => Err(HaloError::BadKind(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> HaloMsg<f32> {
+        HaloMsg {
+            shard: 1,
+            cycle: 42,
+            i0: 5,
+            i1: 7,
+            points_analyzed: 12,
+            strips: vec![vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]],
+        }
+    }
+
+    #[test]
+    fn strip_round_trips() {
+        let f = HaloFrame::Strip(msg());
+        let bytes = encode_halo(&f).unwrap();
+        assert_eq!(decode_halo::<f32>(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn markers_round_trip() {
+        for f in [
+            HaloFrame::<f32>::Skip { shard: 0, cycle: 3 },
+            HaloFrame::<f32>::Stall { shard: 2, cycle: 9 },
+        ] {
+            let bytes = encode_halo(&f).unwrap();
+            assert_eq!(decode_halo::<f32>(&bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn corruption_is_typed_not_a_panic() {
+        let mut bytes = encode_halo(&HaloFrame::Strip(msg())).unwrap().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5A;
+        assert_eq!(decode_halo::<f32>(&bytes).unwrap_err(), HaloError::Corrupt);
+    }
+
+    #[test]
+    fn truncation_and_alien_bytes_are_typed() {
+        assert_eq!(decode_halo::<f32>(b"xx").unwrap_err(), HaloError::TooShort);
+        let bytes = encode_halo(&HaloFrame::Strip(msg())).unwrap();
+        assert_eq!(
+            decode_halo::<f32>(&bytes[..bytes.len() - 3]).unwrap_err(),
+            HaloError::Corrupt
+        );
+    }
+
+    #[test]
+    fn precision_mismatch_is_typed() {
+        let bytes = encode_halo(&HaloFrame::Strip(msg())).unwrap();
+        assert!(matches!(
+            decode_halo::<f64>(&bytes).unwrap_err(),
+            HaloError::Payload(FormatError::PrecisionMismatch { .. })
+        ));
+    }
+}

@@ -70,11 +70,22 @@ pub enum Fault {
     /// cycle — an egress connection storm the acceptor must absorb without
     /// missing the publish deadline.
     ConnStorm { n: usize },
+    /// Federation shard `shard` is SIGKILLed at the start of this cycle —
+    /// the supervisor must respawn it and the shard must resume from its
+    /// own scoped checkpoint while its peers keep cycling.
+    ShardKill { shard: usize },
+    /// Federation shard `shard` misses its halo deadline this cycle (it
+    /// publishes a stall marker instead of its analyzed strip) — peers
+    /// must step the degradation ladder, not block.
+    ShardStall { shard: usize },
+    /// Federation shard `shard`'s halo for this cycle is dropped in
+    /// transit — receivers reuse the previous-cycle halo, flagged.
+    HaloDrop { shard: usize },
 }
 
 /// Per-cycle fault schedule. Ordered map so iteration (and therefore any
 /// behaviour derived from it) is deterministic.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     by_cycle: BTreeMap<usize, Vec<Fault>>,
 }
@@ -184,6 +195,24 @@ impl FaultPlan {
         self
     }
 
+    /// SIGKILL federation shard `shard` at the start of `cycle`.
+    pub fn shard_kill(mut self, cycle: usize, shard: usize) -> Self {
+        self.push(cycle, Fault::ShardKill { shard });
+        self
+    }
+
+    /// Make shard `shard` miss its halo deadline on `cycle`.
+    pub fn shard_stall(mut self, cycle: usize, shard: usize) -> Self {
+        self.push(cycle, Fault::ShardStall { shard });
+        self
+    }
+
+    /// Drop shard `shard`'s halo for `cycle` in transit.
+    pub fn halo_drop(mut self, cycle: usize, shard: usize) -> Self {
+        self.push(cycle, Fault::HaloDrop { shard });
+        self
+    }
+
     /// Faults scheduled for `cycle` (empty slice when none).
     pub fn faults_for(&self, cycle: usize) -> &[Fault] {
         self.by_cycle.get(&cycle).map(Vec::as_slice).unwrap_or(&[])
@@ -255,6 +284,39 @@ impl FaultPlan {
             .sum()
     }
 
+    /// Shards scheduled for SIGKILL on `cycle`.
+    pub fn shard_kills(&self, cycle: usize) -> Vec<usize> {
+        self.faults_for(cycle)
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ShardKill { shard } => Some(*shard),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Shards scheduled to miss their halo deadline on `cycle`.
+    pub fn shard_stalls(&self, cycle: usize) -> Vec<usize> {
+        self.faults_for(cycle)
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ShardStall { shard } => Some(*shard),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Shards whose halo is dropped in transit on `cycle`.
+    pub fn halo_drops(&self, cycle: usize) -> Vec<usize> {
+        self.faults_for(cycle)
+            .iter()
+            .filter_map(|f| match f {
+                Fault::HaloDrop { shard } => Some(*shard),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Total number of scheduled faults.
     pub fn len(&self) -> usize {
         self.by_cycle.values().map(Vec::len).sum()
@@ -308,6 +370,12 @@ impl FaultPlan {
     ///   cycle `C` on;
     /// * `connstorm:N@C` — `N` extra egress subscribers burst-connect
     ///   during cycle `C`;
+    /// * `shardkill:S@C` — SIGKILL federation shard `S` at the start of
+    ///   cycle `C`;
+    /// * `shardstall:S@C` — shard `S` misses its halo deadline on cycle
+    ///   `C`;
+    /// * `halodrop:S@C` — shard `S`'s halo for cycle `C` is dropped in
+    ///   transit;
     /// * `random:SEED` — a seed-driven plan at default rates (requires the
     ///   caller to know `n_cycles`, so it takes it via [`FaultPlan::random`]
     ///   — here it is expanded with `n_cycles` passed in).
@@ -378,6 +446,9 @@ impl FaultPlan {
                             "blowup" => Some(Fault::MemberBlowUp { member: arg }),
                             "slowclient" => Some(Fault::SlowClients { n: arg }),
                             "connstorm" => Some(Fault::ConnStorm { n: arg }),
+                            "shardkill" => Some(Fault::ShardKill { shard: arg }),
+                            "shardstall" => Some(Fault::ShardStall { shard: arg }),
+                            "halodrop" => Some(Fault::HaloDrop { shard: arg }),
                             _ => None,
                         }
                     });
@@ -393,6 +464,40 @@ impl FaultPlan {
             }
         }
         Ok(plan)
+    }
+
+    /// Serialize the plan back to the compact spec grammar accepted by
+    /// [`FaultPlan::parse`]. For any plan, `parse(&plan.to_spec(), n)`
+    /// reconstructs an equal plan — the round-trip contract the parse
+    /// tests pin down.
+    pub fn to_spec(&self) -> String {
+        let mut tokens = Vec::with_capacity(self.len());
+        for (&cycle, faults) in &self.by_cycle {
+            for f in faults {
+                tokens.push(match *f {
+                    Fault::StagePanic(Stage::Scan) => format!("panic:scan@{cycle}"),
+                    Fault::StagePanic(Stage::Assimilation) => format!("panic:assim@{cycle}"),
+                    Fault::StagePanic(Stage::Forecast) | Fault::StagePanic(Stage::Transfer) => {
+                        format!("panic:fcst@{cycle}")
+                    }
+                    Fault::TransferStall { timeouts: 1 } => format!("stall@{cycle}"),
+                    Fault::TransferStall { timeouts } => format!("stall@{cycle}x{timeouts}"),
+                    Fault::CorruptVolume => format!("corrupt@{cycle}"),
+                    Fault::DropScan => format!("drop@{cycle}"),
+                    Fault::DuplicateVolume => format!("dup@{cycle}"),
+                    Fault::StaleScan => format!("stale@{cycle}"),
+                    Fault::MemberNan { member } => format!("nan:{member}@{cycle}"),
+                    Fault::MemberBlowUp { member } => format!("blowup:{member}@{cycle}"),
+                    Fault::Crash => format!("crash@{cycle}"),
+                    Fault::SlowClients { n } => format!("slowclient:{n}@{cycle}"),
+                    Fault::ConnStorm { n } => format!("connstorm:{n}@{cycle}"),
+                    Fault::ShardKill { shard } => format!("shardkill:{shard}@{cycle}"),
+                    Fault::ShardStall { shard } => format!("shardstall:{shard}@{cycle}"),
+                    Fault::HaloDrop { shard } => format!("halodrop:{shard}@{cycle}"),
+                });
+            }
+        }
+        tokens.join(", ")
     }
 
     /// Deterministically corrupt a payload in place (used by the injector:
@@ -493,6 +598,50 @@ mod tests {
         assert_eq!(built.conn_storm_at(1), 7);
         assert!(FaultPlan::parse("slowclient:x@2", 8).is_err());
         assert!(FaultPlan::parse("connstorm:3@y", 8).is_err());
+    }
+
+    #[test]
+    fn parse_shard_faults() {
+        let plan = FaultPlan::parse(
+            "shardkill:1@4, shardstall:0@6, halodrop:2@6, shardkill:3@4",
+            16,
+        )
+        .unwrap();
+        assert_eq!(plan.shard_kills(4), vec![1, 3]);
+        assert_eq!(plan.shard_stalls(6), vec![0]);
+        assert_eq!(plan.halo_drops(6), vec![2]);
+        assert!(plan.shard_kills(6).is_empty());
+        assert!(plan.halo_drops(4).is_empty());
+        let built = FaultPlan::none()
+            .shard_kill(2, 1)
+            .shard_stall(3, 0)
+            .halo_drop(3, 1);
+        assert_eq!(built.shard_kills(2), vec![1]);
+        assert_eq!(built.shard_stalls(3), vec![0]);
+        assert_eq!(built.halo_drops(3), vec![1]);
+        assert!(FaultPlan::parse("shardkill:x@2", 8).is_err());
+        assert!(FaultPlan::parse("halodrop:1@y", 8).is_err());
+        assert!(FaultPlan::parse("shardstall:@2", 8).is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_through_parser() {
+        let spec = "panic:assim@1, stall@2x3, stall@3, corrupt@4, drop@5, dup@6, stale@7, \
+                    nan:2@8, blowup:0@9, crash@10, slowclient:50@11, connstorm:200@12, \
+                    shardkill:1@13, shardstall:0@14, halodrop:2@15";
+        let plan = FaultPlan::parse(spec, 16).unwrap();
+        let reparsed = FaultPlan::parse(&plan.to_spec(), 16).unwrap();
+        assert_eq!(plan, reparsed);
+        // And a seed-driven plan survives the trip too.
+        let random = FaultPlan::random(42, 64, FaultRates::default());
+        assert_eq!(FaultPlan::parse(&random.to_spec(), 64).unwrap(), random);
+    }
+
+    #[test]
+    fn to_spec_of_shard_faults_is_canonical() {
+        let plan = FaultPlan::none().shard_kill(3, 1).halo_drop(5, 0);
+        assert_eq!(plan.to_spec(), "shardkill:1@3, halodrop:0@5");
+        assert_eq!(FaultPlan::none().to_spec(), "");
     }
 
     #[test]

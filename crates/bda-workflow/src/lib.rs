@@ -32,6 +32,7 @@ pub mod outage;
 pub mod perfmodel;
 pub mod pipeline;
 pub mod raintrace;
+pub mod shard_supervisor;
 pub mod supervisor;
 
 pub use campaign::{
@@ -41,6 +42,10 @@ pub use fault::{Fault, FaultPlan, FaultRates, Stage};
 pub use nodes::NodeAllocation;
 pub use perfmodel::{PerfModel, TimeToSolution};
 pub use pipeline::{CycleTiming, RealtimePipeline};
+pub use shard_supervisor::{
+    FederationBus, FederationReport, ShardCycleReport, ShardHealth, ShardProcess, ShardSupervisor,
+    ShardSupervisorConfig,
+};
 pub use supervisor::{
     CycleDisposition, CycleReport, CycleSupervisor, DegradedMode, ForecastInput, SkipCause,
     StageError, SupervisorReport,

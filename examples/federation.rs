@@ -1,0 +1,349 @@
+//! federation — the multi-process shard federation, supervised for real.
+//!
+//! The paper's analysis was spread over 11,580 Fugaku nodes; one process
+//! owning every member and every radar is a single fault domain around the
+//! whole forecast. This example runs the `bda-shard` federation the way
+//! production would: `S` *separate OS processes* (this same binary,
+//! re-invoked with `--shard i`), each analyzing its own x-strip of the
+//! LETKF domain, exchanging analyzed-strip halos over the file-flavoured
+//! JIT-DT bus, and checkpointing independently under shard-scoped
+//! filenames in one shared directory.
+//!
+//! A [`bda::workflow::ShardSupervisor`] watches per-cycle readiness
+//! records on the bus, injects scheduled `shardkill:S@C` faults as real
+//! SIGKILLs, respawns killed workers (which resume from their own scoped
+//! CRC-guarded checkpoint and replay forward from the halos still spooled
+//! on the bus), marks shards dead past the respawn budget, and posts the
+//! federation-wide forecast-only directive on quorum loss.
+//!
+//! ```text
+//! cargo run --release --example federation -- \
+//!     [--shards 2] [--cycles 4] [--seed 11] [--dual] \
+//!     [--faults "shardkill:1@2"] [--parity] [--dir PATH]
+//! ```
+//!
+//! `--dual` federates two simulated MP-PAWRs (the Osaka/Kobe dual
+//! coverage of §8). `--parity` additionally runs the identical OSSE
+//! single-process inside the supervisor and **fails (non-zero exit)**
+//! unless every shard's final checkpointed ensemble is bit-identical to
+//! the reference and every bus outcome record matches byte-for-byte —
+//! SIGKILLs and all.
+
+use bda::core::osse::{Osse, OsseConfig};
+use bda::shard::{HaloBus, ShardConfig, ShardWorker};
+use bda::workflow::{FaultPlan, FederationBus, ShardSupervisor, ShardSupervisorConfig};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+#[derive(Clone)]
+struct Opts {
+    shards: usize,
+    cycles: usize,
+    seed: u64,
+    dual: bool,
+    faults: String,
+    parity: bool,
+    dir: PathBuf,
+    /// Worker mode: which shard this process is.
+    shard: Option<usize>,
+}
+
+fn parse_opts() -> Opts {
+    let argv: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<&str> {
+        argv.iter()
+            .position(|a| a == flag)
+            .map(|i| argv[i + 1].as_str())
+    };
+    let num = |flag: &str, default: usize| -> usize {
+        get(flag)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("{flag} N")))
+            .unwrap_or(default)
+    };
+    Opts {
+        shards: num("--shards", 2),
+        cycles: num("--cycles", 4),
+        seed: get("--seed")
+            .map(|v| v.parse().expect("--seed S"))
+            .unwrap_or(11),
+        dual: argv.iter().any(|a| a == "--dual"),
+        faults: get("--faults").unwrap_or("shardkill:1@2").to_string(),
+        parity: argv.iter().any(|a| a == "--parity"),
+        dir: get("--dir").map(PathBuf::from).unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("bda-federation-{}", std::process::id()))
+        }),
+        shard: get("--shard").map(|v| v.parse().expect("--shard I")),
+    }
+}
+
+fn osse_config(o: &Opts) -> OsseConfig {
+    let cfg = OsseConfig::reduced(10, 8, 6, 2, o.seed);
+    if o.dual {
+        cfg.with_dual_radar()
+    } else {
+        cfg
+    }
+}
+
+fn shard_config(o: &Opts, shard: usize) -> ShardConfig {
+    let mut cfg = ShardConfig::new(osse_config(o), o.shards, shard, o.cycles);
+    cfg.bus_dir = o.dir.join("bus");
+    cfg.ckpt_dir = o.dir.join("ckpt");
+    cfg.plan = FaultPlan::parse(&o.faults, o.cycles).expect("--faults SPEC");
+    // Generous halo deadline: a killed peer needs time to respawn and
+    // replay before its halo appears; stepping the ladder here would be
+    // a false degradation in a smoke test.
+    cfg.halo_deadline = Duration::from_secs(120);
+    cfg
+}
+
+/// The scope tag under which a finished worker checkpoints its *final*
+/// state (distinct from the mid-campaign `sNNN` resume checkpoints) so
+/// the supervisor can audit bit-parity across process boundaries.
+fn final_scope(shard: usize) -> String {
+    format!("f{shard:03}")
+}
+
+/// Worker mode: run one shard to completion, then persist the final
+/// ensemble for the supervisor's parity audit.
+fn worker_main(o: &Opts, shard: usize) -> i32 {
+    let cfg = shard_config(o, shard);
+    let ckpt_dir = cfg.ckpt_dir.clone();
+    let (mut w, resumed) = match ShardWorker::<f32>::start_or_resume(cfg) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("shard {shard}: start failed: {e}");
+            return 1;
+        }
+    };
+    if resumed {
+        eprintln!(
+            "shard {shard}: resumed from scoped checkpoint at cycle {}",
+            w.next_cycle()
+        );
+    }
+    if let Err(e) = w.run_to_completion() {
+        eprintln!("shard {shard}: {e}");
+        return 1;
+    }
+    let mut snap = w.osse.snapshot_state();
+    snap.next_cycle = o.cycles as u64;
+    snap.outcomes = w.records.clone();
+    if let Err(e) = bda::io::write_checkpoint_scoped(&ckpt_dir, Some(&final_scope(shard)), &snap) {
+        eprintln!("shard {shard}: final checkpoint: {e}");
+        return 1;
+    }
+    0
+}
+
+/// `HaloBus` as the supervisor's control plane.
+struct BusCtl(HaloBus);
+
+impl FederationBus for BusCtl {
+    fn shard_ready(&self, cycle: u64, shard: usize) -> bool {
+        self.0.has_record(cycle, shard)
+    }
+    fn mark_dead(&self, shard: usize) {
+        let _ = self.0.mark_dead(shard);
+    }
+    fn mark_alive(&self, shard: usize) {
+        let _ = self.0.mark_alive(shard);
+    }
+    fn set_forecast_only_from(&self, cycle: u64) {
+        let _ = self.0.set_forecast_only_from(cycle);
+    }
+}
+
+/// The reference record line for one unfaulted single-process cycle, in
+/// the exact grammar shard workers write to the bus.
+fn reference_lines(o: &Opts) -> (Vec<String>, Vec<Vec<u32>>) {
+    let mut osse = Osse::<f32>::new(osse_config(o));
+    let mut lines = Vec::with_capacity(o.cycles);
+    for _ in 0..o.cycles {
+        let out = osse.cycle();
+        let label = if out.below_quorum {
+            "below-quorum"
+        } else if out.n_obs_used == 0 {
+            "forecast-only"
+        } else if out.ensemble_degraded() {
+            "degraded"
+        } else {
+            "completed"
+        };
+        let mut detail = format!(
+            "alive {}, obs {}/{}, {}, rmse {:.9e}->{:.9e}",
+            out.n_alive,
+            out.n_obs_used,
+            out.n_obs_scanned,
+            out.qc.summary(),
+            out.prior_rmse_dbz,
+            out.posterior_rmse_dbz
+        );
+        if !out.respawned.is_empty() {
+            detail.push_str(&format!(", respawned {:?}", out.respawned));
+        }
+        for e in &out.member_errors {
+            detail.push_str(&format!(", {e}"));
+        }
+        lines.push(format!("{label} {detail}"));
+    }
+    let bits = osse
+        .analyzed_flats()
+        .iter()
+        .map(|f| f.iter().map(|v| v.to_bits()).collect())
+        .collect();
+    (lines, bits)
+}
+
+fn supervisor_main(o: &Opts) -> i32 {
+    let _ = std::fs::remove_dir_all(&o.dir);
+    let bus = match HaloBus::new(o.dir.join("bus")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("open bus: {e}");
+            return 1;
+        }
+    };
+    let plan = FaultPlan::parse(&o.faults, o.cycles).expect("--faults SPEC");
+    let exe = std::env::current_exe().expect("current_exe");
+    let opts = o.clone();
+    let spawn = move |shard: usize, respawn: bool| -> std::io::Result<Child> {
+        if respawn {
+            eprintln!("supervisor: respawning shard {shard}");
+        }
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--shard")
+            .arg(shard.to_string())
+            .arg("--shards")
+            .arg(opts.shards.to_string())
+            .arg("--cycles")
+            .arg(opts.cycles.to_string())
+            .arg("--seed")
+            .arg(opts.seed.to_string())
+            .arg("--faults")
+            .arg(&opts.faults)
+            .arg("--dir")
+            .arg(&opts.dir)
+            .stdout(Stdio::null());
+        if opts.dual {
+            cmd.arg("--dual");
+        }
+        cmd.spawn()
+    };
+
+    let mut cfg = ShardSupervisorConfig::new(o.shards, o.cycles);
+    cfg.cycle_deadline = Duration::from_secs(120);
+    cfg.poll = Duration::from_millis(25);
+    cfg.plan = plan.clone();
+    let mut sup = match ShardSupervisor::start(cfg, BusCtl(bus.clone()), spawn) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("spawn federation: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "=== federation: {} shards x {} cycles{} | faults: {} ===\n",
+        o.shards,
+        o.cycles,
+        if o.dual { ", dual MP-PAWR" } else { "" },
+        if o.faults.is_empty() {
+            "none"
+        } else {
+            &o.faults
+        }
+    );
+    let report = sup.run();
+    println!("{}", report.table());
+
+    let mut failures = 0usize;
+    // Every (cycle, shard) must have produced an outcome record — a hole
+    // means a cycle was lost, which the federation never allows short of
+    // a dead shard.
+    for s in 0..o.shards {
+        if report.dead[s] {
+            eprintln!("FAIL: shard {s} died (respawn budget exhausted)");
+            failures += 1;
+            continue;
+        }
+        for c in 0..o.cycles as u64 {
+            if !bus.has_record(c, s) {
+                eprintln!("FAIL: shard {s} has no outcome record for cycle {c}");
+                failures += 1;
+            }
+        }
+    }
+    let scheduled_kills: usize = (0..o.cycles).map(|c| plan.shard_kills(c).len()).sum();
+    let total_respawns: usize = report.respawns.iter().sum();
+    if scheduled_kills > 0 && total_respawns == 0 {
+        eprintln!("FAIL: {scheduled_kills} kills scheduled but no shard was ever respawned");
+        failures += 1;
+    }
+    println!(
+        "kills injected: {scheduled_kills}, respawns: {total_respawns}, dead: {}",
+        report.dead.iter().filter(|&&d| d).count()
+    );
+
+    if o.parity {
+        println!("\nparity audit vs single-process reference:");
+        let (ref_lines, ref_bits) = reference_lines(o);
+        let ckpt = o.dir.join("ckpt");
+        for s in 0..o.shards {
+            for (c, want) in ref_lines.iter().enumerate() {
+                match bus.read_record(c as u64, s) {
+                    Some(got) if &got == want => {}
+                    Some(got) => {
+                        eprintln!("FAIL: shard {s} cycle {c} record diverged:\n  want: {want}\n  got:  {got}");
+                        failures += 1;
+                    }
+                    None => {
+                        eprintln!("FAIL: shard {s} cycle {c} record missing");
+                        failures += 1;
+                    }
+                }
+            }
+            match bda::io::latest_checkpoint_scoped::<f32>(&ckpt, Some(&final_scope(s))) {
+                Ok(Some((_, snap))) => {
+                    let mut replica = Osse::<f32>::new(osse_config(o));
+                    replica.restore_state(&snap);
+                    let bits: Vec<Vec<u32>> = replica
+                        .analyzed_flats()
+                        .iter()
+                        .map(|f| f.iter().map(|v| v.to_bits()).collect())
+                        .collect();
+                    if bits == ref_bits {
+                        println!(
+                            "  shard {s}: final ensemble bit-identical, {} records match",
+                            ref_lines.len()
+                        );
+                    } else {
+                        eprintln!("FAIL: shard {s} final ensemble diverged from reference bits");
+                        failures += 1;
+                    }
+                }
+                other => {
+                    eprintln!("FAIL: shard {s} final checkpoint unreadable: {other:?}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    if failures == 0 {
+        println!("\nfederation OK: every cycle accounted for, every kill survived");
+        0
+    } else {
+        eprintln!("\nfederation FAILED: {failures} check(s)");
+        1
+    }
+}
+
+fn main() {
+    let o = parse_opts();
+    let code = match o.shard {
+        Some(shard) => worker_main(&o, shard),
+        None => supervisor_main(&o),
+    };
+    std::process::exit(code);
+}

@@ -17,5 +17,6 @@ pub use bda_num as num;
 pub use bda_pawr as pawr;
 pub use bda_scale as scale;
 pub use bda_serve as serve;
+pub use bda_shard as shard;
 pub use bda_verify as verify;
 pub use bda_workflow as workflow;
