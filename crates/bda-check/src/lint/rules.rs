@@ -47,9 +47,10 @@ struct FileScope {
     /// Test/bench/example/build-script *path* (not `#[cfg(test)]` regions).
     test_path: bool,
     /// Crates where lossy `as` casts are denied: the numeric kernels, plus
-    /// the egress codec and the shard halo exchange (a truncated tile
+    /// the egress codec, the shard halo exchange (a truncated tile
     /// coordinate, strip index or length corrupts a wire format as
-    /// silently as a truncated index corrupts a weight).
+    /// silently as a truncated index corrupts a weight), and the backoff
+    /// helper whose jitter math crosses float/integer nanoseconds.
     kernel: bool,
     /// `vendor/rayon/src`, where the pool-facade rule applies.
     rayon_src: bool,
@@ -77,7 +78,8 @@ fn classify(rel: &str) -> FileScope {
         kernel: rel.starts_with("crates/bda-num/src/")
             || rel.starts_with("crates/bda-letkf/src/")
             || rel.starts_with("crates/bda-serve/src/")
-            || rel.starts_with("crates/bda-shard/src/"),
+            || rel.starts_with("crates/bda-shard/src/")
+            || rel == "crates/bda-workflow/src/backoff.rs",
         rayon_src: rel.starts_with("vendor/rayon/src/"),
         facade: rel == "vendor/rayon/src/facade.rs",
     }

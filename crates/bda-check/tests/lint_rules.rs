@@ -52,9 +52,22 @@ fn lossy_cast_rule_is_kernel_scoped() {
     );
     // So is the shard halo exchange: a truncated strip index or count on
     // the federation bus breaks bit-parity without tripping any test.
+    // This covers the socket transport too (`wire`, `netbus`, `chaos`
+    // live under the same src root).
     assert_eq!(
         lines_for("crates/bda-shard/src/fixture.rs", src, "lossy_cast"),
         vec![5, 9]
+    );
+    // And the backoff helper: its jitter math crosses float/integer
+    // nanoseconds, exactly the silent-truncation shape the rule exists
+    // for. The rest of bda-workflow stays out of scope.
+    assert_eq!(
+        lines_for("crates/bda-workflow/src/backoff.rs", src, "lossy_cast"),
+        vec![5, 9]
+    );
+    assert_eq!(
+        lines_for("crates/bda-workflow/src/fault.rs", src, "lossy_cast"),
+        Vec::<usize>::new()
     );
     // `&x as &dyn Trait` is not a numeric cast, and identifiers ending in
     // `as` never match. Outside the kernel crates the rule is off.

@@ -31,6 +31,7 @@ use crate::server::{FRESH_JOIN, HELLO_BYTES, HELLO_MAGIC, MSG_HEADER_BYTES};
 use crate::tile::{decode_tile, TileAssembler};
 use bda_jitdt::sequence::{SeqClass, SeqTracker};
 use bda_num::rng::SplitMix64;
+use bda_workflow::backoff::Backoff;
 use bda_workflow::fault::FaultPlan;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -317,11 +318,17 @@ fn connect_with_retry(
     failures: &mut usize,
 ) -> Option<SwarmClient> {
     // The listener backlog is finite; under a connection storm a connect
-    // can be refused. Bounded retry with a short pause absorbs it.
-    for _ in 0..20 {
+    // can be refused. Bounded retry with a short pause absorbs it — the
+    // shared policy with cap == base keeps the historical flat 2 ms pause.
+    let mut backoff =
+        Backoff::new(Duration::from_millis(2), Duration::from_millis(2)).with_max_attempts(20);
+    loop {
         match SwarmClient::connect(addr, last_cycle) {
             Ok(c) => return Some(c),
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => match backoff.next_delay() {
+                Some(delay) => std::thread::sleep(delay),
+                None => break,
+            },
         }
     }
     *failures += 1;

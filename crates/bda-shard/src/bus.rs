@@ -38,6 +38,34 @@ pub enum CollectStatus<T: Real> {
     Corrupt(HaloError),
 }
 
+/// The seam between a shard worker and whatever carries its halos — the
+/// file spool ([`HaloBus`]) or loopback sockets
+/// ([`NetBus`](crate::netbus::NetBus)). Everything a worker does to a
+/// transport during a cycle lives here; the degradation ladder on top is
+/// transport-agnostic, which is what lets the socket federation inherit
+/// the file federation's parity proofs wholesale.
+pub trait HaloTransport {
+    /// Publish a halo frame for its (cycle, shard) slot. Network
+    /// delivery failure is *not* an error — it degrades receivers onto
+    /// the ladder; only local encode/spool failures surface here.
+    fn publish<T: Real>(&self, frame: &HaloFrame<T>) -> Result<(), String>;
+    /// Single non-blocking poll of shard `shard`'s slot for `cycle`.
+    fn try_collect<T: Real>(&self, cycle: u64, shard: usize) -> CollectStatus<T>;
+    /// Poll shard `shard`'s slot until something arrives, the peer is
+    /// dead, or `deadline` elapses.
+    fn collect_blocking<T: Real>(
+        &self,
+        cycle: u64,
+        shard: usize,
+        deadline: Duration,
+        poll: Duration,
+    ) -> CollectStatus<T>;
+    /// The active forecast-only directive, if any.
+    fn forecast_only_from(&self) -> Option<u64>;
+    /// Record the shard's outcome line for `cycle` on the control plane.
+    fn write_record(&self, cycle: u64, shard: usize, line: &str) -> std::io::Result<()>;
+}
+
 /// Shared spool directory handle.
 #[derive(Clone, Debug)]
 pub struct HaloBus {
@@ -56,6 +84,10 @@ fn dead_name(shard: usize) -> String {
     format!("dead-s{shard:03}")
 }
 
+fn link_name(shard: usize) -> String {
+    format!("link-s{shard:03}")
+}
+
 const FORECAST_ONLY: &str = "forecast-only-from";
 
 impl HaloBus {
@@ -72,8 +104,10 @@ impl HaloBus {
 
     /// Atomically write `bytes` to `name` (tmp + rename, so a reader never
     /// observes a half-written frame and a republish after resume is
-    /// idempotent).
-    fn write_atomic(&self, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    /// idempotent). `pub(crate)` so the socket transport reuses the same
+    /// convention for its control-plane files (port registry, epoch fence,
+    /// link health) in the same directory.
+    pub(crate) fn write_atomic(&self, name: &str, bytes: &[u8]) -> std::io::Result<()> {
         let tmp = self.dir.join(format!(".tmp-{name}"));
         {
             let mut f = fs::File::create(&tmp)?;
@@ -176,6 +210,58 @@ impl HaloBus {
     /// Whether shard `shard` finished `cycle` (its record exists).
     pub fn has_record(&self, cycle: u64, shard: usize) -> bool {
         self.dir.join(record_name(cycle, shard)).exists()
+    }
+
+    /// Publish shard `shard`'s per-peer link health (socket federations;
+    /// the supervisor folds it into quorum). One `peer:state` token per
+    /// peer, space-separated.
+    pub fn write_link_states(
+        &self,
+        shard: usize,
+        states: &[(usize, bda_workflow::LinkHealth)],
+    ) -> std::io::Result<()> {
+        let line = states
+            .iter()
+            .map(|(peer, h)| format!("{peer}:{h}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        self.write_atomic(&link_name(shard), line.as_bytes())
+    }
+
+    /// Shard `shard`'s published link health, if any (file-bus
+    /// federations never write one).
+    pub fn read_link_states(&self, shard: usize) -> Vec<bda_workflow::LinkHealth> {
+        let Ok(line) = fs::read_to_string(self.dir.join(link_name(shard))) else {
+            return Vec::new();
+        };
+        line.split_whitespace()
+            .filter_map(|tok| tok.split_once(':'))
+            .filter_map(|(_, h)| h.parse().ok())
+            .collect()
+    }
+}
+
+impl HaloTransport for HaloBus {
+    fn publish<T: Real>(&self, frame: &HaloFrame<T>) -> Result<(), String> {
+        HaloBus::publish(self, frame)
+    }
+    fn try_collect<T: Real>(&self, cycle: u64, shard: usize) -> CollectStatus<T> {
+        HaloBus::try_collect(self, cycle, shard)
+    }
+    fn collect_blocking<T: Real>(
+        &self,
+        cycle: u64,
+        shard: usize,
+        deadline: Duration,
+        poll: Duration,
+    ) -> CollectStatus<T> {
+        HaloBus::collect_blocking(self, cycle, shard, deadline, poll)
+    }
+    fn forecast_only_from(&self) -> Option<u64> {
+        HaloBus::forecast_only_from(self)
+    }
+    fn write_record(&self, cycle: u64, shard: usize, line: &str) -> std::io::Result<()> {
+        HaloBus::write_record(self, cycle, shard, line)
     }
 }
 

@@ -16,11 +16,14 @@
 //! rejoin the federation in the same cycle — exactly the recovery path a
 //! real killed process takes, minus the wall clock.
 
+use crate::chaos::ChaosProxy;
+use crate::netbus::{NetBus, NetBusConfig};
 use crate::worker::{ShardConfig, ShardWorker};
 use bda_core::osse::OsseConfig;
 use bda_num::Real;
 use bda_workflow::FaultPlan;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Federation-wide configuration, expanded per shard by
 /// [`FederationConfig::shard_config`].
@@ -127,6 +130,157 @@ impl<T: Real> LocalFederation<T> {
             w.run_cycle_collect(p, false);
         }
         self.workers[s] = w;
+        Ok(())
+    }
+
+    /// Shard `s`'s outcome table.
+    pub fn table(&self, s: usize) -> String {
+        self.workers[s].table()
+    }
+}
+
+/// Tuning knobs for an in-process *socket* federation — how long a
+/// collect waits (short, so injected network faults expire onto the
+/// ladder within test time) and whether the chaos proxies sit in-path.
+#[derive(Clone, Debug)]
+pub struct NetTuning {
+    /// Blocking-collect deadline per peer halo.
+    pub halo_deadline: Duration,
+    pub poll: Duration,
+    /// Put a [`ChaosProxy`] in front of every shard and route the fault
+    /// plan's network faults through it.
+    pub chaos: bool,
+    /// How long a `netstall` holds a message — keep it beyond
+    /// `halo_deadline` so stalled peers degrade instead of racing.
+    pub stall_delay: Duration,
+    pub seed: u64,
+}
+
+impl Default for NetTuning {
+    fn default() -> Self {
+        Self {
+            halo_deadline: Duration::from_millis(1500),
+            poll: Duration::from_millis(5),
+            chaos: false,
+            stall_delay: Duration::from_millis(2500),
+            seed: 0xC_4A05,
+        }
+    }
+}
+
+/// The same phase-locked federation as [`LocalFederation`], but every
+/// halo crosses a real loopback socket through [`NetBus`] — and, in
+/// chaos mode, through an in-path [`ChaosProxy`] per shard. Collects are
+/// *blocking* (pushes are asynchronous; the deadline is how network
+/// faults turn into ladder rungs), which is the one protocol difference
+/// from the file flavour; everything downstream of the transport is the
+/// identical [`ShardWorker`] cycle code, so a clean socket run is
+/// bit-identical to the file run and to single-process.
+pub struct NetFederation<T: Real> {
+    pub cfg: FederationConfig,
+    pub net: NetTuning,
+    pub workers: Vec<ShardWorker<T, NetBus>>,
+    /// In-path proxies (chaos mode) — held for their lifetime.
+    _proxies: Vec<ChaosProxy>,
+}
+
+impl<T: Real> NetFederation<T> {
+    fn net_shard_config(cfg: &FederationConfig, net: &NetTuning, s: usize) -> ShardConfig {
+        let mut sc = cfg.shard_config(s);
+        sc.halo_deadline = net.halo_deadline;
+        sc.poll = net.poll;
+        sc
+    }
+
+    fn start_bus(cfg: &FederationConfig, net: &NetTuning, s: usize) -> Result<NetBus, String> {
+        let mut bc = NetBusConfig::new(s, cfg.n_shards);
+        bc.raw_registry = net.chaos;
+        bc.seed ^= net.seed;
+        NetBus::start(bc, cfg.dir.join("bus"))
+    }
+
+    /// Start every shard on its own socket bus (and, in chaos mode, its
+    /// own in-path proxy).
+    pub fn start(cfg: FederationConfig, net: NetTuning) -> Result<Self, String> {
+        let proxies = if net.chaos {
+            (0..cfg.n_shards)
+                .map(|s| {
+                    ChaosProxy::start(
+                        s,
+                        cfg.plan.clone(),
+                        cfg.dir.join("bus"),
+                        net.stall_delay,
+                        net.seed ^ 0x9E37,
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            Vec::new()
+        };
+        let workers = (0..cfg.n_shards)
+            .map(|s| {
+                let bus = Self::start_bus(&cfg, &net, s)?;
+                ShardWorker::start_or_resume_on(Self::net_shard_config(&cfg, &net, s), bus)
+                    .map(|(w, _)| w)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            cfg,
+            net,
+            workers,
+            _proxies: proxies,
+        })
+    }
+
+    /// Run the full campaign. Same phase discipline as
+    /// [`LocalFederation::run`], except collects block up to the halo
+    /// deadline: a push crosses a socket, so "published" and "visible"
+    /// are separated by real wire time (or by an injected fault).
+    pub fn run(&mut self) -> Result<(), String> {
+        for cycle in 0..bda_num::cast::u64_of(self.cfg.n_cycles) {
+            for s in self
+                .cfg
+                .plan
+                .shard_kills(bda_num::cast::index_of_u64(cycle))
+            {
+                self.respawn(s, cycle)?;
+            }
+            let mut pendings = Vec::with_capacity(self.workers.len());
+            for w in &mut self.workers {
+                pendings.push(w.run_cycle_publish(cycle)?);
+            }
+            for (w, p) in self.workers.iter_mut().zip(pendings) {
+                w.run_cycle_collect(p, true);
+            }
+        }
+        Ok(())
+    }
+
+    /// Virtual SIGKILL over sockets: the worker *and its bus* are
+    /// dropped (listener closed, links cut — a real dead process), then
+    /// a fresh bus starts under a bumped epoch and the worker resumes
+    /// from its checkpoint. Replay collects pull missed halos from peer
+    /// history via `REQ` — the file spool is not involved — and the
+    /// replay republishes refill this shard's own history for peers'
+    /// pulls. Anything still written by the old instance is fenced off
+    /// by the epoch bump as a typed stale reject.
+    pub fn respawn(&mut self, s: usize, cycle: u64) -> Result<(), String> {
+        // Drop first: kill semantics, and it frees the registry slot.
+        let _ = self.workers.remove(s);
+        let bus = Self::start_bus(&self.cfg, &self.net, s)?;
+        let (mut w, resumed) =
+            ShardWorker::start_or_resume_on(Self::net_shard_config(&self.cfg, &self.net, s), bus)?;
+        if !resumed && cycle > 0 {
+            return Err(format!(
+                "shard {s} killed at cycle {cycle} but no checkpoint found"
+            ));
+        }
+        while w.next_cycle() < cycle {
+            let c = w.next_cycle();
+            let p = w.run_cycle_publish(c)?;
+            w.run_cycle_collect(p, true);
+        }
+        self.workers.insert(s, w);
         Ok(())
     }
 

@@ -25,13 +25,19 @@
 //! which this crate's bus implements the control plane for.
 
 pub mod bus;
+pub mod chaos;
 pub mod federation;
 pub mod layout;
 pub mod msg;
+pub mod netbus;
+pub mod wire;
 pub mod worker;
 
-pub use bus::{CollectStatus, HaloBus};
-pub use federation::{FederationConfig, LocalFederation};
+pub use bus::{CollectStatus, HaloBus, HaloTransport};
+pub use chaos::ChaosProxy;
+pub use federation::{FederationConfig, LocalFederation, NetFederation};
 pub use layout::ShardLayout;
 pub use msg::{decode_halo, encode_halo, HaloError, HaloFrame, HaloMsg};
+pub use netbus::{NetBus, NetBusConfig, NetStats};
+pub use wire::{encode_msg, NetFrameReader, NetMsg, WireEvent};
 pub use worker::{outcome_table, PendingPublish, ShardConfig, ShardWorker};

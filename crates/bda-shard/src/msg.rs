@@ -88,6 +88,12 @@ pub enum HaloError {
         declared: usize,
         got: usize,
     },
+    /// The frame arrived from a fenced-off (pre-respawn) epoch of its
+    /// sender — a zombie writer. Typed reject, never applied.
+    StaleEpoch {
+        got: u64,
+        fenced: u64,
+    },
 }
 
 impl std::fmt::Display for HaloError {
@@ -101,6 +107,9 @@ impl std::fmt::Display for HaloError {
             HaloError::Payload(e) => write!(f, "halo payload: {e}"),
             HaloError::GeometryMismatch { declared, got } => {
                 write!(f, "halo geometry mismatch: declared {declared}, got {got}")
+            }
+            HaloError::StaleEpoch { got, fenced } => {
+                write!(f, "halo from fenced epoch {got} (current {fenced})")
             }
         }
     }

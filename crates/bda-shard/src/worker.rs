@@ -30,7 +30,7 @@
 //! 4. supervisor declares federation quorum lost → forecast-only cycles
 //!    (`forecast-only`).
 
-use crate::bus::{CollectStatus, HaloBus};
+use crate::bus::{CollectStatus, HaloBus, HaloTransport};
 use crate::layout::ShardLayout;
 use crate::msg::{HaloFrame, HaloMsg};
 use bda_core::osse::{CycleOutcome, Osse, OsseConfig, PendingCycle};
@@ -106,12 +106,14 @@ impl<T: Real> PendingPublish<T> {
     }
 }
 
-/// One shard of the federation.
-pub struct ShardWorker<T: Real> {
+/// One shard of the federation, generic over its halo transport (file
+/// spool by default, loopback sockets via
+/// [`start_or_resume_on`](Self::start_or_resume_on)).
+pub struct ShardWorker<T: Real, B: HaloTransport = HaloBus> {
     pub cfg: ShardConfig,
     pub osse: Osse<T>,
     slayout: ShardLayout,
-    bus: HaloBus,
+    bus: B,
     scope: String,
     /// Per-peer halo sequencing discipline (replays and stragglers become
     /// typed drops, exactly like radar volumes on the ingest pipe).
@@ -127,14 +129,24 @@ pub struct ShardWorker<T: Real> {
 }
 
 impl<T: Real> ShardWorker<T> {
-    /// Build the worker and either resume from the newest valid scoped
-    /// checkpoint or start fresh (spinning up the system). Returns `true`
-    /// when a checkpoint was resumed.
+    /// Build the worker on the default file-spool transport and either
+    /// resume from the newest valid scoped checkpoint or start fresh.
+    /// Returns `true` when a checkpoint was resumed.
     pub fn start_or_resume(cfg: ShardConfig) -> Result<(Self, bool), String> {
+        let bus = HaloBus::new(&cfg.bus_dir).map_err(|e| format!("open bus: {e}"))?;
+        Self::start_or_resume_on(cfg, bus)
+    }
+}
+
+impl<T: Real, B: HaloTransport> ShardWorker<T, B> {
+    /// Build the worker on an explicit transport (the socket federation
+    /// path) and either resume from the newest valid scoped checkpoint or
+    /// start fresh (spinning up the system). Returns `true` when a
+    /// checkpoint was resumed.
+    pub fn start_or_resume_on(cfg: ShardConfig, bus: B) -> Result<(Self, bool), String> {
         assert!(cfg.shard < cfg.n_shards, "shard index out of range");
         let mut osse = Osse::<T>::new(cfg.osse.clone());
         let slayout = ShardLayout::new(&osse.layout().clone(), cfg.n_shards);
-        let bus = HaloBus::new(&cfg.bus_dir).map_err(|e| format!("open bus: {e}"))?;
         let scope = ShardConfig::scope_tag(cfg.shard);
         let found = latest_checkpoint_scoped::<T>(&cfg.ckpt_dir, Some(&scope))
             .map_err(|e| format!("scan checkpoints: {e}"))?;
@@ -177,7 +189,7 @@ impl<T: Real> ShardWorker<T> {
         self.cfg.shard
     }
 
-    pub fn bus(&self) -> &HaloBus {
+    pub fn bus(&self) -> &B {
         &self.bus
     }
 

@@ -1,0 +1,173 @@
+//! One retry policy for every reconnect path.
+//!
+//! Three places in the workbench used to hand-roll the same loop: the
+//! transfer watchdog in [`supervisor`](crate::supervisor) (bounded
+//! exponential backoff between ingest retries), the swarm reconnect in
+//! `bda-serve` (fixed short pauses against a full listener backlog), and
+//! now the socket halo transport in `bda-shard` (reconnects to a peer that
+//! may be mid-respawn). This module is the single policy they share:
+//! exponential doubling from a base, capped, optionally bounded in attempt
+//! count, with *deterministic* jitter from a seeded [`SplitMix64`] so two
+//! shards that lost the same peer at the same instant do not reconnect in
+//! lockstep — and so every test of the policy is reproducible.
+//!
+//! The paper's 30-second wall makes the cap the interesting knob: a
+//! reconnect policy that backs off past the cycle period has silently
+//! decided to drop a cycle. Callers size `cap` well under their
+//! degradation deadline so the transport keeps probing while the ladder
+//! (halo-reuse → boundary-widened → forecast-only) decides what to do
+//! about the data that is not arriving.
+
+use bda_num::rng::SplitMix64;
+use std::time::Duration;
+
+/// Deterministic jittered exponential backoff.
+///
+/// `next_delay` yields `base * 2^attempt`, capped at `cap`, shrunk by up
+/// to `jitter * 100` percent (seeded, so the sequence is a pure function
+/// of the constructor arguments), and `None` once the attempt budget is
+/// spent. `reset` rearms the policy after a success.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    max_attempts: Option<usize>,
+    jitter: f64,
+    rng: SplitMix64,
+    attempt: usize,
+}
+
+impl Backoff {
+    /// Unjittered, unbounded policy: `base`, doubling, capped at `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        Self {
+            base,
+            cap,
+            max_attempts: None,
+            jitter: 0.0,
+            rng: SplitMix64::new(0),
+            attempt: 0,
+        }
+    }
+
+    /// Shrink each delay by up to `frac` (clamped to `[0, 1)`) using a
+    /// deterministic stream seeded with `seed`. Jitter only ever shortens
+    /// a delay, so `cap` stays an upper bound.
+    pub fn with_jitter(mut self, frac: f64, seed: u64) -> Self {
+        self.jitter = frac.clamp(0.0, 0.999);
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Give up (return `None`) after `n` delays have been handed out.
+    pub fn with_max_attempts(mut self, n: usize) -> Self {
+        self.max_attempts = Some(n);
+        self
+    }
+
+    /// Delays handed out since construction or the last [`reset`](Self::reset).
+    pub fn attempt(&self) -> usize {
+        self.attempt
+    }
+
+    /// Whether the attempt budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.max_attempts.is_some_and(|m| self.attempt >= m)
+    }
+
+    /// The next delay to sleep before retrying, or `None` when the budget
+    /// is spent. Advances the attempt counter and the jitter stream.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.exhausted() {
+            return None;
+        }
+        // 2^attempt saturates long before the shift could overflow.
+        let exp = u32::try_from(self.attempt.min(30)).unwrap_or(30);
+        let raw = self
+            .base
+            .checked_mul(1u32 << exp)
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        self.attempt += 1;
+        if self.jitter > 0.0 {
+            Some(raw.mul_f64(1.0 - self.jitter * self.rng.next_uniform()))
+        } else {
+            Some(raw)
+        }
+    }
+
+    /// Rearm after a success: the next failure starts from `base` again.
+    /// The jitter stream is deliberately *not* rewound — two resets do not
+    /// replay the same delays.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_from_base_and_caps() {
+        let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(80));
+        let delays: Vec<u128> = (0..7)
+            .filter_map(|_| b.next_delay())
+            .map(|d| d.as_millis())
+            .collect();
+        assert_eq!(delays, [5, 10, 20, 40, 80, 80, 80]);
+    }
+
+    #[test]
+    fn matches_the_transfer_watchdog_schedule() {
+        // The supervisor's historical formula: base * 2^min(timeouts-1, 4).
+        let base = Duration::from_millis(5);
+        let mut b = Backoff::new(base, base * 16);
+        for timeouts in 1u32..=8 {
+            let legacy = base * (1u32 << (timeouts - 1).min(4));
+            assert_eq!(b.next_delay(), Some(legacy), "timeouts={timeouts}");
+        }
+    }
+
+    #[test]
+    fn attempt_budget_is_enforced_and_reset_rearms() {
+        let mut b =
+            Backoff::new(Duration::from_millis(2), Duration::from_millis(2)).with_max_attempts(3);
+        assert_eq!((0..5).filter_map(|_| b.next_delay()).count(), 3);
+        assert!(b.exhausted());
+        assert_eq!(b.attempt(), 3);
+        b.reset();
+        assert!(!b.exhausted());
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(2)));
+    }
+
+    #[test]
+    fn jitter_only_shortens_and_is_deterministic() {
+        let mk = || {
+            Backoff::new(Duration::from_millis(10), Duration::from_millis(100))
+                .with_jitter(0.5, 0xBDA)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for i in 0..10 {
+            let (da, db) = (a.next_delay().unwrap(), b.next_delay().unwrap());
+            assert_eq!(da, db, "attempt {i}: same seed must give same delay");
+            let raw = Duration::from_millis(10)
+                .checked_mul(1 << i.min(4))
+                .unwrap()
+                .min(Duration::from_millis(100));
+            assert!(da <= raw, "jitter must never lengthen a delay");
+            assert!(da >= raw.mul_f64(0.5), "jitter bounded by the fraction");
+        }
+        // A different seed decorrelates the streams.
+        let seq = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(100))
+                .with_jitter(0.5, seed);
+            (0..10).filter_map(|_| b.next_delay()).collect()
+        };
+        assert_ne!(
+            seq(0xBDA),
+            seq(0xF00D),
+            "distinct seeds should not replay the same jitter"
+        );
+    }
+}

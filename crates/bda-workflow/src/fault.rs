@@ -81,6 +81,22 @@ pub enum Fault {
     /// Federation shard `shard`'s halo for this cycle is dropped in
     /// transit — receivers reuse the previous-cycle halo, flagged.
     HaloDrop { shard: usize },
+    /// Network partition between shards `a` and `b` for this cycle: every
+    /// message of the cycle is dropped in both directions on that link
+    /// (halos, replay requests, heartbeats). Both ends must step their
+    /// degradation ladder for each other while the rest of the federation
+    /// keeps exchanging normally. Canonicalized so `a < b`.
+    Partition { a: usize, b: usize },
+    /// Shard `shard`'s egress is stalled in-network for this cycle: its
+    /// messages are delayed past the receivers' halo deadline and released
+    /// late (reordered behind newer traffic). Peers must degrade, then
+    /// discard the late arrival as stale — never apply it backwards.
+    NetStall { shard: usize },
+    /// Shard `shard`'s egress is mangled on the wire for this cycle:
+    /// garbage bytes injected mid-stream, frame bytes corrupted,
+    /// truncation. Receivers must resync at the next frame magic and type
+    /// the damage — no panic, nothing corrupt applied.
+    WireGarbage { shard: usize },
 }
 
 /// Per-cycle fault schedule. Ordered map so iteration (and therefore any
@@ -213,6 +229,32 @@ impl FaultPlan {
         self
     }
 
+    /// Partition the link between shards `a` and `b` for `cycle` (order
+    /// of the endpoints is irrelevant; stored canonically).
+    pub fn partition(mut self, cycle: usize, a: usize, b: usize) -> Self {
+        self.push(
+            cycle,
+            Fault::Partition {
+                a: a.min(b),
+                b: a.max(b),
+            },
+        );
+        self
+    }
+
+    /// Stall shard `shard`'s network egress for `cycle` (delay + reorder).
+    pub fn net_stall(mut self, cycle: usize, shard: usize) -> Self {
+        self.push(cycle, Fault::NetStall { shard });
+        self
+    }
+
+    /// Mangle shard `shard`'s wire traffic for `cycle` (garbage,
+    /// corruption, truncation).
+    pub fn wire_garbage(mut self, cycle: usize, shard: usize) -> Self {
+        self.push(cycle, Fault::WireGarbage { shard });
+        self
+    }
+
     /// Faults scheduled for `cycle` (empty slice when none).
     pub fn faults_for(&self, cycle: usize) -> &[Fault] {
         self.by_cycle.get(&cycle).map(Vec::as_slice).unwrap_or(&[])
@@ -317,6 +359,39 @@ impl FaultPlan {
             .collect()
     }
 
+    /// Shard pairs whose link is partitioned on `cycle` (canonical order).
+    pub fn partitions(&self, cycle: usize) -> Vec<(usize, usize)> {
+        self.faults_for(cycle)
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Partition { a, b } => Some((*a, *b)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Shards whose network egress is stalled on `cycle`.
+    pub fn net_stalls(&self, cycle: usize) -> Vec<usize> {
+        self.faults_for(cycle)
+            .iter()
+            .filter_map(|f| match f {
+                Fault::NetStall { shard } => Some(*shard),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Shards whose wire traffic is mangled on `cycle`.
+    pub fn wire_garbages(&self, cycle: usize) -> Vec<usize> {
+        self.faults_for(cycle)
+            .iter()
+            .filter_map(|f| match f {
+                Fault::WireGarbage { shard } => Some(*shard),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Total number of scheduled faults.
     pub fn len(&self) -> usize {
         self.by_cycle.values().map(Vec::len).sum()
@@ -376,6 +451,12 @@ impl FaultPlan {
     ///   `C`;
     /// * `halodrop:S@C` — shard `S`'s halo for cycle `C` is dropped in
     ///   transit;
+    /// * `partition:A-B@C` — the network link between shards `A` and `B`
+    ///   is cut for cycle `C` (both directions);
+    /// * `netstall:S@C` — shard `S`'s network egress is delayed past the
+    ///   halo deadline on cycle `C` and released late (reordered);
+    /// * `wiregarbage:S@C` — shard `S`'s wire traffic is mangled on cycle
+    ///   `C` (garbage injection, corruption, truncation);
     /// * `random:SEED` — a seed-driven plan at default rates (requires the
     ///   caller to know `n_cycles`, so it takes it via [`FaultPlan::random`]
     ///   — here it is expanded with `n_cycles` passed in).
@@ -439,6 +520,21 @@ impl FaultPlan {
                     plan.push(cycle, Fault::Crash);
                 }
                 other => {
+                    // `partition` is the one kind whose argument is a pair.
+                    if let Some(pair) = other.strip_prefix("partition:") {
+                        let (a, b) = pair
+                            .split_once('-')
+                            .ok_or_else(|| format!("missing `A-B` pair in `{token}`"))?;
+                        let a: usize = a.parse().map_err(|_| format!("bad shard in `{token}`"))?;
+                        let b: usize = b.parse().map_err(|_| format!("bad shard in `{token}`"))?;
+                        if a == b {
+                            return Err(format!("partition endpoints equal in `{token}`"));
+                        }
+                        let cycle: usize =
+                            at.parse().map_err(|_| format!("bad cycle in `{token}`"))?;
+                        plan = plan.partition(cycle, a, b);
+                        continue;
+                    }
                     let member_fault = other.split_once(':').and_then(|(kind, m)| {
                         let arg: usize = m.parse().ok()?;
                         match kind {
@@ -449,6 +545,8 @@ impl FaultPlan {
                             "shardkill" => Some(Fault::ShardKill { shard: arg }),
                             "shardstall" => Some(Fault::ShardStall { shard: arg }),
                             "halodrop" => Some(Fault::HaloDrop { shard: arg }),
+                            "netstall" => Some(Fault::NetStall { shard: arg }),
+                            "wiregarbage" => Some(Fault::WireGarbage { shard: arg }),
                             _ => None,
                         }
                     });
@@ -494,6 +592,9 @@ impl FaultPlan {
                     Fault::ShardKill { shard } => format!("shardkill:{shard}@{cycle}"),
                     Fault::ShardStall { shard } => format!("shardstall:{shard}@{cycle}"),
                     Fault::HaloDrop { shard } => format!("halodrop:{shard}@{cycle}"),
+                    Fault::Partition { a, b } => format!("partition:{a}-{b}@{cycle}"),
+                    Fault::NetStall { shard } => format!("netstall:{shard}@{cycle}"),
+                    Fault::WireGarbage { shard } => format!("wiregarbage:{shard}@{cycle}"),
                 });
             }
         }
@@ -625,10 +726,52 @@ mod tests {
     }
 
     #[test]
+    fn parse_network_faults() {
+        let plan = FaultPlan::parse(
+            "partition:0-2@3, netstall:1@4, wiregarbage:2@4, partition:3-1@3",
+            8,
+        )
+        .unwrap();
+        // Pairs canonicalize to (low, high) no matter the spec order.
+        assert_eq!(plan.partitions(3), vec![(0, 2), (1, 3)]);
+        assert_eq!(plan.net_stalls(4), vec![1]);
+        assert_eq!(plan.wire_garbages(4), vec![2]);
+        assert!(plan.partitions(4).is_empty());
+        assert!(plan.net_stalls(3).is_empty());
+        let built = FaultPlan::none()
+            .partition(1, 2, 0)
+            .net_stall(2, 0)
+            .wire_garbage(2, 1);
+        assert_eq!(built.partitions(1), vec![(0, 2)]);
+        assert_eq!(built.net_stalls(2), vec![0]);
+        assert_eq!(built.wire_garbages(2), vec![1]);
+        assert!(FaultPlan::parse("partition:0@2", 8).is_err());
+        assert!(FaultPlan::parse("partition:1-1@2", 8).is_err());
+        assert!(FaultPlan::parse("partition:a-b@2", 8).is_err());
+        assert!(FaultPlan::parse("partition:0-1@x", 8).is_err());
+        assert!(FaultPlan::parse("netstall:x@2", 8).is_err());
+        assert!(FaultPlan::parse("wiregarbage:1@y", 8).is_err());
+    }
+
+    #[test]
+    fn network_fault_specs_round_trip_canonically() {
+        let plan = FaultPlan::none()
+            .partition(2, 3, 1)
+            .net_stall(3, 0)
+            .wire_garbage(4, 2);
+        assert_eq!(
+            plan.to_spec(),
+            "partition:1-3@2, netstall:0@3, wiregarbage:2@4"
+        );
+        assert_eq!(FaultPlan::parse(&plan.to_spec(), 8).unwrap(), plan);
+    }
+
+    #[test]
     fn spec_round_trips_through_parser() {
         let spec = "panic:assim@1, stall@2x3, stall@3, corrupt@4, drop@5, dup@6, stale@7, \
                     nan:2@8, blowup:0@9, crash@10, slowclient:50@11, connstorm:200@12, \
-                    shardkill:1@13, shardstall:0@14, halodrop:2@15";
+                    shardkill:1@13, shardstall:0@14, halodrop:2@15, partition:0-1@2, \
+                    netstall:1@5, wiregarbage:0@6";
         let plan = FaultPlan::parse(spec, 16).unwrap();
         let reparsed = FaultPlan::parse(&plan.to_spec(), 16).unwrap();
         assert_eq!(plan, reparsed);

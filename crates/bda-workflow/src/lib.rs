@@ -25,6 +25,7 @@
 //! [`raintrace`] (the synthetic rain-area series standing in for the JMA
 //! rain analysis curves of Fig. 5), [`outage`] (gray-shading windows).
 
+pub mod backoff;
 pub mod campaign;
 pub mod fault;
 pub mod nodes;
@@ -35,6 +36,7 @@ pub mod raintrace;
 pub mod shard_supervisor;
 pub mod supervisor;
 
+pub use backoff::Backoff;
 pub use campaign::{
     CampaignConfig, CampaignResult, CampaignTermination, CycleApp, ResumableCampaign, ResumableRun,
 };
@@ -43,8 +45,8 @@ pub use nodes::NodeAllocation;
 pub use perfmodel::{PerfModel, TimeToSolution};
 pub use pipeline::{CycleTiming, RealtimePipeline};
 pub use shard_supervisor::{
-    FederationBus, FederationReport, ShardCycleReport, ShardHealth, ShardProcess, ShardSupervisor,
-    ShardSupervisorConfig,
+    FederationBus, FederationReport, LinkHealth, ShardCycleReport, ShardHealth, ShardProcess,
+    ShardSupervisor, ShardSupervisorConfig,
 };
 pub use supervisor::{
     CycleDisposition, CycleReport, CycleSupervisor, DegradedMode, ForecastInput, SkipCause,

@@ -55,6 +55,43 @@ impl std::fmt::Display for ShardHealth {
     }
 }
 
+/// Typed health of one transport link, as reported by a shard's socket
+/// transport on the control plane. The file bus has no links, so file
+/// federations simply never report any.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkHealth {
+    /// The link is up and traffic flows.
+    Connected,
+    /// The link is up but has been dropping and reconnecting — suspect,
+    /// yet not worth degrading over on its own.
+    Flapping,
+    /// The peer has been unreachable past the partition deadline; every
+    /// send fails and reconnects are being refused.
+    Partitioned,
+}
+
+impl std::fmt::Display for LinkHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LinkHealth::Connected => "connected",
+            LinkHealth::Flapping => "flapping",
+            LinkHealth::Partitioned => "partitioned",
+        })
+    }
+}
+
+impl std::str::FromStr for LinkHealth {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "connected" => Ok(LinkHealth::Connected),
+            "flapping" => Ok(LinkHealth::Flapping),
+            "partitioned" => Ok(LinkHealth::Partitioned),
+            other => Err(format!("unknown link health `{other}`")),
+        }
+    }
+}
+
 /// The minimal process handle the supervisor needs. Implemented for
 /// [`std::process::Child`]; tests substitute a deterministic fake.
 pub trait ShardProcess {
@@ -98,6 +135,12 @@ pub trait FederationBus {
     fn mark_alive(&self, shard: usize);
     /// Post the federation-wide forecast-only directive from `cycle` on.
     fn set_forecast_only_from(&self, cycle: u64);
+    /// Shard `shard`'s view of its links to every peer, as published on
+    /// the control plane by its transport. An empty vector means "no link
+    /// telemetry" (the file bus) and never counts against the shard.
+    fn link_health(&self, _shard: usize) -> Vec<LinkHealth> {
+        Vec::new()
+    }
 }
 
 /// Supervisor policy knobs.
@@ -115,6 +158,11 @@ pub struct ShardSupervisorConfig {
     pub quorum: usize,
     /// Poll interval while waiting on readiness.
     pub poll: Duration,
+    /// How long to let surviving workers exit on their own once the
+    /// campaign is over before the backstop kill. A worker's last bus
+    /// record precedes its final cleanup (checkpoint flushes, socket
+    /// teardown); killing at zero grace races that tail work.
+    pub shutdown_grace: Duration,
     /// Deterministic fault schedule (`shardkill:S@C` entries are injected
     /// by the supervisor itself; stall/drop faults ride inside the shard
     /// processes' own plans).
@@ -130,6 +178,7 @@ impl ShardSupervisorConfig {
             max_respawns: 2,
             quorum: 1.max(n_shards / 2),
             poll: Duration::from_millis(20),
+            shutdown_grace: Duration::from_secs(5),
             plan: FaultPlan::none(),
         }
     }
@@ -143,6 +192,10 @@ pub struct ShardCycleReport {
     pub health: Vec<ShardHealth>,
     /// Shards respawned during this cycle.
     pub respawned: Vec<usize>,
+    /// Live shards whose every reported link was partitioned this cycle —
+    /// unreachable by the rest of the federation, so they do not count
+    /// toward quorum even though their process is up.
+    pub isolated: Vec<usize>,
     /// Whether the forecast-only directive was active after this cycle.
     pub forecast_only: bool,
 }
@@ -171,6 +224,9 @@ impl FederationReport {
             out.push_str(&format!("{:5}", c.cycle));
             for h in &c.health {
                 out.push_str(&format!("  {:<10}", h.to_string()));
+            }
+            if !c.isolated.is_empty() {
+                out.push_str(&format!("  isolated {:?}", c.isolated));
             }
             out.push('\n');
         }
@@ -245,8 +301,22 @@ where
             cycles.push(self.supervise_cycle(cycle));
         }
         // Reap what is still running: the campaign is over, so surviving
-        // workers should exit on their own; kill is the backstop that
-        // keeps the supervisor from leaking processes on a hung shard.
+        // workers should exit on their own — give them `shutdown_grace`
+        // to finish their tail work (final checkpoints, socket teardown);
+        // kill is the backstop that keeps the supervisor from leaking
+        // processes on a hung shard.
+        let grace_start = Instant::now(); // bda-check: allow(wallclock)
+        loop {
+            let still_running = self
+                .procs
+                .iter_mut()
+                .flatten()
+                .any(|p| p.poll_exit().is_none());
+            if !still_running || grace_start.elapsed() >= self.cfg.shutdown_grace {
+                break;
+            }
+            std::thread::sleep(self.cfg.poll);
+        }
         for p in self.procs.iter_mut().flatten() {
             if p.poll_exit().is_none() {
                 p.kill();
@@ -329,7 +399,20 @@ where
             }
             std::thread::sleep(self.cfg.poll);
         }
-        let live = self.dead.iter().filter(|&&d| !d).count();
+        // A shard whose every link is partitioned is unreachable by its
+        // peers even though its process runs: its halos cannot arrive, so
+        // for quorum purposes it is as good as dead (without the marker —
+        // the partition may heal). File buses report no links and are
+        // never isolated.
+        let isolated: Vec<usize> = (0..self.cfg.n_shards)
+            .filter(|&s| {
+                !self.dead[s] && {
+                    let links = self.bus.link_health(s);
+                    !links.is_empty() && links.iter().all(|l| *l == LinkHealth::Partitioned)
+                }
+            })
+            .collect();
+        let live = self.dead.iter().filter(|&&d| !d).count() - isolated.len();
         if live < self.cfg.quorum && self.forecast_only_from.is_none() {
             self.bus.set_forecast_only_from(cycle + 1);
             self.forecast_only_from = Some(cycle + 1);
@@ -338,6 +421,7 @@ where
             cycle,
             health,
             respawned,
+            isolated,
             forecast_only: self.forecast_only_from.is_some(),
         }
     }
@@ -397,6 +481,7 @@ mod tests {
         revived: Vec<usize>,
         forecast_only_from: Option<u64>,
         never_ready: Option<usize>,
+        links: Vec<Vec<LinkHealth>>,
     }
 
     #[derive(Clone)]
@@ -415,12 +500,23 @@ mod tests {
         fn set_forecast_only_from(&self, cycle: u64) {
             self.0.borrow_mut().forecast_only_from = Some(cycle);
         }
+        fn link_health(&self, shard: usize) -> Vec<LinkHealth> {
+            self.0
+                .borrow()
+                .links
+                .get(shard)
+                .cloned()
+                .unwrap_or_default()
+        }
     }
 
     fn quick(n_shards: usize, n_cycles: usize) -> ShardSupervisorConfig {
         let mut cfg = ShardSupervisorConfig::new(n_shards, n_cycles);
         cfg.cycle_deadline = Duration::from_millis(40);
         cfg.poll = Duration::from_millis(2);
+        // Fake processes never exit on their own; a real grace period
+        // would only stall the tests on their way to the backstop kill.
+        cfg.shutdown_grace = Duration::ZERO;
         cfg
     }
 
@@ -495,6 +591,57 @@ mod tests {
         assert!(report
             .table()
             .contains("2 cycles: 0 respawns, 1 dead, forecast-only from cycle 1"));
+    }
+
+    #[test]
+    fn fully_partitioned_shard_is_isolated_and_costs_quorum() {
+        // 3 shards, quorum 2: shard 2's links are all partitioned, so the
+        // effective live count is 3 - 1 = 2 — still at quorum, no
+        // directive. Then shard 1 isolates too: 1 < 2 posts forecast-only.
+        let state = Rc::new(RefCell::new(BusState {
+            links: vec![
+                vec![LinkHealth::Connected, LinkHealth::Connected],
+                vec![LinkHealth::Connected, LinkHealth::Flapping],
+                vec![LinkHealth::Partitioned, LinkHealth::Partitioned],
+            ],
+            ..BusState::default()
+        }));
+        let bus = FakeBus(state.clone());
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut cfg = quick(3, 1);
+        cfg.quorum = 2;
+        let mut sup = ShardSupervisor::start(cfg, bus.clone(), spawner(log)).unwrap();
+        let report = sup.run();
+        assert_eq!(report.cycles[0].isolated, [2]);
+        // Flapping alone never isolates, and one isolated shard of three
+        // keeps quorum.
+        assert!(!report.cycles[0].forecast_only);
+        assert_eq!(state.borrow().forecast_only_from, None);
+        assert!(report.table().contains("isolated [2]"));
+
+        state.borrow_mut().links[1] = vec![LinkHealth::Partitioned, LinkHealth::Partitioned];
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut cfg = quick(3, 1);
+        cfg.quorum = 2;
+        let mut sup = ShardSupervisor::start(cfg, bus.clone(), spawner(log)).unwrap();
+        let report = sup.run();
+        assert_eq!(report.cycles[0].isolated, [1, 2]);
+        assert!(report.cycles[0].forecast_only);
+        assert_eq!(state.borrow().forecast_only_from, Some(1));
+        // Isolation leaves no dead markers: the partition may heal.
+        assert!(state.borrow().dead.is_empty());
+    }
+
+    #[test]
+    fn link_health_round_trips_through_display() {
+        for h in [
+            LinkHealth::Connected,
+            LinkHealth::Flapping,
+            LinkHealth::Partitioned,
+        ] {
+            assert_eq!(h.to_string().parse::<LinkHealth>(), Ok(h));
+        }
+        assert!("busy".parse::<LinkHealth>().is_err());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! [`SupervisorReport`] aggregates them into the availability statistic
 //! that corresponds to the gray outage shading of the paper's Fig. 5.
 
+use crate::backoff::Backoff;
 use crate::fault::{Fault, FaultPlan, Stage};
 use crate::pipeline::{CycleTiming, RealtimePipeline};
 use bda_jitdt::pipe::{fnv1a, PipeError};
@@ -862,6 +863,9 @@ impl CycleSupervisor {
         let mut injected_left = self.faults.stall_timeouts(cycle);
         let mut timeouts = 0usize;
         let mut drops = Vec::new();
+        // Shared retry policy (unjittered so the watchdog's historical
+        // delay schedule — base * 2^min(n-1, 4) — is preserved exactly).
+        let mut backoff = Backoff::new(self.backoff_base, self.backoff_base * 16);
         loop {
             let stalled = if injected_left > 0 {
                 injected_left -= 1;
@@ -928,8 +932,9 @@ impl CycleSupervisor {
                         StageError::TransferTimeout { attempts: timeouts },
                     ));
                 }
-                let backoff = self.backoff_base * (1u32 << (timeouts - 1).min(4));
-                std::thread::sleep(backoff);
+                if let Some(delay) = backoff.next_delay() {
+                    std::thread::sleep(delay);
+                }
             }
         }
     }

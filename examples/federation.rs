@@ -19,7 +19,8 @@
 //! ```text
 //! cargo run --release --example federation -- \
 //!     [--shards 2] [--cycles 4] [--seed 11] [--dual] \
-//!     [--faults "shardkill:1@2"] [--parity] [--dir PATH]
+//!     [--faults "shardkill:1@2"] [--parity] [--dir PATH] \
+//!     [--net] [--chaos] [--expect "halo-reuse:0@2,halo-reuse:1@2"]
 //! ```
 //!
 //! `--dual` federates two simulated MP-PAWRs (the Osaka/Kobe dual
@@ -28,10 +29,24 @@
 //! unless every shard's final checkpointed ensemble is bit-identical to
 //! the reference and every bus outcome record matches byte-for-byte —
 //! SIGKILLs and all.
+//!
+//! `--net` moves the halo path onto loopback TCP (`bda::shard::NetBus`:
+//! sealed `BDAN` frames, epoch fencing, `REQ`-pull recovery); the file
+//! bus stays underneath as the control plane. `--chaos` (implies
+//! `--net`) additionally puts a deterministic in-path `ChaosProxy` in
+//! front of every shard's listener and routes the fault plan's network
+//! faults (`partition:A-B@C`, `netstall:S@C`, `wiregarbage:S@C`)
+//! through it. `--expect "label:S@C,..."` then asserts the outcome
+//! table: every listed (shard, cycle) record must carry exactly that
+//! label and **every other record must read `completed`** — the typed
+//! degradation ladder, pinned from outside the process tree.
 
 use bda::core::osse::{Osse, OsseConfig};
-use bda::shard::{HaloBus, ShardConfig, ShardWorker};
-use bda::workflow::{FaultPlan, FederationBus, ShardSupervisor, ShardSupervisorConfig};
+use bda::shard::{
+    ChaosProxy, HaloBus, HaloTransport, NetBus, NetBusConfig, ShardConfig, ShardWorker,
+};
+use bda::workflow::{FaultPlan, FederationBus, LinkHealth, ShardSupervisor, ShardSupervisorConfig};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
@@ -44,6 +59,13 @@ struct Opts {
     dual: bool,
     faults: String,
     parity: bool,
+    /// Socket transport: halos over loopback TCP instead of the file bus.
+    net: bool,
+    /// In-path chaos proxies (implies `net`).
+    chaos: bool,
+    /// Expected outcome-label overrides, `"label:S@C,..."` — all other
+    /// records must be `completed`. Empty string disables the audit.
+    expect: String,
     dir: PathBuf,
     /// Worker mode: which shard this process is.
     shard: Option<usize>,
@@ -61,6 +83,7 @@ fn parse_opts() -> Opts {
             .map(|v| v.parse().unwrap_or_else(|_| panic!("{flag} N")))
             .unwrap_or(default)
     };
+    let chaos = argv.iter().any(|a| a == "--chaos");
     Opts {
         shards: num("--shards", 2),
         cycles: num("--cycles", 4),
@@ -70,6 +93,9 @@ fn parse_opts() -> Opts {
         dual: argv.iter().any(|a| a == "--dual"),
         faults: get("--faults").unwrap_or("shardkill:1@2").to_string(),
         parity: argv.iter().any(|a| a == "--parity"),
+        net: chaos || argv.iter().any(|a| a == "--net"),
+        chaos,
+        expect: get("--expect").unwrap_or("").to_string(),
         dir: get("--dir").map(PathBuf::from).unwrap_or_else(|| {
             std::env::temp_dir().join(format!("bda-federation-{}", std::process::id()))
         }),
@@ -86,15 +112,32 @@ fn osse_config(o: &Opts) -> OsseConfig {
     }
 }
 
+/// How long a peer's collect waits for a halo before stepping onto the
+/// ladder. Generous by default: a killed peer needs time to respawn and
+/// replay, and a false degradation would wreck the parity audit. Chaos
+/// mode shortens it — injected partitions/stalls must *expire* onto the
+/// ladder within smoke-test time — while still leaving a respawned
+/// worker room to replay.
+fn halo_deadline(o: &Opts) -> Duration {
+    if o.chaos {
+        Duration::from_secs(8)
+    } else {
+        Duration::from_secs(120)
+    }
+}
+
+/// How long the in-path proxy holds a `netstall`ed message: past the
+/// halo deadline, so stalled peers degrade instead of racing the clock.
+fn stall_delay(o: &Opts) -> Duration {
+    halo_deadline(o) + Duration::from_secs(12)
+}
+
 fn shard_config(o: &Opts, shard: usize) -> ShardConfig {
     let mut cfg = ShardConfig::new(osse_config(o), o.shards, shard, o.cycles);
     cfg.bus_dir = o.dir.join("bus");
     cfg.ckpt_dir = o.dir.join("ckpt");
     cfg.plan = FaultPlan::parse(&o.faults, o.cycles).expect("--faults SPEC");
-    // Generous halo deadline: a killed peer needs time to respawn and
-    // replay before its halo appears; stepping the ladder here would be
-    // a false degradation in a smoke test.
-    cfg.halo_deadline = Duration::from_secs(120);
+    cfg.halo_deadline = halo_deadline(o);
     cfg
 }
 
@@ -106,11 +149,38 @@ fn final_scope(shard: usize) -> String {
 }
 
 /// Worker mode: run one shard to completion, then persist the final
-/// ensemble for the supervisor's parity audit.
+/// ensemble for the supervisor's parity audit. With `--net` the halos
+/// ride a fresh [`NetBus`] (respawns bump the durable epoch, fencing any
+/// zombie predecessor); the transport is the *only* difference between
+/// the two paths — [`drive_worker`] is the same cycle code either way.
 fn worker_main(o: &Opts, shard: usize) -> i32 {
     let cfg = shard_config(o, shard);
+    if o.net {
+        let mut bc = NetBusConfig::new(shard, o.shards);
+        // In chaos mode the proxy owns the advertised registry slot; the
+        // real listener hides under the raw registry.
+        bc.raw_registry = o.chaos;
+        match NetBus::start(bc, cfg.bus_dir.clone()) {
+            Ok(bus) => drive_worker(o, shard, cfg, bus),
+            Err(e) => {
+                eprintln!("shard {shard}: netbus start failed: {e}");
+                1
+            }
+        }
+    } else {
+        match HaloBus::new(&cfg.bus_dir) {
+            Ok(bus) => drive_worker(o, shard, cfg, bus),
+            Err(e) => {
+                eprintln!("shard {shard}: open bus: {e}");
+                1
+            }
+        }
+    }
+}
+
+fn drive_worker<B: HaloTransport>(o: &Opts, shard: usize, cfg: ShardConfig, bus: B) -> i32 {
     let ckpt_dir = cfg.ckpt_dir.clone();
-    let (mut w, resumed) = match ShardWorker::<f32>::start_or_resume(cfg) {
+    let (mut w, resumed) = match ShardWorker::<f32, B>::start_or_resume_on(cfg, bus) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("shard {shard}: start failed: {e}");
@@ -152,6 +222,12 @@ impl FederationBus for BusCtl {
     }
     fn set_forecast_only_from(&self, cycle: u64) {
         let _ = self.0.set_forecast_only_from(cycle);
+    }
+    fn link_health(&self, shard: usize) -> Vec<LinkHealth> {
+        // Socket transports publish their per-peer link view here every
+        // heartbeat; file federations never write one, so this stays
+        // empty (and costs nothing) without --net.
+        self.0.read_link_states(shard)
     }
 }
 
@@ -229,8 +305,36 @@ fn supervisor_main(o: &Opts) -> i32 {
         if opts.dual {
             cmd.arg("--dual");
         }
+        if opts.chaos {
+            cmd.arg("--chaos");
+        } else if opts.net {
+            cmd.arg("--net");
+        }
         cmd.spawn()
     };
+
+    // Chaos mode: one in-path proxy per shard, started before any worker
+    // so the advertised registry slots are the proxies' from the first
+    // dial. Held for the whole campaign — a respawned worker re-registers
+    // its raw port and reappears behind the same stable proxy.
+    let mut proxies = Vec::new();
+    if o.chaos {
+        for s in 0..o.shards {
+            match ChaosProxy::start(
+                s,
+                plan.clone(),
+                o.dir.join("bus"),
+                stall_delay(o),
+                o.seed ^ 0x9E37,
+            ) {
+                Ok(p) => proxies.push(p),
+                Err(e) => {
+                    eprintln!("chaos proxy for shard {s}: {e}");
+                    return 1;
+                }
+            }
+        }
+    }
 
     let mut cfg = ShardSupervisorConfig::new(o.shards, o.cycles);
     cfg.cycle_deadline = Duration::from_secs(120);
@@ -244,10 +348,17 @@ fn supervisor_main(o: &Opts) -> i32 {
         }
     };
     println!(
-        "=== federation: {} shards x {} cycles{} | faults: {} ===\n",
+        "=== federation: {} shards x {} cycles{}{} | faults: {} ===\n",
         o.shards,
         o.cycles,
         if o.dual { ", dual MP-PAWR" } else { "" },
+        if o.chaos {
+            ", socket bus + chaos proxies"
+        } else if o.net {
+            ", socket bus"
+        } else {
+            ""
+        },
         if o.faults.is_empty() {
             "none"
         } else {
@@ -284,6 +395,50 @@ fn supervisor_main(o: &Opts) -> i32 {
         "kills injected: {scheduled_kills}, respawns: {total_respawns}, dead: {}",
         report.dead.iter().filter(|&&d| d).count()
     );
+
+    if !o.expect.is_empty() {
+        let mut expected: HashMap<(usize, u64), String> = HashMap::new();
+        for item in o.expect.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (label, at) = item.split_once(':').expect("--expect label:S@C,...");
+            let (s, c) = at.split_once('@').expect("--expect label:S@C,...");
+            expected.insert(
+                (
+                    s.parse().expect("--expect shard index"),
+                    c.parse().expect("--expect cycle"),
+                ),
+                label.to_string(),
+            );
+        }
+        println!(
+            "\nexpectation audit: {} pinned record(s), all others must be `completed`:",
+            expected.len()
+        );
+        for s in 0..o.shards {
+            for c in 0..o.cycles as u64 {
+                let want = expected
+                    .get(&(s, c))
+                    .map(String::as_str)
+                    .unwrap_or("completed");
+                match bus.read_record(c, s) {
+                    Some(line) => {
+                        let got = line.split_whitespace().next().unwrap_or("");
+                        if got == want {
+                            if want != "completed" {
+                                println!("  shard {s} cycle {c}: {got} (as scheduled)");
+                            }
+                        } else {
+                            eprintln!("FAIL: shard {s} cycle {c}: expected `{want}`, got `{got}`");
+                            failures += 1;
+                        }
+                    }
+                    None => {
+                        eprintln!("FAIL: shard {s} cycle {c}: expected `{want}`, no record");
+                        failures += 1;
+                    }
+                }
+            }
+        }
+    }
 
     if o.parity {
         println!("\nparity audit vs single-process reference:");

@@ -11,7 +11,8 @@
 //!    `halo-reuse` on every *peer*, the faulty shard itself completes).
 
 use bda::core::osse::{Osse, OsseConfig};
-use bda::shard::{FederationConfig, LocalFederation};
+use bda::shard::federation::NetTuning;
+use bda::shard::{FederationConfig, LocalFederation, NetFederation};
 use bda::workflow::FaultPlan;
 use std::path::PathBuf;
 
@@ -146,6 +147,72 @@ fn sigkilled_shard_resumes_from_its_own_checkpoint() {
             "no scoped checkpoint for {scope}"
         );
     }
+    let _ = std::fs::remove_dir_all(&fed.cfg.dir);
+}
+
+fn run_net_federation(n_shards: usize, plan: FaultPlan, tag: &str) -> NetFederation<f32> {
+    let dir = tmp_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = FederationConfig::new(config(), n_shards, CYCLES, dir);
+    cfg.plan = plan;
+    let mut fed = NetFederation::start(cfg, NetTuning::default()).expect("net federation start");
+    fed.run().expect("net federation run");
+    fed
+}
+
+#[test]
+fn socket_federation_is_bit_identical_to_single_process() {
+    // The same parity anchor as the file bus, but every halo crossed a
+    // real loopback socket (sealed BDAN frames, push + REQ-pull): the
+    // transport seam must be invisible to the analysis.
+    let (ref_bits, ref_table, ref_posteriors) = reference();
+    for n_shards in [2usize, 4] {
+        let fed = run_net_federation(n_shards, FaultPlan::none(), &format!("net{n_shards}"));
+        for (s, w) in fed.workers.iter().enumerate() {
+            assert_eq!(
+                member_bits(&w.osse.analyzed_flats()),
+                ref_bits,
+                "S={n_shards} shard {s}: socket-federated ensemble diverged"
+            );
+            assert_eq!(
+                w.table(),
+                ref_table,
+                "S={n_shards} shard {s}: outcome table diverged over sockets"
+            );
+            for (c, out) in w.outcomes.iter().enumerate() {
+                assert_eq!(
+                    out.posterior_rmse_dbz.to_bits(),
+                    ref_posteriors[c].to_bits(),
+                    "S={n_shards} shard {s} cycle {c}: posterior RMSE diverged over sockets"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&fed.cfg.dir);
+    }
+}
+
+#[test]
+fn sigkilled_shard_resumes_over_sockets_with_bit_parity() {
+    // Kill shard 1 at the start of cycle 2 in a *socket* federation: the
+    // respawn bumps its fenced epoch, and the replayed cycles pull every
+    // missed halo from peer history via REQ — no file spool involved.
+    let (ref_bits, ref_table, _) = reference();
+    let fed = run_net_federation(2, FaultPlan::none().shard_kill(2, 1), "netkill");
+    for (s, w) in fed.workers.iter().enumerate() {
+        assert_eq!(
+            member_bits(&w.osse.analyzed_flats()),
+            ref_bits,
+            "shard {s} diverged after the socket kill/resume"
+        );
+        assert_eq!(w.table(), ref_table, "shard {s} table diverged");
+        assert!(
+            w.bus().epoch() >= 1,
+            "shard {s} should be running under a fenced epoch"
+        );
+    }
+    // The respawned shard runs under a bumped epoch; its peer fenced the
+    // pre-kill instance out.
+    assert_eq!(fed.workers[1].bus().epoch(), 2);
     let _ = std::fs::remove_dir_all(&fed.cfg.dir);
 }
 
