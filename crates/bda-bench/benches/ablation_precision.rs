@@ -7,7 +7,7 @@
 //! model time step and the LETKF ensemble-space transform.
 
 use bda_bench::rng;
-use bda_letkf::weights::{apply_transform, compute_transform, LocalObs};
+use bda_letkf::weights::{apply_transform, compute_transform, LocalObs, TransformScratch};
 use bda_num::{BatchedEigen, MatrixS, Real};
 use bda_scale::base::Sounding;
 use bda_scale::{Model, ModelConfig};
@@ -64,6 +64,7 @@ fn letkf_transform_bench<T: Real>(c: &mut Criterion, label: &str) {
         local.push(rng.gaussian(T::zero(), T::of(2.0)), T::of(0.04), &row);
     }
     let mut solver = BatchedEigen::<T>::with_capacity(k);
+    let mut scratch = TransformScratch::new();
     let mut trans = MatrixS::zeros(k);
     let mut vals = vec![T::zero(); k];
     rng.fill_gaussian(&mut vals, T::of(3.0));
@@ -78,6 +79,7 @@ fn letkf_transform_bench<T: Real>(c: &mut Criterion, label: &str) {
                     T::of(0.95),
                     T::one(),
                     &mut solver,
+                    &mut scratch,
                     &mut trans,
                 );
                 apply_transform(&mut vals, &trans, &mut pert);

@@ -2,10 +2,13 @@
 //!
 //! Times a complete cycle (ensemble forecast + PAWR scan + LETKF analysis)
 //! at 1/2/4/8 worker threads over identically seeded campaigns and writes
-//! the machine-readable scaling point `BENCH_4.json` at the repo root:
+//! the machine-readable scaling point `BENCH_9.json` at the repo root:
 //! per thread count the mean cycle wall-clock and the speedup over the
-//! single-thread baseline. This is the first point of the perf trajectory
-//! and the input to the CI `perf-smoke` regression gate.
+//! single-thread baseline, plus a per-kernel breakdown (eigensolve /
+//! tridiag / microphysics / obs-operator) attributed in a separate
+//! single-thread pass so the timing guards never perturb the scaling
+//! numbers themselves. This feeds CI's `perf-gate` regression lane and the
+//! `bench-trajectory` artifact.
 //!
 //! Not a criterion harness: thread-count sweeps need explicit pool
 //! installs per measurement, so this is a plain `harness = false` main.
@@ -15,7 +18,7 @@
 //!
 //! * `--cycles N`          timed cycles per thread count (default 6)
 //! * `--threads a,b,c`     thread counts to sweep (default 1,2,4,8)
-//! * `--out PATH`          output path (default `<repo>/BENCH_4.json`)
+//! * `--out PATH`          output path (default `<repo>/BENCH_9.json`)
 //! * `--assert-speedup X`  exit non-zero unless speedup at the highest
 //!   thread count ≤ host cores reaches X. Skipped (with a notice) when
 //!   the host has fewer cores than every multi-thread point — a 1-core
@@ -27,8 +30,16 @@
 //! measure.
 
 use bda_bench::reduced_osse;
+use bda_num::timing;
 use rayon::ThreadPoolBuilder;
 use std::time::Instant;
+
+/// One kernel bucket's per-cycle attribution.
+struct KernelRow {
+    name: &'static str,
+    mean_s_per_cycle: f64,
+    calls_per_cycle: f64,
+}
 
 /// One measured point of the sweep.
 struct Point {
@@ -60,10 +71,39 @@ fn measure(threads: usize, cycles: usize) -> f64 {
     })
 }
 
+/// Single-thread pass with kernel timers enabled: per-kernel seconds and
+/// call counts per cycle. Runs after the scaling sweep so the guards'
+/// clock reads never contaminate `mean_cycle_s`.
+fn attribute_kernels(cycles: usize) -> Vec<KernelRow> {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool build is infallible");
+    pool.install(|| {
+        let mut osse = reduced_osse(24, 12, 16, 3, 4);
+        osse.spinup_system(360.0);
+        osse.cycle();
+        timing::reset();
+        timing::set_enabled(true);
+        for _ in 0..cycles {
+            osse.cycle();
+        }
+        timing::set_enabled(false);
+    });
+    timing::report()
+        .into_iter()
+        .map(|t| KernelRow {
+            name: t.kernel.name(),
+            mean_s_per_cycle: t.seconds / cycles as f64,
+            calls_per_cycle: t.calls as f64 / cycles as f64,
+        })
+        .collect()
+}
+
 fn main() {
     let mut cycles = 6usize;
     let mut threads: Vec<usize> = vec![1, 2, 4, 8];
-    let mut out = format!("{}/../../BENCH_4.json", env!("CARGO_MANIFEST_DIR"));
+    let mut out = format!("{}/../../BENCH_9.json", env!("CARGO_MANIFEST_DIR"));
     let mut assert_speedup: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
@@ -127,6 +167,15 @@ fn main() {
         });
     }
 
+    eprintln!("cycle_scaling: attributing per-kernel time (1-thread pass)");
+    let kernels = attribute_kernels(cycles);
+    for k in &kernels {
+        eprintln!(
+            "  kernel={:<13} mean={:.4}s/cycle calls={:.0}/cycle",
+            k.name, k.mean_s_per_cycle, k.calls_per_cycle
+        );
+    }
+
     // vendor/serde_json is an empty facade, so the JSON is assembled by
     // hand; the shape is stable for downstream trajectory tooling.
     let rows: Vec<String> = points
@@ -138,13 +187,23 @@ fn main() {
             )
         })
         .collect();
+    let krows: Vec<String> = kernels
+        .iter()
+        .map(|k| {
+            format!(
+                "    {{ \"name\": \"{}\", \"mean_s_per_cycle\": {:.6}, \"calls_per_cycle\": {:.1} }}",
+                k.name, k.mean_s_per_cycle, k.calls_per_cycle
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"cycle_scaling\",\n  \"config\": \"OsseConfig::reduced(24, 12, 16, 3, 4)\",\n  \"host_cores\": {},\n  \"cycles_per_point\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"cycle_scaling\",\n  \"config\": \"OsseConfig::reduced(24, 12, 16, 3, 4)\",\n  \"host_cores\": {},\n  \"cycles_per_point\": {},\n  \"results\": [\n{}\n  ],\n  \"kernels\": [\n{}\n  ]\n}}\n",
         host_cores,
         cycles,
-        rows.join(",\n")
+        rows.join(",\n"),
+        krows.join(",\n")
     );
-    std::fs::write(&out, &json).expect("writing BENCH_4.json");
+    std::fs::write(&out, &json).expect("writing BENCH JSON");
     eprintln!("cycle_scaling: wrote {out}");
 
     if let Some(min) = assert_speedup {

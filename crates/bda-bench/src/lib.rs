@@ -7,6 +7,8 @@
 //! consistent across the whole trajectory (`BENCH_*.json` points are only
 //! comparable if the fixtures never drift apart silently).
 
+pub mod json;
+
 use bda_core::osse::{Osse, OsseConfig};
 use bda_letkf::{ObsEnsemble, ObsKind, Observation, StateLayout};
 use bda_num::{MatrixS, SplitMix64};

@@ -227,8 +227,11 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
             }
         }
 
-        // lossy_cast: numeric kernels must use checked cast helpers.
-        if scope.kernel && !scope.test_path && !tested {
+        // lossy_cast: numeric kernels must use checked cast helpers. The
+        // vendored pool is held to the same bar — its packed deque ranges
+        // and chunk arithmetic are exactly the kind of index math a silent
+        // truncation corrupts.
+        if (scope.kernel || scope.rayon_src) && !scope.test_path && !tested {
             for t in lossy_casts(m) {
                 push(
                     &mut findings,
@@ -244,7 +247,10 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
 
         // wallclock: deterministic cycle paths must not read real time or
         // OS randomness. Supervisor wall-time telemetry opts in per site.
-        if scope.workspace_lib && !tested {
+        // Covers the vendored pool too: park/unpark timeouts and spin
+        // calibration are the only sanctioned clock reads there, and each
+        // carries its own allow marker.
+        if (scope.workspace_lib || scope.rayon_src) && !tested {
             for pat in ["Instant::now", "SystemTime::now", "thread_rng"] {
                 if m.contains(pat) {
                     push(

@@ -2,22 +2,27 @@
 //!
 //! Requires `--features loom-model`, which rebuilds `vendor/rayon` with its
 //! sync facade backed by the vendored loom model checker — so the code
-//! under test here is the **exact** claim/steal/combine protocol that runs
-//! in production, not a transliteration.
+//! under test here is the **exact** deque claim/steal/combine protocol that
+//! runs in production, not a transliteration.
 //!
-//! Four protocol properties, each at 2 and 3 model threads:
+//! Five protocol properties, each at 2 and 3 model threads:
 //!
-//! 1. every chunk is claimed and executed exactly once;
+//! 1. every chunk is claimed and executed exactly once, whether popped
+//!    from the front of its own deque or stolen from the back of a victim;
 //! 2. results combine in ascending chunk order whatever the interleaving;
-//! 3. nested regions serialize on the calling worker and never deadlock;
-//! 4. a panic in any worker propagates to the region's caller.
+//! 3. the steal path is *really exercised*: the explored schedule set
+//!    contains both steal-won and owner-won outcomes of the owner/thief
+//!    CAS race on a deque's last chunk;
+//! 4. nested regions serialize on the calling worker and never deadlock;
+//! 5. a panic in any worker poisons the region and propagates to the
+//!    region's caller.
 //!
 //! Two-thread configurations are small enough to *exhaust* within the
 //! seeded budget, and the tests assert that; three-thread configurations
-//! are budget-bounded samples. A final self-test breaks the claim
-//! protocol on purpose (load;yield;store instead of `fetch_add`) and
-//! asserts the checker catches the double-claim — evidence the suite has
-//! teeth.
+//! are budget-bounded samples. Two final self-tests break the protocol on
+//! purpose — a load;yield;store claim and a load;yield;store steal — and
+//! assert the checker catches the resulting double-claim: evidence the
+//! suite has teeth on both ends of the deque.
 //!
 //! Instrumentation inside `work` uses `std::sync` deliberately: model
 //! threads are real serialized OS threads, so std atomics behave normally
@@ -25,6 +30,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use rayon::protocol::run_chunks_with;
 
@@ -90,6 +96,112 @@ fn chunks_claimed_exactly_once_three_threads() {
     );
 }
 
+/// Property 3, front half: with 2 workers over 3 chunks the deques are
+/// `[0, 1)` (caller) and `[1, 3)` (worker 1). The caller exhausts its own
+/// deque after one chunk, so any further chunk it executes crossed deques
+/// through `steal_back`. The schedule space must contain such schedules —
+/// otherwise the suite is not actually exploring the steal path.
+#[test]
+fn steal_path_crosses_deques_two_threads() {
+    let stolen_schedules = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&stolen_schedules);
+    let stats = builder(20_000).check(move || {
+        let caller = std::thread::current().id();
+        let by_caller: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        let out = run_chunks_with(2, vec![0usize, 1, 2], |start, chunk| {
+            if std::thread::current().id() == caller {
+                by_caller[start].fetch_add(1, Ordering::Relaxed);
+            }
+            chunk[0] * 10
+        });
+        assert_eq!(out, vec![0, 10, 20]);
+        // Chunks 1 and 2 are owned by worker 1's deque; the caller
+        // executing either one means a back-steal succeeded.
+        if by_caller[1].load(Ordering::Relaxed) + by_caller[2].load(Ordering::Relaxed) > 0 {
+            seen.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    assert!(stats.iterations > 10);
+    assert!(
+        stolen_schedules.load(Ordering::Relaxed) > 0,
+        "no explored schedule exercised the steal path ({} schedules)",
+        stats.iterations
+    );
+}
+
+/// Property 3, race half: with 2 workers over 2 chunks, worker 1's deque
+/// holds exactly one chunk — the owner's front-pop and the caller's
+/// back-steal race on the *same* packed word for the same chunk. The
+/// exhaustive schedule set must contain both outcomes (steal won / owner
+/// won), and exactly-once holds in every one of them.
+#[test]
+fn steal_race_on_last_chunk_explores_both_outcomes() {
+    let steal_won = Arc::new(AtomicUsize::new(0));
+    let owner_won = Arc::new(AtomicUsize::new(0));
+    let (sw, ow) = (Arc::clone(&steal_won), Arc::clone(&owner_won));
+    let stats = builder(100_000).check(move || {
+        let caller = std::thread::current().id();
+        let runs: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        let chunk1_by_caller = AtomicUsize::new(0);
+        let out = run_chunks_with(2, vec![0usize, 1], |start, chunk| {
+            runs[start].fetch_add(1, Ordering::Relaxed);
+            if start == 1 && std::thread::current().id() == caller {
+                chunk1_by_caller.fetch_add(1, Ordering::Relaxed);
+            }
+            chunk[0] * 10
+        });
+        assert_eq!(out, vec![0, 10]);
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(
+                r.load(Ordering::Relaxed),
+                1,
+                "chunk {i} must run exactly once even under the owner/thief race"
+            );
+        }
+        if chunk1_by_caller.load(Ordering::Relaxed) > 0 {
+            sw.fetch_add(1, Ordering::Relaxed);
+        } else {
+            ow.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    assert!(
+        stats.exhausted,
+        "2 threads / 2 chunks must be fully enumerable ({} schedules explored)",
+        stats.iterations
+    );
+    assert!(
+        steal_won.load(Ordering::Relaxed) > 0,
+        "exhaustive exploration never let the thief win the last-chunk race"
+    );
+    assert!(
+        owner_won.load(Ordering::Relaxed) > 0,
+        "exhaustive exploration never let the owner win the last-chunk race"
+    );
+}
+
+/// Property 3 at three threads, bounded: two thieves and an owner racing
+/// over a 5-chunk region (deques `[0,1)`, `[1,3)`, `[3,5)`), with model
+/// yields inflating worker 1's first chunk so the others go hunting.
+#[test]
+fn steal_path_three_threads_bounded() {
+    let stats = builder(8_192).check(|| {
+        let runs: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        let out = run_chunks_with(3, (0..5usize).collect(), |start, chunk| {
+            if start == 1 {
+                loom::thread::yield_now();
+                loom::thread::yield_now();
+            }
+            runs[start].fetch_add(1, Ordering::Relaxed);
+            chunk[0] + 100
+        });
+        assert_eq!(out, vec![100, 101, 102, 103, 104]);
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.load(Ordering::Relaxed), 1, "chunk {i} ran exactly once");
+        }
+    });
+    assert!(stats.iterations > 10);
+}
+
 /// Property 2 under uneven per-chunk cost: the *slow* chunk's result must
 /// still land first. Work cost is simulated with extra model yields so the
 /// scheduler can interleave a slow chunk 0 against fast chunks.
@@ -110,7 +222,7 @@ fn combine_order_survives_slow_first_chunk() {
     assert!(stats.iterations > 10);
 }
 
-/// Property 3: a nested region inside a worker serializes (the depth guard
+/// Property 4: a nested region inside a worker serializes (the depth guard
 /// clamps it to one thread), so it cannot deadlock and its output matches
 /// the sequential reference.
 #[test]
@@ -140,9 +252,9 @@ fn nested_region_serializes_three_threads() {
     assert!(stats.iterations > 10);
 }
 
-/// Property 4: whichever worker hits the panicking chunk — the caller
-/// acting as worker zero or a spawned thread — the panic reaches the
-/// region's caller in every interleaving.
+/// Property 5: whichever worker hits the panicking chunk — the caller
+/// acting as worker zero or a spawned thread — the panic poisons the
+/// region and reaches the region's caller in every interleaving.
 fn check_panic_propagates(threads: usize, max_iter: usize) -> loom::Stats {
     builder(max_iter).check(move || {
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -181,10 +293,10 @@ fn worker_panic_propagates_three_threads() {
     assert!(stats.iterations > 0);
 }
 
-/// Self-test: replace the protocol's atomic `fetch_add` claim with the
-/// classic broken load-then-store sequence and assert the model checker
-/// finds the interleaving where two workers claim the same chunk. If this
-/// test ever passes silently, the suite has lost its teeth.
+/// Self-test: replace the protocol's CAS claim with the classic broken
+/// load-then-store sequence and assert the model checker finds the
+/// interleaving where two workers claim the same chunk. If this test ever
+/// passes silently, the suite has lost its teeth.
 #[test]
 fn checker_catches_broken_claim_protocol() {
     use loom::sync::atomic::AtomicUsize as ModelAtomicUsize;
@@ -221,5 +333,66 @@ fn checker_catches_broken_claim_protocol() {
     assert!(
         result.is_err(),
         "the model checker failed to find the double-claim in a racy claim loop"
+    );
+}
+
+/// Self-test for the deque's *steal* end: an owner front-pop done with a
+/// proper CAS racing a thief whose back-steal is the broken
+/// load-then-store sequence on the same packed `(lo, hi)` word. The model
+/// must find the interleaving where owner and thief both claim the single
+/// remaining chunk — proof that the packed-word CAS on the steal side is
+/// load-bearing, not ceremony.
+#[test]
+fn checker_catches_broken_steal_protocol() {
+    use loom::sync::atomic::AtomicUsize as ModelAtomicUsize;
+    use loom::sync::atomic::Ordering as ModelOrdering;
+    use loom::sync::Mutex as ModelMutex;
+
+    // Mirror the protocol's packing: (lo, hi) as lo * PACK + hi.
+    const PACK: usize = 33;
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        builder(100_000).check(|| {
+            // One deque holding exactly one chunk: range [0, 1).
+            let deque = ModelAtomicUsize::new(1); // pack(0, 1)
+            let cell: ModelMutex<Option<usize>> = ModelMutex::new(Some(0));
+            loom::thread::scope(|s| {
+                let deque = &deque;
+                let cell = &cell;
+                // Owner: correct CAS front-pop.
+                s.spawn(move || {
+                    let mut cur = deque.load(ModelOrdering::SeqCst);
+                    loop {
+                        let (lo, hi) = (cur / PACK, cur % PACK);
+                        if lo >= hi {
+                            return;
+                        }
+                        match deque.compare_exchange(
+                            cur,
+                            (lo + 1) * PACK + hi,
+                            ModelOrdering::SeqCst,
+                            ModelOrdering::SeqCst,
+                        ) {
+                            Ok(_) => {
+                                cell.lock().unwrap().take().expect("chunk claimed twice");
+                                return;
+                            }
+                            Err(now) => cur = now,
+                        }
+                    }
+                });
+                // Thief: BROKEN load-then-store back-steal.
+                let cur = deque.load(ModelOrdering::SeqCst);
+                let (lo, hi) = (cur / PACK, cur % PACK);
+                if lo < hi {
+                    deque.store(lo * PACK + (hi - 1), ModelOrdering::SeqCst);
+                    cell.lock().unwrap().take().expect("chunk claimed twice");
+                }
+            });
+        });
+    }));
+    assert!(
+        result.is_err(),
+        "the model checker failed to find the owner/thief double-claim in a racy steal"
     );
 }

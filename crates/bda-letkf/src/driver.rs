@@ -4,7 +4,7 @@ use crate::config::LetkfConfig;
 use crate::ensmatrix::{EnsembleMatrix, StateLayout};
 use crate::localization::{localization_weight, LocalizationError, ObsIndex};
 use crate::obs::ObsEnsemble;
-use crate::weights::{apply_transform, compute_transform, LocalObs};
+use crate::weights::{apply_transform, compute_transform, LocalObs, TransformScratch};
 use bda_num::cast;
 use bda_num::{BatchedEigen, MatrixS, Real};
 use rayon::prelude::*;
@@ -91,6 +91,7 @@ struct Workspace<T> {
     local: LocalObs<T>,
     candidates: Vec<(f64, u32)>, // (localization weight, obs index)
     solver: BatchedEigen<T>,
+    scratch: TransformScratch<T>,
     trans: MatrixS<T>,
     pert: Vec<T>,
 }
@@ -101,6 +102,7 @@ impl<T: Real> Workspace<T> {
             local: LocalObs::new(k),
             candidates: Vec::new(),
             solver: BatchedEigen::with_capacity(k),
+            scratch: TransformScratch::new(),
             trans: MatrixS::zeros(k),
             pert: vec![T::zero(); k],
         }
@@ -227,7 +229,14 @@ pub fn analyze_region<T: Real>(
                         .push(dy[i_obs], rinv, &yb[i_obs * k..(i_obs + 1) * k]);
                 }
 
-                if compute_transform(&ws.local, rtpp, infl, &mut ws.solver, &mut ws.trans) {
+                if compute_transform(
+                    &ws.local,
+                    rtpp,
+                    infl,
+                    &mut ws.solver,
+                    &mut ws.scratch,
+                    &mut ws.trans,
+                ) {
                     for v in 0..nvar {
                         let vals = &mut block[v * k..(v + 1) * k];
                         apply_transform(vals, &ws.trans, &mut ws.pert);

@@ -17,6 +17,7 @@
 //! `W_final = alpha I + (1 - alpha) W`, and the full member transform is
 //! `T[n][m] = W_final[n][m] + wbar[n]`.
 
+use bda_num::matrix::{axpy, dot8, scale_into};
 use bda_num::{BatchedEigen, MatrixS, Real};
 
 /// Gathered local observations for one grid point, in ensemble-space form.
@@ -72,29 +73,54 @@ fn lambda_floor<T: Real>(k: usize) -> T {
     T::of(1e-6) * T::of_usize(k)
 }
 
+/// Reused intermediates for [`compute_transform`]: the ensemble-space matrix
+/// and the ensemble-sized vectors it chains through. One scratch per worker
+/// makes the per-gridpoint solve allocation-free after warm-up.
+#[derive(Clone, Debug, Default)]
+pub struct TransformScratch<T> {
+    a: MatrixS<T>,
+    b: Vec<T>,
+    vtb: Vec<T>,
+    wbar: Vec<T>,
+    inv_sqrt: Vec<T>,
+    u: Vec<T>,
+}
+
+impl<T: Real> TransformScratch<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Compute the full member transform `trans[(n, m)]` for one grid point.
 ///
 /// `trans` must be k x k; it is overwritten. Returns `false` (leaving
 /// `trans` as the identity-plus-zero-mean transform) when there are no
-/// observations — the caller can skip applying it.
+/// observations — the caller can skip applying it. All intermediates live
+/// in `scratch`; after the first call at a given `k`, nothing allocates.
 pub fn compute_transform<T: Real>(
     local: &LocalObs<T>,
     rtpp: T,
     infl_mult: T,
     solver: &mut BatchedEigen<T>,
+    scratch: &mut TransformScratch<T>,
     trans: &mut MatrixS<T>,
 ) -> bool {
     let k = local.k;
     debug_assert_eq!(trans.n(), k);
     if local.nobs() == 0 {
-        *trans = MatrixS::identity(k);
+        trans.reset_zeros(k);
+        for m in 0..k {
+            trans[(m, m)] = T::one();
+        }
         return false;
     }
 
     let km1 = T::of_usize(k - 1);
 
-    // A = (k-1)/rho I + Yb^T R~^-1 Yb.
-    let mut a = MatrixS::zeros(k);
+    // A = (k-1)/rho I + Yb^T R~^-1 Yb: upper triangle built as row-tail
+    // axpys (unit stride over `n`), then mirrored.
+    scratch.a.reset_zeros(k);
     for i in 0..local.nobs() {
         let row = local.yb_row(i);
         let r = local.rinv[i];
@@ -103,67 +129,64 @@ pub fn compute_transform<T: Real>(
             if ym_r == T::zero() {
                 continue;
             }
-            for n in m..k {
-                a[(m, n)] += ym_r * row[n];
-            }
+            axpy(ym_r, &row[m..], &mut scratch.a.row_mut(m)[m..]);
         }
     }
     for m in 0..k {
         for n in (m + 1)..k {
-            a[(n, m)] = a[(m, n)];
+            scratch.a[(n, m)] = scratch.a[(m, n)];
         }
     }
-    a.add_scaled_identity(km1 / infl_mult);
+    scratch.a.add_scaled_identity(km1 / infl_mult);
 
-    let dec = solver.decompose_one(&a);
+    solver.decompose_in_place(&scratch.a);
     let floor = lambda_floor::<T>(k);
 
-    // b = Yb^T R~^-1 dy ; wbar = V diag(1/lambda) V^T b.
-    let mut b = vec![T::zero(); k];
+    // b = Yb^T R~^-1 dy: one row-axpy per observation.
+    scratch.b.clear();
+    scratch.b.resize(k, T::zero());
     for i in 0..local.nobs() {
-        let row = local.yb_row(i);
         let c = local.rinv[i] * local.dy[i];
-        for m in 0..k {
-            b[m] = row[m].mul_add(c, b[m]);
-        }
+        axpy(c, local.yb_row(i), &mut scratch.b);
     }
-    // vtb = V^T b.
-    let v = &dec.vectors;
-    let mut vtb = vec![T::zero(); k];
-    for j in 0..k {
-        let mut acc = T::zero();
-        for i in 0..k {
-            acc = v[(i, j)].mul_add(b[i], acc);
-        }
-        vtb[j] = acc / dec.values[j].max(floor);
-    }
-    let mut wbar = vec![T::zero(); k];
+    // vtb = diag(1/lambda) V^T b, accumulated row-wise so the inner loop is
+    // unit-stride over the eigenvector matrix.
+    let v = solver.vectors();
+    let values = solver.values();
+    scratch.vtb.clear();
+    scratch.vtb.resize(k, T::zero());
     for i in 0..k {
-        let mut acc = T::zero();
-        for j in 0..k {
-            acc = v[(i, j)].mul_add(vtb[j], acc);
-        }
-        wbar[i] = acc;
+        axpy(scratch.b[i], v.row(i), &mut scratch.vtb);
+    }
+    for (t, &l) in scratch.vtb.iter_mut().zip(values) {
+        *t /= l.max(floor);
+    }
+    // wbar = V vtb.
+    scratch.wbar.clear();
+    for i in 0..k {
+        let w = dot8(v.row(i), &scratch.vtb);
+        scratch.wbar.push(w);
     }
 
-    // W = sqrt(k-1) V diag(lambda^-1/2) V^T, then RTPP relaxation.
+    // W = sqrt(k-1) V diag(lambda^-1/2) V^T, then RTPP relaxation. Each
+    // row m is pre-scaled once (`u = v_row_m * inv_sqrt`) so the inner
+    // product over `j` is a straight dot8 of two contiguous rows.
     let sqrt_km1 = km1.sqrt();
-    let inv_sqrt: Vec<T> = dec
-        .values
-        .iter()
-        .map(|&l| T::one() / l.max(floor).sqrt())
-        .collect();
+    scratch.inv_sqrt.clear();
+    scratch
+        .inv_sqrt
+        .extend(values.iter().map(|&l| T::one() / l.max(floor).sqrt()));
+    scratch.u.clear();
+    scratch.u.resize(k, T::zero());
     let one_minus_alpha = T::one() - rtpp;
     for m in 0..k {
+        scale_into(v.row(m), &scratch.inv_sqrt, &mut scratch.u);
         for n in m..k {
-            let mut acc = T::zero();
-            for j in 0..k {
-                acc += v[(m, j)] * inv_sqrt[j] * v[(n, j)];
-            }
+            let acc = dot8(&scratch.u, v.row(n));
             let w = sqrt_km1 * acc * one_minus_alpha;
             let diag_term = if m == n { rtpp } else { T::zero() };
-            trans[(m, n)] = w + diag_term + wbar[m];
-            trans[(n, m)] = w + diag_term + wbar[n];
+            trans[(m, n)] = w + diag_term + scratch.wbar[m];
+            trans[(n, m)] = w + diag_term + scratch.wbar[n];
         }
     }
     true
@@ -183,12 +206,13 @@ pub fn apply_transform<T: Real>(values: &mut [T], trans: &MatrixS<T>, pert: &mut
     for (p, &v) in pert.iter_mut().zip(values.iter()) {
         *p = v - mean;
     }
-    for m in 0..k {
-        let mut acc = mean;
-        for n in 0..k {
-            acc = pert[n].mul_add(trans[(n, m)], acc);
-        }
-        values[m] = acc;
+    // values[m] = mean + sum_n pert[n] * trans[(n, m)], restructured as one
+    // unit-stride row-axpy per `n`: each element still accumulates in
+    // ascending-n `mul_add` order starting from `mean`, so this is
+    // bit-identical to the column-at-a-time form.
+    values.fill(mean);
+    for (n, &p) in pert.iter().enumerate().take(k) {
+        axpy(p, trans.row(n), values);
     }
 }
 
@@ -223,8 +247,9 @@ mod tests {
         let k = 7;
         let local = LocalObs::<f64>::new(k);
         let mut solver = BatchedEigen::new();
+        let mut scratch = TransformScratch::new();
         let mut trans = MatrixS::zeros(k);
-        let any = compute_transform(&local, 0.0, 1.0, &mut solver, &mut trans);
+        let any = compute_transform(&local, 0.0, 1.0, &mut solver, &mut scratch, &mut trans);
         assert!(!any);
         assert_eq!(trans, MatrixS::identity(k));
     }
@@ -251,8 +276,16 @@ mod tests {
         let obs_err = 1.5;
         let local = build_local(&xs, obs, obs_err, 1.0);
         let mut solver = BatchedEigen::new();
+        let mut scratch = TransformScratch::new();
         let mut trans = MatrixS::zeros(k);
-        assert!(compute_transform(&local, 0.0, 1.0, &mut solver, &mut trans));
+        assert!(compute_transform(
+            &local,
+            0.0,
+            1.0,
+            &mut solver,
+            &mut scratch,
+            &mut trans
+        ));
         let mut vals = xs.clone();
         let mut pert = vec![0.0; k];
         apply_transform(&mut vals, &trans, &mut pert);
@@ -280,8 +313,9 @@ mod tests {
         let xs = scalar_ensemble(k, 5.0, 1.0, 3);
         let local = build_local(&xs, 9.0, 1.0, 1e-12);
         let mut solver = BatchedEigen::new();
+        let mut scratch = TransformScratch::new();
         let mut trans = MatrixS::zeros(k);
-        compute_transform(&local, 0.0, 1.0, &mut solver, &mut trans);
+        compute_transform(&local, 0.0, 1.0, &mut solver, &mut scratch, &mut trans);
         let mut vals = xs.clone();
         let mut pert = vec![0.0; k];
         apply_transform(&mut vals, &trans, &mut pert);
@@ -295,8 +329,9 @@ mod tests {
         let xs = scalar_ensemble(k, 0.0, 1.0, 9);
         let local = build_local(&xs, 2.0, 1.0, 1.0);
         let mut solver = BatchedEigen::new();
+        let mut scratch = TransformScratch::new();
         let mut trans = MatrixS::zeros(k);
-        compute_transform(&local, 1.0, 1.0, &mut solver, &mut trans);
+        compute_transform(&local, 1.0, 1.0, &mut solver, &mut scratch, &mut trans);
         let mut vals = xs.clone();
         let mut pert = vec![0.0; k];
         apply_transform(&mut vals, &trans, &mut pert);
@@ -326,8 +361,9 @@ mod tests {
         let run = |alpha: f64| -> f64 {
             let local = build_local(&xs, 1.0, 0.5, 1.0);
             let mut solver = BatchedEigen::new();
+            let mut scratch = TransformScratch::new();
             let mut trans = MatrixS::zeros(k);
-            compute_transform(&local, alpha, 1.0, &mut solver, &mut trans);
+            compute_transform(&local, alpha, 1.0, &mut solver, &mut scratch, &mut trans);
             let mut vals = xs.clone();
             let mut pert = vec![0.0; k];
             apply_transform(&mut vals, &trans, &mut pert);
@@ -350,8 +386,9 @@ mod tests {
         let run = |infl: f64| -> f64 {
             let local = build_local(&xs, 1.0, 1.0, 1.0);
             let mut solver = BatchedEigen::new();
+            let mut scratch = TransformScratch::new();
             let mut trans = MatrixS::zeros(k);
-            compute_transform(&local, 0.0, infl, &mut solver, &mut trans);
+            compute_transform(&local, 0.0, infl, &mut solver, &mut scratch, &mut trans);
             let mut vals = xs.clone();
             let mut pert = vec![0.0; k];
             apply_transform(&mut vals, &trans, &mut pert);
@@ -369,8 +406,9 @@ mod tests {
 
         let local64 = build_local(&xs, 14.0, 2.0, 0.7);
         let mut s64 = BatchedEigen::new();
+        let mut sc64 = TransformScratch::new();
         let mut t64 = MatrixS::zeros(k);
-        compute_transform(&local64, 0.95, 1.0, &mut s64, &mut t64);
+        compute_transform(&local64, 0.95, 1.0, &mut s64, &mut sc64, &mut t64);
         let mut v64 = xs.clone();
         let mut p64 = vec![0.0; k];
         apply_transform(&mut v64, &t64, &mut p64);
@@ -380,8 +418,9 @@ mod tests {
         let mut local32 = LocalObs::<f32>::new(k);
         local32.push(14.0 - mean32, 0.7 / 4.0, &yb32);
         let mut s32 = BatchedEigen::new();
+        let mut sc32 = TransformScratch::new();
         let mut t32 = MatrixS::zeros(k);
-        compute_transform(&local32, 0.95, 1.0, &mut s32, &mut t32);
+        compute_transform(&local32, 0.95, 1.0, &mut s32, &mut sc32, &mut t32);
         let mut v32 = xs32.clone();
         let mut p32 = vec![0.0f32; k];
         apply_transform(&mut v32, &t32, &mut p32);

@@ -1,6 +1,6 @@
 //! Property-based invariants of the LETKF transform mathematics.
 
-use bda_letkf::weights::{apply_transform, compute_transform, LocalObs};
+use bda_letkf::weights::{apply_transform, compute_transform, LocalObs, TransformScratch};
 use bda_num::{BatchedEigen, MatrixS, SplitMix64};
 use proptest::prelude::*;
 
@@ -47,8 +47,9 @@ proptest! {
         let (prior_mean, prior_sd) = stats(&xs);
         let obs_value = prior_mean + offset;
         let mut solver = BatchedEigen::new();
+        let mut scratch = TransformScratch::new();
         let mut trans = MatrixS::zeros(k);
-        prop_assert!(compute_transform(&local, rtpp, 1.0, &mut solver, &mut trans));
+        prop_assert!(compute_transform(&local, rtpp, 1.0, &mut solver, &mut scratch, &mut trans));
         let mut vals = xs.clone();
         let mut pert = vec![0.0; k];
         apply_transform(&mut vals, &trans, &mut pert);
@@ -78,8 +79,9 @@ proptest! {
         let (xs, local) = setup(k, seed, 0.0, err, 1.0);
         let (prior_mean, _) = stats(&xs);
         let mut solver = BatchedEigen::new();
+        let mut scratch = TransformScratch::new();
         let mut trans = MatrixS::zeros(k);
-        compute_transform(&local, 0.5, 1.0, &mut solver, &mut trans);
+        compute_transform(&local, 0.5, 1.0, &mut solver, &mut scratch, &mut trans);
         let mut vals = xs.clone();
         let mut pert = vec![0.0; k];
         apply_transform(&mut vals, &trans, &mut pert);
@@ -101,8 +103,9 @@ proptest! {
             let (xs, local) = setup(k, seed, offset, err, 1.0);
             let (prior_mean, _) = stats(&xs);
             let mut solver = BatchedEigen::new();
+            let mut scratch = TransformScratch::new();
             let mut trans = MatrixS::zeros(k);
-            compute_transform(&local, 0.0, 1.0, &mut solver, &mut trans);
+            compute_transform(&local, 0.0, 1.0, &mut solver, &mut scratch, &mut trans);
             let mut vals = xs.clone();
             let mut pert = vec![0.0; k];
             apply_transform(&mut vals, &trans, &mut pert);
@@ -127,8 +130,9 @@ proptest! {
         let spread_at = |alpha: f64| -> f64 {
             let (xs, local) = setup(k, seed, 3.0, 1.0, 1.0);
             let mut solver = BatchedEigen::new();
+            let mut scratch = TransformScratch::new();
             let mut trans = MatrixS::zeros(k);
-            compute_transform(&local, alpha, 1.0, &mut solver, &mut trans);
+            compute_transform(&local, alpha, 1.0, &mut solver, &mut scratch, &mut trans);
             let mut vals = xs.clone();
             let mut pert = vec![0.0; k];
             apply_transform(&mut vals, &trans, &mut pert);

@@ -7,20 +7,28 @@
 //!
 //! [`BatchedEigen`] reproduces the *engineering idea* at the scale of this
 //! repository: all workspace (scratch vectors, the eigenvector accumulation
-//! buffer) is allocated once and reused across the batch, so the per-problem
-//! cost is pure compute with warm caches and zero allocator traffic. The
-//! `ablation_eigensolver` bench compares it against fresh-allocation QL and
-//! Jacobi.
+//! buffer, the sort permutation, and the result buffers themselves) is
+//! allocated once and reused across the batch, so the per-problem cost is
+//! pure compute with warm caches and zero allocator traffic. The hot entry
+//! point is [`BatchedEigen::decompose_in_place`], which leaves the result in
+//! solver-owned storage read through [`BatchedEigen::values`] /
+//! [`BatchedEigen::vectors`] — no per-solve `SymEigDecomp` is materialized.
+//! The `ablation_eigensolver` bench compares it against fresh-allocation QL
+//! and Jacobi.
 
 use super::{QlEigen, SymEigDecomp, SymEigSolver};
 use crate::matrix::MatrixS;
 use crate::real::Real;
+use crate::timing;
 
 /// Workspace-reusing batched symmetric eigensolver.
 #[derive(Clone, Debug, Default)]
 pub struct BatchedEigen<T> {
     d: Vec<T>,
     e: Vec<T>,
+    order: Vec<usize>,
+    q: MatrixS<T>,
+    values: Vec<T>,
 }
 
 impl<T: Real> BatchedEigen<T> {
@@ -28,6 +36,9 @@ impl<T: Real> BatchedEigen<T> {
         Self {
             d: Vec::new(),
             e: Vec::new(),
+            order: Vec::new(),
+            q: MatrixS::zeros(0),
+            values: Vec::new(),
         }
     }
 
@@ -36,12 +47,49 @@ impl<T: Real> BatchedEigen<T> {
         Self {
             d: Vec::with_capacity(n),
             e: Vec::with_capacity(n),
+            order: Vec::with_capacity(n),
+            q: MatrixS::zeros(n),
+            values: Vec::with_capacity(n),
         }
     }
 
-    /// Decompose a single problem reusing the internal workspace.
+    /// Decompose one problem entirely into solver-owned storage — the
+    /// allocation-free hot path. Results stay valid (via [`Self::values`] /
+    /// [`Self::vectors`]) until the next decompose call.
+    pub fn decompose_in_place(&mut self, a: &MatrixS<T>) {
+        let _t = timing::guard(timing::Kernel::Eigensolve);
+        QlEigen::decompose_into(
+            a,
+            &mut self.q,
+            &mut self.values,
+            &mut self.d,
+            &mut self.e,
+            &mut self.order,
+        );
+    }
+
+    /// Eigenvalues of the last [`Self::decompose_in_place`], ascending.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Eigenvectors of the last [`Self::decompose_in_place`]; column `j`
+    /// pairs with `values()[j]`.
+    #[inline]
+    pub fn vectors(&self) -> &MatrixS<T> {
+        &self.q
+    }
+
+    /// Decompose a single problem reusing the internal workspace, cloning
+    /// the result out (compatibility path; hot callers should prefer
+    /// [`Self::decompose_in_place`]).
     pub fn decompose_one(&mut self, a: &MatrixS<T>) -> SymEigDecomp<T> {
-        QlEigen::decompose_with_scratch(a, &mut self.d, &mut self.e)
+        self.decompose_in_place(a);
+        SymEigDecomp {
+            values: self.values.clone(),
+            vectors: self.q.clone(),
+        }
     }
 
     /// Decompose a whole batch, returning results in order.
@@ -95,6 +143,37 @@ mod tests {
             }
             assert!(dec.max_residual(a) < 1e-9);
         }
+    }
+
+    #[test]
+    fn in_place_result_is_bit_identical_to_decompose_one() {
+        let a = random_symmetric::<f64>(15, 7, 1.0);
+        let mut s1 = BatchedEigen::new();
+        let dec = s1.decompose_one(&a);
+        let mut s2 = BatchedEigen::new();
+        s2.decompose_in_place(&a);
+        assert_eq!(dec.values.len(), s2.values().len());
+        for (x, y) in dec.values.iter().zip(s2.values()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in dec.vectors.as_slice().iter().zip(s2.vectors().as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn repeated_in_place_solves_are_independent() {
+        // The second solve must not be polluted by the first's buffers.
+        let a = random_symmetric::<f64>(10, 1, 1.0);
+        let b = random_symmetric::<f64>(10, 2, 1.0);
+        let mut fresh = BatchedEigen::new();
+        fresh.decompose_in_place(&b);
+        let want: Vec<u64> = fresh.values().iter().map(|v| v.to_bits()).collect();
+        let mut reused = BatchedEigen::new();
+        reused.decompose_in_place(&a);
+        reused.decompose_in_place(&b);
+        let got: Vec<u64> = reused.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, got);
     }
 
     #[test]

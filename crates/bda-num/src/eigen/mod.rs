@@ -92,16 +92,40 @@ pub trait SymEigSolver<T: Real> {
 /// Sort an eigendecomposition ascending by eigenvalue, permuting vector
 /// columns to match.
 pub(crate) fn sort_ascending<T: Real>(values: &mut [T], vectors: &mut MatrixS<T>) {
+    let mut order = Vec::new();
+    sort_ascending_with(values, vectors, &mut order);
+}
+
+/// [`sort_ascending`] with caller-owned index scratch: after warm-up the
+/// sort allocates nothing (the permutation is applied in place by walking
+/// its cycles with swaps instead of cloning the matrix).
+pub(crate) fn sort_ascending_with<T: Real>(
+    values: &mut [T],
+    vectors: &mut MatrixS<T>,
+    order: &mut Vec<usize>,
+) {
     let n = values.len();
-    let mut order: Vec<usize> = (0..n).collect();
+    order.clear();
+    order.extend(0..n);
     order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
-    let old_vals = values.to_vec();
-    let old_vecs = vectors.clone();
-    for (new_j, &old_j) in order.iter().enumerate() {
-        values[new_j] = old_vals[old_j];
-        for i in 0..n {
-            vectors[(i, new_j)] = old_vecs[(i, old_j)];
+    // Position `i` must end up holding old position `order[i]`. Walk each
+    // permutation cycle, swapping as we go; visited slots are marked with
+    // usize::MAX so each cycle is applied exactly once.
+    for i in 0..n {
+        if order[i] == usize::MAX {
+            continue;
         }
+        let mut prev = i;
+        let mut j = order[i];
+        while j != i {
+            values.swap(prev, j);
+            vectors.swap_columns(prev, j);
+            let next = order[j];
+            order[prev] = usize::MAX;
+            prev = j;
+            j = next;
+        }
+        order[prev] = usize::MAX;
     }
 }
 
@@ -157,6 +181,35 @@ mod tests {
                 let want = if i == j { 1.0 } else { 0.0 };
                 assert!((prod[(i, j)] - want).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn in_place_sort_matches_clone_based_reference() {
+        // The cycle-walking permutation must agree with the obvious
+        // clone-into-order reference, including under duplicate values.
+        let mut rng = crate::rng::SplitMix64::new(99);
+        for n in [1usize, 2, 5, 8, 13] {
+            let vals: Vec<f64> = (0..n).map(|_| (rng.next_uniform() * 4.0).floor()).collect();
+            let vecs = MatrixS::from_fn(n, |i, j| (i * n + j) as f64);
+
+            let mut v_ref = vals.clone();
+            let mut m_ref = vecs.clone();
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| vals[a].total_cmp(&vals[b]));
+            for (new_j, &old_j) in order.iter().enumerate() {
+                v_ref[new_j] = vals[old_j];
+                for i in 0..n {
+                    m_ref[(i, new_j)] = vecs[(i, old_j)];
+                }
+            }
+
+            let mut v_got = vals.clone();
+            let mut m_got = vecs.clone();
+            let mut scratch = Vec::new();
+            sort_ascending_with(&mut v_got, &mut m_got, &mut scratch);
+            assert_eq!(v_got, v_ref, "n={n}");
+            assert_eq!(m_got, m_ref, "n={n}");
         }
     }
 

@@ -6,7 +6,7 @@
 //! cheap O(n^2)-per-eigenvalue iteration, which is why the paper's LETKF
 //! gained so much from moving off a slower solver at k = 1000.
 
-use super::{sort_ascending, SymEigDecomp, SymEigSolver};
+use super::{sort_ascending_with, SymEigDecomp, SymEigSolver};
 use crate::matrix::MatrixS;
 use crate::real::Real;
 
@@ -173,18 +173,38 @@ impl QlEigen {
         d: &mut Vec<T>,
         e: &mut Vec<T>,
     ) -> SymEigDecomp<T> {
+        let mut q = MatrixS::zeros(0);
+        let mut values = Vec::new();
+        let mut order = Vec::new();
+        Self::decompose_into(a, &mut q, &mut values, d, e, &mut order);
+        SymEigDecomp { values, vectors: q }
+    }
+
+    /// Fully allocation-free decomposition into caller-owned buffers: `q`
+    /// receives the eigenvector matrix (column `j` pairs with `values[j]`,
+    /// ascending), every scratch vector is resized in place. This is the
+    /// batched hot path — one call per analysis grid point must not touch
+    /// the allocator.
+    pub fn decompose_into<T: Real>(
+        a: &MatrixS<T>,
+        q: &mut MatrixS<T>,
+        values: &mut Vec<T>,
+        d: &mut Vec<T>,
+        e: &mut Vec<T>,
+        order: &mut Vec<usize>,
+    ) {
         let n = a.n();
         debug_assert!(a.is_symmetric(T::of(1e-4)), "QL requires symmetry");
         d.clear();
         d.resize(n, T::zero());
         e.clear();
         e.resize(n, T::zero());
-        let mut q = a.clone();
-        Self::tridiagonalize(&mut q, d, e);
-        Self::tqli(d, e, &mut q);
-        let mut values = d.clone();
-        sort_ascending(&mut values, &mut q);
-        SymEigDecomp { values, vectors: q }
+        q.copy_from(a);
+        Self::tridiagonalize(q, d, e);
+        Self::tqli(d, e, q);
+        values.clear();
+        values.extend_from_slice(d);
+        sort_ascending_with(values, q, order);
     }
 }
 

@@ -2,13 +2,16 @@
 //!
 //! The LETKF works in the k-dimensional ensemble space (k = 1000 in the
 //! paper's production configuration, much smaller in tests), so all matrices
-//! here are modest, dense, and row-major. No BLAS is used; these kernels are
-//! simple enough that the compiler autovectorizes the inner loops.
+//! here are modest, dense, and row-major. No BLAS is used; the hot paths go
+//! through the explicitly unrolled accumulator kernels ([`dot8`], [`axpy8`])
+//! so throughput does not depend on the autovectorizer recognizing a
+//! reduction, and the GEMM path ([`MatrixS::matmul_into`]) is k-blocked so
+//! the streamed operand stays cache-resident across output rows.
 
 use crate::real::Real;
 
 /// A dense `n x n` matrix in row-major order.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MatrixS<T> {
     n: usize,
     data: Vec<T>,
@@ -52,6 +55,34 @@ impl<T: Real> MatrixS<T> {
         Self { n, data }
     }
 
+    /// Resize to `n x n` and zero every entry, reusing the existing
+    /// allocation — the allocation-free analogue of [`MatrixS::zeros`] for
+    /// per-grid-point scratch matrices.
+    pub fn reset_zeros(&mut self, n: usize) {
+        self.n = n;
+        self.data.clear();
+        self.data.resize(n * n, T::zero());
+    }
+
+    /// Overwrite `self` with a copy of `src`, reusing the existing
+    /// allocation (the allocation-free analogue of `clone`).
+    pub fn copy_from(&mut self, src: &Self) {
+        self.n = src.n;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Swap columns `a` and `b` in place.
+    pub fn swap_columns(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let n = self.n;
+        for i in 0..n {
+            self.data.swap(i * n + a, i * n + b);
+        }
+    }
+
     /// Matrix dimension.
     #[inline]
     pub fn n(&self) -> usize {
@@ -84,40 +115,57 @@ impl<T: Real> MatrixS<T> {
 
     /// `self * other`, allocating the result.
     pub fn matmul(&self, other: &Self) -> Self {
+        let mut out = Self::zeros(self.n);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self * other` into caller-owned storage (resized as needed).
+    ///
+    /// i-k-j loop order with the inner `j` loop running through the
+    /// unrolled [`axpy8`] kernel, and the `k` dimension blocked so a tile
+    /// of `other`'s rows is reused across every output row before the next
+    /// tile streams in. Accumulation order per output element is ascending
+    /// `k` regardless of the block size, so blocking never changes the
+    /// result bit pattern.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(self.n, other.n);
+        const K_BLOCK: usize = 64;
         let n = self.n;
-        let mut out = Self::zeros(n);
-        // i-k-j loop order: unit-stride inner loop over the output row.
-        for i in 0..n {
-            for k in 0..n {
-                let a = self.data[i * n + k];
-                if a == T::zero() {
-                    continue;
-                }
-                let orow = &other.data[k * n..(k + 1) * n];
-                let crow = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    crow[j] = a.mul_add(orow[j], crow[j]);
+        out.reset_zeros(n);
+        for kb in (0..n).step_by(K_BLOCK) {
+            let kend = (kb + K_BLOCK).min(n);
+            for i in 0..n {
+                for k in kb..kend {
+                    let a = self.data[i * n + k];
+                    if a == T::zero() {
+                        continue;
+                    }
+                    axpy8(
+                        a,
+                        &other.data[k * n..(k + 1) * n],
+                        &mut out.data[i * n..(i + 1) * n],
+                    );
                 }
             }
         }
-        out
     }
 
     /// `self * v` for a length-n vector.
     pub fn matvec(&self, v: &[T]) -> Vec<T> {
-        assert_eq!(v.len(), self.n);
-        let n = self.n;
-        let mut out = vec![T::zero(); n];
-        for (i, o) in out.iter_mut().enumerate() {
-            let row = &self.data[i * n..(i + 1) * n];
-            let mut acc = T::zero();
-            for j in 0..n {
-                acc = row[j].mul_add(v[j], acc);
-            }
-            *o = acc;
-        }
+        let mut out = vec![T::zero(); self.n];
+        self.matvec_into(v, &mut out);
         out
+    }
+
+    /// `self * v` into a caller-owned output slice (allocation-free).
+    pub fn matvec_into(&self, v: &[T], out: &mut [T]) {
+        assert_eq!(v.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        let n = self.n;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot8(&self.data[i * n..(i + 1) * n], v);
+        }
     }
 
     /// Transpose, allocating the result.
@@ -206,7 +254,9 @@ impl<T: Real> std::ops::IndexMut<(usize, usize)> for MatrixS<T> {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, strictly sequential accumulation
+/// order (one chain of `mul_add`s). Use [`dot8`] on hot paths; keep this
+/// where an exact left-to-right accumulation order is part of a contract.
 #[inline]
 pub fn dot<T: Real>(a: &[T], b: &[T]) -> T {
     debug_assert_eq!(a.len(), b.len());
@@ -217,12 +267,93 @@ pub fn dot<T: Real>(a: &[T], b: &[T]) -> T {
     acc
 }
 
-/// `y += alpha * x` (axpy).
+/// Dot product with four independent accumulator chains over an 8-wide
+/// unrolled body.
+///
+/// A single `mul_add` chain serializes on the FMA latency (4-5 cycles);
+/// four independent chains keep the FMA pipes full, which is the entire
+/// difference between latency-bound and throughput-bound reduction. The
+/// accumulators combine in a fixed order `(a0 + a1) + (a2 + a3)` plus a
+/// sequential tail, so the result is deterministic for a given length —
+/// but it is *not* bit-identical to [`dot`] (different association).
+#[inline]
+pub fn dot8<T: Real>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let split = n - n % 8;
+    let mut a0 = T::zero();
+    let mut a1 = T::zero();
+    let mut a2 = T::zero();
+    let mut a3 = T::zero();
+    for (ca, cb) in a[..split].chunks_exact(8).zip(b[..split].chunks_exact(8)) {
+        a0 = ca[0].mul_add(cb[0], a0);
+        a1 = ca[1].mul_add(cb[1], a1);
+        a2 = ca[2].mul_add(cb[2], a2);
+        a3 = ca[3].mul_add(cb[3], a3);
+        a0 = ca[4].mul_add(cb[4], a0);
+        a1 = ca[5].mul_add(cb[5], a1);
+        a2 = ca[6].mul_add(cb[6], a2);
+        a3 = ca[7].mul_add(cb[7], a3);
+    }
+    let mut acc = (a0 + a1) + (a2 + a3);
+    for (&x, &y) in a[split..].iter().zip(&b[split..]) {
+        acc = x.mul_add(y, acc);
+    }
+    acc
+}
+
+/// `y += alpha * x` (axpy). Elementwise, so unrolling cannot change the
+/// result: this is bit-identical to the naive loop at any width.
 #[inline]
 pub fn axpy<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
+    axpy8(alpha, x, y);
+}
+
+/// `y += alpha * x` with an 8-wide unrolled body (bit-identical to
+/// [`axpy`]; the unroll only removes loop-carried bookkeeping).
+#[inline]
+pub fn axpy8<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
+    let n = x.len();
+    let split = n - n % 8;
+    for (cy, cx) in y[..split]
+        .chunks_exact_mut(8)
+        .zip(x[..split].chunks_exact(8))
+    {
+        cy[0] = alpha.mul_add(cx[0], cy[0]);
+        cy[1] = alpha.mul_add(cx[1], cy[1]);
+        cy[2] = alpha.mul_add(cx[2], cy[2]);
+        cy[3] = alpha.mul_add(cx[3], cy[3]);
+        cy[4] = alpha.mul_add(cx[4], cy[4]);
+        cy[5] = alpha.mul_add(cx[5], cy[5]);
+        cy[6] = alpha.mul_add(cx[6], cy[6]);
+        cy[7] = alpha.mul_add(cx[7], cy[7]);
+    }
+    for (yi, &xi) in y[split..].iter_mut().zip(&x[split..]) {
         *yi = alpha.mul_add(xi, *yi);
+    }
+}
+
+/// Scaled elementwise product `u[j] = x[j] * s[j]`, 4-wide unrolled — the
+/// left-operand preparation step of the LETKF's `V diag(f) V^T` assembly.
+#[inline]
+pub fn scale_into<T: Real>(x: &[T], s: &[T], u: &mut [T]) {
+    debug_assert_eq!(x.len(), s.len());
+    debug_assert_eq!(x.len(), u.len());
+    let n = x.len();
+    let split = n - n % 4;
+    for ((cu, cx), cs) in u[..split]
+        .chunks_exact_mut(4)
+        .zip(x[..split].chunks_exact(4))
+        .zip(s[..split].chunks_exact(4))
+    {
+        cu[0] = cx[0] * cs[0];
+        cu[1] = cx[1] * cs[1];
+        cu[2] = cx[2] * cs[2];
+        cu[3] = cx[3] * cs[3];
+    }
+    for i in split..n {
+        u[i] = x[i] * s[i];
     }
 }
 
@@ -304,5 +435,95 @@ mod tests {
     #[should_panic]
     fn from_rows_rejects_wrong_len() {
         let _ = MatrixS::<f64>::from_rows(3, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot8_matches_dot_to_rounding_at_all_lengths() {
+        // Cover the empty, sub-unroll, exact-multiple and ragged cases.
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 33, 100] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+            let seq = dot(&a, &b);
+            let unr = dot8(&a, &b);
+            assert!(
+                (seq - unr).abs() <= 1e-12 * (1.0 + seq.abs()),
+                "n={n}: {seq} vs {unr}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy8_is_bit_identical_to_naive_axpy() {
+        for n in [0usize, 1, 5, 8, 13, 16, 31] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+            let mut y_unrolled: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+            let mut y_naive = y_unrolled.clone();
+            axpy8(1.7, &x, &mut y_unrolled);
+            for (yi, &xi) in y_naive.iter_mut().zip(&x) {
+                *yi = 1.7_f64.mul_add(xi, *yi);
+            }
+            for (a, b) in y_unrolled.iter().zip(&y_naive) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_into_matches_elementwise() {
+        for n in [0usize, 1, 3, 4, 5, 11] {
+            let x: Vec<f32> = (0..n).map(|i| i as f32 + 0.5).collect();
+            let s: Vec<f32> = (0..n).map(|i| 1.0 / (i as f32 + 1.0)).collect();
+            let mut u = vec![0.0f32; n];
+            scale_into(&x, &s, &mut u);
+            for i in 0..n {
+                assert_eq!(u[i].to_bits(), (x[i] * s[i]).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_bitwise_across_block_boundary() {
+        // n = 100 crosses the K_BLOCK = 64 boundary; blocking must not
+        // change the accumulation order per element.
+        let n = 100;
+        let a = MatrixS::<f64>::from_fn(n, |i, j| ((i * 31 + j * 17) as f64 * 0.01).sin());
+        let b = MatrixS::<f64>::from_fn(n, |i, j| ((i * 13 + j * 7) as f64 * 0.02).cos());
+        let via_alloc = a.matmul(&b);
+        let mut out = MatrixS::zeros(1); // wrong size: matmul_into must resize
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.n(), n);
+        for (x, y) in out.as_slice().iter().zip(via_alloc.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matvec_into_reuses_buffer() {
+        let a = MatrixS::from_rows(3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.5, 0.5, 0.5]);
+        let v = [1.0, 2.0, 3.0];
+        let mut out = vec![9.0; 3];
+        a.matvec_into(&v, &mut out);
+        assert_eq!(out, vec![7.0, 8.0, 3.0]);
+    }
+
+    #[test]
+    fn swap_columns_and_copy_from() {
+        let mut a = MatrixS::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        a.swap_columns(0, 1);
+        assert_eq!(a.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+        a.swap_columns(1, 1); // no-op
+        assert_eq!(a.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+        let mut b = MatrixS::zeros(5);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn reset_zeros_resizes_and_clears() {
+        let mut a = MatrixS::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        a.reset_zeros(3);
+        assert_eq!(a.n(), 3);
+        assert!(a.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(a.as_slice().len(), 9);
     }
 }

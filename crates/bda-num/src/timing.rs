@@ -1,0 +1,187 @@
+//! Opt-in per-kernel wall-clock attribution for the bench harness.
+//!
+//! The paper's 30-second budget is spent in four places: the per-gridpoint
+//! eigensolve, the HEVI vertical tridiagonal sweep, the microphysics column
+//! update, and the radar observation operator. The `cycle_scaling` bench
+//! needs that breakdown per cycle (BENCH_9's `kernels` section, gated by
+//! CI's perf-trajectory lane), so the kernels carry lightweight timers:
+//!
+//! * disabled (the default, and always in production cycling), a timer is a
+//!   single relaxed atomic load — no clock read, no syscall;
+//! * enabled (`set_enabled(true)`, bench harnesses only), each instrumented
+//!   region adds its elapsed nanoseconds and call count to a global relaxed
+//!   counter pair, summed across worker threads.
+//!
+//! Wall-clock reads are confined to this module and annotated per site: the
+//! deterministic cycle path never branches on these values, it only
+//! accumulates them, so replay determinism is unaffected.
+
+use crate::cast;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The instrumented kernel buckets, in report order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Per-gridpoint symmetric eigendecomposition (LETKF ensemble space).
+    Eigensolve = 0,
+    /// HEVI vertically-implicit tridiagonal column solves.
+    Tridiag = 1,
+    /// Single-moment microphysics column updates.
+    Microphysics = 2,
+    /// Radar observation operator (PAWR scan simulation).
+    ObsOperator = 3,
+}
+
+impl Kernel {
+    pub const ALL: [Kernel; 4] = [
+        Kernel::Eigensolve,
+        Kernel::Tridiag,
+        Kernel::Microphysics,
+        Kernel::ObsOperator,
+    ];
+
+    /// Counter-array slot for this bucket (total, no cast involved).
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            Kernel::Eigensolve => 0,
+            Kernel::Tridiag => 1,
+            Kernel::Microphysics => 2,
+            Kernel::ObsOperator => 3,
+        }
+    }
+
+    /// Stable bucket name used in BENCH JSON and the CI perf gate.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Eigensolve => "eigensolve",
+            Kernel::Tridiag => "tridiag",
+            Kernel::Microphysics => "microphysics",
+            Kernel::ObsOperator => "obs_operator",
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NANOS: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+static CALLS: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Turn kernel timing on or off process-wide. Off by default; bench
+/// harnesses enable it around measured sections.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is kernel timing currently enabled?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zero all accumulated counters.
+pub fn reset() {
+    for k in Kernel::ALL {
+        NANOS[k.idx()].store(0, Ordering::Relaxed);
+        CALLS[k.idx()].store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII timer: accumulates the guarded scope's wall time into its bucket on
+/// drop. When timing is disabled construction is a single relaxed load.
+pub struct KernelGuard {
+    kernel: Kernel,
+    start: Option<Instant>,
+}
+
+/// Start timing `kernel` until the returned guard drops.
+#[inline]
+pub fn guard(kernel: Kernel) -> KernelGuard {
+    let start = if enabled() {
+        // bda-check: allow(wallclock)
+        Some(Instant::now())
+    } else {
+        None
+    };
+    KernelGuard { kernel, start }
+}
+
+impl Drop for KernelGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            NANOS[self.kernel.idx()].fetch_add(ns, Ordering::Relaxed);
+            CALLS[self.kernel.idx()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One bucket's accumulated totals.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelTotals {
+    pub kernel: Kernel,
+    pub seconds: f64,
+    pub calls: u64,
+}
+
+/// Snapshot all buckets (in [`Kernel::ALL`] order).
+pub fn report() -> Vec<KernelTotals> {
+    Kernel::ALL
+        .iter()
+        .map(|&k| KernelTotals {
+            kernel: k,
+            seconds: cast::f64_of_u64(NANOS[k.idx()].load(Ordering::Relaxed)) / 1e9,
+            calls: CALLS[k.idx()].load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The counters are process-global, so the enable/disable/reset behavior
+    // is covered by one sequential test rather than several racing ones.
+    #[test]
+    fn disabled_guards_record_nothing_enabled_guards_accumulate() {
+        reset();
+        set_enabled(false);
+        {
+            let _g = guard(Kernel::Tridiag);
+        }
+        let r = report();
+        assert_eq!(r[Kernel::Tridiag.idx()].calls, 0);
+
+        set_enabled(true);
+        {
+            let _g = guard(Kernel::Tridiag);
+            std::hint::black_box(0u64);
+        }
+        {
+            let _g = guard(Kernel::Eigensolve);
+        }
+        set_enabled(false);
+        let r = report();
+        assert_eq!(r[Kernel::Tridiag.idx()].calls, 1);
+        assert_eq!(r[Kernel::Eigensolve.idx()].calls, 1);
+        assert_eq!(r[Kernel::Microphysics.idx()].calls, 0);
+        assert!(r[Kernel::Tridiag.idx()].seconds >= 0.0);
+
+        reset();
+        let r = report();
+        assert!(r.iter().all(|b| b.calls == 0 && b.seconds == 0.0));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0].kernel.name(), "eigensolve");
+        assert_eq!(r[3].kernel.name(), "obs_operator");
+    }
+}

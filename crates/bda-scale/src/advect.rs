@@ -62,6 +62,11 @@ pub fn w_at_center<T: Real>(w: &Field3<T>, i: isize, j: isize, k: usize, nz: usi
 /// First-order upwind flux-form advection tendency for a cell-centered
 /// scalar. Vertical fluxes are density-weighted with the base-state profile
 /// so the scheme conserves `rho0 * q` columns under sedimentation-free flow.
+///
+/// The inner loop works on contiguous column slices (the `Field3` layout is
+/// k-fastest), so the per-cell cost is pure arithmetic — no flat-index
+/// recomputation per access. Arithmetic order per cell is unchanged, so the
+/// results are bit-identical to the naive indexed form.
 #[allow(clippy::too_many_arguments)]
 pub fn scalar_advection_upwind<T: Real>(
     q: &Field3<T>,
@@ -76,34 +81,45 @@ pub fn scalar_advection_upwind<T: Real>(
     let (nx, ny, nz, _) = q.shape();
     for i in 0..nx as isize {
         for j in 0..ny as isize {
+            let qc = q.column(i, j);
+            let qxm = q.column(i - 1, j);
+            let qxp = q.column(i + 1, j);
+            let qym = q.column(i, j - 1);
+            let qyp = q.column(i, j + 1);
+            let uc = u.column(i, j);
+            let uxp = u.column(i + 1, j);
+            let vc = v.column(i, j);
+            let vyp = v.column(i, j + 1);
+            let wc = w.column(i, j);
+            let tc = tend.column_mut(i, j);
             for k in 0..nz {
                 // Horizontal upwind fluxes at the four faces of cell (i,j).
-                let uw = u.at(i, j, k);
-                let ue = u.at(i + 1, j, k);
-                let vs = v.at(i, j, k);
-                let vn = v.at(i, j + 1, k);
-                let f_w = uw * upwind(uw, q.at(i - 1, j, k), q.at(i, j, k));
-                let f_e = ue * upwind(ue, q.at(i, j, k), q.at(i + 1, j, k));
-                let f_s = vs * upwind(vs, q.at(i, j - 1, k), q.at(i, j, k));
-                let f_n = vn * upwind(vn, q.at(i, j, k), q.at(i, j + 1, k));
+                let uw = uc[k];
+                let ue = uxp[k];
+                let vs = vc[k];
+                let vn = vyp[k];
+                let f_w = uw * upwind(uw, qxm[k], qc[k]);
+                let f_e = ue * upwind(ue, qc[k], qxp[k]);
+                let f_s = vs * upwind(vs, qym[k], qc[k]);
+                let f_n = vn * upwind(vn, qc[k], qyp[k]);
 
                 // Vertical upwind fluxes at the bottom and top faces.
-                let wb = w.at(i, j, k);
+                let wb = wc[k];
                 let f_b = if k == 0 {
                     T::zero()
                 } else {
-                    rho0_face[k] * wb * upwind(wb, q.at(i, j, k - 1), q.at(i, j, k))
+                    rho0_face[k] * wb * upwind(wb, qc[k - 1], qc[k])
                 };
                 let f_t = if k + 1 < nz {
-                    let wt = w.at(i, j, k + 1);
-                    rho0_face[k + 1] * wt * upwind(wt, q.at(i, j, k), q.at(i, j, k + 1))
+                    let wt = wc[k + 1];
+                    rho0_face[k + 1] * wt * upwind(wt, qc[k], qc[k + 1])
                 } else {
                     T::zero()
                 };
 
                 let horiz = (f_e - f_w + f_n - f_s) * m.inv_dx;
                 let vert = (f_t - f_b) * m.inv_dz[k] / rho0[k];
-                tend.set(i, j, k, -(horiz + vert));
+                tc[k] = -(horiz + vert);
             }
         }
     }
@@ -118,8 +134,18 @@ fn upwind<T: Real>(vel: T, q_minus: T, q_plus: T) -> T {
     }
 }
 
+/// `w` interpolated to the center of cell `k`, column-slice form (see
+/// [`w_at_center`]).
+#[inline]
+pub fn w_center_col<T: Real>(w: &[T], k: usize, nz: usize) -> T {
+    let below = w[k];
+    let above = if k + 1 < nz { w[k + 1] } else { T::zero() };
+    (below + above) * T::half()
+}
+
 /// Second-order centered advective-form tendencies for the three momentum
-/// components, written into the provided buffers.
+/// components, written into the provided buffers. Column-sliced like
+/// [`scalar_advection_upwind`]; bit-identical to the indexed form.
 #[allow(clippy::too_many_arguments)]
 pub fn momentum_advection<T: Real>(
     u: &Field3<T>,
@@ -136,84 +162,74 @@ pub fn momentum_advection<T: Real>(
 
     for i in 0..nx as isize {
         for j in 0..ny as isize {
+            let ucl = u.column(i, j);
+            let uxp = u.column(i + 1, j);
+            let uxm = u.column(i - 1, j);
+            let uyp = u.column(i, j + 1);
+            let uym = u.column(i, j - 1);
+            let uxp_ym = u.column(i + 1, j - 1);
+            let vcl = v.column(i, j);
+            let vxp = v.column(i + 1, j);
+            let vxm = v.column(i - 1, j);
+            let vyp = v.column(i, j + 1);
+            let vym = v.column(i, j - 1);
+            let vxm_yp = v.column(i - 1, j + 1);
+            let wcl = w.column(i, j);
+            let wxp = w.column(i + 1, j);
+            let wxm = w.column(i - 1, j);
+            let wyp = w.column(i, j + 1);
+            let wym = w.column(i, j - 1);
+            let tuc = tu.column_mut(i, j);
             for k in 0..nz {
                 // ---- u tendency at the x-face (i,j,k) ----
-                {
-                    let uc = u.at(i, j, k);
-                    let dudx = (u.at(i + 1, j, k) - u.at(i - 1, j, k)) * half * m.inv_dx;
-                    let vf = (v.at(i - 1, j, k)
-                        + v.at(i - 1, j + 1, k)
-                        + v.at(i, j, k)
-                        + v.at(i, j + 1, k))
-                        * quarter;
-                    let dudy = (u.at(i, j + 1, k) - u.at(i, j - 1, k)) * half * m.inv_dx;
-                    let wf = (w_at_center(w, i - 1, j, k, nz) + w_at_center(w, i, j, k, nz)) * half;
-                    let dudz = vertical_gradient(u, i, j, k, nz, m);
-                    tu.set(i, j, k, -(uc * dudx + vf * dudy + wf * dudz));
-                }
+                let uc = ucl[k];
+                let dudx = (uxp[k] - uxm[k]) * half * m.inv_dx;
+                let vf = (vxm[k] + vxm_yp[k] + vcl[k] + vyp[k]) * quarter;
+                let dudy = (uyp[k] - uym[k]) * half * m.inv_dx;
+                let wf = (w_center_col(wxm, k, nz) + w_center_col(wcl, k, nz)) * half;
+                let dudz = vertical_gradient(ucl, k, nz, m);
+                tuc[k] = -(uc * dudx + vf * dudy + wf * dudz);
+            }
+            let tvc = tv.column_mut(i, j);
+            for k in 0..nz {
                 // ---- v tendency at the y-face (i,j,k) ----
-                {
-                    let vc = v.at(i, j, k);
-                    let dvdy = (v.at(i, j + 1, k) - v.at(i, j - 1, k)) * half * m.inv_dx;
-                    let uf = (u.at(i, j - 1, k)
-                        + u.at(i + 1, j - 1, k)
-                        + u.at(i, j, k)
-                        + u.at(i + 1, j, k))
-                        * quarter;
-                    let dvdx = (v.at(i + 1, j, k) - v.at(i - 1, j, k)) * half * m.inv_dx;
-                    let wf = (w_at_center(w, i, j - 1, k, nz) + w_at_center(w, i, j, k, nz)) * half;
-                    let dvdz = vertical_gradient(v, i, j, k, nz, m);
-                    tv.set(i, j, k, -(uf * dvdx + vc * dvdy + wf * dvdz));
-                }
+                let vc = vcl[k];
+                let dvdy = (vyp[k] - vym[k]) * half * m.inv_dx;
+                let uf = (uym[k] + uxp_ym[k] + ucl[k] + uxp[k]) * quarter;
+                let dvdx = (vxp[k] - vxm[k]) * half * m.inv_dx;
+                let wf = (w_center_col(wym, k, nz) + w_center_col(wcl, k, nz)) * half;
+                let dvdz = vertical_gradient(vcl, k, nz, m);
+                tvc[k] = -(uf * dvdx + vc * dvdy + wf * dvdz);
+            }
+            let twc = tw.column_mut(i, j);
+            twc[0] = T::zero(); // surface face is rigid
+            for k in 1..nz {
                 // ---- w tendency at the z-face (i,j,k) ----
-                if k == 0 {
-                    tw.set(i, j, k, T::zero()); // surface face is rigid
-                } else {
-                    let wc = w.at(i, j, k);
-                    let dwdx = (w.at(i + 1, j, k) - w.at(i - 1, j, k)) * half * m.inv_dx;
-                    let dwdy = (w.at(i, j + 1, k) - w.at(i, j - 1, k)) * half * m.inv_dx;
-                    let uf = (u.at(i, j, k - 1)
-                        + u.at(i + 1, j, k - 1)
-                        + u.at(i, j, k)
-                        + u.at(i + 1, j, k))
-                        * quarter;
-                    let vf = (v.at(i, j, k - 1)
-                        + v.at(i, j + 1, k - 1)
-                        + v.at(i, j, k)
-                        + v.at(i, j + 1, k))
-                        * quarter;
-                    // dw/dz at the face uses the two adjacent faces.
-                    let w_above = if k + 1 < nz {
-                        w.at(i, j, k + 1)
-                    } else {
-                        T::zero()
-                    };
-                    let w_below = if k >= 2 { w.at(i, j, k - 1) } else { T::zero() };
-                    let dwdz = (w_above - w_below) / (m.dz[k] + m.dz[k - 1]);
-                    tw.set(i, j, k, -(uf * dwdx + vf * dwdy + wc * dwdz));
-                }
+                let wc = wcl[k];
+                let dwdx = (wxp[k] - wxm[k]) * half * m.inv_dx;
+                let dwdy = (wyp[k] - wym[k]) * half * m.inv_dx;
+                let uf = (ucl[k - 1] + uxp[k - 1] + ucl[k] + uxp[k]) * quarter;
+                let vf = (vcl[k - 1] + vyp[k - 1] + vcl[k] + vyp[k]) * quarter;
+                // dw/dz at the face uses the two adjacent faces.
+                let w_above = if k + 1 < nz { wcl[k + 1] } else { T::zero() };
+                let w_below = if k >= 2 { wcl[k - 1] } else { T::zero() };
+                let dwdz = (w_above - w_below) / (m.dz[k] + m.dz[k - 1]);
+                twc[k] = -(uf * dwdx + vf * dwdy + wc * dwdz);
             }
         }
     }
 }
 
-/// Vertical gradient of a cell-centered quantity at cell k (one-sided at the
+/// Vertical gradient of a cell-centered column at level k (one-sided at the
 /// boundaries).
 #[inline]
-fn vertical_gradient<T: Real>(
-    f: &Field3<T>,
-    i: isize,
-    j: isize,
-    k: usize,
-    nz: usize,
-    m: &Metrics<T>,
-) -> T {
+pub fn vertical_gradient<T: Real>(f: &[T], k: usize, nz: usize, m: &Metrics<T>) -> T {
     if k == 0 {
-        (f.at(i, j, 1) - f.at(i, j, 0)) / m.dzc[1]
+        (f[1] - f[0]) / m.dzc[1]
     } else if k + 1 >= nz {
-        (f.at(i, j, k) - f.at(i, j, k - 1)) / m.dzc[k]
+        (f[k] - f[k - 1]) / m.dzc[k]
     } else {
-        (f.at(i, j, k + 1) - f.at(i, j, k - 1)) / (m.dzc[k] + m.dzc[k + 1])
+        (f[k + 1] - f[k - 1]) / (m.dzc[k] + m.dzc[k + 1])
     }
 }
 

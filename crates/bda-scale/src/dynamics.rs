@@ -15,13 +15,14 @@
 //! `d pi'/dt = -cs^2/(cp rho0 theta0^2) div(rho0 theta0 u)`, the standard
 //! Klemp–Wilhelmson quasi-compressible closure.
 
-use crate::advect::{momentum_advection, w_at_center, Metrics};
+use crate::advect::{momentum_advection, w_center_col, Metrics};
 use crate::base::BaseState;
 use crate::config::ModelConfig;
 use crate::constants::{CP, GRAV};
 use crate::state::ModelState;
 use bda_grid::Field3;
-use bda_num::tridiag::TridiagWorkspace;
+use bda_num::timing::{self, Kernel};
+use bda_num::tridiag::ThomasFactor;
 use bda_num::Real;
 
 /// Fraction of the column depth occupied by the top sponge layer.
@@ -38,11 +39,17 @@ pub struct DynWorkspace<T> {
     div_h: Field3<T>,
     /// Horizontal Laplacian scratch for the hyperdiffusion.
     lap: Field3<T>,
-    tri: TridiagWorkspace<T>,
+    /// Shared vertical-operator factorization: the HEVI coefficients depend
+    /// only on the level, so one factorization per step serves every column.
+    tri: ThomasFactor<T>,
     sub: Vec<T>,
     diag: Vec<T>,
     sup: Vec<T>,
-    rhs: Vec<T>,
+    /// Per-face implicit coupling coefficient `dt cp theta0_f / dzc`,
+    /// computed once per step (it depends only on the level).
+    cface: Vec<T>,
+    /// One x-row of right-hand sides, `[level][j]` — the blocked solve tile.
+    rhs_block: Vec<T>,
     /// Sponge damping coefficient per level (1/s).
     sponge: Vec<T>,
 }
@@ -71,11 +78,12 @@ impl<T: Real> DynWorkspace<T> {
             tw: f(),
             div_h: f(),
             lap: f(),
-            tri: TridiagWorkspace::new(nz),
+            tri: ThomasFactor::new(),
             sub: vec![T::zero(); nz],
             diag: vec![T::zero(); nz],
             sup: vec![T::zero(); nz],
-            rhs: vec![T::zero(); nz],
+            cface: vec![T::zero(); nz + 1],
+            rhs_block: vec![T::zero(); nz * g.ny],
             sponge,
         }
     }
@@ -103,42 +111,53 @@ pub fn step_dynamics<T: Real>(
     );
 
     // --- horizontal pressure gradient, Coriolis, buoyancy ---
+    // Column-sliced: each (i,j) hoists its stencil columns once and the k
+    // loop runs on contiguous slices. Arithmetic per cell is unchanged, so
+    // the update is bit-identical to the indexed form.
+    let quarter = T::of(0.25);
     for i in 0..nx {
         for j in 0..ny {
+            let pic = state.pi.column(i, j);
+            let pixm = state.pi.column(i - 1, j);
+            let piym = state.pi.column(i, j - 1);
+            let vxm = state.v.column(i - 1, j);
+            let vxm_yp = state.v.column(i - 1, j + 1);
+            let vc = state.v.column(i, j);
+            let vyp = state.v.column(i, j + 1);
+            let uym = state.u.column(i, j - 1);
+            let uxp_ym = state.u.column(i + 1, j - 1);
+            let ucl = state.u.column(i, j);
+            let uxp = state.u.column(i + 1, j);
+            let thc = state.theta.column(i, j);
+            let qvc = state.qv.column(i, j);
+            let qcc = state.qc.column(i, j);
+            let qrc = state.qr.column(i, j);
+            let qic = state.qi.column(i, j);
+            let qsc = state.qs.column(i, j);
+            let qgc = state.qg.column(i, j);
+            let cond = |k: usize| qcc[k] + qrc[k] + qic[k] + qsc[k] + qgc[k];
+            let tuc = ws.tu.column_mut(i, j);
+            let tvc = ws.tv.column_mut(i, j);
+            let twc = ws.tw.column_mut(i, j);
             for k in 0..nz {
                 // u face (i, j): PGF = -cp theta0 d(pi')/dx.
-                let pgf_u = -cp
-                    * base.theta0[k]
-                    * (state.pi.at(i, j, k) - state.pi.at(i - 1, j, k))
-                    * m.inv_dx;
-                let v_at_u = (state.v.at(i - 1, j, k)
-                    + state.v.at(i - 1, j + 1, k)
-                    + state.v.at(i, j, k)
-                    + state.v.at(i, j + 1, k))
-                    * T::of(0.25);
-                ws.tu.add_at(i, j, k, pgf_u + f_cor * (v_at_u - base.v0[k]));
+                let pgf_u = -cp * base.theta0[k] * (pic[k] - pixm[k]) * m.inv_dx;
+                let v_at_u = (vxm[k] + vxm_yp[k] + vc[k] + vyp[k]) * quarter;
+                tuc[k] += pgf_u + f_cor * (v_at_u - base.v0[k]);
 
-                let pgf_v = -cp
-                    * base.theta0[k]
-                    * (state.pi.at(i, j, k) - state.pi.at(i, j - 1, k))
-                    * m.inv_dx;
-                let u_at_v = (state.u.at(i, j - 1, k)
-                    + state.u.at(i + 1, j - 1, k)
-                    + state.u.at(i, j, k)
-                    + state.u.at(i + 1, j, k))
-                    * T::of(0.25);
-                ws.tv.add_at(i, j, k, pgf_v - f_cor * (u_at_v - base.u0[k]));
+                let pgf_v = -cp * base.theta0[k] * (pic[k] - piym[k]) * m.inv_dx;
+                let u_at_v = (uym[k] + uxp_ym[k] + ucl[k] + uxp[k]) * quarter;
+                tvc[k] += pgf_v - f_cor * (u_at_v - base.u0[k]);
 
                 // w face k (skip the rigid surface face k = 0): buoyancy.
                 if k > 0 {
-                    let th_f = (state.theta.at(i, j, k - 1) + state.theta.at(i, j, k)) * T::half();
-                    let qv_f = (state.qv.at(i, j, k - 1) + state.qv.at(i, j, k)) * T::half();
+                    let th_f = (thc[k - 1] + thc[k]) * T::half();
+                    let qv_f = (qvc[k - 1] + qvc[k]) * T::half();
                     let qv0_f = (base.qv0[k - 1] + base.qv0[k]) * T::half();
-                    let qc_f =
-                        (state.q_condensate(i, j, k - 1) + state.q_condensate(i, j, k)) * T::half();
+                    let qc_f = (cond(k - 1) + cond(k)) * T::half();
                     let buoy =
                         grav * (th_f / base.theta0_face[k] + T::of(0.61) * (qv_f - qv0_f) - qc_f);
-                    ws.tw.add_at(i, j, k, buoy);
+                    twc[k] += buoy;
                 }
             }
         }
@@ -158,31 +177,27 @@ pub fn step_dynamics<T: Real>(
         // ws.div_h temporarily holds plain velocity divergence.
         for i in 0..nx {
             for j in 0..ny {
+                let ucl = state.u.column(i, j);
+                let uxp = state.u.column(i + 1, j);
+                let vc = state.v.column(i, j);
+                let vyp = state.v.column(i, j + 1);
+                let dc = ws.div_h.column_mut(i, j);
                 for k in 0..nz {
-                    let d = (state.u.at(i + 1, j, k) - state.u.at(i, j, k)
-                        + state.v.at(i, j + 1, k)
-                        - state.v.at(i, j, k))
-                        * m.inv_dx;
-                    ws.div_h.set(i, j, k, d);
+                    dc[k] = (uxp[k] - ucl[k] + vyp[k] - vc[k]) * m.inv_dx;
                 }
             }
         }
         cfg.halo.fill(&mut ws.div_h);
         for i in 0..nx {
             for j in 0..ny {
+                let dc = ws.div_h.column(i, j);
+                let dxm = ws.div_h.column(i - 1, j);
+                let dym = ws.div_h.column(i, j - 1);
+                let tuc = ws.tu.column_mut(i, j);
+                let tvc = ws.tv.column_mut(i, j);
                 for k in 0..nz {
-                    ws.tu.add_at(
-                        i,
-                        j,
-                        k,
-                        alpha * (ws.div_h.at(i, j, k) - ws.div_h.at(i - 1, j, k)) * m.inv_dx,
-                    );
-                    ws.tv.add_at(
-                        i,
-                        j,
-                        k,
-                        alpha * (ws.div_h.at(i, j, k) - ws.div_h.at(i, j - 1, k)) * m.inv_dx,
-                    );
+                    tuc[k] += alpha * (dc[k] - dxm[k]) * m.inv_dx;
+                    tvc[k] += alpha * (dc[k] - dym[k]) * m.inv_dx;
                 }
             }
         }
@@ -191,11 +206,15 @@ pub fn step_dynamics<T: Real>(
     // --- forward step for u, v (the "forward" half of forward-backward) ---
     for i in 0..nx {
         for j in 0..ny {
+            let tuc = ws.tu.column(i, j);
+            let uc = state.u.column_mut(i, j);
             for k in 0..nz {
-                let nu = state.u.at(i, j, k) + dt * ws.tu.at(i, j, k);
-                state.u.set(i, j, k, nu);
-                let nv = state.v.at(i, j, k) + dt * ws.tv.at(i, j, k);
-                state.v.set(i, j, k, nv);
+                uc[k] += dt * tuc[k];
+            }
+            let tvc = ws.tv.column(i, j);
+            let vc = state.v.column_mut(i, j);
+            for k in 0..nz {
+                vc[k] += dt * tvc[k];
             }
         }
     }
@@ -206,64 +225,95 @@ pub fn step_dynamics<T: Real>(
     //     "backward" half), rho0 theta0 constant along levels ---
     for i in 0..nx {
         for j in 0..ny {
+            let ucl = state.u.column(i, j);
+            let uxp = state.u.column(i + 1, j);
+            let vc = state.v.column(i, j);
+            let vyp = state.v.column(i, j + 1);
+            let dc = ws.div_h.column_mut(i, j);
             for k in 0..nz {
                 let a_c = base.rho0[k] * base.theta0[k];
-                let d = a_c
-                    * (state.u.at(i + 1, j, k) - state.u.at(i, j, k) + state.v.at(i, j + 1, k)
-                        - state.v.at(i, j, k))
-                    * m.inv_dx;
-                ws.div_h.set(i, j, k, d);
+                dc[k] = a_c * (uxp[k] - ucl[k] + vyp[k] - vc[k]) * m.inv_dx;
             }
         }
     }
 
-    // --- implicit vertical solve for w and pi', column by column ---
+    // --- implicit vertical solve for w and pi' ---
+    //
+    // The tridiagonal coefficients depend only on the level, so the
+    // operator is factored once per step and each x-row of columns is
+    // swept as one `[level][j]` block: the forward/backward substitution
+    // inner loop is then unit-stride across `j` (SIMD across columns),
+    // while staying bit-identical to a column-at-a-time solve.
+    let _timer = timing::guard(Kernel::Tridiag);
     let n_solve = nz - 1; // unknowns w[1..nz-1]
+    let nyu = g.ny;
+    if n_solve > 0 {
+        for k in 1..nz {
+            let c = dt * cp * base.theta0_face[k] / m.dzc[k];
+            ws.cface[k] = c;
+            let idx = k - 1;
+            let b_up = base.b_center[k]; // B at cell above face k
+            let b_dn = base.b_center[k - 1]; // B at cell below
+            ws.diag[idx] = T::one()
+                + c * dt
+                    * (b_up * base.a_face[k] * m.inv_dz[k]
+                        + b_dn * base.a_face[k] * m.inv_dz[k - 1]);
+            ws.sup[idx] = -c * dt * b_up * base.a_face[k + 1] * m.inv_dz[k];
+            ws.sub[idx] = -c * dt * b_dn * base.a_face[k - 1] * m.inv_dz[k - 1];
+        }
+        ws.tri
+            .factor(&ws.sub[..n_solve], &ws.diag[..n_solve], &ws.sup[..n_solve]);
+    }
     for i in 0..nx {
-        for j in 0..ny {
-            if n_solve > 0 {
+        if n_solve > 0 {
+            // Fill the [level][j] block column by column: the reads are
+            // then contiguous per column while the per-face coefficients
+            // come from the precomputed `cface` (identical values, so the
+            // block is bit-identical to the row-by-row fill).
+            for ju in 0..nyu {
+                let j = ju as isize;
+                let wcol = state.w.column(i, j);
+                let twc = ws.tw.column(i, j);
+                let pic = state.pi.column(i, j);
+                let dvc = ws.div_h.column(i, j);
                 for k in 1..nz {
-                    let c = dt * cp * base.theta0_face[k] / m.dzc[k];
-                    let idx = k - 1;
-                    let b_up = base.b_center[k]; // B at cell above face k
-                    let b_dn = base.b_center[k - 1]; // B at cell below
-                    ws.diag[idx] = T::one()
-                        + c * dt
-                            * (b_up * base.a_face[k] * m.inv_dz[k]
-                                + b_dn * base.a_face[k] * m.inv_dz[k - 1]);
-                    ws.sup[idx] = -c * dt * b_up * base.a_face[k + 1] * m.inv_dz[k];
-                    ws.sub[idx] = -c * dt * b_dn * base.a_face[k - 1] * m.inv_dz[k - 1];
-                    let w_star = state.w.at(i, j, k) + dt * ws.tw.at(i, j, k);
-                    let dpi = state.pi.at(i, j, k) - state.pi.at(i, j, k - 1);
-                    let ddiv = b_up * ws.div_h.at(i, j, k) - b_dn * ws.div_h.at(i, j, k - 1);
-                    ws.rhs[idx] = w_star - c * dpi + c * dt * ddiv;
-                }
-                ws.tri.solve(
-                    &ws.sub[..n_solve],
-                    &ws.diag[..n_solve],
-                    &ws.sup[..n_solve],
-                    &mut ws.rhs[..n_solve],
-                );
-                for k in 1..nz {
-                    state.w.set(i, j, k, ws.rhs[k - 1]);
+                    let c = ws.cface[k];
+                    let b_up = base.b_center[k];
+                    let b_dn = base.b_center[k - 1];
+                    let w_star = wcol[k] + dt * twc[k];
+                    let dpi = pic[k] - pic[k - 1];
+                    let ddiv = b_up * dvc[k] - b_dn * dvc[k - 1];
+                    ws.rhs_block[(k - 1) * nyu + ju] = w_star - c * dpi + c * dt * ddiv;
                 }
             }
+            ws.tri
+                .solve_columns(&mut ws.rhs_block[..n_solve * nyu], nyu);
+            for ju in 0..nyu {
+                let j = ju as isize;
+                let wcol = state.w.column_mut(i, j);
+                for (k, w) in wcol.iter_mut().enumerate().take(nz).skip(1) {
+                    *w = ws.rhs_block[(k - 1) * nyu + ju];
+                }
+            }
+        }
+        for j in 0..ny {
             // pi' update with the implicit w.
+            let wcol = state.w.column(i, j);
+            let dvc = ws.div_h.column(i, j);
+            let pic = state.pi.column_mut(i, j);
             for k in 0..nz {
-                let w_top = if k + 1 < nz {
-                    state.w.at(i, j, k + 1)
-                } else {
-                    T::zero()
-                };
-                let w_bot = state.w.at(i, j, k);
+                let w_top = if k + 1 < nz { wcol[k + 1] } else { T::zero() };
+                let w_bot = wcol[k];
                 let vert = (base.a_face[k + 1] * w_top - base.a_face[k] * w_bot) * m.inv_dz[k];
-                let dpi = -dt * base.b_center[k] * (ws.div_h.at(i, j, k) + vert);
-                state.pi.add_at(i, j, k, dpi);
+                let dpi = -dt * base.b_center[k] * (dvc[k] + vert);
+                pic[k] += dpi;
             }
             // theta': vertical advection of the base-state profile and the
             // top sponge on w.
+            let wcol = state.w.column_mut(i, j);
+            let thc = state.theta.column_mut(i, j);
             for k in 0..nz {
-                let wc = w_at_center(&state.w, i, j, k, nz);
+                let wc = w_center_col(&*wcol, k, nz);
                 let dth0_dz = if k == 0 {
                     (base.theta0[1] - base.theta0[0]) / m.dzc[1]
                 } else if k + 1 >= nz {
@@ -271,13 +321,11 @@ pub fn step_dynamics<T: Real>(
                 } else {
                     (base.theta0[k + 1] - base.theta0[k - 1]) / (m.dzc[k] + m.dzc[k + 1])
                 };
-                state.theta.add_at(i, j, k, -dt * wc * dth0_dz);
+                thc[k] += -dt * wc * dth0_dz;
                 if ws.sponge[k] > T::zero() {
                     let damp = T::one() / (T::one() + dt * ws.sponge[k]);
-                    let wv = state.w.at(i, j, k) * damp;
-                    state.w.set(i, j, k, wv);
-                    let th = state.theta.at(i, j, k) * damp;
-                    state.theta.set(i, j, k, th);
+                    wcol[k] *= damp;
+                    thc[k] *= damp;
                 }
             }
         }
@@ -298,25 +346,28 @@ fn apply_hyperdiffusion<T: Real>(
     // Laplacian on the interior extended by one cell (uses halo width 2).
     for i in -1..=(nx as isize) {
         for j in -1..=(ny as isize) {
+            let fc = f.column(i, j);
+            let fxp = f.column(i + 1, j);
+            let fxm = f.column(i - 1, j);
+            let fyp = f.column(i, j + 1);
+            let fym = f.column(i, j - 1);
+            let lc = lap.column_mut(i, j);
             for k in 0..nz {
-                let l =
-                    (f.at(i + 1, j, k) + f.at(i - 1, j, k) + f.at(i, j + 1, k) + f.at(i, j - 1, k)
-                        - four * f.at(i, j, k))
-                        * inv_dx2;
-                lap.set(i, j, k, l);
+                lc[k] = (fxp[k] + fxm[k] + fyp[k] + fym[k] - four * fc[k]) * inv_dx2;
             }
         }
     }
     for i in 0..nx as isize {
         for j in 0..ny as isize {
+            let lc = lap.column(i, j);
+            let lxp = lap.column(i + 1, j);
+            let lxm = lap.column(i - 1, j);
+            let lyp = lap.column(i, j + 1);
+            let lym = lap.column(i, j - 1);
+            let tc = tend.column_mut(i, j);
             for k in 0..nz {
-                let l2 = (lap.at(i + 1, j, k)
-                    + lap.at(i - 1, j, k)
-                    + lap.at(i, j + 1, k)
-                    + lap.at(i, j - 1, k)
-                    - four * lap.at(i, j, k))
-                    * inv_dx2;
-                tend.add_at(i, j, k, -k4 * l2);
+                let l2 = (lxp[k] + lxm[k] + lyp[k] + lym[k] - four * lc[k]) * inv_dx2;
+                tc[k] += -k4 * l2;
             }
         }
     }

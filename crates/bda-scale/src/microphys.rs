@@ -117,13 +117,16 @@ fn v_graupel(rho_q: f64) -> f64 {
 
 /// Run the full microphysics update on one column.
 ///
-/// `dz` are the layer thicknesses. Returns the surface precipitation rate.
+/// `dz` are the layer thicknesses; `flux` is a caller-owned scratch buffer of
+/// length `nz` reused across columns so sedimentation never allocates.
+/// Returns the surface precipitation rate.
 pub fn column_microphysics<T: Real>(
     col: &mut ColumnView<'_, T>,
     base: &BaseState<T>,
     params: &MicrophysParams,
     dz: &[T],
     dt: f64,
+    flux: &mut [f64],
 ) -> ColumnResult {
     let nz = col.theta.len();
     debug_assert_eq!(dz.len(), nz);
@@ -168,23 +171,31 @@ pub fn column_microphysics<T: Real>(
                 qi -= deficit_i;
                 qv += deficit_i;
                 t -= LS / CP * deficit_i;
+            } else {
+                // Neither branch changes (t, qv, qc, qi): the second pass
+                // would recompute the same saturation point and do nothing.
+                break;
             }
         }
 
         // -- warm-rain processes --
-        let auto = params.auto_qc * (qc - params.qc_crit).max(0.0) * dt;
-        let accr = params.accr_rain * qc * qr.powf(0.875) * dt;
-        let to_rain = (auto + accr).min(qc);
-        qc -= to_rain;
-        qr += to_rain;
+        if qc > 0.0 {
+            let auto = params.auto_qc * (qc - params.qc_crit).max(0.0) * dt;
+            let accr = params.accr_rain * qc * qr.powf(0.875) * dt;
+            let to_rain = (auto + accr).min(qc);
+            qc -= to_rain;
+            qr += to_rain;
+        }
 
         // -- ice-phase processes --
         if t < T0 {
-            let auto_i = params.auto_qi * (qi - params.qi_crit).max(0.0) * dt;
-            let accr_is = params.accr_snow * qi * qs.powf(0.875) * dt;
-            let to_snow = (auto_i + accr_is).min(qi);
-            qi -= to_snow;
-            qs += to_snow;
+            if qi > 0.0 {
+                let auto_i = params.auto_qi * (qi - params.qi_crit).max(0.0) * dt;
+                let accr_is = params.accr_snow * qi * qs.powf(0.875) * dt;
+                let to_snow = (auto_i + accr_is).min(qi);
+                qi -= to_snow;
+                qs += to_snow;
+            }
 
             // Riming: snow collecting supercooled cloud water makes graupel,
             // releasing the latent heat of fusion.
@@ -246,9 +257,9 @@ pub fn column_microphysics<T: Real>(
 
     // --- sedimentation ---
     let mut surface_flux = 0.0; // kg m^-2 s^-1 of liquid-equivalent water
-    surface_flux += sediment_species(col.qr, base, dz, dt, v_rain);
-    surface_flux += sediment_species(col.qs, base, dz, dt, v_snow);
-    surface_flux += sediment_species(col.qg, base, dz, dt, v_graupel);
+    surface_flux += sediment_species(col.qr, base, dz, dt, v_rain, flux);
+    surface_flux += sediment_species(col.qs, base, dz, dt, v_snow, flux);
+    surface_flux += sediment_species(col.qg, base, dz, dt, v_graupel, flux);
 
     ColumnResult {
         // kg m^-2 s^-1 == mm/s of water -> mm/h.
@@ -257,20 +268,33 @@ pub fn column_microphysics<T: Real>(
 }
 
 /// Sediment one species down the column with upwind fluxes and CFL
-/// sub-stepping; returns the surface mass flux (kg m^-2 s^-1).
+/// sub-stepping; returns the surface mass flux (kg m^-2 s^-1). `flux` is a
+/// caller-owned scratch slice of length `nz` (every entry is overwritten
+/// before it is read, so stale contents are harmless).
 fn sediment_species<T: Real>(
     q: &mut [T],
     base: &BaseState<T>,
     dz: &[T],
     dt: f64,
     vt: impl Fn(f64) -> f64,
+    flux: &mut [f64],
 ) -> f64 {
     let nz = q.len();
+    debug_assert!(flux.len() >= nz);
     // Determine the needed sub-step count from the max fall CFL.
     let mut max_cfl = 0.0_f64;
     for k in 0..nz {
         let v = vt(base.rho0[k].f64() * q[k].f64().max(0.0));
         max_cfl = max_cfl.max(v * dt / dz[k].f64());
+    }
+    if max_cfl == 0.0 {
+        // Every terminal velocity vanished: all fluxes are zero and the
+        // update reduces to the same non-negativity clamp the flux form
+        // applies (`+ 0.0` kept so signed zeros round-trip identically).
+        for v in q.iter_mut() {
+            *v = T::of((v.f64() + 0.0).max(0.0));
+        }
+        return 0.0;
     }
     let nsub = (max_cfl.ceil() as usize).max(1);
     let dts = dt / nsub as f64;
@@ -278,7 +302,6 @@ fn sediment_species<T: Real>(
     let mut surface_accum = 0.0;
     for _ in 0..nsub {
         // Downward flux through the *bottom* face of each cell.
-        let mut flux = vec![0.0_f64; nz + 1]; // flux[k] = through bottom of cell k
         for k in 0..nz {
             let rq = base.rho0[k].f64() * q[k].f64().max(0.0);
             flux[k] = vt(rq) * rq;
@@ -351,7 +374,14 @@ mod tests {
             qs: &mut qs,
             qg: &mut qg,
         };
-        column_microphysics(&mut col, &base, &MicrophysParams::default(), &dz, 1.0);
+        column_microphysics(
+            &mut col,
+            &base,
+            &MicrophysParams::default(),
+            &dz,
+            1.0,
+            &mut vec![0.0; dz.len()],
+        );
         assert!(qv[2] < qv_before, "vapor not consumed");
         assert!(qc[2] > 0.0, "no cloud water formed");
         assert!(th[2] > 0.0, "no latent heating: theta' = {}", th[2]);
@@ -372,7 +402,14 @@ mod tests {
             qs: &mut qs,
             qg: &mut qg,
         };
-        let r = column_microphysics(&mut col, &base, &MicrophysParams::default(), &dz, 1.0);
+        let r = column_microphysics(
+            &mut col,
+            &base,
+            &MicrophysParams::default(),
+            &dz,
+            1.0,
+            &mut vec![0.0; dz.len()],
+        );
         assert_eq!(r.rain_rate_mmh, 0.0);
         assert!(th.iter().all(|&x| x.abs() < 1e-12));
         assert!(qc.iter().all(|&x| x == 0.0));
@@ -395,7 +432,14 @@ mod tests {
             qg: &mut qg,
         };
         for _ in 0..120 {
-            column_microphysics(&mut col, &base, &MicrophysParams::default(), &dz, 1.0);
+            column_microphysics(
+                &mut col,
+                &base,
+                &MicrophysParams::default(),
+                &dz,
+                1.0,
+                &mut vec![0.0; dz.len()],
+            );
         }
         assert!(col.qr.iter().sum::<f64>() > 0.0 || col.qc[3] < 3e-3);
     }
@@ -422,7 +466,14 @@ mod tests {
             qg: &mut qg,
         };
         for _ in 0..600 {
-            let r = column_microphysics(&mut col, &base, &MicrophysParams::default(), &dz, 1.0);
+            let r = column_microphysics(
+                &mut col,
+                &base,
+                &MicrophysParams::default(),
+                &dz,
+                1.0,
+                &mut vec![0.0; dz.len()],
+            );
             total_rain += r.rain_rate_mmh / 3600.0;
         }
         assert!(total_rain > 0.1, "accumulated rain = {total_rain} mm");
@@ -461,7 +512,14 @@ mod tests {
                 qg: &mut qg,
             };
             for _ in 0..60 {
-                let r = column_microphysics(&mut col, &base, &MicrophysParams::default(), &dz, 1.0);
+                let r = column_microphysics(
+                    &mut col,
+                    &base,
+                    &MicrophysParams::default(),
+                    &dz,
+                    1.0,
+                    &mut vec![0.0; dz.len()],
+                );
                 precip_total += r.rain_rate_mmh / 3600.0; // mm == kg/m^2
             }
         }
@@ -492,7 +550,14 @@ mod tests {
             qg: &mut qg,
         };
         for _ in 0..30 {
-            column_microphysics(&mut col, &base, &MicrophysParams::default(), &dz, 1.0);
+            column_microphysics(
+                &mut col,
+                &base,
+                &MicrophysParams::default(),
+                &dz,
+                1.0,
+                &mut vec![0.0; dz.len()],
+            );
         }
         let ice_total: f64 = (15..25).map(|k| col.qi[k] + col.qs[k]).sum();
         assert!(ice_total > 0.0, "no ice formed at cold levels");
@@ -521,7 +586,14 @@ mod tests {
             qg: &mut qg,
         };
         for _ in 0..200 {
-            column_microphysics(&mut col, &base, &MicrophysParams::default(), &dz, 2.0);
+            column_microphysics(
+                &mut col,
+                &base,
+                &MicrophysParams::default(),
+                &dz,
+                2.0,
+                &mut vec![0.0; dz.len()],
+            );
         }
         for k in 0..25 {
             for (name, v) in [
@@ -553,7 +625,8 @@ mod tests {
         let (base, dz) = setup(15);
         let mut qr = vec![0.0_f64; 15];
         qr[10] = 5e-3;
-        let flux = sediment_species(&mut qr, &base, &dz, 120.0, v_rain);
+        let mut scratch = vec![0.0; qr.len()];
+        let flux = sediment_species(&mut qr, &base, &dz, 120.0, v_rain, &mut scratch);
         assert!(flux >= 0.0);
         for (k, &v) in qr.iter().enumerate() {
             assert!(v >= 0.0 && v.is_finite(), "qr[{k}] = {v}");

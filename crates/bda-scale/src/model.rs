@@ -66,6 +66,7 @@ pub struct Model<T> {
     tend: Field3<T>,
     rad_buf: Vec<f64>,
     cloud_buf: Vec<f64>,
+    mp_flux: Vec<f64>,
     dz: Vec<T>,
     davies: Option<DaviesWeights>,
 }
@@ -109,6 +110,7 @@ impl<T: Real> Model<T> {
             tend: Field3::zeros(grid.nx, grid.ny, nz, crate::state::HALO),
             rad_buf: vec![0.0; nz],
             cloud_buf: vec![0.0; nz],
+            mp_flux: vec![0.0; nz],
             dz: (0..nz).map(|k| T::of(grid.vertical.dz(k))).collect(),
             precip_rate: vec![0.0; grid.nx * grid.ny],
             precip_accum: vec![0.0; grid.nx * grid.ny],
@@ -175,8 +177,10 @@ impl<T: Real> Model<T> {
             let f = self.state.field_mut(var);
             for i in 0..nx as isize {
                 for j in 0..ny as isize {
+                    let tc = tend.column(i, j);
+                    let fc = f.column_mut(i, j);
                     for k in 0..nz {
-                        f.add_at(i, j, k, dt_t * tend.at(i, j, k));
+                        fc[k] += dt_t * tc[k];
                     }
                 }
             }
@@ -201,7 +205,13 @@ impl<T: Real> Model<T> {
                 PrognosticVar::Qv,
             ] {
                 let kh = &self.kh;
-                horizontal_diffusion(self.state.field_mut(var), kh, &self.metrics, dt_t);
+                horizontal_diffusion(
+                    self.state.field_mut(var),
+                    kh,
+                    &self.metrics,
+                    dt_t,
+                    &mut self.tend,
+                );
             }
         }
 
@@ -257,6 +267,7 @@ impl<T: Real> Model<T> {
                 }
 
                 if self.cfg.physics.microphysics {
+                    let _timer = bda_num::timing::guard(bda_num::timing::Kernel::Microphysics);
                     let mut col = ColumnView {
                         theta: self.state.theta.column_mut(ii, jj),
                         pi: self.state.pi.column(ii, jj),
@@ -267,17 +278,24 @@ impl<T: Real> Model<T> {
                         qs: self.state.qs.column_mut(ii, jj),
                         qg: self.state.qg.column_mut(ii, jj),
                     };
-                    let res =
-                        column_microphysics(&mut col, &self.base, &self.mp_params, &self.dz, dt);
+                    let res = column_microphysics(
+                        &mut col,
+                        &self.base,
+                        &self.mp_params,
+                        &self.dz,
+                        dt,
+                        &mut self.mp_flux,
+                    );
                     let idx = i * ny + j;
                     self.precip_rate[idx] = res.rain_rate_mmh;
                     self.precip_accum[idx] += res.rain_rate_mmh * dt / 3600.0;
                 }
 
                 if self.cfg.physics.radiation {
+                    let qcc = self.state.qc.column(ii, jj);
+                    let qic = self.state.qi.column(ii, jj);
                     for k in 0..nz {
-                        self.cloud_buf[k] =
-                            (self.state.qc.at(ii, jj, k) + self.state.qi.at(ii, jj, k)).f64();
+                        self.cloud_buf[k] = (qcc[k] + qic[k]).f64();
                     }
                     column_heating(&self.rad_params, &self.cloud_buf, &zc, &mut self.rad_buf);
                     let th = self.state.theta.column_mut(ii, jj);

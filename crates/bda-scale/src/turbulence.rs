@@ -27,50 +27,74 @@ pub fn smagorinsky_viscosity<T: Real>(
     let (nx, ny, nz, _) = u.shape();
     let inv_dx = T::of(1.0 / dx);
     let c2 = T::of((cs * dx) * (cs * dx));
+    let quarter = T::of(0.25);
     for i in 0..nx as isize {
         for j in 0..ny as isize {
+            let uc = u.column(i, j);
+            let uxp = u.column(i + 1, j);
+            let uyp = u.column(i, j + 1);
+            let uym = u.column(i, j - 1);
+            let uxp_yp = u.column(i + 1, j + 1);
+            let uxp_ym = u.column(i + 1, j - 1);
+            let vc = v.column(i, j);
+            let vyp = v.column(i, j + 1);
+            let vxp = v.column(i + 1, j);
+            let vxm = v.column(i - 1, j);
+            let vxp_yp = v.column(i + 1, j + 1);
+            let vxm_yp = v.column(i - 1, j + 1);
+            let khc = kh.column_mut(i, j);
             for k in 0..nz {
-                let dudx = (u.at(i + 1, j, k) - u.at(i, j, k)) * inv_dx;
-                let dvdy = (v.at(i, j + 1, k) - v.at(i, j, k)) * inv_dx;
+                let dudx = (uxp[k] - uc[k]) * inv_dx;
+                let dvdy = (vyp[k] - vc[k]) * inv_dx;
                 // Cross terms estimated at the center with centered diffs.
-                let dudy = (u.at(i, j + 1, k) + u.at(i + 1, j + 1, k)
-                    - u.at(i, j - 1, k)
-                    - u.at(i + 1, j - 1, k))
-                    * T::of(0.25)
-                    * inv_dx;
-                let dvdx = (v.at(i + 1, j, k) + v.at(i + 1, j + 1, k)
-                    - v.at(i - 1, j, k)
-                    - v.at(i - 1, j + 1, k))
-                    * T::of(0.25)
-                    * inv_dx;
+                let dudy = (uyp[k] + uxp_yp[k] - uym[k] - uxp_ym[k]) * quarter * inv_dx;
+                let dvdx = (vxp[k] + vxp_yp[k] - vxm[k] - vxm_yp[k]) * quarter * inv_dx;
                 let shear = dudy + dvdx;
                 let s2 = (dudx * dudx + dvdy * dvdy) * T::two() + shear * shear;
-                kh.set(i, j, k, c2 * s2.sqrt());
+                khc[k] = c2 * s2.sqrt();
             }
         }
     }
 }
 
 /// Apply explicit horizontal diffusion `d/dx(K dq/dx) + d/dy(K dq/dy)` to a
-/// field, with `K` at cell centers (interpolated to faces).
-pub fn horizontal_diffusion<T: Real>(q: &mut Field3<T>, kh: &Field3<T>, m: &Metrics<T>, dt: T) {
+/// field, with `K` at cell centers (interpolated to faces). `snap` is a
+/// caller-owned scratch field of the same shape: it receives a snapshot of
+/// `q` so the stencil is unbiased, without allocating a fresh field per call.
+pub fn horizontal_diffusion<T: Real>(
+    q: &mut Field3<T>,
+    kh: &Field3<T>,
+    m: &Metrics<T>,
+    dt: T,
+    snap: &mut Field3<T>,
+) {
     let (nx, ny, nz, _) = q.shape();
     let inv_dx2 = m.inv_dx * m.inv_dx;
     // Work on a snapshot so the stencil is unbiased.
-    let q0 = q.clone();
+    snap.copy_from(q);
+    let q0 = &*snap;
     for i in 0..nx as isize {
         for j in 0..ny as isize {
+            let kc = kh.column(i, j);
+            let kxp = kh.column(i + 1, j);
+            let kxm = kh.column(i - 1, j);
+            let kyp = kh.column(i, j + 1);
+            let kym = kh.column(i, j - 1);
+            let qc = q0.column(i, j);
+            let qxp = q0.column(i + 1, j);
+            let qxm = q0.column(i - 1, j);
+            let qyp = q0.column(i, j + 1);
+            let qym = q0.column(i, j - 1);
+            let qo = q.column_mut(i, j);
             for k in 0..nz {
-                let k_e = (kh.at(i, j, k) + kh.at(i + 1, j, k)) * T::half();
-                let k_w = (kh.at(i, j, k) + kh.at(i - 1, j, k)) * T::half();
-                let k_n = (kh.at(i, j, k) + kh.at(i, j + 1, k)) * T::half();
-                let k_s = (kh.at(i, j, k) + kh.at(i, j - 1, k)) * T::half();
-                let d = (k_e * (q0.at(i + 1, j, k) - q0.at(i, j, k))
-                    - k_w * (q0.at(i, j, k) - q0.at(i - 1, j, k))
-                    + k_n * (q0.at(i, j + 1, k) - q0.at(i, j, k))
-                    - k_s * (q0.at(i, j, k) - q0.at(i, j - 1, k)))
+                let k_e = (kc[k] + kxp[k]) * T::half();
+                let k_w = (kc[k] + kxm[k]) * T::half();
+                let k_n = (kc[k] + kyp[k]) * T::half();
+                let k_s = (kc[k] + kym[k]) * T::half();
+                let d = (k_e * (qxp[k] - qc[k]) - k_w * (qc[k] - qxm[k]) + k_n * (qyp[k] - qc[k])
+                    - k_s * (qc[k] - qym[k]))
                     * inv_dx2;
-                q.add_at(i, j, k, dt * d);
+                qo[k] += dt * d;
             }
         }
     }
@@ -300,7 +324,8 @@ mod tests {
             .flat_map(|i| (0..8).map(move |j| (i, j)))
             .map(|(i, j)| q.at(i, j, 0))
             .sum();
-        horizontal_diffusion(&mut q, &kh, &m, 1.0);
+        let mut snap = Field3::<f64>::zeros(8, 8, 2, 2);
+        horizontal_diffusion(&mut q, &kh, &m, 1.0, &mut snap);
         assert!(q.at(4, 4, 0) < 10.0);
         assert!(q.at(3, 4, 0) > 0.0);
         let after: f64 = (0..8)

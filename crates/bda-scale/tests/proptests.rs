@@ -104,7 +104,14 @@ proptest! {
                 qg: &mut qg,
             };
             for _ in 0..5 {
-                let r = column_microphysics(&mut col, &base, &MicrophysParams::default(), &dz, dt);
+                let r = column_microphysics(
+                    &mut col,
+                    &base,
+                    &MicrophysParams::default(),
+                    &dz,
+                    dt,
+                    &mut vec![0.0; dz.len()],
+                );
                 precip += r.rain_rate_mmh / 3600.0 * dt;
                 prop_assert!(r.rain_rate_mmh >= 0.0);
             }

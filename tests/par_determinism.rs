@@ -130,6 +130,59 @@ proptest! {
         prop_assert_eq!(bytes_1, bytes_4);
     }
 
+    /// The pinned 1 / 2 / 8 thread triple of the determinism contract, on
+    /// arbitrary input lengths: the float reduction and the mapped vector
+    /// are bit-identical across all three pool widths.
+    #[test]
+    fn one_two_eight_thread_bitwise_parity(
+        seed in any::<u64>(),
+        len in 0usize..1500,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let data: Vec<f64> = (0..len).map(|_| rng.gaussian(0.0f64, 2.0)).collect();
+        let run = |t: usize| {
+            pool(t).install(|| {
+                let total = data
+                    .par_iter()
+                    .fold(|| 0.0f64, |a, &x| a + x.mul_add(x, -x.cos()))
+                    .reduce(|| 0.0f64, |a, b| a + b)
+                    .to_bits();
+                let mapped: Vec<u64> = data
+                    .par_iter()
+                    .map(|&x| (x * 1.0001 + 0.5).to_bits())
+                    .collect();
+                (total, mapped)
+            })
+        };
+        let base = run(1);
+        prop_assert_eq!(run(2), base.clone());
+        prop_assert_eq!(run(8), base);
+    }
+
+    /// Inputs small enough to take the sequential fast path (work below
+    /// the calibrated dispatch threshold — a few elements of trivial
+    /// arithmetic is always under it) must still be bit-identical to the
+    /// dispatched path at every thread count: the fast path is a latency
+    /// optimization, never a different reduction shape.
+    #[test]
+    fn below_fast_path_threshold_inputs_stay_bit_identical(
+        seed in any::<u64>(),
+        len in 0usize..8,
+        threads in 2usize..10,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let data: Vec<f32> = (0..len).map(|_| rng.gaussian(0.0f32, 1.0)).collect();
+        let run = |t: usize| {
+            pool(t).install(|| {
+                data.par_iter()
+                    .fold(|| 0.0f32, |a, &x| a + x * x)
+                    .reduce(|| 0.0f32, |a, b| a + b)
+                    .to_bits()
+            })
+        };
+        prop_assert_eq!(run(threads), run(1));
+    }
+
     /// In-place chunked mutation is slot-addressed: bitwise-identical
     /// buffers at any thread count.
     #[test]

@@ -4,7 +4,7 @@
 //! analyses stay statistically equivalent to f64 — these tests check that
 //! property on the reproduced system at reduced scale.
 
-use bda::letkf::weights::{apply_transform, compute_transform, LocalObs};
+use bda::letkf::weights::{apply_transform, compute_transform, LocalObs, TransformScratch};
 use bda::num::{BatchedEigen, MatrixS, SplitMix64};
 use bda::scale::base::Sounding;
 use bda::scale::{Model, ModelConfig};
@@ -57,8 +57,9 @@ fn letkf_posterior_mean_agrees_across_precision() {
         let mut local = LocalObs::<f64>::new(k);
         local.push(15.0 - mean, 0.5 / 4.0, &yb);
         let mut solver = BatchedEigen::new();
+        let mut scratch = TransformScratch::new();
         let mut trans = MatrixS::zeros(k);
-        compute_transform(&local, 0.95, 1.0, &mut solver, &mut trans);
+        compute_transform(&local, 0.95, 1.0, &mut solver, &mut scratch, &mut trans);
         let mut vals = xs64.clone();
         let mut pert = vec![0.0; k];
         apply_transform(&mut vals, &trans, &mut pert);
@@ -70,8 +71,9 @@ fn letkf_posterior_mean_agrees_across_precision() {
         let mut local = LocalObs::<f32>::new(k);
         local.push(15.0 - mean, 0.5 / 4.0, &yb);
         let mut solver = BatchedEigen::new();
+        let mut scratch = TransformScratch::new();
         let mut trans = MatrixS::zeros(k);
-        compute_transform(&local, 0.95, 1.0, &mut solver, &mut trans);
+        compute_transform(&local, 0.95, 1.0, &mut solver, &mut scratch, &mut trans);
         let mut vals = xs32.clone();
         let mut pert = vec![0.0f32; k];
         apply_transform(&mut vals, &trans, &mut pert);

@@ -8,17 +8,21 @@
 //! under the loom model checker when the `loom-model` feature swaps the
 //! backing implementation. The protocol code in [`crate::protocol`] is
 //! byte-for-byte identical in both builds; only these re-exports change.
+//!
+//! The persistent executor in [`crate::pool`] is production-only (it is
+//! compiled out under `loom-model`; the model executes the same
+//! [`crate::protocol`] worker loop on scoped model threads instead), so the
+//! park/unpark primitives (`Condvar`) are exported from the `std` arm only.
 
 #[cfg(not(feature = "loom-model"))]
 mod imp {
-    pub use std::sync::atomic::{AtomicUsize, Ordering};
-    pub use std::sync::Mutex;
-    pub use std::thread::scope;
+    pub use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    pub use std::sync::{Condvar, Mutex};
 }
 
 #[cfg(feature = "loom-model")]
 mod imp {
-    pub use loom::sync::atomic::{AtomicUsize, Ordering};
+    pub use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     pub use loom::sync::Mutex;
     pub use loom::thread::scope;
 }

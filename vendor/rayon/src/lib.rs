@@ -11,14 +11,20 @@
 //!
 //! Every parallel operation splits its input into contiguous **chunks whose
 //! boundaries are a pure function of the input length** (never of the thread
-//! count), then lets workers claim chunks through a shared atomic index —
-//! work stealing in its simplest form: a fast worker that exhausts its claim
-//! immediately claims the next unprocessed chunk, so load imbalance between
-//! chunks is absorbed without any per-thread queues. Workers are scoped
-//! threads (`std::thread::scope`) spawned per parallel region, which keeps
-//! the implementation free of `unsafe` lifetime erasure while the chunk
-//! granularity (at most [`MAX_CHUNKS`] regions) keeps spawn overhead far
-//! below per-chunk compute on the workspace's hot paths.
+//! count). Chunk indices are pre-partitioned into one contiguous range per
+//! worker, each range packed into a single atomic word forming a
+//! Chase–Lev-style split deque: the owning worker pops chunks from the
+//! front (ascending, cache-friendly), idle workers steal from the back of
+//! victim deques, and both directions are a single CAS (see
+//! [`protocol`]). Workers are **persistent**: lazily spawned threads that
+//! park on a condvar between regions, so a parallel region costs an
+//! unpark — not a thread spawn — and an idle pool costs nothing (see the
+//! production executor in `pool`). Regions whose measured work cannot
+//! repay even that dispatch are kept on a **sequential fast path**: the
+//! caller times the region's first chunk, compares the estimated remainder
+//! against a once-per-process calibrated pool round trip, and below the
+//! threshold simply drains the same chunk structure itself — which side of
+//! the threshold a region lands on can never change its output.
 //!
 //! # Determinism contract
 //!
@@ -50,6 +56,8 @@
 //! by the scaling bench to measure 1/2/4/8-thread runs in one process.
 
 mod facade;
+#[cfg(not(feature = "loom-model"))]
+mod pool;
 pub mod protocol;
 
 use std::cell::Cell;
@@ -147,9 +155,9 @@ impl ThreadPoolBuilder {
 }
 
 /// A sized handle: parallel operations inside [`ThreadPool::install`] use
-/// this pool's thread count instead of the global one. Workers themselves
-/// are scoped per region (see crate docs), so the pool is a *dispatch
-/// policy*, deliberately cheap to build.
+/// this pool's thread count instead of the global one. Worker threads are
+/// owned by the process-wide persistent pool (see crate docs), so this
+/// handle is a *dispatch policy*, deliberately cheap to build.
 #[derive(Clone, Debug)]
 pub struct ThreadPool {
     n: usize,

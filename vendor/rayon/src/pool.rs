@@ -1,0 +1,330 @@
+//! The persistent production executor: lazily spawned worker threads that
+//! park on a condvar between regions, a type-erased job injector, and the
+//! measured sequential fast path.
+//!
+//! This module is compiled out under the `loom-model` feature — the model
+//! checker executes the *protocol* (claim/steal/combine, in
+//! [`crate::protocol`]) on scoped model threads instead, because that is
+//! the part with interesting interleavings. What lives here is the
+//! scheduling shell around it: thread reuse so a 30-second cycle stops
+//! paying thread spawn/join for every parallel region, park/unpark idling
+//! so idle workers cost nothing, and the dispatch-or-not decision. None of
+//! it can affect output: workers only ever run [`Region::worker_loop`],
+//! and the region's slots are index-addressed.
+//!
+//! # Lifecycle of a region
+//!
+//! 1. The caller (worker 0) claims and executes the region's first chunk
+//!    inline, timing it.
+//! 2. If the measured remaining work clears the dispatch threshold (a
+//!    multiple of the calibrated pool round-trip cost), the caller
+//!    publishes a type-erased job to the injector and wakes the pool;
+//!    otherwise it simply drains the region sequentially — the fast path.
+//! 3. Pool workers attach (acquiring a distinct worker index and bumping
+//!    the region's live count *under the injector lock*), run the shared
+//!    worker loop, then detach under the same lock.
+//! 4. The caller drains until no chunk is claimable, removes its job entry
+//!    from the injector (so no further worker can attach), and waits on
+//!    the pool condvar until the live count is zero. Only then does the
+//!    region's stack state die, which is what makes the raw context
+//!    pointers in the injector sound.
+//!
+//! # Why the latch lives on the pool, not the region
+//!
+//! The completion wait uses the *global* pool mutex/condvar rather than a
+//! per-region latch: the last thing a detaching worker touches is
+//! `'static` pool state, never region memory, so there is no
+//! use-after-free window between a worker's final notify and the caller
+//! freeing the region.
+
+use crate::facade::{AtomicUsize, Condvar, Mutex, Ordering};
+use crate::protocol::{self, DepthGuard, Region, MAX_CHUNKS};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Publish to the pool only if the measured remainder of the region costs
+/// at least this many calibrated dispatch round trips. Below that, even a
+/// perfect speedup cannot repay the wake/steal/latch overhead, so the
+/// caller keeps the region on the fast path. The margin is deliberately
+/// fat: a wrongly-sequential small region loses microseconds, a
+/// wrongly-published one loses the same microseconds *and* perturbs every
+/// other worker.
+const FAST_PATH_MARGIN: u32 = 4;
+
+/// One published region, type-erased so the injector can hold regions of
+/// any item/result type. `ctx` points at an [`Erased`] on the publishing
+/// caller's stack.
+#[derive(Clone, Copy)]
+struct JobEntry {
+    /// Identity of the region (the erased context address), used by the
+    /// caller to withdraw the entry at completion.
+    id: usize,
+    ctx: *const (),
+    /// Called under the injector lock: bump the live count and hand out
+    /// the next worker index.
+    attach: unsafe fn(*const ()) -> usize,
+    /// Called outside the lock: run the shared worker loop.
+    run: unsafe fn(*const (), usize),
+    /// Called under the injector lock after `run` returns: drop the live
+    /// count (the caller's completion wait watches it).
+    detach: unsafe fn(*const ()),
+    /// How many more workers may attach (the region wants `threads - 1`
+    /// helpers; worker indices stay in bounds because this starts at
+    /// `threads - 1` and attach increments from 1).
+    remaining: usize,
+}
+
+// SAFETY: `ctx` points into the publishing caller's stack frame. The entry
+// is only reachable while it sits in the injector queue, the caller
+// withdraws it (or workers exhaust `remaining`) before the caller's
+// completion wait can finish, and the completion wait does not finish
+// until every attached worker has detached — all under the single injector
+// mutex. So no worker can observe `ctx` after the region is freed.
+unsafe impl Send for JobEntry {}
+
+struct PoolState {
+    jobs: Vec<JobEntry>,
+    /// Worker threads spawned so far (they never exit; they park).
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Woken for both "new job published" and "worker detached" events;
+    /// waiters re-check their predicate and re-park on spurious wakes.
+    cv: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            jobs: Vec::new(),
+            spawned: 0,
+        }),
+        cv: Condvar::new(),
+    })
+}
+
+/// The erased per-region context a [`JobEntry`] points at. Lives on the
+/// caller's stack next to the [`Region`] itself.
+struct Erased<'a, B, R, W> {
+    region: &'a Region<B, R, W>,
+    /// Next worker index to hand out; starts at 1 (the caller is 0).
+    /// Touched only under the injector lock.
+    next_worker: AtomicUsize,
+    /// Attached-and-running worker count. Touched only under the injector
+    /// lock; the caller's completion wait reads it under the same lock.
+    live: AtomicUsize,
+}
+
+impl<'a, B, R, W> Erased<'a, B, R, W>
+where
+    B: Send,
+    R: Send,
+    W: Fn(usize, Vec<B>) -> R + Sync,
+{
+    fn new(region: &'a Region<B, R, W>) -> Self {
+        Erased {
+            region,
+            next_worker: AtomicUsize::new(1),
+            live: AtomicUsize::new(0),
+        }
+    }
+
+    fn entry(&self) -> JobEntry {
+        let ctx: *const () = (self as *const Self).cast();
+        JobEntry {
+            id: ctx.addr(),
+            ctx,
+            attach: Self::attach,
+            run: Self::run,
+            detach: Self::detach,
+            remaining: self.region.n_workers() - 1,
+        }
+    }
+
+    /// SAFETY: `ctx` must be the address of a live `Erased<B, R, W>` of
+    /// exactly these type parameters; guaranteed by the injector protocol
+    /// (see [`JobEntry`]'s `Send` justification).
+    unsafe fn attach(ctx: *const ()) -> usize {
+        let e = unsafe { &*ctx.cast::<Self>() };
+        // Plain RMWs are enough: every touch of these counters happens
+        // under the injector mutex, which supplies the ordering.
+        e.live.fetch_add(1, Ordering::Relaxed);
+        e.next_worker.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// SAFETY: as for `attach`, plus `w` must be the index `attach`
+    /// returned (distinct per worker, in `1..n_workers`).
+    unsafe fn run(ctx: *const (), w: usize) {
+        let e = unsafe { &*ctx.cast::<Self>() };
+        e.region.worker_loop(w);
+    }
+
+    /// SAFETY: as for `attach`; called exactly once per successful attach.
+    unsafe fn detach(ctx: *const ()) {
+        let e = unsafe { &*ctx.cast::<Self>() };
+        e.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Body of every pool worker thread: take a job, attach, run the shared
+/// worker loop, detach, repeat; park on the condvar when the queue is
+/// empty. Workers never exit — an idle pool is N parked threads.
+fn worker_main() {
+    let p = pool();
+    let mut g = p.state.lock().unwrap();
+    loop {
+        if let Some(i) = g.jobs.iter().position(|j| j.remaining > 0) {
+            let job = g.jobs[i];
+            g.jobs[i].remaining -= 1;
+            if g.jobs[i].remaining == 0 {
+                g.jobs.remove(i);
+            }
+            // SAFETY: the entry was live in the queue a moment ago and we
+            // still hold the injector lock, so the caller cannot have
+            // passed its completion wait; attach bumps `live` before we
+            // release the lock, which keeps it that way until we detach.
+            let w = unsafe { (job.attach)(job.ctx) };
+            drop(g);
+            // SAFETY: `live` > 0 keeps the region alive for the duration.
+            unsafe { (job.run)(job.ctx, w) };
+            g = p.state.lock().unwrap();
+            // SAFETY: attached above; last touch of the region.
+            unsafe { (job.detach)(job.ctx) };
+            p.cv.notify_all();
+        } else {
+            g = p.cv.wait(g).unwrap();
+        }
+    }
+}
+
+/// Spawn workers until `want` exist (never despawns). Returns how many
+/// exist; spawn failure degrades width instead of erroring.
+fn ensure_spawned(g: &mut PoolState, want: usize) -> usize {
+    while g.spawned < want {
+        let spawned = std::thread::Builder::new()
+            .name(format!("bda-pool-{}", g.spawned))
+            .spawn(worker_main);
+        if spawned.is_err() {
+            break;
+        }
+        g.spawned += 1;
+    }
+    g.spawned
+}
+
+/// Publish `erased` to the injector, waking the pool. Returns the entry id
+/// for withdrawal, or `None` if no worker exists to ever take it.
+fn inject<B, R, W>(erased: &Erased<'_, B, R, W>) -> Option<usize>
+where
+    B: Send,
+    R: Send,
+    W: Fn(usize, Vec<B>) -> R + Sync,
+{
+    let entry = erased.entry();
+    let p = pool();
+    let mut g = p.state.lock().unwrap();
+    if ensure_spawned(&mut g, entry.remaining) == 0 {
+        return None;
+    }
+    let id = entry.id;
+    g.jobs.push(entry);
+    drop(g);
+    p.cv.notify_all();
+    Some(id)
+}
+
+/// Withdraw the entry (no further attaches) and wait until every attached
+/// worker has detached. After this returns, no pool thread holds a
+/// reference into the region.
+fn complete(id: usize, live: &AtomicUsize) {
+    let p = pool();
+    let mut g = p.state.lock().unwrap();
+    if let Some(i) = g.jobs.iter().position(|j| j.id == id) {
+        g.jobs.remove(i);
+    }
+    while live.load(Ordering::Relaxed) > 0 {
+        g = p.cv.wait(g).unwrap();
+    }
+}
+
+/// Calibration twin of [`complete`]: wait until the entry has been taken
+/// *and* the taker detached — the full publish → park-wake → steal →
+/// drain → latch round trip the fast-path threshold is priced against.
+fn wait_taken_and_drained(id: usize, live: &AtomicUsize) {
+    let p = pool();
+    let mut g = p.state.lock().unwrap();
+    loop {
+        let queued = g.jobs.iter().any(|j| j.id == id);
+        if !queued && live.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        g = p.cv.wait(g).unwrap();
+    }
+}
+
+/// The measured cost of one full dispatch round trip on this host,
+/// calibrated once per process by pushing a trivial [`MAX_CHUNKS`]-chunk
+/// region through the real injector/worker machinery three times and
+/// taking the fastest trip (the first pays worker spawn; the minimum is
+/// the steady-state cost the fast path should price against).
+fn dispatch_overhead() -> Duration {
+    static OVERHEAD: OnceLock<Duration> = OnceLock::new();
+    *OVERHEAD.get_or_init(|| {
+        let mut best = None;
+        for _ in 0..3 {
+            // Scheduling telemetry, not simulation state: this timestamp
+            // only tunes the dispatch threshold, and output is identical
+            // on either side of it.
+            // bda-check: allow(wallclock)
+            let t0 = Instant::now();
+            let tasks = protocol::split_chunks(vec![(); MAX_CHUNKS]);
+            let region = Region::new(tasks, 2, |_start: usize, _chunk: Vec<()>| ());
+            let erased = Erased::new(&region);
+            if let Some(id) = inject(&erased) {
+                wait_taken_and_drained(id, &erased.live);
+                let trip = t0.elapsed();
+                best = Some(best.map_or(trip, |b: Duration| b.min(trip)));
+            }
+        }
+        // No worker could be spawned: an effectively infinite threshold
+        // keeps every region on the (correct) sequential fast path.
+        best.unwrap_or(Duration::MAX)
+    })
+}
+
+/// Execute a parallel region on the persistent pool. The caller thread is
+/// worker 0; see the module docs for the lifecycle.
+pub(crate) fn run_region<B, R, W>(region: &Region<B, R, W>)
+where
+    B: Send,
+    R: Send,
+    W: Fn(usize, Vec<B>) -> R + Sync,
+{
+    let _depth = DepthGuard::enter();
+    // Scheduling telemetry only (see dispatch_overhead): times the first
+    // chunk to estimate whether the rest is worth waking the pool for.
+    // bda-check: allow(wallclock)
+    let t0 = Instant::now();
+    if !region.run_one(0) {
+        return;
+    }
+    let first = t0.elapsed();
+    let rest = u32::try_from(region.n_chunks() - 1).unwrap_or(u32::MAX);
+    let worth_dispatch = !region.poisoned()
+        && first.saturating_mul(rest) >= dispatch_overhead().saturating_mul(FAST_PATH_MARGIN);
+    if worth_dispatch {
+        let erased = Erased::new(region);
+        let id = inject(&erased);
+        region.drain(0);
+        if let Some(id) = id {
+            complete(id, &erased.live);
+        }
+    } else {
+        // Sequential fast path: same chunks, same cells, same slots, same
+        // ascending drain order — worker 0 just claims all of them.
+        region.drain(0);
+    }
+}

@@ -1,6 +1,7 @@
-//! The model-checked pool protocol: deterministic chunk splitting, atomic
-//! chunk claiming (work stealing in its simplest form), take-once chunk
-//! cells, index-addressed result slots, and ascending-order combination.
+//! The model-checked pool protocol: deterministic chunk splitting,
+//! per-worker chunk-range deques with front-pop ownership and back-end
+//! stealing, claim-guarded take-once chunk cells, index-addressed result
+//! slots, and ascending-order combination.
 //!
 //! Everything in this module goes through [`crate::facade`] for its
 //! synchronization, so the **same code** executes under `std::sync` in
@@ -9,19 +10,74 @@
 //! The suite verifies, over every bounded interleaving at 2 and 3 model
 //! threads:
 //!
-//! * every chunk is claimed and executed exactly once;
+//! * every chunk is claimed and executed exactly once, whether it was
+//!   popped by its owning worker or stolen from the back of a victim deque;
 //! * per-chunk results are combined in ascending chunk order regardless of
 //!   which worker computed them (the determinism contract);
 //! * nested regions serialize on the calling worker and cannot deadlock;
-//! * a panic in any worker propagates to the region's caller.
+//! * a panic in any worker poisons the region and propagates to the caller.
+//!
+//! # The deque protocol
+//!
+//! Chunk indices for a region of `n` chunks are pre-partitioned into one
+//! contiguous half-open range per worker (the same balanced formula as the
+//! chunk split itself). Each range lives **packed into a single atomic
+//! word** — `lo * PACK + hi` — so both claiming directions are one CAS:
+//!
+//! * the owning worker pops from the *front* (`(lo, hi) → (lo+1, hi)`),
+//!   walking its chunks in ascending order, cache-friendly;
+//! * a thief steals from the *back* (`(lo, hi) → (lo, hi-1)`), taking the
+//!   chunk its owner would reach last.
+//!
+//! Ranges only ever shrink and no chunk index appears in two deques, so a
+//! successful CAS is full ownership of exactly one chunk — there is no ABA
+//! window and no growth path (nested regions serialize instead of
+//! pushing). This is the Chase–Lev split-ended discipline reduced to its
+//! essence: because a region's chunk set is fixed up front, the deque
+//! never needs a circular buffer, an epoch tag, or a resize fence.
+//!
+//! # Claim-guarded cells: why the chunks and slots carry no locks
+//!
+//! The CAS that claims chunk `c` is the *only* path to `c`'s input cell
+//! and result slot, and it succeeds exactly once per chunk — so the cells
+//! need no mutex of their own. Cell contents are written before the region
+//! is shared (and the sharing edge — scope spawn under loom, the
+//! injector-mutex publish in production — carries them); the claim CAS
+//! (AcqRel) orders the take; the result write is carried back to the
+//! caller by the region's quiescence barrier (scope join under loom, the
+//! pool's live-count latch in production). The loom suite's exactly-once
+//! property is precisely the race-freedom argument for these cells, which
+//! is why it is the first thing the suite checks.
+//!
+//! Who executes a chunk is scheduling-dependent; *what it computes and
+//! where the result lands* is not — cells and slots are indexed by chunk,
+//! and the caller drains slots in ascending order. That is the entire
+//! determinism argument, and it is independent of steal order.
 
-use crate::facade::{scope, AtomicUsize, Mutex, Ordering};
-use std::cell::Cell;
+use crate::facade::{AtomicBool, AtomicUsize, Mutex, Ordering};
+use std::cell::{Cell, UnsafeCell};
+use std::panic::AssertUnwindSafe;
 
 /// Upper bound on work chunks per parallel region. More chunks than the
 /// widest realistic worker count gives the stealing loop room to balance
 /// uneven per-chunk cost; a bound keeps per-chunk bookkeeping negligible.
 pub const MAX_CHUNKS: usize = 32;
+
+/// Packing base for a deque's `(lo, hi)` range: both bounds are chunk
+/// indices in `0..=MAX_CHUNKS`, so `lo * PACK + hi` fits one word with
+/// room to spare and unpacks by division.
+const PACK: usize = MAX_CHUNKS + 1;
+
+#[inline]
+fn pack(lo: usize, hi: usize) -> usize {
+    debug_assert!(lo < PACK && hi < PACK);
+    lo * PACK + hi
+}
+
+#[inline]
+fn unpack(v: usize) -> (usize, usize) {
+    (v / PACK, v % PACK)
+}
 
 thread_local! {
     /// How many parallel regions enclose the current thread (> 0 on pool
@@ -36,10 +92,10 @@ pub fn in_parallel_region() -> bool {
 
 /// RAII marker that the current thread is executing inside a parallel
 /// region, so nested parallel operations serialize instead of spawning.
-struct DepthGuard;
+pub(crate) struct DepthGuard;
 
 impl DepthGuard {
-    fn enter() -> Self {
+    pub(crate) fn enter() -> Self {
         POOL_DEPTH.with(|d| d.set(d.get() + 1));
         DepthGuard
     }
@@ -52,11 +108,12 @@ impl Drop for DepthGuard {
 }
 
 /// Split `items` into the deterministic chunk set for its length: balanced
-/// contiguous runs, at most [`MAX_CHUNKS`] of them. Returns
-/// `(global_start_index, chunk_items)` pairs in input order. Chunk
-/// boundaries are a pure function of `items.len()` — never of the thread
-/// count — which is what makes N-thread output bit-identical to 1-thread
-/// output.
+/// contiguous runs whose sizes adapt to the length (every chunk gets
+/// `len / n_chunks` items and the first `len % n_chunks` chunks one more),
+/// at most [`MAX_CHUNKS`] of them. Returns `(global_start_index,
+/// chunk_items)` pairs in input order. Chunk boundaries are a pure
+/// function of `items.len()` — never of the thread count — which is what
+/// makes N-thread output bit-identical to 1-thread output.
 pub fn split_chunks<B>(items: Vec<B>) -> Vec<(usize, Vec<B>)> {
     let len = items.len();
     if len == 0 {
@@ -75,22 +132,249 @@ pub fn split_chunks<B>(items: Vec<B>) -> Vec<(usize, Vec<B>)> {
     tasks
 }
 
+/// Balanced contiguous partition of `0..n` into `workers` ranges — the
+/// same formula as the chunk split, reused for deque pre-partitioning.
+/// Unlike chunk boundaries this *is* a function of the worker count: it
+/// only decides which deque a chunk starts in, never what the chunk
+/// computes or where its result lands.
+#[inline]
+fn deque_range(w: usize, workers: usize, n: usize) -> (usize, usize) {
+    (w * n / workers, (w + 1) * n / workers)
+}
+
+/// Shared state of one in-flight parallel region.
+///
+/// Lives on the caller's stack for the duration of the region. Workers —
+/// scoped model threads under loom, persistent pool threads in production
+/// (see [`crate::pool`]) — run [`Region::worker_loop`] against a shared
+/// reference; the caller participates as worker 0 and finally drains the
+/// slots in ascending chunk order.
+/// A take-once chunk input cell: `(start_index, items)`, consumed exactly
+/// once by whichever worker wins the claim CAS for that chunk.
+type ChunkCell<B> = UnsafeCell<Option<(usize, Vec<B>)>>;
+
+pub struct Region<B, R, W> {
+    /// One packed `(lo, hi)` chunk-index range per worker deque.
+    deques: Vec<AtomicUsize>,
+    /// Take-once chunk inputs, indexed by chunk and guarded by the claim
+    /// CAS (see the module docs): only the claimant of chunk `c` ever
+    /// touches `cells[c]`.
+    cells: Vec<ChunkCell<B>>,
+    /// Index-addressed result slots, written by `c`'s claimant and read by
+    /// the caller after the region quiesces.
+    slots: Vec<UnsafeCell<Option<R>>>,
+    /// Set (with Release) by whichever worker catches a panic in `work`;
+    /// checked (with Acquire) by every worker per claim — the region
+    /// abandons unexecuted chunks instead of finishing them.
+    poisoned: AtomicBool,
+    /// First caught panic payload, resumed by the caller after the region
+    /// quiesces. A mutex is fine here: the panic path is never hot.
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    work: W,
+}
+
+// SAFETY: the `UnsafeCell`s are what stops the auto-impls. Each cell/slot
+// pair is touched by at most one worker at a time: `cells[c]`/`slots[c]`
+// are only reached through a successful claim CAS on a deque word, which
+// hands out each chunk index exactly once (ranges are disjoint and only
+// shrink; the loom suite checks the exactly-once property mechanically).
+// Initial cell contents are published by the region-sharing edge (scope
+// spawn / injector mutex); slot writes are collected only after the
+// quiescence barrier. `B: Send`/`R: Send` move the payloads across
+// threads; `W: Sync` is shared by reference.
+unsafe impl<B: Send, R: Send, W: Sync> Sync for Region<B, R, W> {}
+
+impl<B, R, W> Region<B, R, W>
+where
+    B: Send,
+    R: Send,
+    W: Fn(usize, Vec<B>) -> R + Sync,
+{
+    /// Build region state for `tasks` (from [`split_chunks`]) and
+    /// pre-partition the chunk indices across `workers` deques.
+    pub fn new(tasks: Vec<(usize, Vec<B>)>, workers: usize, work: W) -> Self {
+        let n = tasks.len();
+        debug_assert!(workers >= 1 && workers <= n.max(1));
+        let deques = (0..workers)
+            .map(|w| {
+                let (lo, hi) = deque_range(w, workers, n);
+                AtomicUsize::new(pack(lo, hi))
+            })
+            .collect();
+        Region {
+            deques,
+            cells: tasks
+                .into_iter()
+                .map(|t| UnsafeCell::new(Some(t)))
+                .collect(),
+            slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+            poisoned: AtomicBool::new(false),
+            payload: Mutex::new(None),
+            work,
+        }
+    }
+
+    pub fn n_chunks(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn n_workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Owner side: pop the front of deque `w`. The Acquire load / AcqRel
+    /// CAS pair makes every successful claim a synchronization edge on the
+    /// deque word, so the claim set is totally ordered per deque.
+    fn pop_front(&self, w: usize) -> Option<usize> {
+        let d = &self.deques[w];
+        let mut cur = d.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            match d.compare_exchange(cur, pack(lo + 1, hi), Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Some(lo),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Thief side: steal the back of deque `v`. Symmetric CAS on the same
+    /// packed word; a race with the owner (or another thief) simply retries
+    /// on the freshly observed range.
+    fn steal_back(&self, v: usize) -> Option<usize> {
+        let d = &self.deques[v];
+        let mut cur = d.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            match d.compare_exchange(cur, pack(lo, hi - 1), Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Some(hi - 1),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Claim the next chunk for worker `w`: own deque first (front), then
+    /// scan victims round-robin starting at `w + 1`, stealing from the
+    /// back. `None` means every deque was observed empty — the region may
+    /// still have chunks *executing* on other workers, but none are left to
+    /// claim, so the worker leaves instead of spinning.
+    fn next_chunk(&self, w: usize) -> Option<usize> {
+        if let Some(c) = self.pop_front(w) {
+            return Some(c);
+        }
+        let workers = self.deques.len();
+        for off in 1..workers {
+            if let Some(c) = self.steal_back((w + off) % workers) {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Execute one claimed chunk: take its cell, run `work`, store the slot
+    /// — or, on panic, stash the payload and poison the region. `work` runs
+    /// outside every lock, so a panic can never poison region state.
+    fn execute(&self, c: usize) {
+        // SAFETY: `c` came out of a successful claim CAS, which is the
+        // exclusive (and exactly-once) path to `cells[c]`/`slots[c]` — see
+        // the `Sync` impl justification.
+        let (start, chunk) = unsafe { &mut *self.cells[c].get() }
+            .take()
+            .expect("chunk claimed twice");
+        match std::panic::catch_unwind(AssertUnwindSafe(|| (self.work)(start, chunk))) {
+            // SAFETY: as above — sole claimant of slot `c`.
+            Ok(r) => unsafe { *self.slots[c].get() = Some(r) },
+            Err(p) => {
+                let mut payload = self.payload.lock().unwrap();
+                if payload.is_none() {
+                    *payload = Some(p);
+                }
+                self.poisoned.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Has any worker caught a panic in this region?
+    pub(crate) fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Claim-and-execute exactly one chunk; `false` if nothing was left to
+    /// claim. The production executor uses this to time the first chunk for
+    /// its fast-path decision before committing to a dispatch (the loom
+    /// build has no fast path, hence the allow).
+    #[cfg_attr(feature = "loom-model", allow(dead_code))]
+    pub(crate) fn run_one(&self, w: usize) -> bool {
+        match self.next_chunk(w) {
+            Some(c) => {
+                self.execute(c);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Claim-and-execute until the region is drained or poisoned. Assumes
+    /// the current thread is already marked in-region (see
+    /// [`Region::worker_loop`] / the production caller path).
+    pub(crate) fn drain(&self, w: usize) {
+        while let Some(c) = self.next_chunk(w) {
+            if self.poisoned() {
+                return;
+            }
+            self.execute(c);
+        }
+    }
+
+    /// Full worker entry point: mark the thread in-region (so nested
+    /// parallel operations serialize) and drain.
+    pub fn worker_loop(&self, w: usize) {
+        let _depth = DepthGuard::enter();
+        self.drain(w);
+    }
+
+    /// Consume the quiesced region: resume the first caught panic, or
+    /// return per-chunk results in ascending chunk order. Callers must
+    /// ensure no worker still holds a reference (loom: scope join;
+    /// production: the executor-count latch in [`crate::pool`]).
+    pub fn into_results(self) -> Vec<R> {
+        if self.poisoned() {
+            let p = self
+                .payload
+                .lock()
+                .unwrap()
+                .take()
+                .expect("poisoned region without a panic payload");
+            std::panic::resume_unwind(p);
+        }
+        self.slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("worker finished without storing its chunk result")
+            })
+            .collect()
+    }
+}
+
 /// Run `work` over every chunk of `items` on up to `threads` workers,
 /// returning per-chunk results in ascending chunk order.
-///
-/// The protocol: one take-once cell per chunk plus a shared atomic claim
-/// index. A worker claims chunk `c` by `fetch_add` on the index, takes
-/// `(start, chunk)` out of cell `c`, runs `work`, and writes the result
-/// into slot `c`. A fast worker that exhausts its claim immediately claims
-/// the next unprocessed chunk, so load imbalance is absorbed without
-/// per-thread queues. The claim index is the *only* line of mutual
-/// exclusion between workers and a chunk cell — which is exactly the kind
-/// of invariant the loom suite checks mechanically.
 ///
 /// Nested calls (from inside a worker) are forced to the sequential path
 /// regardless of `threads`, which bounds the total thread count and makes
 /// nesting deadlock-free by construction. A panic inside `work` on any
-/// worker propagates to the caller once the region is joined.
+/// worker propagates to the caller once the region quiesces.
+///
+/// Under `loom-model` the parallel path runs on scoped model threads so
+/// the checker can explore every bounded interleaving of the deque
+/// protocol; in production it runs on the persistent parked pool in
+/// [`crate::pool`], with a measured sequential fast path for regions too
+/// small to amortize a dispatch.
 pub fn run_chunks_with<B, R, W>(threads: usize, items: Vec<B>, work: W) -> Vec<R>
 where
     B: Send,
@@ -108,52 +392,42 @@ where
         threads.clamp(1, n_chunks)
     };
     if threads == 1 {
-        // Reference path: identical chunk structure, one worker.
+        // Reference path: identical chunk structure, one worker, no
+        // region state at all.
         return tasks.into_iter().map(|(s, chunk)| work(s, chunk)).collect();
     }
 
-    // One take-once cell per chunk: a worker claims index `c` through the
-    // atomic counter, then takes `(start, chunk)` out of its cell.
-    type ChunkQueue<B> = Vec<Mutex<Option<(usize, Vec<B>)>>>;
-    let queue: ChunkQueue<B> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let (queue, slots, next, work) = (&queue, &slots, &next, &work);
-    scope(|s| {
-        let worker = move || {
-            let _depth = DepthGuard::enter();
-            loop {
-                // Acquire pairs with the Release below: claiming chunk `c`
-                // must also acquire whatever the previous claimant
-                // published, and publishing our slot write before the next
-                // claim keeps the claim index a synchronization spine for
-                // the whole region.
-                let c = next.fetch_add(1, Ordering::AcqRel);
-                if c >= n_chunks {
-                    break;
-                }
-                let (start, chunk) = queue[c]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("chunk claimed twice");
-                let r = work(start, chunk);
-                *slots[c].lock().unwrap() = Some(r);
-            }
-        };
-        for _ in 1..threads {
-            s.spawn(worker);
+    let region = Region::new(tasks, threads, work);
+    execute_region(&region);
+    region.into_results()
+}
+
+/// Model executor: every worker (the caller is worker 0) runs the shared
+/// loop on a scoped model thread, and the scope join is the quiescence
+/// barrier.
+#[cfg(feature = "loom-model")]
+fn execute_region<B, R, W>(region: &Region<B, R, W>)
+where
+    B: Send,
+    R: Send,
+    W: Fn(usize, Vec<B>) -> R + Sync,
+{
+    crate::facade::scope(|s| {
+        for w in 1..region.n_workers() {
+            s.spawn(move || region.worker_loop(w));
         }
-        // The calling thread is worker zero.
-        worker();
+        region.worker_loop(0);
     });
-    slots
-        .iter()
-        .map(|m| {
-            m.lock()
-                .unwrap()
-                .take()
-                .expect("worker finished without storing its chunk result")
-        })
-        .collect()
+}
+
+/// Production executor: the persistent parked pool, plus the measured
+/// sequential fast path (see [`crate::pool`]).
+#[cfg(not(feature = "loom-model"))]
+fn execute_region<B, R, W>(region: &Region<B, R, W>)
+where
+    B: Send,
+    R: Send,
+    W: Fn(usize, Vec<B>) -> R + Sync,
+{
+    crate::pool::run_region(region);
 }
