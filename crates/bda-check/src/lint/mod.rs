@@ -1,13 +1,19 @@
-//! `bda-check lint`: the workspace invariant linter.
+//! `bda-check lint`: the workspace invariant analyzer.
 //!
-//! A hand-rolled token scanner (no rustc, no syn — the container is
-//! offline) that enforces the workspace's determinism and robustness
-//! invariants as deny-by-default rules. See [`rules`] for the rule set
-//! and the inline per-site suppression syntax, and `DESIGN.md` §10 for
-//! the rationale behind each rule.
+//! A hand-rolled pipeline (no rustc, no syn — the container is offline):
+//! the [`lexer`] erases comments and literal contents, the [`tokens`]
+//! stage turns the projection into a line-tracking token stream, and
+//! [`parse`] builds a per-file item map (functions with impl qualifiers
+//! and body spans) plus a one-level call graph and hash-container binding
+//! table. [`rules`] runs the deny-by-default rule set over all of it in
+//! two passes: first every file is indexed and the workspace hot set is
+//! computed (anchors + markers + one propagation level), then each file
+//! is checked. See `DESIGN.md` §10 for the rationale behind each rule.
 
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod tokens;
 
 pub use rules::{check_file, Finding};
 
@@ -42,6 +48,47 @@ impl Report {
             self.findings.len(),
             self.files_scanned
         );
+        out
+    }
+
+    /// Machine-readable report for the CI artifact. Hand-rolled JSON (the
+    /// linter deliberately has no serde dependency); same deterministic
+    /// ordering as [`Report::render`].
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str, out: &mut String) {
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+        }
+        let mut out = String::from("{\n  \"files_scanned\": ");
+        let _ = write!(out, "{}", self.files_scanned);
+        let _ = write!(out, ",\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"file\": \"");
+            esc(&f.file, &mut out);
+            let _ = write!(out, "\", \"line\": {}, \"rule\": \"", f.line);
+            esc(f.rule, &mut out);
+            out.push_str("\", \"message\": \"");
+            esc(&f.message, &mut out);
+            out.push_str("\", \"snippet\": \"");
+            esc(&f.snippet, &mut out);
+            out.push_str("\"}");
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
         out
     }
 }
@@ -88,7 +135,10 @@ pub fn run(root: &Path) -> io::Result<Report> {
         }
     }
     files.sort();
-    let mut findings = Vec::new();
+    // Two passes under the hood: every file is read and indexed first so
+    // hot-region propagation can cross file (and crate) boundaries, then
+    // the rules run per file.
+    let mut inputs = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -96,8 +146,9 @@ pub fn run(root: &Path) -> io::Result<Report> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = fs::read_to_string(path)?;
-        findings.extend(rules::check_file(&rel, &src));
+        inputs.push((rel, src));
     }
+    let mut findings = rules::analyze_files(&inputs);
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(Report {
         files_scanned: files.len(),

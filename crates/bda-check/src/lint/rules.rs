@@ -1,13 +1,25 @@
 //! The deny-by-default rule set.
 //!
-//! Every rule is a token-pattern scan over [masked](super::lexer::mask)
-//! source, scoped by file path and by `#[cfg(test)]` regions. Suppression
-//! is per-site and auditable: a `bda-check: allow(unwrap)`-style comment
-//! on the offending line, or alone on the line above it. There is no
-//! file-level or crate-level off switch — broad exemptions are encoded
-//! here, in code review's sight, as path scopes.
+//! Five rules are token-pattern scans over [masked](super::lexer::mask)
+//! source, scoped by file path and by `#[cfg(test)]` regions. Three more —
+//! `hot_alloc`, `panic_path`, `unordered_iter` — are parser-backed: the
+//! [tokenizer](super::tokens) and [item parser](super::parse) give them
+//! function bodies, an impl-qualified item map and a one-level call graph,
+//! so they can scope to *designated hot regions* (the [`HOT_ANCHORS`]
+//! table plus `// bda-check: hot` markers, propagated one call-graph level
+//! into workspace callees) instead of whole files.
+//!
+//! Suppression is per-site and auditable: an allow marker (`bda-check:`
+//! followed by e.g. `allow(unwrap)`, any rule id from [`ALL_RULES`]) in a
+//! comment on the offending line, or alone on the line above it. For the
+//! parser-backed rules the marker may also sit on (or above) a `fn` line,
+//! where it covers that function's whole body — kernels proven in-bounds
+//! carry one justified marker instead of dozens. There is no file-level
+//! or crate-level off switch — broad exemptions are encoded here, in code
+//! review's sight, as path scopes.
 
-use super::lexer;
+use super::{lexer, parse, tokens};
+use std::collections::BTreeMap;
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,14 +40,86 @@ pub const RULE_PARTIAL_CMP: &str = "partial_cmp_unwrap";
 pub const RULE_LOSSY_CAST: &str = "lossy_cast";
 pub const RULE_WALLCLOCK: &str = "wallclock";
 pub const RULE_POOL_FACADE: &str = "pool_facade";
+pub const RULE_HOT_ALLOC: &str = "hot_alloc";
+pub const RULE_PANIC_PATH: &str = "panic_path";
+pub const RULE_UNORDERED_ITER: &str = "unordered_iter";
 
 /// All rule ids, for `allow(...)` validation and docs.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 8] = [
     RULE_UNWRAP,
     RULE_PARTIAL_CMP,
     RULE_LOSSY_CAST,
     RULE_WALLCLOCK,
     RULE_POOL_FACADE,
+    RULE_HOT_ALLOC,
+    RULE_PANIC_PATH,
+    RULE_UNORDERED_ITER,
+];
+
+/// The designated hot regions: the per-cycle inner loops whose
+/// allocation-freedom and panic-freedom the 30-second refresh contract
+/// (and PR 9's measured −32% cycle time) depends on. Each entry names a
+/// file and the functions in it; `Type::name` entries match an impl's
+/// method, bare names match any function with that name in the file. An
+/// entry that matches nothing is itself a finding — renames cannot
+/// silently un-designate a kernel. Hotness propagates one call-graph
+/// level into free-function and `Type::fn` workspace callees (method
+/// receivers are not type-resolved; mark those with `// bda-check: hot`).
+pub const HOT_ANCHORS: &[(&str, &[&str])] = &[
+    (
+        "crates/bda-scale/src/microphys.rs",
+        &["column_microphysics", "sediment_species"],
+    ),
+    (
+        "crates/bda-scale/src/advect.rs",
+        &["scalar_advection_upwind", "momentum_advection"],
+    ),
+    ("crates/bda-scale/src/dynamics.rs", &["step_dynamics"]),
+    (
+        "crates/bda-scale/src/turbulence.rs",
+        &[
+            "horizontal_diffusion",
+            "ColumnPbl::step_column",
+            "ColumnPbl::diffuse_implicit",
+        ],
+    ),
+    (
+        "crates/bda-num/src/tridiag.rs",
+        &[
+            "solve_thomas",
+            "ThomasFactor::factor",
+            "ThomasFactor::solve",
+            "ThomasFactor::solve_columns",
+        ],
+    ),
+    (
+        "crates/bda-num/src/eigen/ql.rs",
+        &[
+            "QlEigen::tridiagonalize",
+            "QlEigen::tqli",
+            "QlEigen::decompose_into",
+        ],
+    ),
+    (
+        "crates/bda-num/src/eigen/batched.rs",
+        &["BatchedEigen::decompose_in_place"],
+    ),
+    (
+        "crates/bda-num/src/matrix.rs",
+        &["dot", "dot8", "axpy8", "matmul_into", "matvec_into"],
+    ),
+    ("crates/bda-letkf/src/driver.rs", &["analyze_region"]),
+    (
+        "vendor/rayon/src/protocol.rs",
+        &[
+            "pop_front",
+            "steal_back",
+            "next_chunk",
+            "execute",
+            "drain",
+            "worker_loop",
+        ],
+    ),
 ];
 
 /// Where a file sits in the workspace, as far as rule scoping cares.
@@ -54,8 +138,16 @@ struct FileScope {
     kernel: bool,
     /// `vendor/rayon/src`, where the pool-facade rule applies.
     rayon_src: bool,
-    /// The facade module itself — the one allowed home of `std::sync`.
+    /// A sync facade module — the one allowed home of `std::sync` within
+    /// its facade-disciplined tree.
     facade: bool,
+    /// The extracted netbus fence state machine: model-checked, so it is
+    /// held to the same facade discipline as the pool protocol.
+    fence_protocol: bool,
+    /// Crates whose library output feeds outcome tables, wire frames,
+    /// checkpoints or digests — where hash-container iteration order is a
+    /// determinism hazard (`unordered_iter`).
+    ordered: bool,
 }
 
 fn classify(rel: &str) -> FileScope {
@@ -81,7 +173,18 @@ fn classify(rel: &str) -> FileScope {
             || rel.starts_with("crates/bda-shard/src/")
             || rel == "crates/bda-workflow/src/backoff.rs",
         rayon_src: rel.starts_with("vendor/rayon/src/"),
-        facade: rel == "vendor/rayon/src/facade.rs",
+        facade: rel == "vendor/rayon/src/facade.rs" || rel == "crates/bda-shard/src/facade.rs",
+        fence_protocol: rel == "crates/bda-shard/src/fence.rs",
+        ordered: [
+            "crates/bda-io/src/",
+            "crates/bda-shard/src/",
+            "crates/bda-serve/src/",
+            "crates/bda-jitdt/src/",
+            "crates/bda-workflow/src/",
+            "crates/bda-core/src/",
+        ]
+        .iter()
+        .any(|p| rel.starts_with(p)),
     }
 }
 
@@ -89,7 +192,7 @@ fn classify(rel: &str) -> FileScope {
 /// projection — a string literal spelling out the marker syntax is not a
 /// marker). Unknown rule names surface as findings themselves: a typo
 /// must not silently disable a rule.
-fn parse_allows(raw: &str) -> (Vec<&str>, Vec<String>) {
+fn parse_allows(raw: &str) -> (Vec<&'static str>, Vec<String>) {
     let mut allowed = Vec::new();
     let mut unknown = Vec::new();
     let mut rest = raw;
@@ -109,6 +212,22 @@ fn parse_allows(raw: &str) -> (Vec<&str>, Vec<String>) {
         rest = &rest[close..];
     }
     (allowed, unknown)
+}
+
+/// Does this comment line carry a `bda-check: hot` marker (and not a
+/// longer word like `hot_alloc`)?
+fn has_hot_marker(comment: &str) -> bool {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("bda-check: hot") {
+        let after = &rest[pos + "bda-check: hot".len()..];
+        match after.as_bytes().first() {
+            None => return true,
+            Some(b) if !b.is_ascii_alphanumeric() && *b != b'_' => return true,
+            _ => {}
+        }
+        rest = after;
+    }
+    false
 }
 
 /// Scan one masked line for `as <numeric-type>` casts, returning the types.
@@ -144,26 +263,109 @@ fn lossy_casts(masked: &str) -> Vec<&'static str> {
     hits
 }
 
-/// Lint one file's source. `rel` is the workspace-relative path with `/`
-/// separators; it drives every scoping decision, so callers (and fixture
-/// tests) can lint arbitrary text under any nominal location.
-pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
+/// Find `pat` in `line` at an identifier boundary: the character before a
+/// match must not itself be an identifier character, so `vec!` never
+/// matches inside `my_vec!` and `assert!` never matches `debug_assert!`.
+fn find_word(line: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(pat) {
+        let at = from + pos;
+        let bounded = at == 0 || {
+            let prev = line.as_bytes()[at - 1];
+            !(prev.is_ascii_alphanumeric() || prev == b'_')
+        };
+        if bounded {
+            return true;
+        }
+        from = at + pat.len();
+    }
+    false
+}
+
+/// Allocation tokens denied inside hot regions. Leading-dot patterns need
+/// no boundary check; the rest go through [`find_word`].
+const ALLOC_PATTERNS: &[&str] = &[
+    "vec!",
+    "format!",
+    "Vec::new",
+    "Vec::with_capacity",
+    "Box::new",
+    "String::new",
+    "String::from",
+    "String::with_capacity",
+    ".to_vec()",
+    ".to_owned()",
+    ".to_string()",
+    ".collect",
+    ".clone()",
+];
+
+/// Panic-family macros denied inside hot regions. `debug_assert*` is
+/// deliberately absent: debug assertions vanish in release kernels.
+const PANIC_MACROS: &[&str] = &[
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+];
+
+/// Iteration adaptors that expose a hash container's nondeterministic
+/// order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// One interposed accessor hop the `unordered_iter` receiver tracker sees
+/// through (`guard`-producing calls: `inbox.lock().iter()`).
+const HOP_METHODS: &[&str] = &["lock", "borrow", "borrow_mut", "read", "write", "get_mut"];
+
+/// Everything pass 1 derives from one file; pass 2 turns it into findings.
+struct FileAnalysis {
+    rel: String,
+    scope: FileScope,
+    raw_lines: Vec<String>,
+    masked_lines: Vec<String>,
+    in_test: Vec<bool>,
+    toks: Vec<tokens::Token>,
+    index: parse::FileIndex,
+    /// Per-line allows (a marker covers its own line and the next).
+    allows: Vec<Vec<&'static str>>,
+    /// Per-function allows for the parser-backed rules: a marker on (or
+    /// directly above) the `fn` line covers the whole body.
+    fn_allows: Vec<Vec<&'static str>>,
+    /// Functions carrying a `bda-check: hot` marker.
+    hot_marked: Vec<bool>,
+    /// Findings produced during analysis itself (unknown allow names).
+    early_findings: Vec<Finding>,
+}
+
+fn analyze_one(rel: &str, src: &str) -> FileAnalysis {
     let scope = classify(rel);
     let proj = lexer::project(src);
-    let masked = proj.code.as_str();
-    let in_test = lexer::test_regions(masked, src);
-    let raw_lines: Vec<&str> = src.lines().collect();
-    let masked_lines: Vec<&str> = masked.lines().collect();
+    let in_test = lexer::test_regions(&proj.code, src);
+    let raw_lines: Vec<String> = src.lines().map(str::to_string).collect();
+    let masked_lines: Vec<String> = proj.code.lines().map(str::to_string).collect();
     let comment_lines: Vec<&str> = proj.comments.lines().collect();
+    let toks = tokens::tokenize(&proj.code);
+    let index = parse::index_file(&toks);
 
-    // Allows attach to their own line and the line below, so a bare
-    // comment line can annotate the code under it.
-    let mut allows: Vec<Vec<&str>> = vec![Vec::new(); raw_lines.len()];
-    let mut findings = Vec::new();
+    let mut allows: Vec<Vec<&'static str>> = vec![Vec::new(); raw_lines.len()];
+    let mut hot_lines: Vec<bool> = vec![false; raw_lines.len() + 2];
+    let mut early_findings = Vec::new();
     for (idx, comment) in comment_lines.iter().enumerate() {
         let (allowed, unknown) = parse_allows(comment);
         for name in unknown {
-            findings.push(Finding {
+            early_findings.push(Finding {
                 file: rel.to_string(),
                 line: idx + 1,
                 rule: RULE_UNWRAP, // reported under a real rule id so it denies
@@ -181,10 +383,182 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
                 allows[idx + 1].extend(tail);
             }
         }
+        if has_hot_marker(comment) {
+            // Covers its own line and the next, like an allow.
+            hot_lines[idx] = true;
+            hot_lines[idx + 1] = true;
+        }
     }
 
+    // Function-level annotations: whatever sits on the `fn` line.
+    let mut fn_allows = Vec::with_capacity(index.fns.len());
+    let mut hot_marked = Vec::with_capacity(index.fns.len());
+    for f in &index.fns {
+        let line_idx = f.line - 1;
+        fn_allows.push(allows.get(line_idx).cloned().unwrap_or_default());
+        hot_marked.push(hot_lines.get(line_idx).copied().unwrap_or(false));
+    }
+
+    FileAnalysis {
+        rel: rel.to_string(),
+        scope,
+        raw_lines,
+        masked_lines,
+        in_test,
+        toks,
+        index,
+        allows,
+        fn_allows,
+        hot_marked,
+        early_findings,
+    }
+}
+
+/// Why a function is hot — threaded into every finding message so the
+/// report explains the designation, not just the violation.
+#[derive(Clone)]
+enum HotReason {
+    Anchor,
+    Marker,
+    CalledFrom(String),
+}
+
+impl HotReason {
+    fn describe(&self) -> String {
+        match self {
+            HotReason::Anchor => "designated in the hot-anchor table".to_string(),
+            HotReason::Marker => "marked `bda-check: hot`".to_string(),
+            HotReason::CalledFrom(k) => format!("called from hot `{k}`"),
+        }
+    }
+}
+
+/// Compute the workspace hot set: anchor + marker seeds, propagated one
+/// call-graph level into free-function and `Type::fn` callees in
+/// hot-eligible files (workspace library code and `vendor/rayon/src`).
+fn hot_set(
+    files: &[FileAnalysis],
+    findings: &mut Vec<Finding>,
+) -> BTreeMap<(usize, usize), HotReason> {
+    let mut hot: BTreeMap<(usize, usize), HotReason> = BTreeMap::new();
+    for (path, fn_pats) in HOT_ANCHORS {
+        let Some(fi) = files.iter().position(|f| f.rel == *path) else {
+            continue;
+        };
+        for pat in *fn_pats {
+            let mut matched = false;
+            for (k, f) in files[fi].index.fns.iter().enumerate() {
+                let hit = match pat.split_once("::") {
+                    Some((q, n)) => f.qual.as_deref() == Some(q) && f.name == n,
+                    None => f.name == *pat,
+                };
+                if hit {
+                    hot.entry((fi, k)).or_insert(HotReason::Anchor);
+                    matched = true;
+                }
+            }
+            if !matched {
+                findings.push(Finding {
+                    file: files[fi].rel.clone(),
+                    line: 1,
+                    rule: RULE_HOT_ALLOC,
+                    message: format!(
+                        "hot anchor `{pat}` matched no function in this file: the anchor table \
+                         (bda-check `rules.rs`) is out of date with a rename or removal"
+                    ),
+                    snippet: String::new(),
+                });
+            }
+        }
+    }
+    for (fi, fa) in files.iter().enumerate() {
+        for (k, marked) in fa.hot_marked.iter().enumerate() {
+            if *marked {
+                hot.entry((fi, k)).or_insert(HotReason::Marker);
+            }
+        }
+    }
+    // One propagation level, from seeds only.
+    let seeds: Vec<(usize, usize)> = hot.keys().cloned().collect();
+    for (fi, k) in seeds {
+        let caller_key = files[fi].index.fns[k].key();
+        for call in &files[fi].index.calls[k] {
+            if call.method {
+                continue;
+            }
+            for (tfi, tf) in files.iter().enumerate() {
+                if !(tf.scope.workspace_lib || tf.scope.rayon_src) {
+                    continue;
+                }
+                for (tk, tfn) in tf.index.fns.iter().enumerate() {
+                    let hit = match &call.qual {
+                        Some(q) => {
+                            tfn.qual.as_deref() == Some(q.as_str()) && tfn.name == call.callee
+                        }
+                        None => tfn.qual.is_none() && tfn.name == call.callee,
+                    };
+                    if hit {
+                        hot.entry((tfi, tk))
+                            .or_insert_with(|| HotReason::CalledFrom(caller_key.clone()));
+                    }
+                }
+            }
+        }
+    }
+    hot
+}
+
+/// Analyze a set of files together: the single entry point behind both
+/// [`check_file`] (one file) and the workspace walk in [`super::run`].
+/// Hot propagation crosses file boundaries only within the given set.
+pub fn analyze_files(files: &[(String, String)]) -> Vec<Finding> {
+    let analyses: Vec<FileAnalysis> = files
+        .iter()
+        .map(|(rel, src)| analyze_one(rel, src))
+        .collect();
+    let mut findings = Vec::new();
+    for fa in &analyses {
+        findings.extend(fa.early_findings.iter().cloned());
+    }
+    let hot = hot_set(&analyses, &mut findings);
+
+    for (fi, fa) in analyses.iter().enumerate() {
+        let hot_fns: Vec<(usize, HotReason)> = hot
+            .range((fi, 0)..(fi + 1, 0))
+            .map(|((_, k), r)| (*k, r.clone()))
+            .collect();
+        check_one(fa, &hot_fns, &mut findings);
+    }
+    findings
+}
+
+/// Lint one file's source. `rel` is the workspace-relative path with `/`
+/// separators; it drives every scoping decision, so callers (and fixture
+/// tests) can lint arbitrary text under any nominal location. Hot
+/// propagation is file-local here; the workspace runner propagates across
+/// files.
+pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
+    let mut findings = analyze_files(&[(rel.to_string(), src.to_string())]);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Is the finding at `line` (1-based) suppressed by a function-level
+/// allow — a marker on the `fn` line of any function whose span covers it?
+fn fn_allowed(fa: &FileAnalysis, line: usize, rule: &'static str) -> bool {
+    fa.index
+        .fns
+        .iter()
+        .enumerate()
+        .any(|(k, f)| f.line <= line && line <= f.body_lines.1 && fa.fn_allows[k].contains(&rule))
+}
+
+fn check_one(fa: &FileAnalysis, hot_fns: &[(usize, HotReason)], findings: &mut Vec<Finding>) {
+    let scope = &fa.scope;
+    let rel = fa.rel.as_str();
+
     let push = |findings: &mut Vec<Finding>, idx: usize, rule: &'static str, msg: String| {
-        if allows[idx].contains(&rule) {
+        if fa.allows.get(idx).is_some_and(|a| a.contains(&rule)) || fn_allowed(fa, idx + 1, rule) {
             return;
         }
         findings.push(Finding {
@@ -192,17 +566,21 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
             line: idx + 1,
             rule,
             message: msg,
-            snippet: raw_lines[idx].trim().to_string(),
+            snippet: fa.raw_lines.get(idx).map_or("", |r| r.trim()).to_string(),
         });
     };
 
-    for (idx, m) in masked_lines.iter().enumerate() {
-        let tested = in_test.get(idx).copied().unwrap_or(false);
+    // ------------------------------------------------------------------
+    // Line-scan rules (the original lexer-level set).
+    // ------------------------------------------------------------------
+    for (idx, m) in fa.masked_lines.iter().enumerate() {
+        let m = m.as_str();
+        let tested = fa.in_test.get(idx).copied().unwrap_or(false);
 
         // unwrap: no `.unwrap()` / `.expect(` in non-test library code.
         if scope.workspace_lib && !tested && (m.contains(".unwrap()") || m.contains(".expect(")) {
             push(
-                &mut findings,
+                findings,
                 idx,
                 RULE_UNWRAP,
                 "`.unwrap()`/`.expect()` in library code: return a typed error or restructure so \
@@ -214,11 +592,11 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
         // partial_cmp_unwrap: applies to every workspace file, tests
         // included — `total_cmp` is strictly better wherever floats sort.
         if scope.workspace_any && m.contains("partial_cmp") {
-            let next = masked_lines.get(idx + 1).copied().unwrap_or("");
+            let next = fa.masked_lines.get(idx + 1).map_or("", |s| s.as_str());
             let unwrapped = |s: &str| s.contains(".unwrap()") || s.contains(".expect(");
             if unwrapped(m) || unwrapped(next) {
                 push(
-                    &mut findings,
+                    findings,
                     idx,
                     RULE_PARTIAL_CMP,
                     "`partial_cmp(..).unwrap()` panics on NaN: use `f64::total_cmp`/`f32::total_cmp`"
@@ -234,7 +612,7 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
         if (scope.kernel || scope.rayon_src) && !scope.test_path && !tested {
             for t in lossy_casts(m) {
                 push(
-                    &mut findings,
+                    findings,
                     idx,
                     RULE_LOSSY_CAST,
                     format!(
@@ -247,14 +625,11 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
 
         // wallclock: deterministic cycle paths must not read real time or
         // OS randomness. Supervisor wall-time telemetry opts in per site.
-        // Covers the vendored pool too: park/unpark timeouts and spin
-        // calibration are the only sanctioned clock reads there, and each
-        // carries its own allow marker.
         if (scope.workspace_lib || scope.rayon_src) && !tested {
             for pat in ["Instant::now", "SystemTime::now", "thread_rng"] {
                 if m.contains(pat) {
                     push(
-                        &mut findings,
+                        findings,
                         idx,
                         RULE_WALLCLOCK,
                         format!(
@@ -266,21 +641,33 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
             }
         }
 
-        // pool_facade: inside vendor/rayon, sync primitives live only in
-        // facade.rs — that is what guarantees the loom suite exercises the
-        // exact production protocol.
-        if scope.rayon_src && !scope.facade && !tested {
-            for pat in [
-                "std::sync::atomic",
-                "core::sync::atomic",
-                "std::sync::Mutex",
-                "std::thread::scope",
-                "loom::sync",
-                "loom::thread",
-            ] {
+        // pool_facade: inside a facade-disciplined tree (vendor/rayon, and
+        // the extracted netbus fence protocol) sync primitives live only
+        // in the tree's facade module — that is what guarantees the loom
+        // suites exercise the exact production code.
+        if (scope.rayon_src || scope.fence_protocol) && !scope.facade && !tested {
+            let denied: &[&str] = if scope.fence_protocol {
+                &[
+                    "std::sync",
+                    "core::sync",
+                    "parking_lot",
+                    "loom::sync",
+                    "loom::thread",
+                ]
+            } else {
+                &[
+                    "std::sync::atomic",
+                    "core::sync::atomic",
+                    "std::sync::Mutex",
+                    "std::thread::scope",
+                    "loom::sync",
+                    "loom::thread",
+                ]
+            };
+            for pat in denied {
                 if m.contains(pat) {
                     push(
-                        &mut findings,
+                        findings,
                         idx,
                         RULE_POOL_FACADE,
                         format!(
@@ -292,5 +679,232 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
             }
         }
     }
-    findings
+
+    // ------------------------------------------------------------------
+    // Parser-backed rules.
+    // ------------------------------------------------------------------
+    hot_region_rules(fa, hot_fns, &push, findings);
+    if scope.ordered {
+        unordered_iter_rule(fa, &push, findings);
+    }
+}
+
+/// `hot_alloc` + `panic_path` over every hot function body in the file.
+fn hot_region_rules(
+    fa: &FileAnalysis,
+    hot_fns: &[(usize, HotReason)],
+    push: &impl Fn(&mut Vec<Finding>, usize, &'static str, String),
+    findings: &mut Vec<Finding>,
+) {
+    for (k, reason) in hot_fns {
+        let f = &fa.index.fns[*k];
+        let key = f.key();
+        let why = reason.describe();
+        let (start, end) = f.body_lines;
+        for line in start..=end {
+            let idx = line - 1;
+            if fa.in_test.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let Some(m) = fa.masked_lines.get(idx) else {
+                continue;
+            };
+            for pat in ALLOC_PATTERNS {
+                let hit = if pat.starts_with('.') {
+                    m.contains(pat)
+                } else {
+                    find_word(m, pat)
+                };
+                if hit {
+                    push(
+                        findings,
+                        idx,
+                        RULE_HOT_ALLOC,
+                        format!(
+                            "`{pat}` allocates inside hot region `{key}` ({why}): hoist the \
+                             allocation to setup or thread caller scratch through"
+                        ),
+                    );
+                }
+            }
+            for pat in PANIC_MACROS {
+                if find_word(m, pat) {
+                    push(
+                        findings,
+                        idx,
+                        RULE_PANIC_PATH,
+                        format!(
+                            "`{pat}` can panic inside hot region `{key}` ({why}): restructure, \
+                             use debug_assert!, or justify with an allow marker"
+                        ),
+                    );
+                }
+            }
+            for pat in [".unwrap()", ".expect("] {
+                if m.contains(pat) {
+                    push(
+                        findings,
+                        idx,
+                        RULE_PANIC_PATH,
+                        format!(
+                            "`{pat}` can panic inside hot region `{key}` ({why}): restructure \
+                             or justify with an allow marker"
+                        ),
+                    );
+                }
+            }
+        }
+        // Slice indexing whose bracket carries `+`/`-` arithmetic — the
+        // indexing shape that can overflow or run out of bounds. Token
+        // scan so `#[attr]` brackets and array literals never match.
+        if let Some((lo, hi)) = f.body {
+            let mut seen_lines: Vec<usize> = Vec::new();
+            let mut j = lo;
+            while j < hi {
+                let indexing = matches!(fa.toks[j].tok, tokens::Tok::Open(b'['))
+                    && j > 0
+                    && matches!(
+                        fa.toks[j - 1].tok,
+                        tokens::Tok::Ident(_) | tokens::Tok::Close(_)
+                    );
+                if indexing {
+                    let close = matching_bracket(&fa.toks, j);
+                    let arith = fa.toks[j + 1..close].iter().any(|t| {
+                        matches!(t.tok, tokens::Tok::Punct(b'+') | tokens::Tok::Punct(b'-'))
+                    });
+                    if arith {
+                        let line = fa.toks[j].line;
+                        let idx = line - 1;
+                        let tested = fa.in_test.get(idx).copied().unwrap_or(false);
+                        if !tested && !seen_lines.contains(&line) {
+                            seen_lines.push(line);
+                            push(
+                                findings,
+                                idx,
+                                RULE_PANIC_PATH,
+                                format!(
+                                    "in-bracket index arithmetic inside hot region `{key}` \
+                                     ({why}) can overflow or exceed bounds: hoist the offset \
+                                     into a checked variable or justify with an allow marker"
+                                ),
+                            );
+                        }
+                    }
+                    j = close;
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+fn matching_bracket(toks: &[tokens::Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.tok {
+            tokens::Tok::Open(_) => depth += 1,
+            tokens::Tok::Close(_) => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// `unordered_iter`: iteration over a binding or field whose declaration
+/// names a hash container, in crates whose output feeds outcome tables,
+/// wire frames, checkpoints or digests.
+fn unordered_iter_rule(
+    fa: &FileAnalysis,
+    push: &impl Fn(&mut Vec<Finding>, usize, &'static str, String),
+    findings: &mut Vec<Finding>,
+) {
+    if fa.index.hash_bindings.is_empty() {
+        return;
+    }
+    let toks = &fa.toks;
+    let ident_at = |i: usize| match toks.get(i).map(|t| &t.tok) {
+        Some(tokens::Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct_at = |i: usize, c: u8| matches!(toks.get(i).map(|t| &t.tok), Some(tokens::Tok::Punct(p)) if *p == c);
+    let open_at = |i: usize, c: u8| matches!(toks.get(i).map(|t| &t.tok), Some(tokens::Tok::Open(p)) if *p == c);
+    let close_at = |i: usize, c: u8| matches!(toks.get(i).map(|t| &t.tok), Some(tokens::Tok::Close(p)) if *p == c);
+
+    for (i, t) in toks.iter().enumerate() {
+        let tokens::Tok::Ident(name) = &t.tok else {
+            continue;
+        };
+        let Some(binding) = fa.index.hash_bindings.iter().find(|h| &h.name == name) else {
+            continue;
+        };
+        let idx = t.line - 1;
+        if fa.in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        // `name.iter()` — directly or through one accessor hop
+        // (`name.lock().iter()`).
+        let mut method_at = None;
+        if punct_at(i + 1, b'.') {
+            if let Some(m) = ident_at(i + 2) {
+                if ITER_METHODS.contains(&m) {
+                    method_at = Some(m);
+                } else if HOP_METHODS.contains(&m)
+                    && open_at(i + 3, b'(')
+                    && close_at(i + 4, b')')
+                    && punct_at(i + 5, b'.')
+                {
+                    if let Some(m2) = ident_at(i + 6) {
+                        if ITER_METHODS.contains(&m2) {
+                            method_at = Some(m2);
+                        }
+                    }
+                }
+            }
+        }
+        // `for x in name` / `for x in &name` / `for x in self.name`.
+        let mut j = i;
+        let mut for_in = false;
+        while j > 0 {
+            j -= 1;
+            match &toks[j].tok {
+                tokens::Tok::Punct(b'&') | tokens::Tok::Punct(b'.') => continue,
+                tokens::Tok::Ident(s) if s == "mut" || s == "self" => continue,
+                tokens::Tok::Ident(s) if s == "in" => {
+                    for_in = true;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        if let Some(m) = method_at {
+            push(
+                findings,
+                idx,
+                RULE_UNORDERED_ITER,
+                format!(
+                    "`.{m}()` on hash container `{name}` (declared line {}) yields \
+                     nondeterministic order in code feeding tables/frames/digests: use \
+                     BTreeMap/BTreeSet, or collect and sort first",
+                    binding.line
+                ),
+            );
+        } else if for_in {
+            push(
+                findings,
+                idx,
+                RULE_UNORDERED_ITER,
+                format!(
+                    "`for .. in` over hash container `{name}` (declared line {}) yields \
+                     nondeterministic order in code feeding tables/frames/digests: use \
+                     BTreeMap/BTreeSet, or collect and sort first",
+                    binding.line
+                ),
+            );
+        }
+    }
 }

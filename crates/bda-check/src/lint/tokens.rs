@@ -1,0 +1,227 @@
+//! A line-tracking tokenizer over the [lexer](super::lexer)'s code
+//! projection.
+//!
+//! The projection has already erased comment and literal *contents*
+//! (string quotes survive, everything between them is spaces), so the
+//! token stream here never contains text that merely looks like code.
+//! That lets this stage stay small: identifiers, numbers, lifetimes,
+//! string markers, delimiters, and single-byte punctuation. Multi-byte
+//! operators (`::`, `->`, `=>`) appear as successive punctuation tokens;
+//! the [parser](super::parse) recognizes the sequences it cares about.
+
+/// One token of the code projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// `'name` lifetime marker (char literals were erased upstream).
+    Lifetime(String),
+    /// Numeric literal, suffix included (`1_000u64`, `1.5`). The exponent
+    /// sign of `1e-3` tokenizes as a separate `Punct(b'-')`; no rule
+    /// interprets numeric values, so that is fine.
+    Num(String),
+    /// A (content-erased) string literal.
+    Str,
+    /// Opening delimiter: `(`, `[` or `{`.
+    Open(u8),
+    /// Closing delimiter: `)`, `]` or `}`.
+    Close(u8),
+    /// Any other single byte of punctuation.
+    Punct(u8),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize a code projection (see the module docs). Byte offsets are not
+/// preserved — every consumer works in (token index, line) coordinates.
+pub fn tokenize(code: &str) -> Vec<Token> {
+    let b = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(code[start..i].to_string()),
+                    line,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && (is_ident_continue(b[i])) {
+                    i += 1;
+                }
+                // One decimal point, but never the `..` of a range.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1] != b'.' && b[i + 1].is_ascii_digit()
+                {
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Num(code[start..i].to_string()),
+                    line,
+                });
+            }
+            b'\'' => {
+                // The lexer erased char literals, so a surviving quote is a
+                // lifetime marker (or a stray quote we treat as one).
+                let start = i;
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Lifetime(code[start..i].to_string()),
+                    line,
+                });
+            }
+            b'"' => {
+                let tok_line = line;
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i += 1; // past the closing quote (or end)
+                toks.push(Token {
+                    tok: Tok::Str,
+                    line: tok_line,
+                });
+            }
+            b'(' | b'[' | b'{' => {
+                toks.push(Token {
+                    tok: Tok::Open(c),
+                    line,
+                });
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                toks.push(Token {
+                    tok: Tok::Close(c),
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                toks.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lexer;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(&lexer::mask(src))
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_punct() {
+        let t = toks("let x2 = a + 10;");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x2".into()),
+                Tok::Punct(b'='),
+                Tok::Ident("a".into()),
+                Tok::Punct(b'+'),
+                Tok::Num("10".into()),
+                Tok::Punct(b';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_vs_ranges() {
+        assert_eq!(
+            toks("1.5 0..n 2.0e3"),
+            vec![
+                Tok::Num("1.5".into()),
+                Tok::Num("0".into()),
+                Tok::Punct(b'.'),
+                Tok::Punct(b'.'),
+                Tok::Ident("n".into()),
+                Tok::Num("2.0e3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let t = toks("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(t.contains(&Tok::Lifetime("'a".into())));
+        // 'x' was erased by the lexer; no stray lifetime or quote appears.
+        assert!(!t.contains(&Tok::Lifetime("'x".into())));
+    }
+
+    #[test]
+    fn strings_collapse_to_markers_and_track_lines() {
+        let src = "let s = \"multi\nline\";\nlet t = 1;";
+        let tk = tokenize(&lexer::mask(src));
+        let str_tok = tk.iter().find(|t| t.tok == Tok::Str).unwrap();
+        assert_eq!(str_tok.line, 1);
+        let one = tk.iter().find(|t| t.tok == Tok::Num("1".into())).unwrap();
+        assert_eq!(one.line, 3);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_single_markers() {
+        let t = toks(r###"let s = r#"has "quotes" and fn f() {}"#; g();"###);
+        // Exactly one Str token, and none of the fn/braces inside leaked.
+        assert_eq!(t.iter().filter(|t| **t == Tok::Str).count(), 1);
+        assert_eq!(
+            t.iter().filter(|t| **t == Tok::Ident("fn".into())).count(),
+            0
+        );
+        assert!(t.contains(&Tok::Ident("g".into())));
+    }
+
+    #[test]
+    fn comments_vanish_entirely() {
+        let t = toks("a(); // call b()\n/* c() */ d();");
+        assert!(t.contains(&Tok::Ident("a".into())));
+        assert!(t.contains(&Tok::Ident("d".into())));
+        assert!(!t.contains(&Tok::Ident("b".into())));
+        assert!(!t.contains(&Tok::Ident("c".into())));
+    }
+}

@@ -12,7 +12,7 @@ const USAGE: &str = "\
 bda-check — workspace invariant linter
 
 USAGE:
-    cargo run -p bda-check -- lint [--root <dir>]
+    cargo run -p bda-check -- lint [--root <dir>] [--json]
 
 COMMANDS:
     lint    Scan src/, crates/ and vendor/rayon/ for rule violations.
@@ -20,25 +20,39 @@ COMMANDS:
 OPTIONS:
     --root <dir>    Workspace root (default: nearest ancestor of the
                     current directory whose Cargo.toml has [workspace]).
+    --json          Emit the machine-readable report (CI artifact format)
+                    instead of the human-readable one.
 
-RULES (suppress per-site with `// bda-check: allow(rule_id)`):
+RULES (suppress per-site with `// bda-check: allow(rule_id)`; the three
+parser-backed rules also honor a marker on a `fn` line, covering its body):
     unwrap              no .unwrap()/.expect() in non-test library code
     partial_cmp_unwrap  no partial_cmp(..).unwrap(); use total_cmp
     lossy_cast          no lossy `as` casts in the bda-num/bda-letkf
                         kernels or the bda-serve/bda-shard wire codecs
     wallclock           no Instant::now/SystemTime::now/thread_rng in
                         deterministic cycle paths
-    pool_facade         vendor/rayon sync primitives only via its facade
+    pool_facade         sync primitives only via the local facade module
+                        (vendor/rayon, bda-shard fence protocol)
+    hot_alloc           no vec!/Vec::new/collect/clone/Box::new/format!/...
+                        inside designated hot regions (anchor table +
+                        `// bda-check: hot` markers, propagated one
+                        call-graph level into workspace callees)
+    panic_path          no panic-family macros, unwrap/expect, or
+                        in-bracket index arithmetic inside hot regions
+    unordered_iter      no HashMap/HashSet iteration in crates feeding
+                        outcome tables, wire frames, checkpoints, digests
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
     let mut command: Option<&str> = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "lint" if command.is_none() => command = Some("lint"),
+            "--json" => json = true,
             "--root" => match it.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -83,7 +97,11 @@ fn main() -> ExitCode {
 
     match lint::run(&root) {
         Ok(report) => {
-            print!("{}", report.render());
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {

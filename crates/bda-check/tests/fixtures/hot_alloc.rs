@@ -1,0 +1,26 @@
+//! Intentional `hot_alloc` violations and non-violations. The
+//! `bda-check: hot` markers stand in for the anchor table; `helper` is
+//! reached by one-level call-graph propagation from `hot_kernel`.
+
+// bda-check: hot
+pub fn hot_kernel(xs: &mut [f64]) -> f64 {
+    let buf = vec![0.0; xs.len()];
+    let tag = format!("n={}", xs.len());
+    helper(xs) + buf.len() as f64 + tag.len() as f64
+}
+
+pub fn helper(xs: &mut [f64]) -> f64 {
+    let scratch: Vec<f64> = Vec::with_capacity(xs.len());
+    xs.len() as f64 + scratch.capacity() as f64
+}
+
+pub fn cold_path(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}
+
+// bda-check: hot
+pub fn hot_justified(xs: &[f64]) -> f64 {
+    // bda-check: allow(hot_alloc) -- one-time scratch, persisted by the caller
+    let boxed = Box::new(xs.len());
+    *boxed as f64
+}

@@ -1,0 +1,27 @@
+//! Intentional `panic_path` violations and non-violations. Hot regions
+//! come from `bda-check: hot` markers; the same text in a cold function
+//! stays silent, and `debug_assert!` is always exempt.
+
+// bda-check: hot
+pub fn hot_lookup(xs: &[f64], i: usize) -> f64 {
+    let a = xs[i + 1];
+    let b = xs.first().unwrap();
+    assert!(i < xs.len());
+    debug_assert!(i < xs.len());
+    a + *b
+}
+
+pub fn cold_lookup(xs: &[f64], i: usize) -> f64 {
+    xs[i + 1]
+}
+
+#[inline]
+// bda-check: hot
+pub fn hot_plain_index(xs: &[f64]) -> f64 {
+    xs[0]
+}
+
+// bda-check: hot bda-check: allow(panic_path) -- caller pre-checks bounds
+pub fn hot_justified(xs: &[f64], i: usize) -> f64 {
+    xs[i + 1]
+}

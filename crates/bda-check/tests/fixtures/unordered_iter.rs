@@ -1,0 +1,40 @@
+//! Intentional `unordered_iter` violations and non-violations: hash
+//! containers iterated (directly, via `for`, or through one accessor
+//! hop) versus keyed access and ordered containers.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Mutex;
+
+pub fn frame_digest(slots: &HashMap<u64, u32>) -> u64 {
+    let mut acc = 0u64;
+    for (cycle, v) in slots.iter() {
+        acc ^= cycle.wrapping_add(u64::from(*v));
+    }
+    acc
+}
+
+pub fn member_list(seen: HashSet<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for id in &seen {
+        out.push(*id);
+    }
+    out.sort_unstable();
+    out
+}
+
+pub fn hop_iter(shared: &Mutex<HashMap<u64, u32>>) -> usize {
+    shared.lock().iter().count()
+}
+
+pub fn keyed_access(index: &HashMap<u64, u32>, k: u64) -> Option<u32> {
+    index.get(&k).copied()
+}
+
+pub fn ordered_iteration(cycles: &BTreeMap<u64, u32>) -> u64 {
+    cycles.keys().sum()
+}
+
+// bda-check: allow(unordered_iter) -- XOR fold is order-independent
+pub fn justified(tags: &HashSet<u64>) -> u64 {
+    tags.iter().fold(0, |a, b| a ^ *b)
+}

@@ -122,6 +122,48 @@ fn allow_marker_inside_string_literal_is_not_a_marker() {
     assert_eq!(lines_for(LIB_PATH, src, "unwrap"), vec![2]);
 }
 
+#[test]
+fn hot_alloc_rule_markers_propagation_and_allow() {
+    let src = include_str!("fixtures/hot_alloc.rs");
+    // `vec!` and `format!` inside the marked fn; `Vec::with_capacity` in
+    // `helper`, which is hot only by one-level call-graph propagation.
+    // `cold_path`'s `.to_vec()` and the allow-justified `Box::new` stay
+    // silent.
+    assert_eq!(lines_for(LIB_PATH, src, "hot_alloc"), vec![7, 8, 13]);
+    // Under a test path the propagation target is not hot-eligible
+    // (workspace library code only), so `helper` drops out while the
+    // marker-seeded fn itself still reports.
+    assert_eq!(
+        lines_for("crates/bda-core/tests/fixture.rs", src, "hot_alloc"),
+        vec![7, 8]
+    );
+}
+
+#[test]
+fn panic_path_rule_hot_scope_and_debug_assert_exemption() {
+    let src = include_str!("fixtures/panic_path.rs");
+    // Index arithmetic, `.unwrap()`, `assert!` — all inside the marked
+    // fn. `debug_assert!` (line 10), the cold fn with identical text
+    // (lines 14-16), plain indexing (line 21), and the fn-level allow
+    // (line 26) are all silent.
+    assert_eq!(lines_for(LIB_PATH, src, "panic_path"), vec![7, 8, 9]);
+}
+
+#[test]
+fn unordered_iter_rule_bindings_hops_and_scope() {
+    let src = include_str!("fixtures/unordered_iter.rs");
+    // Direct `.iter()`, `for .. in`, and a one-hop `lock().iter()` on
+    // hash bindings; keyed access, BTreeMap iteration, and the fn-level
+    // allow are silent.
+    assert_eq!(lines_for(LIB_PATH, src, "unordered_iter"), vec![10, 18, 26]);
+    // The rule is scoped to crates whose output feeds tables, frames,
+    // checkpoints or digests — physics crates iterate hash maps freely.
+    assert_eq!(
+        lines_for("crates/bda-scale/src/fixture.rs", src, "unordered_iter"),
+        Vec::<usize>::new()
+    );
+}
+
 /// The whole-workspace snapshot: the tree this repo ships must lint clean.
 /// This is the same scan `cargo run -p bda-check -- lint` and CI perform.
 #[test]

@@ -6,13 +6,19 @@
 //! polls a directory and reports files it has not seen before, ignoring
 //! in-progress files marked with a temporary suffix.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// Directory watcher with seen-file tracking.
+///
+/// The seen set is a `BTreeSet`: today it is only probed by key, but
+/// `bda-jitdt` feeds transfer logs and sequence decisions, and an ordered
+/// set keeps any future iteration (diagnostics, pruning sweeps)
+/// deterministic by construction — the `unordered_iter` lint denies hash
+/// iteration in this crate.
 pub struct FileWatcher {
     dir: PathBuf,
-    seen: HashSet<PathBuf>,
+    seen: BTreeSet<PathBuf>,
     /// Suffix marking in-progress writes (skipped until renamed away).
     pub tmp_suffix: String,
 }
@@ -24,7 +30,7 @@ impl FileWatcher {
         let dir = dir.as_ref().to_path_buf();
         let mut w = Self {
             dir,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             tmp_suffix: ".part".to_string(),
         };
         for f in w.list_files()? {

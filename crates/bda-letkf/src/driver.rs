@@ -97,6 +97,9 @@ struct Workspace<T> {
 }
 
 impl<T: Real> Workspace<T> {
+    // Fold-identity constructor: one allocation per rayon worker chunk,
+    // amortized across every grid point the chunk analyzes.
+    // bda-check: allow(hot_alloc)
     fn new(k: usize) -> Self {
         Self {
             local: LocalObs::new(k),
@@ -150,12 +153,17 @@ pub fn analyze_region<T: Real>(
 
     // Precompute innovations and observation-space perturbation rows.
     let nobs = obs.len();
+    // Per-analysis setup, before the per-grid-point loop: two allocations
+    // per cycle, not per point. bda-check: allow(hot_alloc)
     let mut dy = vec![T::zero(); nobs];
+    // bda-check: allow(hot_alloc)
     let mut yb = vec![T::zero(); nobs * k]; // row-major [obs][member]
     for i in 0..nobs {
         let mean = obs.hx_mean(i);
         dy[i] = obs.obs[i].value - mean;
         for m in 0..k {
+            // In bounds: i < nobs, m < k, so i*k + m < nobs*k = yb.len().
+            // bda-check: allow(panic_path)
             yb[i * k + m] = obs.hx[m][i] - mean;
         }
     }
@@ -225,7 +233,9 @@ pub fn analyze_region<T: Real>(
                     let i_obs = cast::index_of_u32(idx);
                     let err = obs.obs[i_obs].error_sd;
                     let rinv = T::of(w) / (err * err);
+                    // In bounds: i_obs < nobs by construction of candidates.
                     ws.local
+                        // bda-check: allow(panic_path)
                         .push(dy[i_obs], rinv, &yb[i_obs * k..(i_obs + 1) * k]);
                 }
 
@@ -238,6 +248,8 @@ pub fn analyze_region<T: Real>(
                     &mut ws.trans,
                 ) {
                     for v in 0..nvar {
+                        // In bounds: block has nvar*k elements, v < nvar.
+                        // bda-check: allow(panic_path)
                         let vals = &mut block[v * k..(v + 1) * k];
                         apply_transform(vals, &ws.trans, &mut ws.pert);
                     }

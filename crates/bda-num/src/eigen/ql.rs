@@ -18,6 +18,9 @@ impl QlEigen {
     /// Reduce symmetric `a` (destroyed; becomes the orthogonal accumulation
     /// matrix Q) to tridiagonal form with diagonal `d` and subdiagonal `e`
     /// (where `e[0]` is unused).
+    // The entry asserts pin `d`/`e` to the matrix dimension n; every index
+    // in the Householder sweep is bounded by `i < n` and `l = i - 1`.
+    // bda-check: allow(panic_path)
     pub fn tridiagonalize<T: Real>(a: &mut MatrixS<T>, d: &mut [T], e: &mut [T]) {
         let n = a.n();
         assert_eq!(d.len(), n);
@@ -101,6 +104,10 @@ impl QlEigen {
     /// Implicit-shift QL iteration on a tridiagonal matrix, accumulating the
     /// rotations into `z` (which should enter as the tridiagonalizing Q).
     /// `e[0]` is unused on entry.
+    // `d`/`e`/`z` share the dimension n established by `tridiagonalize`;
+    // all `i±1` offsets are bounded by the `m < n - 1` pivot search, and the
+    // convergence assert is the documented failure mode of QL iteration.
+    // bda-check: allow(panic_path)
     pub fn tqli<T: Real>(d: &mut [T], e: &mut [T], z: &mut MatrixS<T>) {
         let n = d.len();
         if n <= 1 {

@@ -128,6 +128,10 @@ impl<T: Real> MatrixS<T> {
     /// tile streams in. Accumulation order per output element is ascending
     /// `k` regardless of the block size, so blocking never changes the
     /// result bit pattern.
+    // The entry assert pins both operands to dimension n and `reset_zeros`
+    // sizes `out`; every `i*n+k` / row-slice offset is below n*n by loop
+    // bounds.
+    // bda-check: allow(panic_path)
     pub fn matmul_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(self.n, other.n);
         const K_BLOCK: usize = 64;
@@ -159,6 +163,9 @@ impl<T: Real> MatrixS<T> {
     }
 
     /// `self * v` into a caller-owned output slice (allocation-free).
+    // Entry asserts pin `v`/`out` to n; the row slice `i*n..(i+1)*n` is in
+    // bounds for every i < n.
+    // bda-check: allow(panic_path)
     pub fn matvec_into(&self, v: &[T], out: &mut [T]) {
         assert_eq!(v.len(), self.n);
         assert_eq!(out.len(), self.n);

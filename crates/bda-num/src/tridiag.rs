@@ -21,6 +21,9 @@ use crate::real::Real;
 ///
 /// # Panics
 /// Panics if slice lengths disagree or a pivot underflows to zero.
+// The entry asserts are the documented contract above and pin every slice
+// to length n; the in-loop `i±1` offsets stay inside `1..n` / `0..n-1`.
+// bda-check: allow(panic_path)
 pub fn solve_thomas<T: Real>(sub: &[T], diag: &[T], sup: &[T], d: &mut [T], scratch: &mut [T]) {
     let n = diag.len();
     assert_eq!(sub.len(), n);
@@ -138,6 +141,9 @@ impl<T: Real> ThomasFactor<T> {
     ///
     /// # Panics
     /// Panics if slice lengths disagree or a pivot underflows to zero.
+    // Entry asserts are the documented contract; `w`/`inv_beta` are resized
+    // to n before the loop, so `i±1` indexing over `1..n` cannot panic.
+    // bda-check: allow(panic_path)
     pub fn factor(&mut self, sub: &[T], diag: &[T], sup: &[T]) {
         let n = diag.len();
         assert_eq!(sub.len(), n);
@@ -163,6 +169,9 @@ impl<T: Real> ThomasFactor<T> {
     }
 
     /// Solve one right-hand side in place using the stored factorization.
+    // The entry assert pins `d` to the factored size n that `w`/`inv_beta`/
+    // `sub` already have; both sweeps index strictly inside `0..n`.
+    // bda-check: allow(panic_path)
     pub fn solve(&self, d: &mut [T]) {
         let n = self.n;
         assert_eq!(d.len(), n);
@@ -182,6 +191,9 @@ impl<T: Real> ThomasFactor<T> {
     /// autovectorizer turns into full-width SIMD. Each column's arithmetic
     /// is identical to [`ThomasFactor::solve`], so the blocked solve is
     /// bit-identical to solving the columns one at a time.
+    // The entry assert pins `block` to n*ncols; every row offset is a
+    // `split_at_mut` product strictly inside that length.
+    // bda-check: allow(panic_path)
     pub fn solve_columns(&self, block: &mut [T], ncols: usize) {
         let n = self.n;
         assert_eq!(block.len(), n * ncols);

@@ -91,6 +91,10 @@ impl<T: Real> DynWorkspace<T> {
 
 /// One HEVI dynamics step: updates `u`, `v`, `w`, `pi` (and the theta
 /// base-state vertical advection term). Halos must be filled on entry.
+// Every `k±1` stencil access sits behind an explicit `k == 0` / `k + 1 < nz`
+// boundary branch or a loop over `1..nz`; column slices and workspace
+// buffers are sized to nz (or nz+1 for faces) at construction.
+// bda-check: allow(panic_path)
 pub fn step_dynamics<T: Real>(
     state: &mut ModelState<T>,
     base: &BaseState<T>,

@@ -271,6 +271,9 @@ pub fn column_microphysics<T: Real>(
 /// sub-stepping; returns the surface mass flux (kg m^-2 s^-1). `flux` is a
 /// caller-owned scratch slice of length `nz` (every entry is overwritten
 /// before it is read, so stale contents are harmless).
+// The single `flux[k + 1]` read is guarded by `k + 1 < nz` and `flux` is at
+// least nz long per the debug_assert'ed contract.
+// bda-check: allow(panic_path)
 fn sediment_species<T: Real>(
     q: &mut [T],
     base: &BaseState<T>,

@@ -137,6 +137,9 @@ impl<T: Real> ColumnPbl<T> {
     /// fluxes (K m/s, kg/kg m/s) entering the lowest layer; `sfc_drag` is
     /// `C_d * |U|` (m/s) acting on the lowest-layer momentum.
     #[allow(clippy::too_many_arguments)]
+    // The three shear/gradient branches partition `0..nz` so each `k±1`
+    // access is in bounds for its branch; all column slices share length nz.
+    // bda-check: allow(panic_path)
     pub fn step_column(
         &mut self,
         u: &mut [T],
@@ -227,6 +230,9 @@ impl<T: Real> ColumnPbl<T> {
     #[allow(clippy::too_many_arguments)]
     /// optional implicit surface drag on the lowest layer and an explicit
     /// surface source term.
+    // `k±1` face accesses run under loops bounded away from the ends after
+    // the `nz < 2` early return; workspace buffers are sized to nz.
+    // bda-check: allow(panic_path)
     fn diffuse_implicit(
         &mut self,
         q: &mut [T],

@@ -1,0 +1,44 @@
+//! The checked sync facade for the epoch-fence protocol: the **only**
+//! place [`crate::fence`] touches synchronization primitives.
+//!
+//! `bda-check`'s `pool_facade` rule denies `std::sync` / `parking_lot` /
+//! `loom::sync` tokens inside `fence.rs`, so every atomic and lock the
+//! fence state machine performs is guaranteed to route through here — and
+//! therefore to run, unmodified, under the loom model checker when the
+//! `loom-model` feature swaps the backing implementation. The protocol
+//! code in [`crate::fence`] is byte-for-byte identical in both builds;
+//! only these re-exports change. (This is the same discipline
+//! `vendor/rayon` uses for its work-stealing protocol.)
+//!
+//! The production arm hands out `parking_lot::Mutex` — infallible `lock()`,
+//! no poisoning — so the loom arm wraps `loom::sync::Mutex` to the same
+//! shape: a poisoned model lock just yields the inner guard (the model's
+//! assertions, not poison propagation, are what detect broken schedules).
+
+#[cfg(not(feature = "loom-model"))]
+mod imp {
+    pub use parking_lot::Mutex;
+    pub use std::sync::atomic::{AtomicU64, Ordering};
+}
+
+#[cfg(feature = "loom-model")]
+mod imp {
+    pub use loom::sync::atomic::{AtomicU64, Ordering};
+
+    /// `parking_lot::Mutex`-shaped adapter over the loom mutex.
+    pub struct Mutex<T>(loom::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Self(loom::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> loom::sync::MutexGuard<'_, T> {
+            self.0
+                .lock()
+                .unwrap_or_else(loom::sync::PoisonError::into_inner)
+        }
+    }
+}
+
+pub use imp::*;

@@ -26,7 +26,9 @@
 
 pub mod bus;
 pub mod chaos;
+pub mod facade;
 pub mod federation;
+pub mod fence;
 pub mod layout;
 pub mod msg;
 pub mod netbus;
@@ -36,6 +38,7 @@ pub mod worker;
 pub use bus::{CollectStatus, HaloBus, HaloTransport};
 pub use chaos::ChaosProxy;
 pub use federation::{FederationConfig, LocalFederation, NetFederation};
+pub use fence::{Admit, FenceTable, SlotGet};
 pub use layout::ShardLayout;
 pub use msg::{decode_halo, encode_halo, HaloError, HaloFrame, HaloMsg};
 pub use netbus::{NetBus, NetBusConfig, NetStats};

@@ -37,6 +37,7 @@
 //! halo-reuse at its deadline. Only local encode failures surface.
 
 use crate::bus::{CollectStatus, HaloBus, HaloTransport};
+use crate::fence::{Admit, FenceTable, SlotGet};
 use crate::msg::{decode_halo, encode_halo, HaloError, HaloFrame};
 use crate::wire::{encode_msg, NetFrameReader, NetMsg, WireEvent};
 use bda_num::{cast, Real};
@@ -44,7 +45,7 @@ use bda_workflow::backoff::Backoff;
 use bda_workflow::LinkHealth;
 use bytes::Bytes;
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
@@ -52,6 +53,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How many cycles behind a shard's own published cycle a halo slot may
+/// lag before [`FenceTable::prune_below`] drops it — far beyond any
+/// collection deadline, so pruning can never race a live collect.
+const INBOX_KEEP_CYCLES: u64 = 64;
 
 /// Registry file carrying shard `shard`'s advertised listen port.
 pub fn registry_name(shard: usize) -> String {
@@ -135,13 +141,6 @@ pub struct NetStats {
     pub reconnects: u64,
 }
 
-/// One (cycle, peer) inbox slot: the raw sealed `BDAH` bytes and the
-/// epoch that delivered them (newer epochs overwrite, older are fenced).
-struct InSlot {
-    epoch: u64,
-    bytes: Bytes,
-}
-
 /// Outbound link state for one peer.
 struct Link {
     stream: Option<TcpStream>,
@@ -177,12 +176,11 @@ struct Shared {
     ctl: HaloBus,
     stop: AtomicBool,
     current_cycle: AtomicU64,
-    /// (cycle, peer) → newest-epoch sealed halo frame received.
-    inbox: Mutex<HashMap<(u64, usize), InSlot>>,
+    /// Per-peer epoch fences plus the (cycle, peer) → newest-epoch halo
+    /// slot store — the extracted state machine the loom suite checks.
+    fence: FenceTable<Bytes>,
     /// Own published frames by cycle — the `REQ` replay source.
     history: Mutex<BTreeMap<u64, Bytes>>,
-    /// Per-peer fence: highest epoch seen from that sender.
-    fenced: Vec<AtomicU64>,
     /// Highest cycle each peer has advertised (heartbeats, halos, reqs
     /// all carry the sender's current cycle) — the lag detector.
     peer_cycle: Vec<AtomicU64>,
@@ -244,9 +242,8 @@ impl NetBus {
             ctl,
             stop: AtomicBool::new(false),
             current_cycle: AtomicU64::new(0),
-            inbox: Mutex::new(HashMap::new()),
+            fence: FenceTable::new(cfg.n_shards),
             history: Mutex::new(BTreeMap::new()),
-            fenced: (0..cfg.n_shards).map(|_| AtomicU64::new(0)).collect(),
             peer_cycle: (0..cfg.n_shards).map(|_| AtomicU64::new(0)).collect(),
             last_heard: (0..cfg.n_shards).map(|_| Mutex::new(None)).collect(),
             links,
@@ -443,17 +440,9 @@ fn handle_msg(shared: &Shared, msg: NetMsg, conn: &mut TcpStream) {
     }
     // Epoch fence: anything below the highest epoch seen from this sender
     // is a zombie (pre-respawn) writer.
-    let fence = &shared.fenced[sender];
-    let mut fenced = fence.load(Ordering::SeqCst);
-    loop {
-        if msg.epoch() < fenced {
-            shared.stats.lock().stale_epoch_rejects += 1;
-            return;
-        }
-        match fence.compare_exchange(fenced, msg.epoch(), Ordering::SeqCst, Ordering::SeqCst) {
-            Ok(_) => break,
-            Err(now) => fenced = now,
-        }
+    if let Admit::Stale { .. } = shared.fence.observe(sender, msg.epoch()) {
+        shared.stats.lock().stale_epoch_rejects += 1;
+        return;
     }
     // Liveness bookkeeping for the lag detector: every fence-valid
     // message proves the peer is up, and every cycle-carrying one
@@ -471,25 +460,10 @@ fn handle_msg(shared: &Shared, msg: NetMsg, conn: &mut TcpStream) {
             cycle,
             frame,
         } => {
-            let mut inbox = shared.inbox.lock();
-            let slot = inbox.entry((cycle, sender));
-            match slot {
-                std::collections::hash_map::Entry::Occupied(mut o) => {
-                    if o.get().epoch <= epoch {
-                        o.insert(InSlot {
-                            epoch,
-                            bytes: frame,
-                        });
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(InSlot {
-                        epoch,
-                        bytes: frame,
-                    });
-                }
-            }
-            drop(inbox);
+            // Newer-epoch-wins admission; the fence already passed above,
+            // so the frame counts as received even if a raced respawn
+            // retro-fences it before anyone collects.
+            shared.fence.admit(sender, cycle, epoch, frame);
             shared.stats.lock().halos_received += 1;
         }
         NetMsg::Req { cycle, .. } => {
@@ -628,6 +602,11 @@ impl HaloTransport for NetBus {
     fn publish<T: Real>(&self, frame: &HaloFrame<T>) -> Result<(), String> {
         let cycle = frame.cycle();
         self.shared.current_cycle.store(cycle, Ordering::SeqCst);
+        // Bound the halo slot store: a slot more than a full collection
+        // window behind this shard's own cycle can never be collected.
+        self.shared
+            .fence
+            .prune_below(cycle.saturating_sub(INBOX_KEEP_CYCLES));
         let bytes = encode_halo(frame).map_err(|e| format!("encode halo: {e}"))?;
         self.shared.history.lock().insert(cycle, bytes.clone());
         let msg = encode_msg(&NetMsg::Halo {
@@ -645,24 +624,19 @@ impl HaloTransport for NetBus {
     }
 
     fn try_collect<T: Real>(&self, cycle: u64, shard: usize) -> CollectStatus<T> {
-        let inbox = self.shared.inbox.lock();
-        let Some(slot) = inbox.get(&(cycle, shard)) else {
-            drop(inbox);
-            return CollectStatus::Missing {
-                peer_dead: self.shared.ctl.is_dead(shard),
-            };
-        };
-        let fenced = self.shared.fenced[shard].load(Ordering::SeqCst);
-        if slot.epoch < fenced {
+        let bytes = match self.shared.fence.fetch(cycle, shard) {
+            SlotGet::Missing => {
+                return CollectStatus::Missing {
+                    peer_dead: self.shared.ctl.is_dead(shard),
+                }
+            }
             // A newer epoch of this peer has spoken since the slot was
             // filled — the slot is a zombie's leavings. Typed, not used.
-            return CollectStatus::Corrupt(HaloError::StaleEpoch {
-                got: slot.epoch,
-                fenced,
-            });
-        }
-        let bytes = slot.bytes.clone();
-        drop(inbox);
+            SlotGet::Fenced { got, fenced } => {
+                return CollectStatus::Corrupt(HaloError::StaleEpoch { got, fenced })
+            }
+            SlotGet::Ready { payload, .. } => payload,
+        };
         match decode_halo::<T>(&bytes) {
             Ok(HaloFrame::Strip(m)) => CollectStatus::Ready(m),
             Ok(HaloFrame::Skip { .. }) => CollectStatus::Skipped,

@@ -1,0 +1,101 @@
+//! Deterministic-order and epoch-fence regression tests for the extracted
+//! `FenceTable` (the netbus inbox). The loom suite in
+//! `crates/bda-check/tests/loom_netbus.rs` proves the concurrent
+//! interleavings; these tests pin the single-threaded contract — above
+//! all that every snapshot/sweep order is sorted *by construction*, so
+//! the transport's observable byte streams can never depend on hash
+//! iteration order.
+
+use bda_shard::{Admit, FenceTable, SlotGet};
+
+#[test]
+fn keys_snapshot_is_sorted_regardless_of_admission_order() {
+    let ft = FenceTable::<u32>::new(4);
+    // Admit in scrambled (cycle, sender) order.
+    for (sender, cycle, epoch, payload) in [
+        (3usize, 9u64, 1u64, 39u32),
+        (0, 9, 1, 9),
+        (2, 7, 1, 27),
+        (1, 8, 1, 18),
+        (0, 7, 1, 7),
+        (3, 7, 1, 37),
+    ] {
+        assert_eq!(ft.admit(sender, cycle, epoch, payload), Admit::Accepted);
+    }
+    // The snapshot is ascending (cycle, sender) — the exact order a
+    // digest or debug sweep would emit. Pinned so a regression back to a
+    // hash container (nondeterministic byte streams) fails loudly.
+    assert_eq!(
+        ft.keys(),
+        vec![
+            (7, 0, 1),
+            (7, 2, 1),
+            (7, 3, 1),
+            (8, 1, 1),
+            (9, 0, 1),
+            (9, 3, 1),
+        ]
+    );
+    // And it is stable: two snapshots are byte-identical.
+    assert_eq!(ft.keys(), ft.keys());
+}
+
+#[test]
+fn fence_verdicts_ratchet_reject_and_retro_fence() {
+    let ft = FenceTable::<u32>::new(2);
+    assert_eq!(ft.admit(1, 5, 1, 11), Admit::Accepted);
+    assert_eq!(
+        ft.fetch(5, 1),
+        SlotGet::Ready {
+            epoch: 1,
+            payload: 11
+        }
+    );
+    // A newer epoch announces itself (hello, no payload): the old slot is
+    // retro-fenced at read even though it was admitted legitimately.
+    assert_eq!(ft.observe(1, 3), Admit::Accepted);
+    assert_eq!(ft.fence_of(1), 3);
+    assert_eq!(ft.fetch(5, 1), SlotGet::Fenced { got: 1, fenced: 3 });
+    // Anything below the fence is now rejected on arrival...
+    assert_eq!(ft.admit(1, 5, 2, 22), Admit::Stale { got: 2, fenced: 3 });
+    // ...and the rejected frame must not have touched the slot.
+    assert_eq!(ft.fetch(5, 1), SlotGet::Fenced { got: 1, fenced: 3 });
+    // The fence epoch itself is admissible and replaces the fenced slot.
+    assert_eq!(ft.admit(1, 5, 3, 33), Admit::Accepted);
+    assert_eq!(
+        ft.fetch(5, 1),
+        SlotGet::Ready {
+            epoch: 3,
+            payload: 33
+        }
+    );
+    // Unknown (cycle, sender) is Missing, not an error.
+    assert_eq!(ft.fetch(6, 0), SlotGet::Missing);
+}
+
+#[test]
+fn prune_below_bounds_the_slot_store() {
+    let ft = FenceTable::<u32>::new(2);
+    for cycle in 0..10u64 {
+        ft.admit(0, cycle, 1, cycle as u32);
+        ft.admit(1, cycle, 1, cycle as u32);
+    }
+    assert_eq!(ft.keys().len(), 20);
+    // Everything below cycle 7 goes; 7..10 for both senders stays.
+    assert_eq!(ft.prune_below(7), 14);
+    assert_eq!(
+        ft.keys(),
+        vec![
+            (7, 0, 1),
+            (7, 1, 1),
+            (8, 0, 1),
+            (8, 1, 1),
+            (9, 0, 1),
+            (9, 1, 1),
+        ]
+    );
+    // Pruning is idempotent.
+    assert_eq!(ft.prune_below(7), 0);
+    // Pruned slots read back Missing.
+    assert_eq!(ft.fetch(3, 0), SlotGet::Missing);
+}

@@ -285,11 +285,17 @@ where
         // the `Sync` impl justification.
         let (start, chunk) = unsafe { &mut *self.cells[c].get() }
             .take()
+            // Unreachable by the claim-CAS exactly-once invariant; if the
+            // protocol is broken, loud is better than silently re-running a
+            // chunk. bda-check: allow(panic_path)
             .expect("chunk claimed twice");
         match std::panic::catch_unwind(AssertUnwindSafe(|| (self.work)(start, chunk))) {
             // SAFETY: as above — sole claimant of slot `c`.
             Ok(r) => unsafe { *self.slots[c].get() = Some(r) },
             Err(p) => {
+                // Poison propagation is the point here: if another worker
+                // panicked while stashing, re-raising is correct.
+                // bda-check: allow(panic_path)
                 let mut payload = self.payload.lock().unwrap();
                 if payload.is_none() {
                     *payload = Some(p);
